@@ -1,0 +1,63 @@
+// Command devnet runs the local development chain with a JSON-RPC
+// endpoint — the Ganache role in the paper's Table I. It pre-funds a
+// deterministic set of accounts and prints their keys, so wallets and
+// the rental application can sign transactions against it.
+//
+// Usage:
+//
+//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/rpc"
+	"legalchain/internal/wallet"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8545", "listen address for JSON-RPC")
+		nAcc     = flag.Int("accounts", 10, "number of pre-funded accounts")
+		seed     = flag.String("seed", wallet.DefaultDevSeed, "deterministic account seed")
+		balance  = flag.Int64("balance", 1000, "initial balance per account (ether)")
+		chainID  = flag.Uint64("chainid", 1337, "chain id")
+		gasLimit = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
+	)
+	flag.Parse()
+
+	accounts := wallet.DevAccounts(*seed, *nAcc)
+	g := chain.DefaultGenesis()
+	g.ChainID = *chainID
+	g.GasLimit = *gasLimit
+	g.Alloc = wallet.DevAlloc(accounts, ethtypes.Ether(*balance))
+	bc := chain.New(g)
+
+	ks := wallet.NewKeystore()
+	for _, acc := range accounts {
+		ks.Import(acc.Key)
+	}
+
+	fmt.Printf("legalchain devnet — chain id %d, gas limit %d\n\n", *chainID, *gasLimit)
+	fmt.Println("Available accounts")
+	fmt.Println("==================")
+	for i, acc := range accounts {
+		fmt.Printf("(%d) %s (%d ETH)\n", i, acc.Address.Hex(), *balance)
+	}
+	fmt.Println("\nPrivate keys")
+	fmt.Println("============")
+	for i, acc := range accounts {
+		fmt.Printf("(%d) %s\n", i, hexutil.Encode(acc.Key.Bytes()))
+	}
+	fmt.Printf("\nJSON-RPC listening on %s\n", *addr)
+
+	if err := http.ListenAndServe(*addr, rpc.NewServer(bc, ks)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Command minisolc compiles minisol (the Solidity subset of this
+// repository) into EVM bytecode and a JSON ABI — the solc role in the
+// paper's toolchain.
+//
+// Usage:
+//
+//	minisolc file.sol            # writes <Contract>.bin / <Contract>.abi per contract
+//	minisolc -builtin BaseRental # compile a bundled contract
+//	minisolc -disasm file.sol    # print disassembly instead of writing files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"legalchain/internal/contracts"
+	"legalchain/internal/evm"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/minisol"
+)
+
+func main() {
+	var (
+		builtin = flag.String("builtin", "", "compile a bundled contract (DataStorage, BaseRental, RentalAgreementV2, FreelanceEscrow)")
+		disasm  = flag.Bool("disasm", false, "print runtime disassembly instead of writing files")
+		outDir  = flag.String("o", ".", "output directory")
+	)
+	flag.Parse()
+
+	var arts []*minisol.Artifact
+	switch {
+	case *builtin != "":
+		art, err := contracts.Artifact(*builtin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arts = []*minisol.Artifact{art}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		arts, err = minisol.Compile(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: minisolc [flags] file.sol")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	for _, art := range arts {
+		if *disasm {
+			fmt.Printf("=== %s (runtime, %d bytes) ===\n", art.Name, len(art.Runtime))
+			fmt.Println(strings.Join(evm.Disassemble(art.Runtime), "\n"))
+			continue
+		}
+		binPath := fmt.Sprintf("%s/%s.bin", *outDir, art.Name)
+		abiPath := fmt.Sprintf("%s/%s.abi", *outDir, art.Name)
+		if err := os.WriteFile(binPath, []byte(hexutil.Encode(art.Bytecode)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(abiPath, art.ABIJSON, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d bytes deploy code, %d bytes runtime -> %s, %s\n",
+			art.Name, len(art.Bytecode), len(art.Runtime), binPath, abiPath)
+	}
+}

@@ -1,0 +1,91 @@
+// Command rentald runs the complete Evolving Rental Agreement Manager:
+// an embedded devnet (blockchain tier), a content-addressed ABI store
+// (IPFS tier), the embedded document database (data tier), the contract
+// manager (business tier) and the web application (presentation tier) —
+// the full four-tier architecture of the paper's Fig. 1 in one process.
+//
+// Usage:
+//
+//	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+
+	"legalchain/internal/app"
+	"legalchain/internal/chain"
+	"legalchain/internal/core"
+	"legalchain/internal/docstore"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/ipfs"
+	"legalchain/internal/rpc"
+	"legalchain/internal/wallet"
+	"legalchain/internal/web3"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "web application listen address")
+		rpcAddr = flag.String("rpc", ":8545", "JSON-RPC listen address (empty to disable)")
+		datadir = flag.String("datadir", "", "directory for durable data (empty = in-memory)")
+	)
+	flag.Parse()
+
+	// Blockchain tier with a faucet account.
+	faucet := wallet.DevAccounts(wallet.DefaultDevSeed, 1)[0]
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc([]wallet.Account{faucet}, ethtypes.Ether(1_000_000_000))
+	bc := chain.New(g)
+	ks := wallet.NewKeystore()
+	ks.Import(faucet.Key)
+
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// IPFS + data tiers.
+	var blobs ipfs.Store
+	var store *docstore.Store
+	if *datadir == "" {
+		blobs = ipfs.NewMemStore()
+		store, err = docstore.Open("")
+	} else {
+		blobs, err = ipfs.NewFileStore(filepath.Join(*datadir, "ipfs"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = docstore.Open(filepath.Join(*datadir, "db"))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Business + presentation tiers.
+	manager := core.NewManager(client, ipfs.NewNode(blobs), store)
+	webApp := app.New(manager)
+	webApp.Faucet = faucet.Address
+
+	if *rpcAddr != "" {
+		go func() {
+			log.Printf("JSON-RPC on %s", *rpcAddr)
+			if err := http.ListenAndServe(*rpcAddr, rpc.NewServer(bc, ks)); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	fmt.Printf("Evolving Rental Agreement Manager\n")
+	fmt.Printf("  web UI:   http://localhost%s (register two users to play landlord and tenant)\n", *addr)
+	if *rpcAddr != "" {
+		fmt.Printf("  JSON-RPC: http://localhost%s\n", *rpcAddr)
+	}
+	if err := http.ListenAndServe(*addr, webApp.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,13 @@
+// Package legalchain is a from-scratch, stdlib-only Go reproduction of
+// "Legal smart contracts in Ethereum Block chain: Linking the dots"
+// (ICDE 2020): a legal smart-contract platform with linked-list contract
+// versioning, data/logic separation through an on-chain key/value
+// contract, ABI resolution through a content-addressed store, and the
+// rental-agreement case study — on top of its own EVM, Merkle Patricia
+// trie, secp256k1, Keccak, compiler, devnet chain, JSON-RPC node, web3
+// client, IPFS-like store and embedded document database.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure. The root-level benchmarks in
+// bench_test.go regenerate the per-experiment measurements.
+package legalchain

@@ -1,0 +1,3 @@
+module legalchain
+
+go 1.22

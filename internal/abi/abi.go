@@ -1,0 +1,381 @@
+package abi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"legalchain/internal/ethtypes"
+)
+
+// Method describes a callable function (or the constructor).
+type Method struct {
+	Name            string
+	Inputs          []Arg
+	Outputs         []Arg
+	StateMutability string // "payable", "nonpayable", "view", "pure"
+}
+
+// Signature returns the canonical signature, e.g. "payRent()".
+func (m Method) Signature() string {
+	parts := make([]string, len(m.Inputs))
+	for i, in := range m.Inputs {
+		parts[i] = in.Type.String()
+	}
+	return m.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// ID returns the 4-byte selector.
+func (m Method) ID() [4]byte {
+	h := ethtypes.Keccak256([]byte(m.Signature()))
+	var id [4]byte
+	copy(id[:], h[:4])
+	return id
+}
+
+// Payable reports whether the method accepts ether.
+func (m Method) Payable() bool { return m.StateMutability == "payable" }
+
+// ReadOnly reports whether the method can be served by eth_call without
+// a transaction.
+func (m Method) ReadOnly() bool {
+	return m.StateMutability == "view" || m.StateMutability == "pure"
+}
+
+// Event describes a log-emitting event.
+type Event struct {
+	Name      string
+	Inputs    []Arg
+	Anonymous bool
+}
+
+// Signature returns the canonical event signature.
+func (e Event) Signature() string {
+	parts := make([]string, len(e.Inputs))
+	for i, in := range e.Inputs {
+		parts[i] = in.Type.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Topic returns keccak(signature), the first log topic of non-anonymous
+// events.
+func (e Event) Topic() ethtypes.Hash {
+	return ethtypes.Keccak256([]byte(e.Signature()))
+}
+
+// ABI is a contract interface: constructor, functions and events.
+type ABI struct {
+	Constructor *Method
+	Methods     map[string]Method // by name
+	Events      map[string]Event  // by name
+}
+
+// MethodByID finds a method by its 4-byte selector.
+func (a *ABI) MethodByID(id []byte) (Method, bool) {
+	if len(id) < 4 {
+		return Method{}, false
+	}
+	for _, m := range a.Methods {
+		mid := m.ID()
+		if bytes.Equal(mid[:], id[:4]) {
+			return m, true
+		}
+	}
+	return Method{}, false
+}
+
+// EventByTopic finds an event by its topic hash.
+func (a *ABI) EventByTopic(topic ethtypes.Hash) (Event, bool) {
+	for _, e := range a.Events {
+		if e.Topic() == topic {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Pack encodes a method call: selector followed by encoded arguments.
+func (a *ABI) Pack(name string, args ...interface{}) ([]byte, error) {
+	m, ok := a.Methods[name]
+	if !ok {
+		return nil, fmt.Errorf("abi: no method %q", name)
+	}
+	enc, err := EncodeArgs(m.Inputs, args)
+	if err != nil {
+		return nil, err
+	}
+	id := m.ID()
+	return append(id[:], enc...), nil
+}
+
+// PackConstructor encodes constructor arguments (appended to bytecode).
+func (a *ABI) PackConstructor(args ...interface{}) ([]byte, error) {
+	if a.Constructor == nil {
+		if len(args) != 0 {
+			return nil, errors.New("abi: contract has no constructor but args given")
+		}
+		return nil, nil
+	}
+	return EncodeArgs(a.Constructor.Inputs, args)
+}
+
+// Unpack decodes the return data of a method call.
+func (a *ABI) Unpack(name string, data []byte) ([]interface{}, error) {
+	m, ok := a.Methods[name]
+	if !ok {
+		return nil, fmt.Errorf("abi: no method %q", name)
+	}
+	return DecodeArgs(m.Outputs, data)
+}
+
+// UnpackInput decodes the calldata arguments of a method call
+// (excluding the selector).
+func (a *ABI) UnpackInput(name string, data []byte) ([]interface{}, error) {
+	m, ok := a.Methods[name]
+	if !ok {
+		return nil, fmt.Errorf("abi: no method %q", name)
+	}
+	return DecodeArgs(m.Inputs, data)
+}
+
+// DecodedEvent is an event log resolved against the ABI.
+type DecodedEvent struct {
+	Name string
+	Args map[string]interface{}
+	Raw  *ethtypes.Log
+}
+
+// DecodeLog resolves a log against the contract's events, decoding both
+// indexed topics and the data section.
+func (a *ABI) DecodeLog(log *ethtypes.Log) (*DecodedEvent, error) {
+	if len(log.Topics) == 0 {
+		return nil, errors.New("abi: anonymous logs unsupported")
+	}
+	ev, ok := a.EventByTopic(log.Topics[0])
+	if !ok {
+		return nil, fmt.Errorf("abi: no event with topic %s", log.Topics[0])
+	}
+	out := &DecodedEvent{Name: ev.Name, Args: map[string]interface{}{}, Raw: log}
+	var dataArgs []Arg
+	topicIdx := 1
+	for _, in := range ev.Inputs {
+		if in.Indexed {
+			if topicIdx >= len(log.Topics) {
+				return nil, errors.New("abi: missing indexed topic")
+			}
+			t := log.Topics[topicIdx]
+			topicIdx++
+			switch in.Type.Kind {
+			case KindAddress:
+				out.Args[in.Name] = ethtypes.BytesToAddress(t[12:])
+			case KindUint, KindInt, KindBool, KindFixedBytes:
+				v, err := decodeValue(in.Type, t[:])
+				if err != nil {
+					return nil, err
+				}
+				out.Args[in.Name] = v
+			default:
+				// Dynamic indexed values are stored as their keccak hash.
+				out.Args[in.Name] = t
+			}
+		} else {
+			dataArgs = append(dataArgs, in)
+		}
+	}
+	values, err := DecodeArgs(dataArgs, log.Data)
+	if err != nil {
+		return nil, err
+	}
+	for i, arg := range dataArgs {
+		out.Args[arg.Name] = values[i]
+	}
+	return out, nil
+}
+
+// jsonEntry is one element of the standard JSON ABI array.
+type jsonEntry struct {
+	Type            string      `json:"type"`
+	Name            string      `json:"name,omitempty"`
+	Inputs          []jsonParam `json:"inputs,omitempty"`
+	Outputs         []jsonParam `json:"outputs,omitempty"`
+	StateMutability string      `json:"stateMutability,omitempty"`
+	Anonymous       bool        `json:"anonymous,omitempty"`
+}
+
+type jsonParam struct {
+	Name       string      `json:"name"`
+	Type       string      `json:"type"`
+	Indexed    bool        `json:"indexed,omitempty"`
+	Components []jsonParam `json:"components,omitempty"`
+}
+
+// ParseJSON parses a standard JSON ABI document.
+func ParseJSON(data []byte) (*ABI, error) {
+	var entries []jsonEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("abi: bad JSON: %w", err)
+	}
+	out := &ABI{Methods: map[string]Method{}, Events: map[string]Event{}}
+	for _, e := range entries {
+		switch e.Type {
+		case "function", "":
+			inputs, err := parseParams(e.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			outputs, err := parseParams(e.Outputs)
+			if err != nil {
+				return nil, err
+			}
+			mut := e.StateMutability
+			if mut == "" {
+				mut = "nonpayable"
+			}
+			out.Methods[e.Name] = Method{Name: e.Name, Inputs: inputs, Outputs: outputs, StateMutability: mut}
+		case "constructor":
+			inputs, err := parseParams(e.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			mut := e.StateMutability
+			if mut == "" {
+				mut = "nonpayable"
+			}
+			out.Constructor = &Method{Name: "", Inputs: inputs, StateMutability: mut}
+		case "event":
+			inputs, err := parseParams(e.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			out.Events[e.Name] = Event{Name: e.Name, Inputs: inputs, Anonymous: e.Anonymous}
+		case "fallback", "receive":
+			// No dispatch data needed.
+		default:
+			return nil, fmt.Errorf("abi: unknown entry type %q", e.Type)
+		}
+	}
+	return out, nil
+}
+
+func parseParams(params []jsonParam) ([]Arg, error) {
+	out := make([]Arg, len(params))
+	for i, p := range params {
+		var t Type
+		var err error
+		if strings.HasPrefix(p.Type, "tuple") {
+			comps, err := parseParams(p.Components)
+			if err != nil {
+				return nil, err
+			}
+			t = TupleOf(comps...)
+			if strings.HasSuffix(p.Type, "[]") {
+				t = SliceOf(t)
+			}
+		} else if t, err = ParseType(p.Type); err != nil {
+			return nil, err
+		}
+		out[i] = Arg{Name: p.Name, Type: t, Indexed: p.Indexed}
+	}
+	return out, nil
+}
+
+// MarshalJSON renders the ABI back to the standard JSON format, so
+// compiled artifacts can be stored (e.g. in IPFS, as the paper does).
+func (a *ABI) MarshalJSON() ([]byte, error) {
+	var entries []jsonEntry
+	if a.Constructor != nil {
+		entries = append(entries, jsonEntry{
+			Type:            "constructor",
+			Inputs:          renderParams(a.Constructor.Inputs),
+			StateMutability: a.Constructor.StateMutability,
+		})
+	}
+	names := make([]string, 0, len(a.Methods))
+	for n := range a.Methods {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		m := a.Methods[n]
+		entries = append(entries, jsonEntry{
+			Type:            "function",
+			Name:            m.Name,
+			Inputs:          renderParams(m.Inputs),
+			Outputs:         renderParams(m.Outputs),
+			StateMutability: m.StateMutability,
+		})
+	}
+	evNames := make([]string, 0, len(a.Events))
+	for n := range a.Events {
+		evNames = append(evNames, n)
+	}
+	sortStrings(evNames)
+	for _, n := range evNames {
+		e := a.Events[n]
+		entries = append(entries, jsonEntry{
+			Type:      "event",
+			Name:      e.Name,
+			Inputs:    renderParams(e.Inputs),
+			Anonymous: e.Anonymous,
+		})
+	}
+	return json.MarshalIndent(entries, "", "  ")
+}
+
+func renderParams(args []Arg) []jsonParam {
+	out := make([]jsonParam, len(args))
+	for i, a := range args {
+		p := jsonParam{Name: a.Name, Indexed: a.Indexed}
+		if a.Type.Kind == KindTuple {
+			p.Type = "tuple"
+			p.Components = renderParams(a.Type.Components)
+		} else if a.Type.Kind == KindSlice && a.Type.Elem.Kind == KindTuple {
+			p.Type = "tuple[]"
+			p.Components = renderParams(a.Type.Elem.Components)
+		} else {
+			p.Type = a.Type.String()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// revertSelector is the selector of Error(string), the canonical revert
+// reason encoding.
+var revertSelector = func() [4]byte {
+	h := ethtypes.Keccak256([]byte("Error(string)"))
+	var id [4]byte
+	copy(id[:], h[:4])
+	return id
+}()
+
+// PackRevertReason encodes a revert reason string as Error(string).
+func PackRevertReason(reason string) []byte {
+	enc, _ := EncodeArgs([]Arg{{Name: "message", Type: StringType}}, []interface{}{reason})
+	return append(revertSelector[:], enc...)
+}
+
+// UnpackRevertReason decodes an Error(string) payload; ok is false when
+// the data is not a standard revert reason.
+func UnpackRevertReason(data []byte) (string, bool) {
+	if len(data) < 4 || !bytes.Equal(data[:4], revertSelector[:]) {
+		return "", false
+	}
+	vals, err := DecodeArgs([]Arg{{Name: "message", Type: StringType}}, data[4:])
+	if err != nil {
+		return "", false
+	}
+	s, ok := vals[0].(string)
+	return s, ok
+}

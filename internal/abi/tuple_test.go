@@ -1,0 +1,132 @@
+package abi
+
+import (
+	"testing"
+
+	"legalchain/internal/uint256"
+)
+
+// TestTupleSliceEncoding covers struct arrays (PaidRent[] in the paper):
+// a dynamic array of static tuples.
+func TestTupleSliceEncoding(t *testing.T) {
+	paidRent := TupleOf(
+		Arg{Name: "Monthid", Type: Uint256Type},
+		Arg{Name: "value", Type: Uint256Type},
+	)
+	args := []Arg{{Name: "rents", Type: SliceOf(paidRent)}}
+	vals := []interface{}{[]interface{}{
+		[]interface{}{uint64(1), uint64(100)},
+		[]interface{}{uint64(2), uint64(200)},
+		[]interface{}{uint64(3), uint64(300)},
+	}}
+	enc, err := EncodeArgs(args, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArgs(args, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rents := back[0].([]interface{})
+	if len(rents) != 3 {
+		t.Fatalf("len = %d", len(rents))
+	}
+	for i, r := range rents {
+		tup := r.([]interface{})
+		if tup[0].(uint256.Int).Uint64() != uint64(i+1) {
+			t.Fatalf("month %d", i)
+		}
+		if tup[1].(uint256.Int).Uint64() != uint64((i+1)*100) {
+			t.Fatalf("value %d", i)
+		}
+	}
+}
+
+// TestDynamicTuple covers tuples containing dynamic members (the whole
+// tuple moves to the tail).
+func TestDynamicTuple(t *testing.T) {
+	person := TupleOf(
+		Arg{Name: "name", Type: StringType},
+		Arg{Name: "age", Type: Uint256Type},
+	)
+	if !person.IsDynamic() {
+		t.Fatal("tuple with string must be dynamic")
+	}
+	args := []Arg{{Name: "p", Type: person}, {Name: "tail", Type: Uint256Type}}
+	vals := []interface{}{
+		[]interface{}{"eleanna", uint64(42)},
+		uint64(7),
+	}
+	enc, err := EncodeArgs(args, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArgs(args, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := back[0].([]interface{})
+	if tup[0].(string) != "eleanna" || tup[1].(uint256.Int).Uint64() != 42 {
+		t.Fatalf("tuple = %v", tup)
+	}
+	if back[1].(uint256.Int).Uint64() != 7 {
+		t.Fatal("trailing static arg corrupted")
+	}
+}
+
+// TestSliceOfStrings covers string[].
+func TestSliceOfStrings(t *testing.T) {
+	args := []Arg{{Name: "xs", Type: SliceOf(StringType)}}
+	vals := []interface{}{[]interface{}{"a", "bb", strings70()}}
+	enc, err := EncodeArgs(args, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArgs(args, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := back[0].([]interface{})
+	if xs[0].(string) != "a" || xs[1].(string) != "bb" || xs[2].(string) != strings70() {
+		t.Fatalf("xs = %v", xs)
+	}
+}
+
+func strings70() string {
+	out := make([]byte, 70)
+	for i := range out {
+		out[i] = byte('a' + i%26)
+	}
+	return string(out)
+}
+
+// TestEmptySlice round-trips a zero-length array.
+func TestEmptySlice(t *testing.T) {
+	args := []Arg{{Name: "xs", Type: SliceOf(Uint256Type)}}
+	enc, err := EncodeArgs(args, []interface{}{[]interface{}{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArgs(args, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs := back[0].([]interface{}); len(xs) != 0 {
+		t.Fatalf("xs = %v", xs)
+	}
+}
+
+// TestArityMismatch checks argument count validation.
+func TestArityMismatch(t *testing.T) {
+	args := []Arg{{Type: Uint256Type}, {Type: BoolType}}
+	if _, err := EncodeArgs(args, []interface{}{uint64(1)}); err == nil {
+		t.Fatal("short values accepted")
+	}
+	if _, err := EncodeArgs(args, []interface{}{uint64(1), true, "x"}); err == nil {
+		t.Fatal("long values accepted")
+	}
+	// Wrong type.
+	if _, err := EncodeArgs(args, []interface{}{"str", true}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package abi implements the Ethereum contract Application Binary
+// Interface: the type system, argument encoding/decoding (head/tail
+// layout), function selectors, event topics, and the JSON ABI format
+// that the paper stores in IPFS to make deployed contract versions
+// callable from their addresses alone.
+package abi
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the ABI type kinds this implementation supports.
+type Kind int
+
+const (
+	// KindUint is uint8..uint256.
+	KindUint Kind = iota
+	// KindInt is int8..int256 (two's complement).
+	KindInt
+	// KindAddress is a 20-byte address, padded to 32.
+	KindAddress
+	// KindBool is a boolean, padded to 32.
+	KindBool
+	// KindFixedBytes is bytes1..bytes32, right-padded.
+	KindFixedBytes
+	// KindBytes is a dynamic byte string.
+	KindBytes
+	// KindString is a dynamic UTF-8 string.
+	KindString
+	// KindSlice is a dynamic array T[].
+	KindSlice
+	// KindTuple is an (anonymous or named) tuple / struct.
+	KindTuple
+)
+
+// Type describes one ABI type.
+type Type struct {
+	Kind       Kind
+	Bits       int   // KindUint/KindInt: 8..256
+	Size       int   // KindFixedBytes: 1..32
+	Elem       *Type // KindSlice element
+	Components []Arg // KindTuple fields
+}
+
+// Arg is a named, typed function/event parameter.
+type Arg struct {
+	Name    string
+	Type    Type
+	Indexed bool // events only
+}
+
+// Convenience constructors for the common types.
+var (
+	Uint256Type = Type{Kind: KindUint, Bits: 256}
+	Uint8Type   = Type{Kind: KindUint, Bits: 8}
+	AddressType = Type{Kind: KindAddress}
+	BoolType    = Type{Kind: KindBool}
+	BytesType   = Type{Kind: KindBytes}
+	StringType  = Type{Kind: KindString}
+	Bytes32Type = Type{Kind: KindFixedBytes, Size: 32}
+)
+
+// SliceOf returns the dynamic-array type of elem.
+func SliceOf(elem Type) Type { return Type{Kind: KindSlice, Elem: &elem} }
+
+// TupleOf returns a tuple type with the given components.
+func TupleOf(components ...Arg) Type { return Type{Kind: KindTuple, Components: components} }
+
+// String renders the canonical type name used in signatures.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindUint:
+		return "uint" + strconv.Itoa(t.Bits)
+	case KindInt:
+		return "int" + strconv.Itoa(t.Bits)
+	case KindAddress:
+		return "address"
+	case KindBool:
+		return "bool"
+	case KindFixedBytes:
+		return "bytes" + strconv.Itoa(t.Size)
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindSlice:
+		return t.Elem.String() + "[]"
+	case KindTuple:
+		names := make([]string, len(t.Components))
+		for i, c := range t.Components {
+			names[i] = c.Type.String()
+		}
+		return "(" + strings.Join(names, ",") + ")"
+	default:
+		return "<invalid>"
+	}
+}
+
+// IsDynamic reports whether the type uses tail encoding.
+func (t Type) IsDynamic() bool {
+	switch t.Kind {
+	case KindBytes, KindString, KindSlice:
+		return true
+	case KindTuple:
+		for _, c := range t.Components {
+			if c.Type.IsDynamic() {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// HeadSize returns the number of bytes the type occupies in the head
+// section (32 for dynamic types, which store an offset).
+func (t Type) HeadSize() int {
+	if t.IsDynamic() {
+		return 32
+	}
+	if t.Kind == KindTuple {
+		n := 0
+		for _, c := range t.Components {
+			n += c.Type.HeadSize()
+		}
+		return n
+	}
+	return 32
+}
+
+// ParseType parses a canonical type name ("uint256", "address[]",
+// "bytes32"). Tuples cannot be expressed in this syntax; build them with
+// TupleOf (they appear in JSON ABIs with explicit components).
+func ParseType(s string) (Type, error) {
+	if strings.HasSuffix(s, "[]") {
+		elem, err := ParseType(strings.TrimSuffix(s, "[]"))
+		if err != nil {
+			return Type{}, err
+		}
+		return SliceOf(elem), nil
+	}
+	switch {
+	case s == "address":
+		return AddressType, nil
+	case s == "bool":
+		return BoolType, nil
+	case s == "string":
+		return StringType, nil
+	case s == "bytes":
+		return BytesType, nil
+	case s == "uint":
+		return Uint256Type, nil
+	case s == "int":
+		return Type{Kind: KindInt, Bits: 256}, nil
+	case strings.HasPrefix(s, "uint"):
+		bits, err := parseBits(s[4:])
+		if err != nil {
+			return Type{}, fmt.Errorf("abi: bad type %q: %w", s, err)
+		}
+		return Type{Kind: KindUint, Bits: bits}, nil
+	case strings.HasPrefix(s, "int"):
+		bits, err := parseBits(s[3:])
+		if err != nil {
+			return Type{}, fmt.Errorf("abi: bad type %q: %w", s, err)
+		}
+		return Type{Kind: KindInt, Bits: bits}, nil
+	case strings.HasPrefix(s, "bytes"):
+		n, err := strconv.Atoi(s[5:])
+		if err != nil || n < 1 || n > 32 {
+			return Type{}, fmt.Errorf("abi: bad fixed bytes type %q", s)
+		}
+		return Type{Kind: KindFixedBytes, Size: n}, nil
+	default:
+		return Type{}, fmt.Errorf("abi: unknown type %q", s)
+	}
+}
+
+func parseBits(s string) (int, error) {
+	bits, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if bits < 8 || bits > 256 || bits%8 != 0 {
+		return 0, errors.New("bits must be a multiple of 8 in [8,256]")
+	}
+	return bits, nil
+}

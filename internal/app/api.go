@@ -1,0 +1,134 @@
+package app
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"legalchain/internal/core"
+	"legalchain/internal/ethtypes"
+)
+
+// JSON API for programmatic consumers (the presentation tier beyond the
+// HTML dashboard). All endpoints require the session cookie:
+//
+//	GET /api/contracts                 registry rows
+//	GET /api/contracts/{addr}          one row + live chain state
+//	GET /api/contracts/{addr}/chain    the walked evidence line
+//	GET /api/contracts/{addr}/history  cross-version rent payments
+//	GET /api/me                        the session user + balance
+
+// APIHandler returns the /api/ mux (mounted by Handler).
+func (a *App) apiRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/api/me", a.withUser(a.apiMe))
+	mux.HandleFunc("/api/contracts", a.withUser(a.apiContracts))
+	mux.HandleFunc("/api/contracts/", a.withUser(a.apiContract))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (a *App) apiMe(w http.ResponseWriter, r *http.Request, u *User) {
+	bal, _ := a.Manager.Client.Backend().GetBalance(u.Addr())
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name":       u.Name,
+		"email":      u.Email,
+		"address":    u.Address,
+		"balanceWei": bal.String(),
+		"balanceEth": ethtypes.FormatEther(bal),
+	})
+}
+
+func (a *App) apiContracts(w http.ResponseWriter, r *http.Request, u *User) {
+	rows, err := a.Dashboard(u)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (a *App) apiContract(w http.ResponseWriter, r *http.Request, u *User) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/contracts/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts[0]) != 42 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad address"})
+		return
+	}
+	addr := ethtypes.HexToAddress(parts[0])
+	sub := ""
+	if len(parts) == 2 {
+		sub = parts[1]
+	}
+	switch sub {
+	case "":
+		row, err := a.Manager.GetRow(addr)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		out := map[string]interface{}{"row": row}
+		if bound, err := a.Manager.BindVersion(addr); err == nil {
+			live := map[string]string{}
+			for _, getter := range []string{"rent", "deposit", "state", "monthCounter"} {
+				if v, err := bound.CallUint(u.Addr(), getter); err == nil {
+					live[getter] = v.String()
+				}
+			}
+			if house, err := bound.CallString(u.Addr(), "house"); err == nil {
+				live["house"] = house
+			}
+			out["live"] = live
+		}
+		writeJSON(w, http.StatusOK, out)
+
+	case "chain":
+		line, err := a.Manager.WalkChain(addr)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		type nodeJSON struct {
+			Address string `json:"address"`
+			Version int    `json:"version"`
+			State   string `json:"state"`
+			Prev    string `json:"prev,omitempty"`
+			Next    string `json:"next,omitempty"`
+		}
+		out := make([]nodeJSON, len(line))
+		for i, n := range line {
+			out[i] = nodeJSON{Address: n.Address.Hex(), Version: n.Version, State: n.State}
+			if !n.Prev.IsZero() {
+				out[i].Prev = n.Prev.Hex()
+			}
+			if !n.Next.IsZero() {
+				out[i].Next = n.Next.Hex()
+			}
+		}
+		verified := core.VerifyChain(line) == nil
+		writeJSON(w, http.StatusOK, map[string]interface{}{"chain": out, "verified": verified})
+
+	case "history":
+		hist, err := a.Rental.RentHistory(u.Addr(), addr)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		type payJSON struct {
+			Version int    `json:"version"`
+			Month   uint64 `json:"month"`
+			Amount  string `json:"amountWei"`
+		}
+		out := make([]payJSON, len(hist))
+		for i, p := range hist {
+			out[i] = payJSON{Version: p.Version, Month: p.Month, Amount: p.Amount.String()}
+		}
+		writeJSON(w, http.StatusOK, out)
+
+	default:
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown endpoint"})
+	}
+}

@@ -1,0 +1,238 @@
+// Package app is the presentation tier of the paper's architecture
+// (Fig. 1): a server-rendered web application with the user-specific
+// dashboard (Fig. 7), contract upload (Fig. 9), deployment (Fig. 10),
+// confirm/pay-rent actions, and the terminate-or-modify flow (Fig. 11).
+// It plays the Django role of Table I on top of the contract manager.
+package app
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"legalchain/internal/core"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/web3"
+)
+
+// Errors surfaced by the user layer.
+var (
+	ErrBadCredentials = errors.New("app: invalid username or password")
+	ErrUserExists     = errors.New("app: user already exists")
+	ErrNoSession      = errors.New("app: not logged in")
+)
+
+// TableUsers is the docstore table of user rows (the paper's
+// User(name, email, password, public key) table).
+const TableUsers = "users"
+
+// User is one registered person.
+type User struct {
+	Name         string `json:"name"`
+	Email        string `json:"email"`
+	PasswordHash string `json:"passwordHash"` // hex(sha256(salt || password))
+	Salt         string `json:"salt"`
+	Address      string `json:"address"` // funded chain account (public key role)
+}
+
+// Addr parses the user's chain address.
+func (u *User) Addr() ethtypes.Address { return ethtypes.HexToAddress(u.Address) }
+
+// App wires the manager to users and sessions.
+type App struct {
+	Manager *core.Manager
+	Rental  *core.RentalService
+
+	// Faucet funds new users so they can transact on the devnet.
+	Faucet ethtypes.Address
+
+	mu       sync.Mutex
+	sessions map[string]string // token -> username
+}
+
+// New builds the application layer.
+func New(m *core.Manager) *App {
+	return &App{
+		Manager:  m,
+		Rental:   core.NewRentalService(m),
+		sessions: map[string]string{},
+	}
+}
+
+// hashPassword derives the stored hash.
+func hashPassword(salt, password string) string {
+	sum := sha256.Sum256([]byte(salt + ":" + password))
+	return hex.EncodeToString(sum[:])
+}
+
+func randomToken() string {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable for session security.
+		panic(fmt.Sprintf("app: rand: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Register creates a user, generates a chain account for them, and (if a
+// faucet is configured) funds it.
+func (a *App) Register(name, email, password string) (*User, error) {
+	name = strings.TrimSpace(strings.ToLower(name))
+	if name == "" || password == "" {
+		return nil, fmt.Errorf("app: name and password are required")
+	}
+	if a.Manager.Store.Has(TableUsers, name) {
+		return nil, ErrUserExists
+	}
+	acc, err := a.Manager.Client.Keystore().NewAccount()
+	if err != nil {
+		return nil, err
+	}
+	salt := randomToken()
+	u := &User{
+		Name:         name,
+		Email:        email,
+		Salt:         salt,
+		PasswordHash: hashPassword(salt, password),
+		Address:      acc.Address.Hex(),
+	}
+	if err := a.Manager.Store.Put(TableUsers, name, u); err != nil {
+		return nil, err
+	}
+	if !a.Faucet.IsZero() {
+		// Fund the user with 100 ether from the faucet.
+		opts := web3.TxOpts{From: a.Faucet, Value: ethtypes.Ether(100)}
+		if _, err := a.Manager.Client.Transfer(opts, acc.Address); err != nil {
+			return nil, fmt.Errorf("app: funding new user: %w", err)
+		}
+	}
+	return u, nil
+}
+
+// Login verifies credentials and opens a session.
+func (a *App) Login(name, password string) (token string, err error) {
+	name = strings.TrimSpace(strings.ToLower(name))
+	var u User
+	if err := a.Manager.Store.Get(TableUsers, name, &u); err != nil {
+		return "", ErrBadCredentials
+	}
+	if hashPassword(u.Salt, password) != u.PasswordHash {
+		return "", ErrBadCredentials
+	}
+	token = randomToken()
+	a.mu.Lock()
+	a.sessions[token] = name
+	a.mu.Unlock()
+	return token, nil
+}
+
+// Logout closes a session.
+func (a *App) Logout(token string) {
+	a.mu.Lock()
+	delete(a.sessions, token)
+	a.mu.Unlock()
+}
+
+// SessionUser resolves a session token to its user.
+func (a *App) SessionUser(token string) (*User, error) {
+	a.mu.Lock()
+	name, ok := a.sessions[token]
+	a.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSession
+	}
+	var u User
+	if err := a.Manager.Store.Get(TableUsers, name, &u); err != nil {
+		return nil, ErrNoSession
+	}
+	return &u, nil
+}
+
+// DashboardRow is one contract entry on the user dashboard (Fig. 7),
+// annotated with the action the user can take next.
+type DashboardRow struct {
+	Address string
+	Name    string
+	Version int
+	State   string
+	Role    string // "landlord" | "tenant" | "open"
+	Action  string // suggested next action
+	House   string
+	RentWei string
+}
+
+// Dashboard builds the user's view: contracts they deployed, contracts
+// they are the tenant of, and open agreements they could join.
+func (a *App) Dashboard(u *User) ([]DashboardRow, error) {
+	var out []DashboardRow
+	viewer := u.Addr()
+	for _, row := range a.Manager.Rows() {
+		dr := DashboardRow{
+			Address: row.Address, Name: row.Name,
+			Version: row.Version, State: row.State,
+		}
+		switch {
+		case strings.EqualFold(row.Landlord, u.Address):
+			dr.Role = "landlord"
+		case strings.EqualFold(row.Tenant, u.Address):
+			dr.Role = "tenant"
+		default:
+			dr.Role = "open"
+		}
+		dr.Action = suggestAction(row, dr.Role)
+		// Enrich with live chain data where the ABI allows.
+		if bound, err := a.Manager.BindVersion(ethtypes.HexToAddress(row.Address)); err == nil {
+			if house, err := bound.CallString(viewer, "house"); err == nil {
+				dr.House = house
+			}
+			if rent, err := bound.CallUint(viewer, "rent"); err == nil {
+				dr.RentWei = rent.String()
+			}
+		}
+		out = append(out, dr)
+	}
+	return out, nil
+}
+
+// suggestAction mirrors the paper's dashboard buttons: the available
+// action depends on the contract's state and the viewer's role.
+func suggestAction(row core.ContractRow, role string) string {
+	switch row.State {
+	case core.StateActive:
+		switch {
+		case role == "open" && row.Tenant == "":
+			return "CONFIRM AGREEMENT"
+		case role == "tenant":
+			return "PAY RENT"
+		case role == "landlord" && row.Tenant != "":
+			return "TERMINATE OR MODIFY"
+		case role == "landlord":
+			return "AWAITING TENANT"
+		}
+	case core.StateSuperseded:
+		return "VIEW HISTORY"
+	case core.StateTerminated:
+		return "TERMINATED"
+	case core.StateRejected:
+		return "REJECTED"
+	}
+	return "VIEW"
+}
+
+// sessionCount is exposed for tests.
+func (a *App) sessionCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sessions)
+}
+
+// cleanupSessions removes all sessions (used on shutdown).
+func (a *App) cleanupSessions() {
+	a.mu.Lock()
+	a.sessions = map[string]string{}
+	a.mu.Unlock()
+}

@@ -1,0 +1,328 @@
+package app
+
+import (
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/core"
+	"legalchain/internal/docstore"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/ipfs"
+	"legalchain/internal/wallet"
+	"legalchain/internal/web3"
+)
+
+// rig builds the full stack with a faucet and returns the app.
+func rig(t *testing.T) *App {
+	t.Helper()
+	faucet := wallet.DevAccounts("app faucet", 1)[0]
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc([]wallet.Account{faucet}, ethtypes.Ether(1_000_000))
+	bc := chain.New(g)
+	ks := wallet.NewKeystore()
+	ks.Import(faucet.Key)
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := docstore.Open("")
+	t.Cleanup(func() { store.Close() })
+	m := core.NewManager(client, ipfs.NewNode(ipfs.NewMemStore()), store)
+	a := New(m)
+	a.Faucet = faucet.Address
+	return a
+}
+
+func TestRegisterLoginSessions(t *testing.T) {
+	a := rig(t)
+	u, err := a.Register("Eleana_Kafeza", "ek@example.com", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User funded by the faucet.
+	bal, _ := a.Manager.Client.Backend().GetBalance(u.Addr())
+	if bal != ethtypes.Ether(100) {
+		t.Fatalf("balance = %s", ethtypes.FormatEther(bal))
+	}
+	// Duplicate rejected.
+	if _, err := a.Register("eleana_kafeza", "", "x"); err != ErrUserExists {
+		t.Fatalf("dup: %v", err)
+	}
+	// Wrong password rejected.
+	if _, err := a.Login("eleana_kafeza", "wrong"); err != ErrBadCredentials {
+		t.Fatal("wrong password accepted")
+	}
+	token, err := a.Login("Eleana_Kafeza", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.SessionUser(token)
+	if err != nil || got.Name != "eleana_kafeza" {
+		t.Fatal("session resolution")
+	}
+	a.Logout(token)
+	if _, err := a.SessionUser(token); err != ErrNoSession {
+		t.Fatal("logout ineffective")
+	}
+}
+
+// browser is a cookie-keeping test client.
+type browser struct {
+	t   *testing.T
+	c   *http.Client
+	url string
+}
+
+func newBrowser(t *testing.T, srv *httptest.Server) *browser {
+	jar, _ := cookiejar.New(nil)
+	return &browser{t: t, c: &http.Client{Jar: jar}, url: srv.URL}
+}
+
+func (b *browser) post(path string, form url.Values) (*http.Response, string) {
+	b.t.Helper()
+	resp, err := b.c.PostForm(b.url+path, form)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func (b *browser) get(path string) (*http.Response, string) {
+	b.t.Helper()
+	resp, err := b.c.Get(b.url + path)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func (b *browser) register(name, pass string) {
+	b.t.Helper()
+	resp, body := b.post("/register", url.Values{"name": {name}, "email": {name + "@x.io"}, "password": {pass}})
+	if resp.StatusCode != http.StatusOK {
+		b.t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	resp, body = b.post("/login", url.Values{"name": {name}, "password": {pass}})
+	if resp.StatusCode != http.StatusOK {
+		b.t.Fatalf("login: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestFullWebLifecycle drives the UI flows of Figs. 7–11 end to end:
+// register, deploy (landlord), dashboard, confirm + pay rent (tenant),
+// modify (landlord), confirm modification, terminate.
+func TestFullWebLifecycle(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	landlord := newBrowser(t, srv)
+	landlord.register("junaid_ali", "pw1")
+	tenant := newBrowser(t, srv)
+	tenant.register("eleana_kafeza", "pw2")
+
+	// Landlord deploys with a legal document (Fig. 10).
+	resp, body := landlord.post("/deploy", url.Values{
+		"artifact": {"BaseRental"},
+		"rent":     {"1"}, "deposit": {"2"}, "months": {"12"},
+		"house":    {"10115-Berlin-42"},
+		"document": {"%PDF-1.4 the rental agreement in English"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy: %d %s", resp.StatusCode, body)
+	}
+
+	// Dashboard shows the contract for both users (Fig. 7).
+	_, dash := landlord.get("/dashboard")
+	if !strings.Contains(dash, "BaseRental") || !strings.Contains(dash, "AWAITING TENANT") {
+		t.Fatalf("landlord dashboard:\n%s", dash)
+	}
+	_, dash = tenant.get("/dashboard")
+	if !strings.Contains(dash, "CONFIRM AGREEMENT") {
+		t.Fatalf("tenant dashboard missing confirm action:\n%s", dash)
+	}
+	addr := extractAddr(t, dash)
+
+	// Contract page shows the document link.
+	_, page := tenant.get("/contract/" + addr)
+	if !strings.Contains(page, "/doc/"+addr) {
+		t.Fatal("document link missing")
+	}
+	_, doc := tenant.get("/doc/" + addr)
+	if !strings.Contains(doc, "rental agreement in English") {
+		t.Fatal("document body wrong")
+	}
+
+	// Tenant confirms (pays deposit) and pays rent twice.
+	if resp, body := tenant.post("/contract/"+addr+"/confirm", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("confirm: %d %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 2; i++ {
+		if resp, body := tenant.post("/contract/"+addr+"/pay", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pay: %d %s", resp.StatusCode, body)
+		}
+	}
+	_, page = tenant.get("/contract/" + addr)
+	if !strings.Contains(page, "<td>2</td>") { // month 2 row
+		t.Fatalf("payment history missing:\n%s", page)
+	}
+
+	// Landlord modifies (Fig. 11) — new linked version.
+	resp, body = landlord.post("/contract/"+addr+"/modify", url.Values{
+		"rent": {"1"}, "deposit": {"2"}, "months": {"12"},
+		"house":       {"10115-Berlin-42"},
+		"maintenance": {"0.5"}, "discount": {"0"}, "fine": {"1"},
+		"document": {"%PDF-1.4 updated agreement with maintenance clause"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("modify: %d %s", resp.StatusCode, body)
+	}
+	// The old page now shows a two-version evidence line.
+	_, page = landlord.get("/contract/" + addr)
+	if strings.Count(page, "— v") < 2 {
+		t.Fatalf("version chain not shown:\n%s", page)
+	}
+	newAddr := lastAddr(t, page)
+	if strings.EqualFold(newAddr, addr) {
+		t.Fatal("no new version found")
+	}
+
+	// Tenant confirms the modification: old version terminates, new starts.
+	if resp, body := tenant.post("/contract/"+newAddr+"/confirm-modification", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("confirm-modification: %d %s", resp.StatusCode, body)
+	}
+	_, page = tenant.get("/contract/" + newAddr)
+	if !strings.Contains(page, "PAY MAINTENANCE") {
+		t.Fatalf("maintenance action missing on v2:\n%s", page)
+	}
+	if resp, _ := tenant.post("/contract/"+newAddr+"/maintenance", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("maintenance payment failed")
+	}
+	// Cross-version history on the new page shows old payments too.
+	if !strings.Contains(page, "v1") {
+		t.Fatalf("history lost v1 rows:\n%s", page)
+	}
+
+	// Terminate from the tenant side.
+	if resp, _ := tenant.post("/contract/"+newAddr+"/terminate", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("terminate failed")
+	}
+	_, dash = tenant.get("/dashboard")
+	if !strings.Contains(dash, "terminated") {
+		t.Fatalf("termination not reflected:\n%s", dash)
+	}
+}
+
+func TestUploadArtifactFlow(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	b := newBrowser(t, srv)
+	b.register("uploader", "pw")
+
+	// Compile-from-source path.
+	src := `contract Tiny { uint public x; function set(uint v) public { x = v; } }`
+	resp, body := b.post("/upload", url.Values{"source": {src}, "contract": {"Tiny"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	_, dash := b.get("/dashboard")
+	if !strings.Contains(dash, "tiny") {
+		t.Fatalf("artifact not listed:\n%s", dash)
+	}
+	// Raw bytecode + ABI path (Fig. 9): re-upload Tiny's artifact bytes.
+	art, err := a.GetArtifact("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = b.post("/upload", url.Values{
+		"name":     {"tiny2"},
+		"abi":      {string(art.ABIJSON)},
+		"bytecode": {"0x" + hexOf(art.Bytecode)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw upload: %d %s", resp.StatusCode, body)
+	}
+	if _, err := a.GetArtifact("tiny2"); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage rejected.
+	resp, _ = b.post("/upload", url.Values{"name": {"bad"}, "abi": {"not json"}, "bytecode": {"0x00"}})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("invalid ABI accepted")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	c := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := c.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("unauthenticated dashboard: %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/login" {
+		t.Fatalf("redirect to %q", loc)
+	}
+}
+
+func TestWeiOfParsing(t *testing.T) {
+	cases := map[string]string{
+		"1":    ethtypes.Ether(1).String(),
+		"0.5":  "500000000000000000",
+		"2.25": "2250000000000000000",
+		"":     "0",
+		"abc":  "0",
+	}
+	for in, want := range cases {
+		if got := weiOf(in).String(); got != want {
+			t.Errorf("weiOf(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func extractAddr(t *testing.T, html string) string {
+	t.Helper()
+	i := strings.Index(html, "/contract/0x")
+	if i < 0 {
+		t.Fatalf("no contract link in:\n%s", html)
+	}
+	return html[i+len("/contract/") : i+len("/contract/")+42]
+}
+
+func lastAddr(t *testing.T, html string) string {
+	t.Helper()
+	i := strings.LastIndex(html, "/contract/0x")
+	if i < 0 {
+		t.Fatal("no contract link")
+	}
+	return html[i+len("/contract/") : i+len("/contract/")+42]
+}
+
+func hexOf(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, len(b)*2)
+	for _, c := range b {
+		out = append(out, digits[c>>4], digits[c&0xf])
+	}
+	return string(out)
+}

@@ -1,0 +1,489 @@
+// Package chain implements the devnet blockchain: an instant-seal chain
+// in the role Ganache plays in the paper's stack (Table I) — a local
+// Ethereum node that accepts signed transactions, executes them on the
+// EVM, mines a block per transaction, and serves receipts, logs and
+// state queries.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"legalchain/internal/abi"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/evm"
+	"legalchain/internal/state"
+	"legalchain/internal/uint256"
+)
+
+// Errors returned by transaction admission and execution.
+var (
+	ErrNonceTooLow       = errors.New("chain: nonce too low")
+	ErrNonceTooHigh      = errors.New("chain: nonce too high")
+	ErrInsufficientFunds = errors.New("chain: insufficient funds for gas * price + value")
+	ErrIntrinsicGas      = errors.New("chain: intrinsic gas exceeds gas limit")
+	ErrGasLimitExceeded  = errors.New("chain: transaction exceeds block gas limit")
+	ErrKnownTransaction  = errors.New("chain: already known transaction")
+)
+
+// Genesis configures the initial chain state.
+type Genesis struct {
+	ChainID   uint64
+	GasLimit  uint64
+	Timestamp uint64
+	Coinbase  ethtypes.Address
+	// Alloc pre-funds accounts.
+	Alloc map[ethtypes.Address]uint256.Int
+}
+
+// DefaultGenesis returns a devnet genesis with sensible defaults.
+func DefaultGenesis() *Genesis {
+	return &Genesis{
+		ChainID:   1337,
+		GasLimit:  12_000_000,
+		Timestamp: 1_700_000_000,
+		Coinbase:  ethtypes.HexToAddress("0x0000000000000000000000000000000000c0ffee"),
+		Alloc:     map[ethtypes.Address]uint256.Int{},
+	}
+}
+
+// Blockchain is the devnet chain. All methods are safe for concurrent
+// use.
+type Blockchain struct {
+	mu sync.RWMutex
+
+	chainID  uint64
+	gasLimit uint64
+	coinbase ethtypes.Address
+
+	st       *state.StateDB
+	blocks   []*ethtypes.Block
+	byHash   map[ethtypes.Hash]*ethtypes.Block
+	receipts map[ethtypes.Hash]*ethtypes.Receipt
+	txs      map[ethtypes.Hash]*ethtypes.Transaction
+	allLogs  []*ethtypes.Log
+	pending  []*ethtypes.Transaction // batch-mining queue (SubmitTransaction)
+
+	timeOffset uint64 // AdjustTime accumulates here
+}
+
+// New creates a chain from the genesis.
+func New(g *Genesis) *Blockchain {
+	st := state.New()
+	for addr, bal := range g.Alloc {
+		st.AddBalance(addr, bal)
+	}
+	st.Finalise()
+	genesisHeader := &ethtypes.Header{
+		Number:    0,
+		Time:      g.Timestamp,
+		GasLimit:  g.GasLimit,
+		Coinbase:  g.Coinbase,
+		StateRoot: st.Root(),
+	}
+	genesisBlock := &ethtypes.Block{Header: genesisHeader}
+	bc := &Blockchain{
+		chainID:  g.ChainID,
+		gasLimit: g.GasLimit,
+		coinbase: g.Coinbase,
+		st:       st,
+		blocks:   []*ethtypes.Block{genesisBlock},
+		byHash:   map[ethtypes.Hash]*ethtypes.Block{genesisBlock.Hash(): genesisBlock},
+		receipts: map[ethtypes.Hash]*ethtypes.Receipt{},
+		txs:      map[ethtypes.Hash]*ethtypes.Transaction{},
+	}
+	return bc
+}
+
+// ChainID returns the chain identifier used for EIP-155 signing.
+func (bc *Blockchain) ChainID() uint64 { return bc.chainID }
+
+// GasLimit returns the block gas limit.
+func (bc *Blockchain) GasLimit() uint64 { return bc.gasLimit }
+
+// Head returns the latest block.
+func (bc *Blockchain) Head() *ethtypes.Block {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.blocks[len(bc.blocks)-1]
+}
+
+// BlockNumber returns the current height.
+func (bc *Blockchain) BlockNumber() uint64 { return bc.Head().Number() }
+
+// BlockByNumber returns a block by height.
+func (bc *Blockchain) BlockByNumber(n uint64) (*ethtypes.Block, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	if n >= uint64(len(bc.blocks)) {
+		return nil, false
+	}
+	return bc.blocks[n], true
+}
+
+// BlockByHash returns a block by hash.
+func (bc *Blockchain) BlockByHash(h ethtypes.Hash) (*ethtypes.Block, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	b, ok := bc.byHash[h]
+	return b, ok
+}
+
+// GetBalance returns the current balance of addr.
+func (bc *Blockchain) GetBalance(addr ethtypes.Address) uint256.Int {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.GetBalance(addr)
+}
+
+// GetNonce returns the next expected nonce for addr.
+func (bc *Blockchain) GetNonce(addr ethtypes.Address) uint64 {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.GetNonce(addr)
+}
+
+// GetCode returns the contract code at addr.
+func (bc *Blockchain) GetCode(addr ethtypes.Address) []byte {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.GetCode(addr)
+}
+
+// GetStorageAt reads one storage slot.
+func (bc *Blockchain) GetStorageAt(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.GetState(addr, slot)
+}
+
+// GetReceipt returns the receipt of a mined transaction.
+func (bc *Blockchain) GetReceipt(txHash ethtypes.Hash) (*ethtypes.Receipt, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	r, ok := bc.receipts[txHash]
+	return r, ok
+}
+
+// GetTransaction returns a mined transaction by hash.
+func (bc *Blockchain) GetTransaction(txHash ethtypes.Hash) (*ethtypes.Transaction, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	tx, ok := bc.txs[txHash]
+	return tx, ok
+}
+
+// StateRoot returns the current world-state root.
+func (bc *Blockchain) StateRoot() ethtypes.Hash {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.Root()
+}
+
+// AdjustTime shifts the next block's timestamp forward by seconds
+// (evm_increaseTime equivalent), letting tests exercise time-dependent
+// contract clauses.
+func (bc *Blockchain) AdjustTime(seconds uint64) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	bc.timeOffset += seconds
+}
+
+// nextHeaderLocked prepares the header for the block being mined.
+func (bc *Blockchain) nextHeaderLocked() *ethtypes.Header {
+	parent := bc.blocks[len(bc.blocks)-1]
+	return &ethtypes.Header{
+		ParentHash: parent.Hash(),
+		Number:     parent.Number() + 1,
+		Time:       parent.Header.Time + 1 + bc.timeOffset,
+		GasLimit:   bc.gasLimit,
+		Coinbase:   bc.coinbase,
+	}
+}
+
+// evmContext builds the execution context for a header.
+func (bc *Blockchain) evmContext(h *ethtypes.Header, origin ethtypes.Address, gasPrice uint256.Int) evm.Context {
+	return evm.Context{
+		ChainID:     bc.chainID,
+		BlockNumber: h.Number,
+		Time:        h.Time,
+		Coinbase:    h.Coinbase,
+		GasLimit:    h.GasLimit,
+		GasPrice:    gasPrice,
+		Origin:      origin,
+		GetBlockHash: func(n uint64) ethtypes.Hash {
+			if b, ok := bc.BlockByNumber(n); ok {
+				return b.Hash()
+			}
+			return ethtypes.Hash{}
+		},
+	}
+}
+
+// SendTransaction validates, executes and instantly mines tx into a new
+// block, returning its hash. The transaction must be EIP-155 signed for
+// this chain.
+func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+
+	hash := tx.Hash()
+	if _, known := bc.txs[hash]; known {
+		return hash, ErrKnownTransaction
+	}
+	sender, err := tx.Sender(bc.chainID)
+	if err != nil {
+		return ethtypes.Hash{}, fmt.Errorf("chain: invalid signature: %w", err)
+	}
+	if tx.Gas > bc.gasLimit {
+		return ethtypes.Hash{}, ErrGasLimitExceeded
+	}
+	expected := bc.st.GetNonce(sender)
+	if tx.Nonce < expected {
+		return ethtypes.Hash{}, fmt.Errorf("%w: have %d, want %d", ErrNonceTooLow, tx.Nonce, expected)
+	}
+	if tx.Nonce > expected {
+		return ethtypes.Hash{}, fmt.Errorf("%w: have %d, want %d", ErrNonceTooHigh, tx.Nonce, expected)
+	}
+
+	header := bc.nextHeaderLocked()
+	bc.timeOffset = 0
+	receipt, err := bc.applyTransaction(header, tx, sender)
+	if err != nil {
+		return ethtypes.Hash{}, err
+	}
+
+	// Seal the block.
+	header.GasUsed = receipt.GasUsed
+	header.TxRoot = ethtypes.TxRootOf([]*ethtypes.Transaction{tx})
+	header.StateRoot = bc.st.Root()
+	header.ReceiptRoot = ethtypes.Keccak256([]byte(fmt.Sprintf("receipt:%s:%d", receipt.TxHash, receipt.Status)))
+	block := &ethtypes.Block{Header: header, Transactions: []*ethtypes.Transaction{tx}}
+
+	receipt.BlockHash = block.Hash()
+	for _, l := range receipt.Logs {
+		bc.allLogs = append(bc.allLogs, l)
+	}
+	bc.blocks = append(bc.blocks, block)
+	bc.byHash[block.Hash()] = block
+	bc.receipts[hash] = receipt
+	bc.txs[hash] = tx
+	return hash, nil
+}
+
+// applyTransaction executes tx against the live state, following the
+// yellow-paper gas flow (buy gas, execute, refund, pay coinbase).
+func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Transaction, sender ethtypes.Address) (*ethtypes.Receipt, error) {
+	intrinsic := evm.IntrinsicGas(tx.Data, tx.IsCreate())
+	if tx.Gas < intrinsic {
+		return nil, fmt.Errorf("%w: need %d, limit %d", ErrIntrinsicGas, intrinsic, tx.Gas)
+	}
+	gasCost := tx.GasPrice.Mul(uint256.NewUint64(tx.Gas))
+	total := gasCost.Add(tx.Value)
+	if bc.st.GetBalance(sender).Lt(total) {
+		return nil, ErrInsufficientFunds
+	}
+	// Buy gas.
+	bc.st.SubBalance(sender, gasCost)
+
+	machine := evm.New(bc.evmContext(header, sender, tx.GasPrice), bc.st)
+	execGas := tx.Gas - intrinsic
+
+	var (
+		ret          []byte
+		leftGas      uint64
+		vmErr        error
+		contractAddr *ethtypes.Address
+	)
+	if tx.IsCreate() {
+		var addr ethtypes.Address
+		ret, addr, leftGas, vmErr = machine.Create(sender, tx.Data, execGas, tx.Value)
+		if vmErr == nil {
+			contractAddr = &addr
+		}
+	} else {
+		bc.st.SetNonce(sender, tx.Nonce+1)
+		ret, leftGas, vmErr = machine.Call(sender, *tx.To, tx.Data, execGas, tx.Value)
+	}
+
+	gasUsed := tx.Gas - leftGas
+	// Refund counter capped at half the gas used.
+	refund := bc.st.GetRefund()
+	if refund > gasUsed/2 {
+		refund = gasUsed / 2
+	}
+	gasUsed -= refund
+	// Return unused gas, pay the coinbase.
+	bc.st.AddBalance(sender, tx.GasPrice.Mul(uint256.NewUint64(tx.Gas-gasUsed)))
+	bc.st.AddBalance(header.Coinbase, tx.GasPrice.Mul(uint256.NewUint64(gasUsed)))
+
+	status := ethtypes.ReceiptStatusSuccessful
+	reason := ""
+	if vmErr != nil {
+		status = ethtypes.ReceiptStatusFailed
+		if r, ok := abi.UnpackRevertReason(ret); ok {
+			reason = r
+		} else if errors.Is(vmErr, evm.ErrExecutionReverted) && len(ret) == 0 {
+			reason = "reverted"
+		} else {
+			reason = vmErr.Error()
+		}
+	}
+	logs := bc.st.TakeLogs()
+	if vmErr != nil {
+		logs = nil
+	}
+	for i, l := range logs {
+		l.BlockNumber = header.Number
+		l.TxHash = tx.Hash()
+		l.TxIndex = 0
+		l.Index = uint(i)
+	}
+	bc.st.Finalise()
+
+	return &ethtypes.Receipt{
+		TxHash:            tx.Hash(),
+		TxIndex:           0,
+		BlockNumber:       header.Number,
+		From:              sender,
+		To:                tx.To,
+		ContractAddress:   contractAddr,
+		GasUsed:           gasUsed,
+		CumulativeGasUsed: gasUsed,
+		Status:            status,
+		Logs:              logs,
+		RevertReason:      reason,
+	}, nil
+}
+
+// CallResult is the outcome of a read-only call.
+type CallResult struct {
+	Return  []byte
+	GasUsed uint64
+	Err     error
+	Reason  string // decoded revert reason, if any
+}
+
+// Call executes a read-only message against a copy of the latest state
+// (eth_call semantics).
+func (bc *Blockchain) Call(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
+	bc.mu.RLock()
+	stCopy := bc.st.Copy()
+	header := bc.nextHeaderLocked()
+	bc.mu.RUnlock()
+
+	if gas == 0 {
+		gas = bc.gasLimit
+	}
+	// Give the caller a balance so value-bearing eth_calls don't fail
+	// spuriously (ganache behaviour).
+	stCopy.AddBalance(from, ethtypes.Ether(1_000_000_000))
+	machine := evm.New(bc.evmContext(header, from, uint256.Zero), stCopy)
+
+	var ret []byte
+	var left uint64
+	var err error
+	if to == nil {
+		ret, _, left, err = machine.Create(from, data, gas, value)
+	} else {
+		ret, left, err = machine.Call(from, *to, data, gas, value)
+	}
+	res := &CallResult{Return: ret, GasUsed: gas - left, Err: err}
+	if err != nil {
+		if reason, ok := abi.UnpackRevertReason(ret); ok {
+			res.Reason = reason
+		}
+	}
+	return res
+}
+
+// EstimateGas executes the message and returns the gas it consumed plus
+// the intrinsic cost, padded slightly the way development nodes do.
+func (bc *Blockchain) EstimateGas(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int) (uint64, error) {
+	res := bc.Call(from, to, data, value, bc.gasLimit)
+	if res.Err != nil {
+		if res.Reason != "" {
+			return 0, fmt.Errorf("execution reverted: %s", res.Reason)
+		}
+		return 0, res.Err
+	}
+	est := evm.IntrinsicGas(data, to == nil) + res.GasUsed
+	est += est / 5 // 20% headroom, matching common devnet practice
+	if est > bc.gasLimit {
+		est = bc.gasLimit
+	}
+	return est, nil
+}
+
+// FilterQuery selects logs (eth_getLogs semantics; nil fields match
+// anything).
+type FilterQuery struct {
+	FromBlock uint64
+	ToBlock   *uint64 // nil = latest
+	Addresses []ethtypes.Address
+	Topics    [][]ethtypes.Hash // position-indexed alternatives
+}
+
+// FilterLogs returns all mined logs matching q, in order.
+func (bc *Blockchain) FilterLogs(q FilterQuery) []*ethtypes.Log {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	to := bc.blocks[len(bc.blocks)-1].Number()
+	if q.ToBlock != nil {
+		to = *q.ToBlock
+	}
+	var out []*ethtypes.Log
+	for _, l := range bc.allLogs {
+		if l.BlockNumber < q.FromBlock || l.BlockNumber > to {
+			continue
+		}
+		if len(q.Addresses) > 0 && !containsAddr(q.Addresses, l.Address) {
+			continue
+		}
+		if !topicsMatch(q.Topics, l.Topics) {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func containsAddr(list []ethtypes.Address, a ethtypes.Address) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func topicsMatch(query [][]ethtypes.Hash, topics []ethtypes.Hash) bool {
+	for i, alts := range query {
+		if len(alts) == 0 {
+			continue
+		}
+		if i >= len(topics) {
+			return false
+		}
+		found := false
+		for _, alt := range alts {
+			if topics[i] == alt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalSupply sums all balances — the ether-conservation observable used
+// by tests (coinbase included).
+func (bc *Blockchain) TotalSupply() uint256.Int {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.TotalBalance()
+}

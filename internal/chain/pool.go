@@ -1,0 +1,163 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/evm"
+	"legalchain/internal/uint256"
+)
+
+// Batch mining: by default the devnet seals one block per transaction
+// (SendTransaction), matching Ganache's automine. For workloads that
+// want realistic multi-transaction blocks — cumulative gas, transaction
+// indexes, shared timestamps — transactions can instead be queued with
+// SubmitTransaction and sealed together with MineBlock.
+
+// SubmitTransaction validates tx statelessly and queues it for the next
+// MineBlock call. Nonce and balance are checked at mining time, in
+// queue order.
+func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	hash := tx.Hash()
+	if _, known := bc.txs[hash]; known {
+		return hash, ErrKnownTransaction
+	}
+	for _, queued := range bc.pending {
+		if queued.Hash() == hash {
+			return hash, ErrKnownTransaction
+		}
+	}
+	if _, err := tx.Sender(bc.chainID); err != nil {
+		return ethtypes.Hash{}, fmt.Errorf("chain: invalid signature: %w", err)
+	}
+	if tx.Gas > bc.gasLimit {
+		return ethtypes.Hash{}, ErrGasLimitExceeded
+	}
+	bc.pending = append(bc.pending, tx)
+	return hash, nil
+}
+
+// PendingCount returns the queued transaction count.
+func (bc *Blockchain) PendingCount() int {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return len(bc.pending)
+}
+
+// MineBlock seals every pending transaction into one block, ordered by
+// (sender, nonce) then submission order, and returns it. Transactions
+// whose nonce or funds are wrong at execution time are dropped with
+// their error recorded in the returned map. Mining an empty pool
+// produces an empty block (useful to advance time).
+func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+
+	txs := bc.pending
+	bc.pending = nil
+	// Stable order: by sender then nonce; submission order breaks ties.
+	type withMeta struct {
+		tx     *ethtypes.Transaction
+		sender ethtypes.Address
+		idx    int
+	}
+	metas := make([]withMeta, 0, len(txs))
+	for i, tx := range txs {
+		sender, err := tx.Sender(bc.chainID)
+		if err != nil {
+			continue
+		}
+		metas = append(metas, withMeta{tx: tx, sender: sender, idx: i})
+	}
+	sort.SliceStable(metas, func(i, j int) bool {
+		if metas[i].sender != metas[j].sender {
+			return metas[i].sender.Hex() < metas[j].sender.Hex()
+		}
+		if metas[i].tx.Nonce != metas[j].tx.Nonce {
+			return metas[i].tx.Nonce < metas[j].tx.Nonce
+		}
+		return metas[i].idx < metas[j].idx
+	})
+
+	header := bc.nextHeaderLocked()
+	bc.timeOffset = 0
+	failed := map[ethtypes.Hash]error{}
+	var included []*ethtypes.Transaction
+	var receipts []*ethtypes.Receipt
+	var cumulative uint64
+
+	for _, m := range metas {
+		if expected := bc.st.GetNonce(m.sender); m.tx.Nonce != expected {
+			failed[m.tx.Hash()] = fmt.Errorf("%w: have %d, want %d", nonceErr(m.tx.Nonce, expected), m.tx.Nonce, expected)
+			continue
+		}
+		rcpt, err := bc.applyTransaction(header, m.tx, m.sender)
+		if err != nil {
+			failed[m.tx.Hash()] = err
+			continue
+		}
+		rcpt.TxIndex = uint(len(included))
+		cumulative += rcpt.GasUsed
+		rcpt.CumulativeGasUsed = cumulative
+		for i, l := range rcpt.Logs {
+			l.TxIndex = rcpt.TxIndex
+			l.Index = uint(i)
+		}
+		included = append(included, m.tx)
+		receipts = append(receipts, rcpt)
+	}
+
+	header.GasUsed = cumulative
+	header.TxRoot = ethtypes.TxRootOf(included)
+	header.StateRoot = bc.st.Root()
+	header.ReceiptRoot = ethtypes.Keccak256([]byte(fmt.Sprintf("receipts:%d:%d", header.Number, len(receipts))))
+	block := &ethtypes.Block{Header: header, Transactions: included}
+
+	for i, rcpt := range receipts {
+		rcpt.BlockHash = block.Hash()
+		bc.receipts[rcpt.TxHash] = rcpt
+		bc.txs[included[i].Hash()] = included[i]
+		bc.allLogs = append(bc.allLogs, rcpt.Logs...)
+	}
+	bc.blocks = append(bc.blocks, block)
+	bc.byHash[block.Hash()] = block
+	return block, failed
+}
+
+func nonceErr(have, want uint64) error {
+	if have < want {
+		return ErrNonceTooLow
+	}
+	return ErrNonceTooHigh
+}
+
+// TraceCall executes a read-only message against a copy of the latest
+// state with a structured tracer attached, returning the call result and
+// the trace — the debug_traceCall facility.
+func (bc *Blockchain) TraceCall(from ethtypes.Address, to *ethtypes.Address, data []byte, gas uint64) (*CallResult, *evm.StructLogger) {
+	bc.mu.RLock()
+	stCopy := bc.st.Copy()
+	header := bc.nextHeaderLocked()
+	bc.mu.RUnlock()
+
+	if gas == 0 {
+		gas = bc.gasLimit
+	}
+	stCopy.AddBalance(from, ethtypes.Ether(1_000_000_000))
+	machine := evm.New(bc.evmContext(header, from, uint256.Zero), stCopy)
+	tracer := evm.NewStructLogger()
+	machine.Tracer = tracer
+
+	var ret []byte
+	var left uint64
+	var err error
+	if to == nil {
+		ret, _, left, err = machine.Create(from, data, gas, uint256.Zero)
+	} else {
+		ret, left, err = machine.Call(from, *to, data, gas, uint256.Zero)
+	}
+	return &CallResult{Return: ret, GasUsed: gas - left, Err: err}, tracer
+}

@@ -1,0 +1,163 @@
+package chain
+
+import (
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+	"legalchain/internal/wallet"
+)
+
+func TestBatchMineBlock(t *testing.T) {
+	bc, accs := devChain(t)
+	// Queue three transfers from two senders, out of order.
+	tx0 := signedTx(t, bc, accs[0], &accs[2].Address, uint256.NewUint64(100), nil, 21000)
+	tx1 := &ethtypes.Transaction{Nonce: 1, GasPrice: ethtypes.Gwei(1), Gas: 21000, To: &accs[2].Address, Value: uint256.NewUint64(200)}
+	tx1.Sign(accs[0].Key, bc.ChainID())
+	txB := signedTx(t, bc, accs[1], &accs[2].Address, uint256.NewUint64(300), nil, 21000)
+
+	// Submit the second-nonce tx first: ordering must fix it.
+	for _, tx := range []*ethtypes.Transaction{tx1, txB, tx0} {
+		if _, err := bc.SubmitTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bc.PendingCount() != 3 {
+		t.Fatalf("pending = %d", bc.PendingCount())
+	}
+	block, failed := bc.MineBlock()
+	if len(failed) != 0 {
+		t.Fatalf("failed txs: %v", failed)
+	}
+	if bc.PendingCount() != 0 {
+		t.Fatal("pool not drained")
+	}
+	if len(block.Transactions) != 3 {
+		t.Fatalf("block txs = %d", len(block.Transactions))
+	}
+	if block.Header.GasUsed != 3*21000 {
+		t.Fatalf("block gas = %d", block.Header.GasUsed)
+	}
+	// Receipts carry per-block indexes and cumulative gas.
+	seen := map[uint]bool{}
+	for _, tx := range block.Transactions {
+		rcpt, ok := bc.GetReceipt(tx.Hash())
+		if !ok || !rcpt.Succeeded() {
+			t.Fatalf("receipt for %s", tx.Hash())
+		}
+		seen[rcpt.TxIndex] = true
+		if rcpt.CumulativeGasUsed != uint64(rcpt.TxIndex+1)*21000 {
+			t.Fatalf("cumulative gas at idx %d = %d", rcpt.TxIndex, rcpt.CumulativeGasUsed)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatal("tx indexes not distinct")
+	}
+	if bc.GetBalance(accs[2].Address).Sub(ethtypes.Ether(100)).Uint64() != 600 {
+		t.Fatal("transfers not applied")
+	}
+}
+
+func TestMineBlockDropsBadNonce(t *testing.T) {
+	bc, accs := devChain(t)
+	good := signedTx(t, bc, accs[0], &accs[1].Address, uint256.One, nil, 21000)
+	gap := &ethtypes.Transaction{Nonce: 5, GasPrice: ethtypes.Gwei(1), Gas: 21000, To: &accs[1].Address, Value: uint256.One}
+	gap.Sign(accs[0].Key, bc.ChainID())
+	bc.SubmitTransaction(good)
+	bc.SubmitTransaction(gap)
+	block, failed := bc.MineBlock()
+	if len(block.Transactions) != 1 {
+		t.Fatalf("included = %d", len(block.Transactions))
+	}
+	if err, ok := failed[gap.Hash()]; !ok || err == nil {
+		t.Fatal("gap nonce not reported")
+	}
+}
+
+func TestMineEmptyBlock(t *testing.T) {
+	bc, _ := devChain(t)
+	bc.AdjustTime(500)
+	block, failed := bc.MineBlock()
+	if len(failed) != 0 || len(block.Transactions) != 0 {
+		t.Fatal("empty mine")
+	}
+	if block.Number() != 1 {
+		t.Fatal("height")
+	}
+	if block.Header.Time < 1_700_000_000+500 {
+		t.Fatal("time adjustment not applied")
+	}
+}
+
+func TestSubmitDuplicateRejected(t *testing.T) {
+	bc, accs := devChain(t)
+	tx := signedTx(t, bc, accs[0], &accs[1].Address, uint256.One, nil, 21000)
+	if _, err := bc.SubmitTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.SubmitTransaction(tx); err != ErrKnownTransaction {
+		t.Fatalf("dup: %v", err)
+	}
+	bc.MineBlock()
+	// Already mined: resubmission rejected too.
+	if _, err := bc.SubmitTransaction(tx); err != ErrKnownTransaction {
+		t.Fatalf("mined dup: %v", err)
+	}
+}
+
+func TestTraceCall(t *testing.T) {
+	bc, accs := devChain(t)
+	addr, art := deployCounter(t, bc, accs[0])
+	input, _ := art.ABI.Pack("increment")
+	res, trace := bc.TraceCall(accs[0].Address, &addr, input, 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(trace.Logs) == 0 {
+		t.Fatal("no trace steps")
+	}
+	if trace.OpCount["SSTORE"] == 0 {
+		t.Fatalf("increment trace lacks SSTORE: %v", trace.OpCount)
+	}
+	// Tracing is read-only: state untouched.
+	q, _ := art.ABI.Pack("count")
+	out := bc.Call(accs[0].Address, &addr, q, uint256.Zero, 0)
+	if uint256.SetBytes(out.Return).Uint64() != 0 {
+		t.Fatal("trace mutated state")
+	}
+	// Tracing a reverting call captures the fault.
+	failIn, _ := art.ABI.Pack("fail")
+	res, trace = bc.TraceCall(accs[0].Address, &addr, failIn, 0)
+	if res.Err == nil {
+		t.Fatal("revert not reported")
+	}
+	if trace.OpCount["REVERT"] == 0 {
+		t.Fatal("REVERT not traced")
+	}
+}
+
+func TestBatchAndInstantInterleave(t *testing.T) {
+	bc, accs := devChain(t)
+	// Instant tx, then batch, then instant again: nonces stay coherent.
+	tx := signedTx(t, bc, accs[0], &accs[1].Address, uint256.One, nil, 21000)
+	if _, err := bc.SendTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := signedTx(t, bc, accs[0], &accs[1].Address, uint256.One, nil, 21000)
+	bc.SubmitTransaction(tx2)
+	if _, failed := bc.MineBlock(); len(failed) != 0 {
+		t.Fatalf("batch failed: %v", failed)
+	}
+	tx3 := signedTx(t, bc, accs[0], &accs[1].Address, uint256.One, nil, 21000)
+	if _, err := bc.SendTransaction(tx3); err != nil {
+		t.Fatal(err)
+	}
+	if bc.GetNonce(accs[0].Address) != 3 {
+		t.Fatalf("nonce = %d", bc.GetNonce(accs[0].Address))
+	}
+	if bc.BlockNumber() != 3 {
+		t.Fatalf("height = %d", bc.BlockNumber())
+	}
+}
+
+var _ = wallet.DefaultDevSeed

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/contracts"
+	"legalchain/internal/docstore"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/ipfs"
+	"legalchain/internal/uint256"
+	"legalchain/internal/wallet"
+	"legalchain/internal/web3"
+)
+
+// rig assembles the full four-tier stack in process.
+func rig(t *testing.T) (*Manager, []wallet.Account) {
+	t.Helper()
+	accs := wallet.DevAccounts("core test", 4)
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(1000))
+	bc := chain.New(g)
+	ks := wallet.NewKeystore()
+	for _, a := range accs {
+		ks.Import(a.Key)
+	}
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewManager(client, ipfs.NewNode(ipfs.NewMemStore()), store), accs
+}
+
+func deployRental(t *testing.T, m *Manager, landlord ethtypes.Address) *Deployment {
+	t.Helper()
+	svc := NewRentalService(m)
+	dep, err := svc.DeployRental(landlord, RentalTerms{
+		Rent: ethtypes.Ether(1), Deposit: ethtypes.Ether(2), Months: 12,
+		House: "10115-Berlin-42", LegalDoc: []byte("%PDF-1.4 rental agreement v1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestDeployVersionPublishesEverything(t *testing.T) {
+	m, accs := rig(t)
+	landlord := accs[0].Address
+	dep := deployRental(t, m, landlord)
+
+	// Row recorded.
+	row, err := m.GetRow(dep.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Version != 1 || row.State != StateActive || row.Landlord != landlord.Hex() {
+		t.Fatalf("row = %+v", row)
+	}
+	// ABI resolvable from the address alone.
+	resolved, err := m.ResolveABI(dep.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resolved.Methods["payRent"]; !ok {
+		t.Fatal("resolved ABI lacks payRent")
+	}
+	// Legal document retrievable and intact.
+	doc, err := m.LegalDocument(dep.Contract.Address)
+	if err != nil || !strings.Contains(string(doc), "rental agreement v1") {
+		t.Fatalf("document: %q %v", doc, err)
+	}
+	// Binding from scratch works.
+	bound, err := m.BindVersion(dep.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rent, err := bound.CallUint(landlord, "rent")
+	if err != nil || rent != ethtypes.Ether(1) {
+		t.Fatalf("rent = %s, %v", rent, err)
+	}
+}
+
+func TestResolveABIMissing(t *testing.T) {
+	m, _ := rig(t)
+	_, err := m.ResolveABI(ethtypes.HexToAddress("0x00000000000000000000000000000000000000ff"))
+	if !errors.Is(err, ErrNoABI) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestModifyBuildsEvidenceLine(t *testing.T) {
+	m, accs := rig(t)
+	landlord, tenant := accs[0].Address, accs[1].Address
+	svc := NewRentalService(m)
+	v1 := deployRental(t, m, landlord)
+	if err := svc.Confirm(tenant, v1.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PayRent(tenant, v1.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := svc.Modify(landlord, v1.Contract.Address, ModifiedTerms{
+		Rent: ethtypes.Ether(1), Deposit: ethtypes.Ether(2), Months: 12,
+		House: "10115-Berlin-42", MaintenanceFee: ethtypes.Ether(1),
+		Discount: uint256.Zero, Fine: ethtypes.Ether(1),
+		LegalDoc: []byte("%PDF-1.4 rental agreement v2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := svc.Modify(landlord, v2.Contract.Address, ModifiedTerms{
+		Rent: ethtypes.Ether(2), Deposit: ethtypes.Ether(2), Months: 12,
+		House: "10115-Berlin-42", MaintenanceFee: ethtypes.Ether(1),
+		Discount: uint256.Zero, Fine: ethtypes.Ether(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk from the middle: the full chain comes back in order.
+	chainInfo, err := m.WalkChain(v2.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chainInfo) != 3 {
+		t.Fatalf("chain length = %d", len(chainInfo))
+	}
+	if chainInfo[0].Address != v1.Contract.Address ||
+		chainInfo[1].Address != v2.Contract.Address ||
+		chainInfo[2].Address != v3.Contract.Address {
+		t.Fatal("chain order wrong")
+	}
+	if err := VerifyChain(chainInfo); err != nil {
+		t.Fatal(err)
+	}
+	// Versions increase, states updated.
+	if chainInfo[0].Version != 1 || chainInfo[1].Version != 2 || chainInfo[2].Version != 3 {
+		t.Fatalf("versions = %d %d %d", chainInfo[0].Version, chainInfo[1].Version, chainInfo[2].Version)
+	}
+	if chainInfo[0].State != StateSuperseded || chainInfo[1].State != StateSuperseded || chainInfo[2].State != StateActive {
+		t.Fatalf("states = %s %s %s", chainInfo[0].State, chainInfo[1].State, chainInfo[2].State)
+	}
+	// Head/Latest helpers.
+	head, _ := m.Head(v3.Contract.Address)
+	latest, _ := m.Latest(v1.Contract.Address)
+	if head != v1.Contract.Address || latest != v3.Contract.Address {
+		t.Fatal("head/latest")
+	}
+}
+
+func TestDataMigrationAcrossVersions(t *testing.T) {
+	m, accs := rig(t)
+	landlord, tenant := accs[0].Address, accs[1].Address
+	svc := NewRentalService(m)
+	v1 := deployRental(t, m, landlord)
+	svcConfirmAndPay(t, svc, tenant, v1.Contract.Address, 3)
+
+	v2, err := svc.Modify(landlord, v1.Contract.Address, ModifiedTerms{
+		Rent: ethtypes.Ether(1), Deposit: ethtypes.Ether(2), Months: 12,
+		House: "10115-Berlin-42", MaintenanceFee: ethtypes.Ether(1),
+		Discount: uint256.Zero, Fine: ethtypes.Ether(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot of v1 was migrated into v2's namespace.
+	snap, err := m.LoadSnapshot(landlord, v2.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["rent"] != ethtypes.Ether(1).String() {
+		t.Fatalf("migrated rent = %q", snap["rent"])
+	}
+	if snap["monthCounter"] != "3" {
+		t.Fatalf("migrated monthCounter = %q", snap["monthCounter"])
+	}
+	if snap["tenant"] != tenant.Hex() {
+		t.Fatalf("migrated tenant = %q", snap["tenant"])
+	}
+	if snap["house"] != "10115-Berlin-42" {
+		t.Fatalf("migrated house = %q", snap["house"])
+	}
+	// The old namespace still holds the originals (immutability of the
+	// evidence line).
+	old, err := m.LoadSnapshot(landlord, v1.Contract.Address)
+	if err != nil || old["monthCounter"] != "3" {
+		t.Fatal("old namespace lost")
+	}
+}
+
+func svcConfirmAndPay(t *testing.T, svc *RentalService, tenant, addr ethtypes.Address, months int) {
+	t.Helper()
+	if err := svc.Confirm(tenant, addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < months; i++ {
+		if _, err := svc.PayRent(tenant, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfirmModificationTerminatesOld(t *testing.T) {
+	m, accs := rig(t)
+	landlord, tenant := accs[0].Address, accs[1].Address
+	svc := NewRentalService(m)
+	v1 := deployRental(t, m, landlord)
+	svcConfirmAndPay(t, svc, tenant, v1.Contract.Address, 2)
+
+	v2, err := svc.Modify(landlord, v1.Contract.Address, ModifiedTerms{
+		Rent: ethtypes.Ether(1), Deposit: ethtypes.Ether(1), Months: 12,
+		House: "10115-Berlin-42", MaintenanceFee: ethtypes.Ether(1),
+		Discount: uint256.Zero, Fine: ethtypes.Ether(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ConfirmModification(tenant, v2.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	// Old version is terminated on chain; new one is started.
+	oldBound, _ := m.BindVersion(v1.Contract.Address)
+	st, _ := oldBound.CallUint(tenant, "state")
+	if st.Uint64() != 2 {
+		t.Fatal("old version not terminated")
+	}
+	newBound, _ := m.BindVersion(v2.Contract.Address)
+	st, _ = newBound.CallUint(tenant, "state")
+	if st.Uint64() != 1 {
+		t.Fatal("new version not started")
+	}
+	// New clause callable through the service.
+	if _, err := svc.PayMaintenance(tenant, v2.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-version rent history.
+	if _, err := svc.PayRent(tenant, v2.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := svc.RentHistory(tenant, v1.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 { // 2 on v1, 1 on v2
+		t.Fatalf("history = %d records", len(hist))
+	}
+	if hist[0].Version != 1 || hist[2].Version != 2 {
+		t.Fatalf("history versions: %+v", hist)
+	}
+}
+
+func TestRejectModification(t *testing.T) {
+	m, accs := rig(t)
+	landlord, tenant := accs[0].Address, accs[1].Address
+	svc := NewRentalService(m)
+	v1 := deployRental(t, m, landlord)
+	svcConfirmAndPay(t, svc, tenant, v1.Contract.Address, 1)
+	v2, err := svc.Modify(landlord, v1.Contract.Address, ModifiedTerms{
+		Rent: ethtypes.Ether(3), Deposit: ethtypes.Ether(2), Months: 12,
+		House: "10115-Berlin-42", MaintenanceFee: ethtypes.Ether(1),
+		Discount: uint256.Zero, Fine: ethtypes.Ether(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RejectModification(tenant, v2.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: rejection terminates the previous contract.
+	oldBound, _ := m.BindVersion(v1.Contract.Address)
+	st, _ := oldBound.CallUint(tenant, "state")
+	if st.Uint64() != 2 {
+		t.Fatal("previous contract not terminated on rejection")
+	}
+	row, _ := m.GetRow(v2.Contract.Address)
+	if row.State != StateRejected {
+		t.Fatalf("new row state = %s", row.State)
+	}
+	// The rejected version never starts.
+	newBound, _ := m.BindVersion(v2.Contract.Address)
+	st, _ = newBound.CallUint(tenant, "state")
+	if st.Uint64() != 0 {
+		t.Fatal("rejected version started")
+	}
+}
+
+func TestVerifyChainDetectsCorruption(t *testing.T) {
+	a1 := ethtypes.HexToAddress("0x0000000000000000000000000000000000000001")
+	a2 := ethtypes.HexToAddress("0x0000000000000000000000000000000000000002")
+	good := []VersionInfo{
+		{Address: a1, Next: a2, Version: 1},
+		{Address: a2, Prev: a1, Version: 2},
+	}
+	if err := VerifyChain(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []VersionInfo{
+		{Address: a1, Next: a2, Version: 1},
+		{Address: a2, Prev: a1, Version: 1}, // non-increasing
+	}
+	if err := VerifyChain(bad); err == nil {
+		t.Fatal("non-increasing versions accepted")
+	}
+	broken := []VersionInfo{
+		{Address: a1, Next: a1, Version: 1}, // next points elsewhere
+		{Address: a2, Prev: a1, Version: 2},
+	}
+	if err := VerifyChain(broken); err == nil {
+		t.Fatal("broken forward pointer accepted")
+	}
+	if err := VerifyChain(nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestWalkChainRequiresVersionPointers(t *testing.T) {
+	m, accs := rig(t)
+	// DataStorage has no getNext/getPrev.
+	ds, err := m.EnsureDataStorage(accs[0].Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := contracts.MustArtifact("DataStorage")
+	if _, err := m.PublishABI(ds.Address, art.ABIJSON); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WalkChain(ds.Address); !errors.Is(err, ErrNotVersioned) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRowsListing(t *testing.T) {
+	m, accs := rig(t)
+	deployRental(t, m, accs[0].Address)
+	deployRental(t, m, accs[1].Address)
+	rows := m.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+// TestWalkChainDetectsCycle builds a malicious pointer cycle directly
+// through the contracts and checks the walker refuses it instead of
+// spinning.
+func TestWalkChainDetectsCycle(t *testing.T) {
+	m, accs := rig(t)
+	landlord := accs[0].Address
+	a := deployRental(t, m, landlord)
+	b := deployRental(t, m, landlord)
+	// a.next = b, b.next = a, and prev pointers forming the same loop.
+	if _, err := a.Contract.Transact(web3.TxOpts{From: landlord}, "setNext", b.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Contract.Transact(web3.TxOpts{From: landlord}, "setNext", a.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Contract.Transact(web3.TxOpts{From: landlord}, "setPrev", b.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Contract.Transact(web3.TxOpts{From: landlord}, "setPrev", a.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WalkChain(a.Contract.Address); !errors.Is(err, ErrChainCorrupted) {
+		t.Fatalf("cycle walk: %v", err)
+	}
+}
+
+// TestSnapshotContractRejectsBadKeys covers the error paths of the
+// snapshot helper.
+func TestSnapshotContractRejectsBadKeys(t *testing.T) {
+	m, accs := rig(t)
+	landlord := accs[0].Address
+	dep := deployRental(t, m, landlord)
+	// Unknown getter.
+	if _, err := m.SnapshotContract(landlord, dep.Contract, []string{"nosuch"}); err == nil {
+		t.Fatal("unknown getter accepted")
+	}
+	// Getter with arguments (paidrents takes an index).
+	if _, err := m.SnapshotContract(landlord, dep.Contract, []string{"paidrents"}); err == nil {
+		t.Fatal("parameterised getter accepted")
+	}
+}

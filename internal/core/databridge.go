@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+	"legalchain/internal/web3"
+)
+
+// The data bridge realises the paper's data/logic separation (Fig. 3):
+// contract state worth carrying across versions lives as key/value
+// strings in the shared DataStorage contract, namespaced by contract
+// address. A new logic version imports its predecessor's data by
+// reading under the old address (or having the manager copy it to the
+// new namespace).
+
+// SetValue writes one key/value pair under the contract's namespace.
+func (m *Manager) SetValue(from, contractAddr ethtypes.Address, key, value string) (uint64, error) {
+	ds, err := m.EnsureDataStorage(from)
+	if err != nil {
+		return 0, err
+	}
+	rcpt, err := ds.Transact(web3.TxOpts{From: from}, "setValue", contractAddr, key, value)
+	if err != nil {
+		return 0, fmt.Errorf("core: setValue(%s): %w", key, err)
+	}
+	return rcpt.GasUsed, nil
+}
+
+// GetValue reads one key from the contract's namespace.
+func (m *Manager) GetValue(from, contractAddr ethtypes.Address, key string) (string, error) {
+	ds, err := m.EnsureDataStorage(from)
+	if err != nil {
+		return "", err
+	}
+	return ds.CallString(from, "getValue", contractAddr, key)
+}
+
+// LoadSnapshot reads the whole key/value namespace of a contract using
+// the on-chain key enumeration.
+func (m *Manager) LoadSnapshot(from, contractAddr ethtypes.Address) (map[string]string, error) {
+	ds, err := m.EnsureDataStorage(from)
+	if err != nil {
+		return nil, err
+	}
+	count, err := ds.CallUint(from, "keyCount", contractAddr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, count.Uint64())
+	for i := uint64(0); i < count.Uint64(); i++ {
+		key, err := ds.CallString(from, "keyAt", contractAddr, i)
+		if err != nil {
+			return nil, err
+		}
+		val, err := ds.CallString(from, "getValue", contractAddr, key)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// MigrateData copies every key/value pair from the old contract's
+// namespace to the new one, returning the pair count and gas spent.
+func (m *Manager) MigrateData(from, oldAddr, newAddr ethtypes.Address) (int, uint64, error) {
+	snapshot, err := m.LoadSnapshot(from, oldAddr)
+	if err != nil {
+		return 0, 0, err
+	}
+	var gas uint64
+	for key, val := range snapshot {
+		g, err := m.SetValue(from, newAddr, key, val)
+		if err != nil {
+			return 0, gas, err
+		}
+		gas += g
+	}
+	return len(snapshot), gas, nil
+}
+
+// SnapshotContract reads the named public getters of a live contract
+// version and writes their values into DataStorage under its address, so
+// the data survives the version's retirement. Word values are rendered
+// decimal, addresses as hex, strings verbatim.
+func (m *Manager) SnapshotContract(from ethtypes.Address, bound *web3.BoundContract, keys []string) (uint64, error) {
+	var gas uint64
+	for _, key := range keys {
+		method, ok := bound.ABI.Methods[key]
+		if !ok {
+			return gas, fmt.Errorf("core: contract has no getter %q", key)
+		}
+		if len(method.Inputs) != 0 {
+			return gas, fmt.Errorf("core: getter %q takes arguments; snapshot only plain values", key)
+		}
+		out, err := bound.Call(from, key)
+		if err != nil {
+			return gas, fmt.Errorf("core: reading %q: %w", key, err)
+		}
+		if len(out) != 1 {
+			return gas, fmt.Errorf("core: getter %q returned %d values", key, len(out))
+		}
+		rendered, err := renderValue(out[0])
+		if err != nil {
+			return gas, fmt.Errorf("core: %q: %w", key, err)
+		}
+		g, err := m.SetValue(from, bound.Address, key, rendered)
+		if err != nil {
+			return gas, err
+		}
+		gas += g
+	}
+	return gas, nil
+}
+
+func renderValue(v interface{}) (string, error) {
+	switch x := v.(type) {
+	case uint256.Int:
+		return x.String(), nil
+	case ethtypes.Address:
+		return x.Hex(), nil
+	case string:
+		return x, nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	default:
+		return "", fmt.Errorf("unsupported snapshot value type %T", v)
+	}
+}

@@ -1,0 +1,370 @@
+// Package core implements the paper's contribution: the contract
+// manager of the business tier. It orchestrates
+//
+//   - deployment of legal smart contracts to the blockchain tier,
+//   - the versioning mechanism of Fig. 2 — every modification deploys a
+//     new contract and links it into an on-chain doubly linked list whose
+//     traversal is the tamper-evident "evidence line" of changes,
+//   - ABI resolution through the content-addressed store (the paper
+//     stores each version's ABI in IPFS keyed by contract address, so an
+//     address recovered from a next/prev pointer suffices to rebuild a
+//     full binding),
+//   - data/logic separation through the DataStorage contract of Fig. 3,
+//     migrating the predecessor's key/value state to each new version,
+//   - the off-chain contract registry rows of the data tier.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"legalchain/internal/abi"
+	"legalchain/internal/contracts"
+	"legalchain/internal/docstore"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/ipfs"
+	"legalchain/internal/minisol"
+	"legalchain/internal/web3"
+)
+
+// Errors returned by the manager.
+var (
+	ErrNoABI          = errors.New("core: no ABI published for address")
+	ErrNotVersioned   = errors.New("core: contract lacks version pointers")
+	ErrChainCorrupted = errors.New("core: version chain pointers are inconsistent")
+)
+
+// Row states in the contracts table (the paper's active / inactive /
+// terminated states, with "rejected" for a modification the tenant
+// refused).
+const (
+	StateActive     = "active"
+	StateSuperseded = "inactive"
+	StateTerminated = "terminated"
+	StateRejected   = "rejected"
+)
+
+// Table names in the docstore.
+const (
+	TableContracts = "contracts"
+	TableDocuments = "documents"
+	TableArtifacts = "artifacts"
+)
+
+// ContractRow is the off-chain registry row for one deployed version —
+// the paper's Contract(landlord, tenant, version, state, abi) table.
+type ContractRow struct {
+	Address     string `json:"address"`
+	Name        string `json:"name"`
+	Landlord    string `json:"landlord"`
+	Tenant      string `json:"tenant,omitempty"`
+	Version     int    `json:"version"`
+	State       string `json:"state"`
+	ABICID      string `json:"abiCid"`
+	DocumentCID string `json:"documentCid,omitempty"`
+	Prev        string `json:"prev,omitempty"`
+	Next        string `json:"next,omitempty"`
+}
+
+// Manager is the contract manager.
+type Manager struct {
+	Client *web3.Client
+	IPFS   *ipfs.Node
+	Store  *docstore.Store
+
+	mu          sync.Mutex
+	dataStorage *web3.BoundContract
+	abiCache    map[ethtypes.Address]*abi.ABI
+}
+
+// NewManager wires the three tiers together.
+func NewManager(client *web3.Client, node *ipfs.Node, store *docstore.Store) *Manager {
+	return &Manager{
+		Client:   client,
+		IPFS:     node,
+		Store:    store,
+		abiCache: map[ethtypes.Address]*abi.ABI{},
+	}
+}
+
+// EnsureDataStorage deploys the shared DataStorage contract on first use
+// (owner = from) and returns its binding.
+func (m *Manager) EnsureDataStorage(from ethtypes.Address) (*web3.BoundContract, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dataStorage != nil {
+		return m.dataStorage, nil
+	}
+	art, err := contracts.Artifact("DataStorage")
+	if err != nil {
+		return nil, err
+	}
+	bound, _, err := m.Client.Deploy(web3.TxOpts{From: from}, art.ABI, art.Bytecode)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploying DataStorage: %w", err)
+	}
+	m.dataStorage = bound
+	return bound, nil
+}
+
+// AttachDataStorage binds to an existing DataStorage deployment.
+func (m *Manager) AttachDataStorage(addr ethtypes.Address) error {
+	art, err := contracts.Artifact("DataStorage")
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.dataStorage = m.Client.Bind(addr, art.ABI)
+	m.mu.Unlock()
+	return nil
+}
+
+// DataStorageAddress returns the shared data contract address (zero if
+// not deployed yet).
+func (m *Manager) DataStorageAddress() ethtypes.Address {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dataStorage == nil {
+		return ethtypes.Address{}
+	}
+	return m.dataStorage.Address
+}
+
+// PublishABI pins the ABI JSON in the content store and publishes
+// address → CID in the name index.
+func (m *Manager) PublishABI(addr ethtypes.Address, abiJSON []byte) (ipfs.CID, error) {
+	cid, err := m.IPFS.AddDocument(addr.Hex(), abiJSON)
+	if err != nil {
+		return "", fmt.Errorf("core: publishing ABI: %w", err)
+	}
+	return cid, nil
+}
+
+// ResolveABI fetches and parses the ABI of a deployed version from the
+// content store, given only its address — the IPFS lookup of Fig. 2.
+func (m *Manager) ResolveABI(addr ethtypes.Address) (*abi.ABI, error) {
+	m.mu.Lock()
+	if cached, ok := m.abiCache[addr]; ok {
+		m.mu.Unlock()
+		return cached, nil
+	}
+	m.mu.Unlock()
+	raw, err := m.IPFS.GetByName(addr.Hex())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrNoABI, addr, err)
+	}
+	parsed, err := abi.ParseJSON(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: stored ABI for %s is invalid: %w", addr, err)
+	}
+	m.mu.Lock()
+	m.abiCache[addr] = parsed
+	m.mu.Unlock()
+	return parsed, nil
+}
+
+// BindVersion reconstructs a full contract binding from an address
+// alone, via the published ABI.
+func (m *Manager) BindVersion(addr ethtypes.Address) (*web3.BoundContract, error) {
+	parsed, err := m.ResolveABI(addr)
+	if err != nil {
+		return nil, err
+	}
+	return m.Client.Bind(addr, parsed), nil
+}
+
+// Deployment describes one deployed legal-contract version.
+type Deployment struct {
+	Contract *web3.BoundContract
+	Row      ContractRow
+	GasUsed  uint64
+}
+
+// DeployVersion deploys a contract as version 1 of a new chain: the code
+// goes to the blockchain tier, the ABI to IPFS, the legal document (if
+// any) to IPFS plus the documents table, and the registry row to the
+// contracts table.
+func (m *Manager) DeployVersion(from ethtypes.Address, art *minisol.Artifact, legalDoc []byte, args ...interface{}) (*Deployment, error) {
+	bound, rcpt, err := m.Client.Deploy(web3.TxOpts{From: from}, art.ABI, art.Bytecode, args...)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy %s: %w", art.Name, err)
+	}
+	cid, err := m.PublishABI(bound.Address, art.ABIJSON)
+	if err != nil {
+		return nil, err
+	}
+	row := ContractRow{
+		Address:  bound.Address.Hex(),
+		Name:     art.Name,
+		Landlord: from.Hex(),
+		Version:  1,
+		State:    StateActive,
+		ABICID:   string(cid),
+	}
+	if len(legalDoc) > 0 {
+		docCID, err := m.IPFS.Blobs.Add(legalDoc)
+		if err != nil {
+			return nil, fmt.Errorf("core: storing legal document: %w", err)
+		}
+		row.DocumentCID = string(docCID)
+		if err := m.Store.Put(TableDocuments, row.Address, string(docCID)); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.putRow(row); err != nil {
+		return nil, err
+	}
+	return &Deployment{Contract: bound, Row: row, GasUsed: rcpt.GasUsed}, nil
+}
+
+// ModifyOptions tune ModifyContract.
+type ModifyOptions struct {
+	// MigrateData copies the predecessor's DataStorage key/value pairs
+	// to the new version's namespace.
+	MigrateData bool
+	// SnapshotKeys, when non-empty, are read from the old contract via
+	// its getters and written into DataStorage before migration, so the
+	// new version can import them (the paper's data/logic separation).
+	SnapshotKeys []string
+	// LegalDoc is the updated legal document (PDF) for the new version.
+	LegalDoc []byte
+}
+
+// ModifyContract implements the modification flow of Figs. 2 and 11:
+// deploy the new version, link it into the doubly linked list on chain,
+// publish its ABI, optionally snapshot+migrate data, and update the
+// registry rows (the old version becomes inactive).
+func (m *Manager) ModifyContract(from ethtypes.Address, prevAddr ethtypes.Address, art *minisol.Artifact, opts ModifyOptions, args ...interface{}) (*Deployment, error) {
+	prev, err := m.BindVersion(prevAddr)
+	if err != nil {
+		return nil, err
+	}
+	prevRow, err := m.GetRow(prevAddr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Optional: snapshot selected fields of the old version into the
+	// shared data contract under the old address.
+	if len(opts.SnapshotKeys) > 0 {
+		if _, err := m.SnapshotContract(from, prev, opts.SnapshotKeys); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deploy the new version.
+	bound, rcpt, err := m.Client.Deploy(web3.TxOpts{From: from}, art.ABI, art.Bytecode, args...)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy new version: %w", err)
+	}
+	gas := rcpt.GasUsed
+
+	// Link the versions on chain (Fig. 2): the contract manager sets the
+	// next and previous pointers whenever a new version is deployed.
+	if r, err := prev.Transact(web3.TxOpts{From: from}, "setNext", bound.Address); err != nil {
+		return nil, fmt.Errorf("core: linking prev.next: %w", err)
+	} else {
+		gas += r.GasUsed
+	}
+	if r, err := bound.Transact(web3.TxOpts{From: from}, "setPrev", prevAddr); err != nil {
+		return nil, fmt.Errorf("core: linking next.prev: %w", err)
+	} else {
+		gas += r.GasUsed
+	}
+
+	cid, err := m.PublishABI(bound.Address, art.ABIJSON)
+	if err != nil {
+		return nil, err
+	}
+
+	// Migrate data under the new address.
+	if opts.MigrateData {
+		n, mgGas, err := m.MigrateData(from, prevAddr, bound.Address)
+		if err != nil {
+			return nil, err
+		}
+		_ = n
+		gas += mgGas
+	}
+
+	// Registry rows: old becomes inactive, new becomes the active head.
+	prevRow.State = StateSuperseded
+	prevRow.Next = bound.Address.Hex()
+	if err := m.putRow(prevRow); err != nil {
+		return nil, err
+	}
+	row := ContractRow{
+		Address:  bound.Address.Hex(),
+		Name:     art.Name,
+		Landlord: from.Hex(),
+		Tenant:   prevRow.Tenant,
+		Version:  prevRow.Version + 1,
+		State:    StateActive,
+		ABICID:   string(cid),
+		Prev:     prevAddr.Hex(),
+	}
+	if len(opts.LegalDoc) > 0 {
+		docCID, err := m.IPFS.Blobs.Add(opts.LegalDoc)
+		if err != nil {
+			return nil, err
+		}
+		row.DocumentCID = string(docCID)
+		m.Store.Put(TableDocuments, row.Address, string(docCID))
+	}
+	if err := m.putRow(row); err != nil {
+		return nil, err
+	}
+	return &Deployment{Contract: bound, Row: row, GasUsed: gas}, nil
+}
+
+// --- registry rows ----------------------------------------------------------
+
+func (m *Manager) putRow(row ContractRow) error {
+	return m.Store.Put(TableContracts, strings.ToLower(row.Address), row)
+}
+
+// GetRow fetches the registry row of a version.
+func (m *Manager) GetRow(addr ethtypes.Address) (ContractRow, error) {
+	var row ContractRow
+	err := m.Store.Get(TableContracts, strings.ToLower(addr.Hex()), &row)
+	return row, err
+}
+
+// UpdateRow mutates a registry row through fn.
+func (m *Manager) UpdateRow(addr ethtypes.Address, fn func(*ContractRow)) error {
+	row, err := m.GetRow(addr)
+	if err != nil {
+		return err
+	}
+	fn(&row)
+	return m.putRow(row)
+}
+
+// Rows lists all registry rows.
+func (m *Manager) Rows() []ContractRow {
+	var out []ContractRow
+	m.Store.Scan(TableContracts, func(key string, raw json.RawMessage) bool {
+		var row ContractRow
+		if json.Unmarshal(raw, &row) == nil {
+			out = append(out, row)
+		}
+		return true
+	})
+	return out
+}
+
+// LegalDocument fetches the stored legal document of a version from the
+// content store.
+func (m *Manager) LegalDocument(addr ethtypes.Address) ([]byte, error) {
+	row, err := m.GetRow(addr)
+	if err != nil {
+		return nil, err
+	}
+	if row.DocumentCID == "" {
+		return nil, fmt.Errorf("core: no document for %s", addr)
+	}
+	return m.IPFS.Blobs.Get(ipfs.CID(row.DocumentCID))
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"legalchain/internal/contracts"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/minisol"
+	"legalchain/internal/uint256"
+	"legalchain/internal/web3"
+)
+
+// RentalService drives the rental-agreement lifecycle of Fig. 4 on top
+// of the generic manager: upload/deploy by the landlord, confirmation
+// with deposit by the tenant, monthly rent, unilateral modification with
+// tenant confirm-or-reject, and termination with deposit settlement.
+type RentalService struct {
+	M *Manager
+}
+
+// NewRentalService wraps a manager.
+func NewRentalService(m *Manager) *RentalService { return &RentalService{M: m} }
+
+// RentalTerms are the business parameters of the agreement.
+type RentalTerms struct {
+	Rent     uint256.Int
+	Deposit  uint256.Int
+	Months   uint64
+	House    string
+	LegalDoc []byte // the human-readable agreement (PDF bytes)
+}
+
+// DeployRental deploys version 1 of a rental agreement for the landlord.
+func (s *RentalService) DeployRental(landlord ethtypes.Address, terms RentalTerms) (*Deployment, error) {
+	art, err := contracts.Artifact("BaseRental")
+	if err != nil {
+		return nil, err
+	}
+	return s.M.DeployVersion(landlord, art, terms.LegalDoc,
+		terms.Rent, terms.Deposit, terms.Months, terms.House)
+}
+
+// Confirm lets the tenant accept the agreement, paying the deposit the
+// contract demands (read from the chain, not from user input).
+func (s *RentalService) Confirm(tenant, contractAddr ethtypes.Address) error {
+	bound, err := s.M.BindVersion(contractAddr)
+	if err != nil {
+		return err
+	}
+	deposit, err := bound.CallUint(tenant, "deposit")
+	if err != nil {
+		return fmt.Errorf("core: reading deposit: %w", err)
+	}
+	if _, err := bound.Transact(web3.TxOpts{From: tenant, Value: deposit}, "confirmAgreement"); err != nil {
+		return err
+	}
+	return s.M.UpdateRow(contractAddr, func(r *ContractRow) { r.Tenant = tenant.Hex() })
+}
+
+// RentDue computes the amount payRent expects: the rent, minus the
+// discount clause when the version has one.
+func (s *RentalService) RentDue(from, contractAddr ethtypes.Address) (uint256.Int, error) {
+	bound, err := s.M.BindVersion(contractAddr)
+	if err != nil {
+		return uint256.Zero, err
+	}
+	rent, err := bound.CallUint(from, "rent")
+	if err != nil {
+		return uint256.Zero, err
+	}
+	if _, ok := bound.ABI.Methods["discount"]; ok {
+		discount, err := bound.CallUint(from, "discount")
+		if err != nil {
+			return uint256.Zero, err
+		}
+		rent = rent.Sub(discount)
+	}
+	return rent, nil
+}
+
+// PayRent pays one month of rent from the tenant.
+func (s *RentalService) PayRent(tenant, contractAddr ethtypes.Address) (*ethtypes.Receipt, error) {
+	due, err := s.RentDue(tenant, contractAddr)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := s.M.BindVersion(contractAddr)
+	if err != nil {
+		return nil, err
+	}
+	return bound.Transact(web3.TxOpts{From: tenant, Value: due}, "payRent")
+}
+
+// PayMaintenance pays the maintenance fee clause of upgraded versions.
+func (s *RentalService) PayMaintenance(tenant, contractAddr ethtypes.Address) (*ethtypes.Receipt, error) {
+	bound, err := s.M.BindVersion(contractAddr)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := bound.ABI.Methods["payMaintenanceFee"]; !ok {
+		return nil, fmt.Errorf("core: version %s has no maintenance clause", contractAddr)
+	}
+	fee, err := bound.CallUint(tenant, "maintenanceFee")
+	if err != nil {
+		return nil, err
+	}
+	return bound.Transact(web3.TxOpts{From: tenant, Value: fee}, "payMaintenanceFee")
+}
+
+// Terminate ends the agreement (either party; the contract settles the
+// deposit and any early-exit penalty) and updates the registry row.
+func (s *RentalService) Terminate(party, contractAddr ethtypes.Address) error {
+	bound, err := s.M.BindVersion(contractAddr)
+	if err != nil {
+		return err
+	}
+	if _, err := bound.Transact(web3.TxOpts{From: party}, "terminateContract"); err != nil {
+		return err
+	}
+	return s.M.UpdateRow(contractAddr, func(r *ContractRow) { r.State = StateTerminated })
+}
+
+// ModifiedTerms are the parameters of an upgraded agreement (Fig. 6).
+type ModifiedTerms struct {
+	Rent           uint256.Int
+	Deposit        uint256.Int
+	Months         uint64
+	House          string
+	MaintenanceFee uint256.Int
+	Discount       uint256.Int
+	Fine           uint256.Int
+	LegalDoc       []byte
+}
+
+// rentalSnapshotKeys are the fields preserved across rental versions via
+// the DataStorage contract.
+var rentalSnapshotKeys = []string{"rent", "deposit", "house", "monthCounter", "tenant", "landlord"}
+
+// Modify deploys RentalAgreementV2 as the next version of prevAddr,
+// linking it on chain and carrying the old data through DataStorage. The
+// tenant still has to confirm (or reject) the new version.
+func (s *RentalService) Modify(landlord, prevAddr ethtypes.Address, terms ModifiedTerms) (*Deployment, error) {
+	art, err := contracts.Artifact("RentalAgreementV2")
+	if err != nil {
+		return nil, err
+	}
+	return s.ModifyWithArtifact(landlord, prevAddr, art, terms)
+}
+
+// ModifyWithArtifact is Modify with a caller-supplied contract artifact
+// (the "upload a new contract" path of Fig. 9). The artifact's
+// constructor must accept the V2 argument list.
+func (s *RentalService) ModifyWithArtifact(landlord, prevAddr ethtypes.Address, art *minisol.Artifact, terms ModifiedTerms) (*Deployment, error) {
+	return s.M.ModifyContract(landlord, prevAddr, art, ModifyOptions{
+		MigrateData:  true,
+		SnapshotKeys: rentalSnapshotKeys,
+		LegalDoc:     terms.LegalDoc,
+	}, terms.Rent, terms.Deposit, terms.Months, terms.House,
+		terms.MaintenanceFee, terms.Discount, terms.Fine)
+}
+
+// ConfirmModification lets the tenant accept the new version (paying its
+// deposit). The old version is terminated by the tenant, recovering the
+// old deposit per its clauses.
+func (s *RentalService) ConfirmModification(tenant, newAddr ethtypes.Address) error {
+	row, err := s.M.GetRow(newAddr)
+	if err != nil {
+		return err
+	}
+	if row.Prev != "" {
+		prevAddr := ethtypes.HexToAddress(row.Prev)
+		prevRow, err := s.M.GetRow(prevAddr)
+		if err == nil && prevRow.State != StateTerminated {
+			bound, err := s.M.BindVersion(prevAddr)
+			if err != nil {
+				return err
+			}
+			// Terminate the old version if it had started; a never-
+			// confirmed old version has no deposit to settle.
+			st, err := bound.CallUint(tenant, "state")
+			if err != nil {
+				return err
+			}
+			if st.Uint64() == 1 { // Started
+				if _, err := bound.Transact(web3.TxOpts{From: tenant}, "terminateContract"); err != nil {
+					return fmt.Errorf("core: terminating superseded version: %w", err)
+				}
+			}
+			s.M.UpdateRow(prevAddr, func(r *ContractRow) { r.State = StateTerminated })
+		}
+	}
+	return s.Confirm(tenant, newAddr)
+}
+
+// RejectModification implements the paper's rejection branch: "if the
+// tenant rejects the contract the previous contract is terminated". The
+// new version is marked rejected and never starts.
+func (s *RentalService) RejectModification(tenant, newAddr ethtypes.Address) error {
+	row, err := s.M.GetRow(newAddr)
+	if err != nil {
+		return err
+	}
+	if row.Prev == "" {
+		return fmt.Errorf("core: %s is not a modification", newAddr)
+	}
+	prevAddr := ethtypes.HexToAddress(row.Prev)
+	bound, err := s.M.BindVersion(prevAddr)
+	if err != nil {
+		return err
+	}
+	st, err := bound.CallUint(tenant, "state")
+	if err != nil {
+		return err
+	}
+	if st.Uint64() == 1 {
+		if _, err := bound.Transact(web3.TxOpts{From: tenant}, "terminateContract"); err != nil {
+			return err
+		}
+	}
+	if err := s.M.UpdateRow(prevAddr, func(r *ContractRow) { r.State = StateTerminated }); err != nil {
+		return err
+	}
+	return s.M.UpdateRow(newAddr, func(r *ContractRow) { r.State = StateRejected })
+}
+
+// PaymentRecord is one entry of the on-chain rent history.
+type PaymentRecord struct {
+	Version int
+	Month   uint64
+	Amount  uint256.Int
+}
+
+// RentHistory aggregates the paidrents arrays across every version of
+// the chain containing addr — the cross-version transaction history the
+// paper's dashboard shows.
+func (s *RentalService) RentHistory(viewer, addr ethtypes.Address) ([]PaymentRecord, error) {
+	chain, err := s.M.WalkChain(addr)
+	if err != nil {
+		return nil, err
+	}
+	var out []PaymentRecord
+	for _, node := range chain {
+		bound, err := s.M.BindVersion(node.Address)
+		if err != nil {
+			return nil, err
+		}
+		count, err := bound.CallUint(viewer, "monthCounter")
+		if err != nil {
+			continue // not a rental-shaped version
+		}
+		for i := uint64(0); i < count.Uint64(); i++ {
+			vals, err := bound.Call(viewer, "paidrents", i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PaymentRecord{
+				Version: node.Version,
+				Month:   vals[0].(uint256.Int).Uint64(),
+				Amount:  vals[1].(uint256.Int),
+			})
+		}
+	}
+	return out, nil
+}

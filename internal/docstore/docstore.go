@@ -1,0 +1,317 @@
+// Package docstore is the data tier of the paper's architecture (the
+// MySQL role in Table I): an embedded document database with named
+// tables, JSON values, write-ahead logging for durability and
+// snapshot compaction. The application stores users, contract rows and
+// legal documents (PDF bytes) here, off-chain.
+package docstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("docstore: key not found")
+	ErrClosed   = errors.New("docstore: store is closed")
+)
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	Op    string          `json:"op"` // "put" | "del"
+	Table string          `json:"table"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// Store is the embedded database. In-memory state is authoritative;
+// the WAL and snapshot files recover it across restarts. A Store with
+// empty dir is purely in-memory (used by tests and the quickstart).
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	tables map[string]map[string]json.RawMessage
+	wal    *os.File
+	walN   int
+	closed bool
+}
+
+// Open creates or recovers a store rooted at dir. Empty dir means
+// in-memory only.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, tables: map[string]map[string]json.RawMessage{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: open wal: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.jsonl") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(s.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("docstore: read snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.tables); err != nil {
+		return fmt.Errorf("docstore: corrupt snapshot: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) replayWAL() error {
+	f, err := os.Open(s.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("docstore: open wal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// A torn final write is expected after a crash; stop there.
+			break
+		}
+		s.applyLocked(&rec)
+		s.walN++
+	}
+	return sc.Err()
+}
+
+func (s *Store) applyLocked(rec *walRecord) {
+	switch rec.Op {
+	case "put":
+		tbl := s.tables[rec.Table]
+		if tbl == nil {
+			tbl = map[string]json.RawMessage{}
+			s.tables[rec.Table] = tbl
+		}
+		tbl[rec.Key] = append(json.RawMessage(nil), rec.Value...)
+	case "del":
+		if tbl := s.tables[rec.Table]; tbl != nil {
+			delete(tbl, rec.Key)
+		}
+	}
+}
+
+// logLocked appends a record to the WAL (fsync'd) and compacts when the
+// log grows large.
+func (s *Store) logLocked(rec *walRecord) error {
+	if s.wal == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("docstore: wal write: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("docstore: wal sync: %w", err)
+	}
+	s.walN++
+	if s.walN >= 4096 {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked writes a snapshot and truncates the WAL.
+func (s *Store) compactLocked() error {
+	data, err := json.Marshal(s.tables)
+	if err != nil {
+		return err
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(s.walPath(), 0); err != nil {
+		return err
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.walN = 0
+	return nil
+}
+
+// Compact forces a snapshot + WAL truncation.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dir == "" {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// Put stores value (marshalled to JSON) under table/key.
+func (s *Store) Put(table, key string, value interface{}) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("docstore: marshal: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := &walRecord{Op: "put", Table: table, Key: key, Value: raw}
+	s.applyLocked(rec)
+	return s.logLocked(rec)
+}
+
+// Get unmarshals the value at table/key into out.
+func (s *Store) Get(table, key string, out interface{}) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tbl := s.tables[table]
+	if tbl == nil {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	raw, ok := tbl[key]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Has reports whether table/key exists.
+func (s *Store) Has(table, key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tbl := s.tables[table]
+	if tbl == nil {
+		return false
+	}
+	_, ok := tbl[key]
+	return ok
+}
+
+// Delete removes table/key; deleting a missing key is not an error.
+func (s *Store) Delete(table, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := &walRecord{Op: "del", Table: table, Key: key}
+	s.applyLocked(rec)
+	return s.logLocked(rec)
+}
+
+// Keys lists the keys of a table, sorted.
+func (s *Store) Keys(table string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tbl := s.tables[table]
+	out := make([]string, 0, len(tbl))
+	for k := range tbl {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scan visits every key/value in a table in key order; fn decodes the
+// raw JSON itself. Returning false stops the scan.
+func (s *Store) Scan(table string, fn func(key string, raw json.RawMessage) bool) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.tables[table]))
+	for k := range s.tables[table] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]json.RawMessage, len(keys))
+	for i, k := range keys {
+		rows[i] = s.tables[table][k]
+	}
+	s.mu.RUnlock()
+	for i, k := range keys {
+		if !fn(k, rows[i]) {
+			return
+		}
+	}
+}
+
+// Count returns the number of rows in a table.
+func (s *Store) Count(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables[table])
+}
+
+// Tables lists table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

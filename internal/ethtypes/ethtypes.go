@@ -1,0 +1,402 @@
+// Package ethtypes defines the fundamental Ethereum data types shared by
+// every layer of the stack: addresses, hashes, transactions, receipts,
+// logs and blocks, together with their canonical RLP encodings and
+// signing rules (EIP-155 replay protection).
+package ethtypes
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"legalchain/internal/hexutil"
+	"legalchain/internal/keccak"
+	"legalchain/internal/rlp"
+	"legalchain/internal/secp256k1"
+	"legalchain/internal/uint256"
+)
+
+// HashLength and AddressLength are the byte sizes of the core identifiers.
+const (
+	HashLength    = 32
+	AddressLength = 20
+)
+
+// Hash is a 32-byte Keccak-256 digest.
+type Hash [HashLength]byte
+
+// BytesToHash left-pads b into a Hash.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	copy(h[:], hexutil.LeftPad(b, HashLength))
+	return h
+}
+
+// HexToHash parses a 0x-prefixed hash, left-padding short input.
+func HexToHash(s string) Hash { return BytesToHash(hexutil.MustDecode(s)) }
+
+// Hex returns the 0x-prefixed hex form.
+func (h Hash) Hex() string { return hexutil.Encode(h[:]) }
+
+// String implements fmt.Stringer.
+func (h Hash) String() string { return h.Hex() }
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// MarshalJSON/UnmarshalJSON use the 0x-hex form.
+func (h Hash) MarshalJSON() ([]byte, error) { return json.Marshal(h.Hex()) }
+
+func (h *Hash) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	raw, err := hexutil.Decode(s)
+	if err != nil {
+		return err
+	}
+	if len(raw) != HashLength {
+		return fmt.Errorf("ethtypes: hash must be %d bytes, got %d", HashLength, len(raw))
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// Address is a 20-byte account identifier.
+type Address [AddressLength]byte
+
+// BytesToAddress left-pads b into an Address.
+func BytesToAddress(b []byte) Address {
+	var a Address
+	copy(a[:], hexutil.LeftPad(b, AddressLength))
+	return a
+}
+
+// HexToAddress parses a 0x-prefixed address.
+func HexToAddress(s string) Address { return BytesToAddress(hexutil.MustDecode(s)) }
+
+// Hex returns the 0x-prefixed lowercase hex form.
+func (a Address) Hex() string { return hexutil.Encode(a[:]) }
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return a.Hex() }
+
+// IsZero reports whether a is the zero address.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// MarshalJSON/UnmarshalJSON use the 0x-hex form.
+func (a Address) MarshalJSON() ([]byte, error) { return json.Marshal(a.Hex()) }
+
+func (a *Address) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	raw, err := hexutil.Decode(s)
+	if err != nil {
+		return err
+	}
+	if len(raw) != AddressLength {
+		return fmt.Errorf("ethtypes: address must be %d bytes, got %d", AddressLength, len(raw))
+	}
+	copy(a[:], raw)
+	return nil
+}
+
+// Keccak256 hashes data with Keccak-256.
+func Keccak256(data ...[]byte) Hash {
+	h := keccak.New256()
+	for _, d := range data {
+		h.Write(d)
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// PubkeyToAddress derives the Ethereum address of an secp256k1 public
+// key: the low 20 bytes of keccak256(X||Y).
+func PubkeyToAddress(p secp256k1.Point) Address {
+	raw := secp256k1.SerializePublic(p)
+	h := Keccak256(raw[1:]) // drop the 0x04 prefix
+	return BytesToAddress(h[12:])
+}
+
+// CreateAddress computes the address of a contract deployed by sender
+// with the given account nonce: keccak256(rlp([sender, nonce]))[12:].
+func CreateAddress(sender Address, nonce uint64) Address {
+	enc := rlp.Encode(rlp.List(rlp.Bytes(sender[:]), rlp.Uint(nonce)))
+	h := Keccak256(enc)
+	return BytesToAddress(h[12:])
+}
+
+// Transaction is a legacy (type-0) Ethereum transaction with EIP-155
+// replay protection.
+type Transaction struct {
+	Nonce    uint64
+	GasPrice uint256.Int
+	Gas      uint64
+	To       *Address // nil means contract creation
+	Value    uint256.Int
+	Data     []byte
+
+	// Signature values. V encodes the recovery id and chain id
+	// (v = recid + 35 + 2*chainID).
+	V, R, S *big.Int
+}
+
+// SigHash returns the EIP-155 signing digest for the given chain id.
+func (tx *Transaction) SigHash(chainID uint64) Hash {
+	return Keccak256(rlp.Encode(rlp.List(
+		rlp.Uint(tx.Nonce),
+		rlp.BigInt(tx.GasPrice.ToBig()),
+		rlp.Uint(tx.Gas),
+		toItem(tx.To),
+		rlp.BigInt(tx.Value.ToBig()),
+		rlp.Bytes(tx.Data),
+		rlp.Uint(chainID),
+		rlp.Uint(0),
+		rlp.Uint(0),
+	)))
+}
+
+// Hash returns the transaction hash (over the signed encoding).
+func (tx *Transaction) Hash() Hash {
+	return Keccak256(tx.Encode())
+}
+
+// Encode returns the canonical RLP encoding of the signed transaction.
+func (tx *Transaction) Encode() []byte {
+	return rlp.Encode(rlp.List(
+		rlp.Uint(tx.Nonce),
+		rlp.BigInt(tx.GasPrice.ToBig()),
+		rlp.Uint(tx.Gas),
+		toItem(tx.To),
+		rlp.BigInt(tx.Value.ToBig()),
+		rlp.Bytes(tx.Data),
+		rlp.BigInt(tx.V),
+		rlp.BigInt(tx.R),
+		rlp.BigInt(tx.S),
+	))
+}
+
+func toItem(to *Address) *rlp.Item {
+	if to == nil {
+		return rlp.Bytes(nil)
+	}
+	return rlp.Bytes(to[:])
+}
+
+// DecodeTransaction parses a signed RLP transaction.
+func DecodeTransaction(data []byte) (*Transaction, error) {
+	it, err := rlp.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if it.Kind() != rlp.KindList || it.Len() != 9 {
+		return nil, errors.New("ethtypes: transaction must be a 9-item list")
+	}
+	tx := &Transaction{}
+	if tx.Nonce, err = it.At(0).AsUint64(); err != nil {
+		return nil, fmt.Errorf("nonce: %w", err)
+	}
+	gp, err := it.At(1).AsBigInt()
+	if err != nil {
+		return nil, fmt.Errorf("gasPrice: %w", err)
+	}
+	tx.GasPrice = uint256.FromBig(gp)
+	if tx.Gas, err = it.At(2).AsUint64(); err != nil {
+		return nil, fmt.Errorf("gas: %w", err)
+	}
+	toRaw := it.At(3).Str()
+	switch len(toRaw) {
+	case 0:
+	case AddressLength:
+		a := BytesToAddress(toRaw)
+		tx.To = &a
+	default:
+		return nil, errors.New("ethtypes: bad 'to' length")
+	}
+	val, err := it.At(4).AsBigInt()
+	if err != nil {
+		return nil, fmt.Errorf("value: %w", err)
+	}
+	tx.Value = uint256.FromBig(val)
+	tx.Data = append([]byte(nil), it.At(5).Str()...)
+	if tx.V, err = it.At(6).AsBigInt(); err != nil {
+		return nil, fmt.Errorf("v: %w", err)
+	}
+	if tx.R, err = it.At(7).AsBigInt(); err != nil {
+		return nil, fmt.Errorf("r: %w", err)
+	}
+	if tx.S, err = it.At(8).AsBigInt(); err != nil {
+		return nil, fmt.Errorf("s: %w", err)
+	}
+	return tx, nil
+}
+
+// Sign attaches an EIP-155 signature from key to the transaction.
+func (tx *Transaction) Sign(key *secp256k1.PrivateKey, chainID uint64) error {
+	digest := tx.SigHash(chainID)
+	sig, err := key.Sign(digest[:])
+	if err != nil {
+		return err
+	}
+	tx.R = sig.R
+	tx.S = sig.S
+	tx.V = new(big.Int).SetUint64(uint64(sig.V) + 35 + 2*chainID)
+	return nil
+}
+
+// Sender recovers the transaction's sender address, verifying the
+// EIP-155 chain id in the process.
+func (tx *Transaction) Sender(chainID uint64) (Address, error) {
+	if tx.V == nil || tx.R == nil || tx.S == nil {
+		return Address{}, errors.New("ethtypes: transaction is unsigned")
+	}
+	v := tx.V.Uint64()
+	base := 35 + 2*chainID
+	if v != base && v != base+1 {
+		return Address{}, fmt.Errorf("ethtypes: wrong chain id in v=%d (want chain %d)", v, chainID)
+	}
+	sig := &secp256k1.Signature{R: tx.R, S: tx.S, V: byte(v - base)}
+	digest := tx.SigHash(chainID)
+	pub, err := secp256k1.Recover(digest[:], sig)
+	if err != nil {
+		return Address{}, err
+	}
+	return PubkeyToAddress(pub), nil
+}
+
+// IsCreate reports whether the transaction deploys a contract.
+func (tx *Transaction) IsCreate() bool { return tx.To == nil }
+
+// Log is an EVM event record.
+type Log struct {
+	Address Address `json:"address"`
+	Topics  []Hash  `json:"topics"`
+	Data    []byte  `json:"data"`
+
+	// Execution context, filled by the chain when the log is mined.
+	BlockNumber uint64 `json:"blockNumber"`
+	TxHash      Hash   `json:"transactionHash"`
+	TxIndex     uint   `json:"transactionIndex"`
+	Index       uint   `json:"logIndex"`
+}
+
+// Receipt status codes.
+const (
+	ReceiptStatusFailed     = uint64(0)
+	ReceiptStatusSuccessful = uint64(1)
+)
+
+// Receipt records the outcome of a mined transaction.
+type Receipt struct {
+	TxHash            Hash
+	TxIndex           uint
+	BlockNumber       uint64
+	BlockHash         Hash
+	From              Address
+	To                *Address
+	ContractAddress   *Address // set for creations
+	GasUsed           uint64
+	CumulativeGasUsed uint64
+	Status            uint64
+	Logs              []*Log
+	RevertReason      string // devnet nicety: decoded Error(string), if any
+}
+
+// Succeeded reports whether the transaction executed without reverting.
+func (r *Receipt) Succeeded() bool { return r.Status == ReceiptStatusSuccessful }
+
+// Header is a block header. Consensus fields not needed by an
+// instant-seal devnet (difficulty, mixhash, nonce) are omitted.
+type Header struct {
+	ParentHash  Hash
+	Number      uint64
+	Time        uint64
+	GasLimit    uint64
+	GasUsed     uint64
+	Coinbase    Address
+	StateRoot   Hash
+	TxRoot      Hash
+	ReceiptRoot Hash
+}
+
+// Hash returns the keccak of the RLP-encoded header.
+func (h *Header) Hash() Hash {
+	return Keccak256(rlp.Encode(rlp.List(
+		rlp.Bytes(h.ParentHash[:]),
+		rlp.Uint(h.Number),
+		rlp.Uint(h.Time),
+		rlp.Uint(h.GasLimit),
+		rlp.Uint(h.GasUsed),
+		rlp.Bytes(h.Coinbase[:]),
+		rlp.Bytes(h.StateRoot[:]),
+		rlp.Bytes(h.TxRoot[:]),
+		rlp.Bytes(h.ReceiptRoot[:]),
+	)))
+}
+
+// Block is a sealed block with its transactions.
+type Block struct {
+	Header       *Header
+	Transactions []*Transaction
+}
+
+// Hash returns the block hash (the header hash).
+func (b *Block) Hash() Hash { return b.Header.Hash() }
+
+// Number returns the block height.
+func (b *Block) Number() uint64 { return b.Header.Number }
+
+// TxRootOf computes the transaction root as the keccak over the ordered
+// concatenation of transaction hashes. (A devnet does not need the full
+// derivation through a trie; the commitment is still order-sensitive and
+// collision-resistant.)
+func TxRootOf(txs []*Transaction) Hash {
+	var buf bytes.Buffer
+	for _, tx := range txs {
+		h := tx.Hash()
+		buf.Write(h[:])
+	}
+	return Keccak256(buf.Bytes())
+}
+
+// Wei conversion helpers. One ether is 10^18 wei.
+var (
+	weiPerEther = new(big.Int).Exp(big.NewInt(10), big.NewInt(18), nil)
+	weiPerGwei  = big.NewInt(1_000_000_000)
+)
+
+// Ether returns n ether in wei.
+func Ether(n int64) uint256.Int {
+	return uint256.FromBig(new(big.Int).Mul(big.NewInt(n), weiPerEther))
+}
+
+// Gwei returns n gwei in wei.
+func Gwei(n int64) uint256.Int {
+	return uint256.FromBig(new(big.Int).Mul(big.NewInt(n), weiPerGwei))
+}
+
+// FormatEther renders a wei amount as a decimal ether string with up to
+// 6 fractional digits, for dashboards and logs.
+func FormatEther(wei uint256.Int) string {
+	b := wei.ToBig()
+	whole := new(big.Int).Div(b, weiPerEther)
+	rem := new(big.Int).Mod(b, weiPerEther)
+	// Keep six decimals.
+	micro := new(big.Int).Div(rem, big.NewInt(1_000_000_000_000))
+	if micro.Sign() == 0 {
+		return whole.String()
+	}
+	s := fmt.Sprintf("%s.%06d", whole, micro)
+	// Trim trailing zeros.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

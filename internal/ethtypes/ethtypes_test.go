@@ -1,0 +1,204 @@
+package ethtypes
+
+import (
+	"encoding/json"
+	"math/big"
+	"testing"
+
+	"legalchain/internal/secp256k1"
+	"legalchain/internal/uint256"
+)
+
+func TestAddressHexRoundTrip(t *testing.T) {
+	a := HexToAddress("0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed")
+	if a.Hex() != "0x5aaeb6053f3e94c9b9a09f33669435e7ef1beaed" {
+		t.Fatalf("Hex() = %s", a.Hex())
+	}
+	raw, _ := json.Marshal(a)
+	var back Address
+	if err := json.Unmarshal(raw, &back); err != nil || back != a {
+		t.Fatal("JSON round trip failed")
+	}
+	if err := json.Unmarshal([]byte(`"0x1234"`), &back); err == nil {
+		t.Fatal("short address accepted")
+	}
+}
+
+func TestHashJSON(t *testing.T) {
+	h := Keccak256([]byte("x"))
+	raw, _ := json.Marshal(h)
+	var back Hash
+	if err := json.Unmarshal(raw, &back); err != nil || back != h {
+		t.Fatal("hash JSON round trip failed")
+	}
+}
+
+// The canonical address of private key 1 is a published constant; this
+// pins PubkeyToAddress end to end (curve + keccak + truncation).
+func TestPubkeyToAddressKnown(t *testing.T) {
+	key := secp256k1.PrivateKeyFromScalar(big.NewInt(1))
+	addr := PubkeyToAddress(key.Public)
+	want := "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+	if addr.Hex() != want {
+		t.Fatalf("address of key 1 = %s, want %s", addr.Hex(), want)
+	}
+	// Key 2 as a second pin.
+	key2 := secp256k1.PrivateKeyFromScalar(big.NewInt(2))
+	want2 := "0x2b5ad5c4795c026514f8317c7a215e218dccd6cf"
+	if got := PubkeyToAddress(key2.Public).Hex(); got != want2 {
+		t.Fatalf("address of key 2 = %s, want %s", got, want2)
+	}
+}
+
+// CreateAddress pins against the published example: sender 0x00..00 with
+// nonce 0 and a couple of locally-derived consistency checks.
+func TestCreateAddressDeterministic(t *testing.T) {
+	a := HexToAddress("0x970e8128ab834e8eac17ab8e3812f010678cf791")
+	c0 := CreateAddress(a, 0)
+	c1 := CreateAddress(a, 1)
+	if c0 == c1 {
+		t.Fatal("different nonces must give different contract addresses")
+	}
+	if CreateAddress(a, 0) != c0 {
+		t.Fatal("CreateAddress must be deterministic")
+	}
+}
+
+func TestTransactionSignSenderRoundTrip(t *testing.T) {
+	key := secp256k1.PrivateKeyFromScalar(big.NewInt(0xbeef))
+	from := PubkeyToAddress(key.Public)
+	to := HexToAddress("0x00000000000000000000000000000000000000aa")
+	tx := &Transaction{
+		Nonce:    3,
+		GasPrice: Gwei(1),
+		Gas:      21000,
+		To:       &to,
+		Value:    Ether(2),
+		Data:     []byte{0xca, 0xfe},
+	}
+	const chainID = 1337
+	if err := tx.Sign(key, chainID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx.Sender(chainID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != from {
+		t.Fatalf("sender = %s, want %s", got, from)
+	}
+	// Wrong chain id must be rejected (replay protection).
+	if _, err := tx.Sender(1); err == nil {
+		t.Fatal("cross-chain replay accepted")
+	}
+}
+
+func TestTransactionEncodeDecode(t *testing.T) {
+	key := secp256k1.PrivateKeyFromScalar(big.NewInt(77))
+	to := HexToAddress("0x1111111111111111111111111111111111111111")
+	tx := &Transaction{Nonce: 9, GasPrice: Gwei(2), Gas: 100000, To: &to, Value: uint256.NewUint64(5), Data: []byte("hello")}
+	if err := tx.Sign(key, 1337); err != nil {
+		t.Fatal(err)
+	}
+	enc := tx.Encode()
+	back, err := DecodeTransaction(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != tx.Hash() {
+		t.Fatal("hash changed across encode/decode")
+	}
+	if back.Nonce != 9 || *back.To != to || string(back.Data) != "hello" {
+		t.Fatal("fields corrupted")
+	}
+	s1, _ := tx.Sender(1337)
+	s2, err := back.Sender(1337)
+	if err != nil || s1 != s2 {
+		t.Fatal("sender not preserved")
+	}
+}
+
+func TestContractCreationTx(t *testing.T) {
+	key := secp256k1.PrivateKeyFromScalar(big.NewInt(55))
+	tx := &Transaction{Nonce: 0, GasPrice: Gwei(1), Gas: 1_000_000, To: nil, Data: []byte{0x60, 0x00}}
+	if !tx.IsCreate() {
+		t.Fatal("nil To must be a creation")
+	}
+	if err := tx.Sign(key, 1337); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.To != nil {
+		t.Fatal("creation lost across round trip")
+	}
+}
+
+func TestUnsignedSenderFails(t *testing.T) {
+	tx := &Transaction{Nonce: 0, Gas: 21000}
+	if _, err := tx.Sender(1337); err == nil {
+		t.Fatal("unsigned transaction produced a sender")
+	}
+}
+
+func TestSigHashDependsOnEveryField(t *testing.T) {
+	to := HexToAddress("0x2222222222222222222222222222222222222222")
+	base := Transaction{Nonce: 1, GasPrice: Gwei(1), Gas: 21000, To: &to, Value: Ether(1), Data: []byte{1}}
+	h := base.SigHash(1337)
+	mutations := []func(*Transaction){
+		func(tx *Transaction) { tx.Nonce++ },
+		func(tx *Transaction) { tx.GasPrice = Gwei(3) },
+		func(tx *Transaction) { tx.Gas++ },
+		func(tx *Transaction) { tx.To = nil },
+		func(tx *Transaction) { tx.Value = Ether(2) },
+		func(tx *Transaction) { tx.Data = []byte{2} },
+	}
+	for i, mut := range mutations {
+		cp := base
+		mut(&cp)
+		if cp.SigHash(1337) == h {
+			t.Errorf("mutation %d did not change sig hash", i)
+		}
+	}
+	if base.SigHash(1) == h {
+		t.Error("chain id not part of sig hash")
+	}
+}
+
+func TestHeaderHashStable(t *testing.T) {
+	h := &Header{Number: 5, Time: 100, GasLimit: 8_000_000, GasUsed: 21000}
+	h1 := h.Hash()
+	h.GasUsed = 21001
+	if h.Hash() == h1 {
+		t.Fatal("header hash ignores GasUsed")
+	}
+}
+
+func TestTxRootOrderSensitive(t *testing.T) {
+	k := secp256k1.PrivateKeyFromScalar(big.NewInt(5))
+	t1 := &Transaction{Nonce: 0, Gas: 21000}
+	t2 := &Transaction{Nonce: 1, Gas: 21000}
+	t1.Sign(k, 1)
+	t2.Sign(k, 1)
+	if TxRootOf([]*Transaction{t1, t2}) == TxRootOf([]*Transaction{t2, t1}) {
+		t.Fatal("tx root is order-insensitive")
+	}
+}
+
+func TestEtherFormatting(t *testing.T) {
+	if FormatEther(Ether(5)) != "5" {
+		t.Fatalf("FormatEther(5 eth) = %s", FormatEther(Ether(5)))
+	}
+	half := uint256.FromBig(new(big.Int).Div(Ether(1).ToBig(), big.NewInt(2)))
+	if FormatEther(half) != "0.5" {
+		t.Fatalf("FormatEther(0.5 eth) = %s", FormatEther(half))
+	}
+	if FormatEther(uint256.Zero) != "0" {
+		t.Fatal("FormatEther(0)")
+	}
+	if Gwei(1).ToBig().Cmp(big.NewInt(1_000_000_000)) != 0 {
+		t.Fatal("Gwei")
+	}
+}

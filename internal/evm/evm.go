@@ -1,0 +1,326 @@
+// Package evm implements the Ethereum Virtual Machine: a gas-metered
+// stack machine executing contract bytecode against the journaled world
+// state, with the full call/create frame semantics (CALL, DELEGATECALL,
+// STATICCALL, CREATE/CREATE2), event logs and revert handling that the
+// legal-contract system above it relies on.
+package evm
+
+import (
+	"errors"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/state"
+	"legalchain/internal/uint256"
+)
+
+// Execution errors. ErrExecutionReverted carries its payload via the
+// returned ret bytes; all others consume the frame's remaining gas.
+var (
+	ErrOutOfGas                 = errors.New("evm: out of gas")
+	ErrExecutionReverted        = errors.New("evm: execution reverted")
+	ErrInvalidJump              = errors.New("evm: invalid jump destination")
+	ErrInvalidOpcode            = errors.New("evm: invalid opcode")
+	ErrWriteProtection          = errors.New("evm: write protection (static call)")
+	ErrInsufficientBalance      = errors.New("evm: insufficient balance for transfer")
+	ErrMaxDepth                 = errors.New("evm: max call depth exceeded")
+	ErrCodeSizeExceeded         = errors.New("evm: contract code size limit exceeded")
+	ErrReturnDataOutOfBounds    = errors.New("evm: return data access out of bounds")
+	ErrContractAddressCollision = errors.New("evm: contract address collision")
+)
+
+// Context carries block- and transaction-level data into execution.
+type Context struct {
+	ChainID     uint64
+	BlockNumber uint64
+	Time        uint64
+	Coinbase    ethtypes.Address
+	GasLimit    uint64
+	GasPrice    uint256.Int
+	Origin      ethtypes.Address
+	// GetBlockHash resolves BLOCKHASH; may be nil (returns zero hashes).
+	GetBlockHash func(uint64) ethtypes.Hash
+}
+
+// EVM executes bytecode in a given context against a StateDB.
+type EVM struct {
+	Context
+	State *state.StateDB
+	// Tracer, when non-nil, observes every executed instruction
+	// (debug_traceTransaction support). Leave nil for full speed.
+	Tracer Tracer
+	depth  int
+}
+
+// New returns an EVM bound to ctx and st.
+func New(ctx Context, st *state.StateDB) *EVM {
+	return &EVM{Context: ctx, State: st}
+}
+
+// frame is one call frame.
+type frame struct {
+	contract ethtypes.Address // storage & event context
+	caller   ethtypes.Address
+	code     []byte
+	input    []byte
+	value    uint256.Int
+	gas      uint64
+	static   bool
+
+	stack      *Stack
+	mem        *Memory
+	pc         uint64
+	returnData []byte
+	jumpdests  map[uint64]bool
+}
+
+func (f *frame) useGas(amount uint64) bool {
+	if f.gas < amount {
+		f.gas = 0
+		return false
+	}
+	f.gas -= amount
+	return true
+}
+
+// analyzeJumpdests finds the valid JUMPDEST positions, skipping PUSH data.
+func analyzeJumpdests(code []byte) map[uint64]bool {
+	dests := make(map[uint64]bool)
+	for pc := 0; pc < len(code); {
+		op := OpCode(code[pc])
+		if op == JUMPDEST {
+			dests[uint64(pc)] = true
+		}
+		if op.IsPush() {
+			pc += int(op-PUSH1) + 2
+		} else {
+			pc++
+		}
+	}
+	return dests
+}
+
+// canTransfer checks the sender has the funds.
+func (e *EVM) canTransfer(from ethtypes.Address, amount uint256.Int) bool {
+	return !e.State.GetBalance(from).Lt(amount)
+}
+
+// transfer moves value between accounts.
+func (e *EVM) transfer(from, to ethtypes.Address, amount uint256.Int) {
+	if amount.IsZero() {
+		return
+	}
+	e.State.SubBalance(from, amount)
+	e.State.AddBalance(to, amount)
+}
+
+// Call executes the code at `to` with the given input, transferring
+// value from caller. It returns the output, the gas left, and an error
+// (ErrExecutionReverted keeps the output as the revert payload).
+func (e *EVM) Call(caller, to ethtypes.Address, input []byte, gas uint64, value uint256.Int) ([]byte, uint64, error) {
+	if e.depth > CallCreateDepth {
+		return nil, gas, ErrMaxDepth
+	}
+	if !value.IsZero() && !e.canTransfer(caller, value) {
+		return nil, gas, ErrInsufficientBalance
+	}
+	snapshot := e.State.Snapshot()
+	e.transfer(caller, to, value)
+
+	if p, ok := precompiles[to]; ok {
+		ret, left, err := runPrecompile(p, input, gas)
+		if err != nil {
+			e.State.RevertToSnapshot(snapshot)
+		}
+		return ret, left, err
+	}
+
+	code := e.State.GetCode(to)
+	if len(code) == 0 {
+		return nil, gas, nil
+	}
+	f := &frame{
+		contract: to, caller: caller, code: code, input: input,
+		value: value, gas: gas,
+		stack: newStack(), mem: newMemory(),
+		jumpdests: analyzeJumpdests(code),
+	}
+	e.depth++
+	ret, err := e.run(f)
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snapshot)
+		if !errors.Is(err, ErrExecutionReverted) {
+			f.gas = 0
+		}
+	}
+	return ret, f.gas, err
+}
+
+// StaticCall executes code with state mutation disabled.
+func (e *EVM) StaticCall(caller, to ethtypes.Address, input []byte, gas uint64) ([]byte, uint64, error) {
+	if e.depth > CallCreateDepth {
+		return nil, gas, ErrMaxDepth
+	}
+	snapshot := e.State.Snapshot()
+	if p, ok := precompiles[to]; ok {
+		ret, left, err := runPrecompile(p, input, gas)
+		if err != nil {
+			e.State.RevertToSnapshot(snapshot)
+		}
+		return ret, left, err
+	}
+	code := e.State.GetCode(to)
+	if len(code) == 0 {
+		return nil, gas, nil
+	}
+	f := &frame{
+		contract: to, caller: caller, code: code, input: input,
+		gas: gas, static: true,
+		stack: newStack(), mem: newMemory(),
+		jumpdests: analyzeJumpdests(code),
+	}
+	e.depth++
+	ret, err := e.run(f)
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snapshot)
+		if !errors.Is(err, ErrExecutionReverted) {
+			f.gas = 0
+		}
+	}
+	return ret, f.gas, err
+}
+
+// delegateCall runs to's code in the parent's storage context, keeping
+// the parent's caller and value.
+func (e *EVM) delegateCall(parent *frame, to ethtypes.Address, input []byte, gas uint64) ([]byte, uint64, error) {
+	if e.depth > CallCreateDepth {
+		return nil, gas, ErrMaxDepth
+	}
+	snapshot := e.State.Snapshot()
+	if p, ok := precompiles[to]; ok {
+		ret, left, err := runPrecompile(p, input, gas)
+		if err != nil {
+			e.State.RevertToSnapshot(snapshot)
+		}
+		return ret, left, err
+	}
+	code := e.State.GetCode(to)
+	if len(code) == 0 {
+		return nil, gas, nil
+	}
+	f := &frame{
+		contract: parent.contract, caller: parent.caller, code: code,
+		input: input, value: parent.value, gas: gas, static: parent.static,
+		stack: newStack(), mem: newMemory(),
+		jumpdests: analyzeJumpdests(code),
+	}
+	e.depth++
+	ret, err := e.run(f)
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snapshot)
+		if !errors.Is(err, ErrExecutionReverted) {
+			f.gas = 0
+		}
+	}
+	return ret, f.gas, err
+}
+
+// callCode runs to's code with the parent's storage but a fresh
+// caller/value (legacy CALLCODE).
+func (e *EVM) callCode(parent *frame, to ethtypes.Address, input []byte, gas uint64, value uint256.Int) ([]byte, uint64, error) {
+	if e.depth > CallCreateDepth {
+		return nil, gas, ErrMaxDepth
+	}
+	if !value.IsZero() && !e.canTransfer(parent.contract, value) {
+		return nil, gas, ErrInsufficientBalance
+	}
+	snapshot := e.State.Snapshot()
+	code := e.State.GetCode(to)
+	if len(code) == 0 {
+		return nil, gas, nil
+	}
+	f := &frame{
+		contract: parent.contract, caller: parent.contract, code: code,
+		input: input, value: value, gas: gas, static: parent.static,
+		stack: newStack(), mem: newMemory(),
+		jumpdests: analyzeJumpdests(code),
+	}
+	e.depth++
+	ret, err := e.run(f)
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snapshot)
+		if !errors.Is(err, ErrExecutionReverted) {
+			f.gas = 0
+		}
+	}
+	return ret, f.gas, err
+}
+
+// Create deploys a contract: runs the init code and installs its return
+// value as the account code at the CREATE address.
+func (e *EVM) Create(caller ethtypes.Address, initCode []byte, gas uint64, value uint256.Int) ([]byte, ethtypes.Address, uint64, error) {
+	nonce := e.State.GetNonce(caller)
+	addr := ethtypes.CreateAddress(caller, nonce)
+	return e.create(caller, initCode, gas, value, addr, true)
+}
+
+// Create2 deploys at keccak(0xff ++ caller ++ salt ++ keccak(init))[12:].
+func (e *EVM) Create2(caller ethtypes.Address, initCode []byte, gas uint64, value uint256.Int, salt uint256.Int) ([]byte, ethtypes.Address, uint64, error) {
+	codeHash := ethtypes.Keccak256(initCode)
+	saltBytes := salt.Bytes32()
+	h := ethtypes.Keccak256([]byte{0xff}, caller[:], saltBytes[:], codeHash[:])
+	addr := ethtypes.BytesToAddress(h[12:])
+	return e.create(caller, initCode, gas, value, addr, true)
+}
+
+func (e *EVM) create(caller ethtypes.Address, initCode []byte, gas uint64, value uint256.Int, addr ethtypes.Address, bumpNonce bool) ([]byte, ethtypes.Address, uint64, error) {
+	if e.depth > CallCreateDepth {
+		return nil, ethtypes.Address{}, gas, ErrMaxDepth
+	}
+	if !value.IsZero() && !e.canTransfer(caller, value) {
+		return nil, ethtypes.Address{}, gas, ErrInsufficientBalance
+	}
+	if bumpNonce {
+		e.State.SetNonce(caller, e.State.GetNonce(caller)+1)
+	}
+	// Address collision check.
+	if e.State.GetNonce(addr) != 0 || e.State.GetCodeSize(addr) != 0 {
+		return nil, ethtypes.Address{}, 0, ErrContractAddressCollision
+	}
+	snapshot := e.State.Snapshot()
+	e.State.CreateAccount(addr)
+	e.State.SetNonce(addr, 1)
+	e.transfer(caller, addr, value)
+
+	f := &frame{
+		contract: addr, caller: caller, code: initCode, input: nil,
+		value: value, gas: gas,
+		stack: newStack(), mem: newMemory(),
+		jumpdests: analyzeJumpdests(initCode),
+	}
+	e.depth++
+	ret, err := e.run(f)
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snapshot)
+		if !errors.Is(err, ErrExecutionReverted) {
+			f.gas = 0
+		}
+		return ret, addr, f.gas, err
+	}
+	// Deposit the runtime code.
+	if len(ret) > MaxCodeSize {
+		e.State.RevertToSnapshot(snapshot)
+		return nil, addr, 0, ErrCodeSizeExceeded
+	}
+	depositGas := uint64(len(ret)) * GasCodeDepositByte
+	if !f.useGas(depositGas) {
+		e.State.RevertToSnapshot(snapshot)
+		return nil, addr, 0, ErrOutOfGas
+	}
+	e.State.SetCode(addr, ret)
+	return ret, addr, f.gas, nil
+}

@@ -1,0 +1,287 @@
+package evm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/state"
+	"legalchain/internal/uint256"
+)
+
+// --- tiny test assembler -------------------------------------------------
+
+type asm struct{ code []byte }
+
+func (a *asm) op(ops ...OpCode) *asm {
+	for _, o := range ops {
+		a.code = append(a.code, byte(o))
+	}
+	return a
+}
+
+// push emits the smallest PUSH for v.
+func (a *asm) push(v uint64) *asm {
+	b := uint256.NewUint64(v).Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	a.code = append(a.code, byte(PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+func (a *asm) pushBytes(b []byte) *asm {
+	if len(b) == 0 || len(b) > 32 {
+		panic("bad push")
+	}
+	a.code = append(a.code, byte(PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// returnTop returns the top of stack as a 32-byte value.
+func (a *asm) returnTop() []byte {
+	a.push(0).op(MSTORE).push(32).push(0).op(RETURN)
+	return a.code
+}
+
+func testEVM() (*EVM, *state.StateDB) {
+	st := state.New()
+	ctx := Context{
+		ChainID: 1337, BlockNumber: 7, Time: 1_600_000_000,
+		GasLimit: 10_000_000, Origin: addrOf(0xEE),
+	}
+	return New(ctx, st), st
+}
+
+func addrOf(b byte) ethtypes.Address {
+	var a ethtypes.Address
+	a[0] = 0xc0 // keep clear of the precompile address range
+	a[19] = b
+	return a
+}
+
+// deployRaw installs code directly at an address.
+func deployRaw(st *state.StateDB, a ethtypes.Address, code []byte) {
+	st.SetCode(a, code)
+}
+
+func callIt(t *testing.T, e *EVM, to ethtypes.Address, input []byte, value uint256.Int) ([]byte, uint64) {
+	t.Helper()
+	ret, left, err := e.Call(addrOf(0xEE), to, input, 1_000_000, value)
+	if err != nil {
+		t.Fatalf("call failed: %v (ret=%x)", err, ret)
+	}
+	return ret, left
+}
+
+// --- tests ----------------------------------------------------------------
+
+func TestArithmeticReturn(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(1)
+	// 3 + 4 * 5 = 23 (stack order: push 5,4 mul -> 20; push 3 add -> 23)
+	code := (&asm{}).push(5).push(4).op(MUL).push(3).op(ADD).returnTop()
+	deployRaw(st, c, code)
+	ret, _ := callIt(t, e, c, nil, uint256.Zero)
+	if got := uint256.SetBytes(ret); got.Uint64() != 23 {
+		t.Fatalf("ret = %s", got)
+	}
+}
+
+func TestComparisonAndBitops(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(1)
+	// (10 < 20) | (0xF0 & 0x0F) == 1 | 0 == 1
+	code := (&asm{}).
+		push(20).push(10).op(LT).      // 10 < 20 -> 1
+		push(0x0F).push(0xF0).op(AND). // 0
+		op(OR).returnTop()
+	deployRaw(st, c, code)
+	ret, _ := callIt(t, e, c, nil, uint256.Zero)
+	if uint256.SetBytes(ret).Uint64() != 1 {
+		t.Fatalf("ret = %x", ret)
+	}
+}
+
+func TestStoragePersistsAcrossCalls(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(2)
+	// store: sstore(0x42, calldataload(0)); load: return sload(0x42)
+	store := (&asm{}).push(0).op(CALLDATALOAD).push(0x42).op(SSTORE).op(STOP).code
+	deployRaw(st, c, store)
+	arg := uint256.NewUint64(777).Bytes32()
+	callIt(t, e, c, arg[:], uint256.Zero)
+
+	load := (&asm{}).push(0x42).op(SLOAD).returnTop()
+	c2 := addrOf(3)
+	deployRaw(st, c2, load)
+	// Same storage? No — storage is per-contract. Write into c2 and read.
+	slot := ethtypes.Hash(uint256.NewUint64(0x42).Bytes32())
+	if st.GetState(c, slot).Uint64() != 777 {
+		t.Fatal("sstore did not persist")
+	}
+	if st.GetState(c2, slot).Uint64() != 0 {
+		t.Fatal("storage leaked across contracts")
+	}
+}
+
+func TestRevertWithPayloadRollsBack(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(4)
+	// sstore(1, 99); mstore(0, 0xdead); revert(30, 2) -> payload 0xdead
+	code := (&asm{}).
+		push(99).push(1).op(SSTORE).
+		push(0xdead).push(0).op(MSTORE).
+		push(2).push(30).op(REVERT).code
+	deployRaw(st, c, code)
+	ret, left, err := e.Call(addrOf(0xEE), c, nil, 1_000_000, uint256.Zero)
+	if !errors.Is(err, ErrExecutionReverted) {
+		t.Fatalf("err = %v", err)
+	}
+	if !bytes.Equal(ret, []byte{0xde, 0xad}) {
+		t.Fatalf("revert payload = %x", ret)
+	}
+	if left == 0 {
+		t.Fatal("revert must refund remaining gas")
+	}
+	slot := ethtypes.Hash(uint256.NewUint64(1).Bytes32())
+	if !st.GetState(c, slot).IsZero() {
+		t.Fatal("state change survived revert")
+	}
+}
+
+func TestInvalidOpcodeConsumesGas(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(5)
+	deployRaw(st, c, []byte{byte(INVALID)})
+	_, left, err := e.Call(addrOf(0xEE), c, nil, 50_000, uint256.Zero)
+	if !errors.Is(err, ErrInvalidOpcode) {
+		t.Fatalf("err = %v", err)
+	}
+	if left != 0 {
+		t.Fatal("invalid opcode must consume all gas")
+	}
+}
+
+func TestJumpValidation(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(6)
+	// JUMP to PUSH data must fail.
+	code := (&asm{}).push(2).op(JUMP).code // position 2 is inside PUSH? pc0: PUSH1 02, pc2: JUMP. dest 2 is JUMP itself (not JUMPDEST)
+	deployRaw(st, c, code)
+	_, _, err := e.Call(addrOf(0xEE), c, nil, 100_000, uint256.Zero)
+	if !errors.Is(err, ErrInvalidJump) {
+		t.Fatalf("err = %v", err)
+	}
+	// Valid jump over a "trap".
+	good := (&asm{}).push(4).op(JUMP, INVALID, JUMPDEST).push(7).returnTop()
+	c2 := addrOf(7)
+	deployRaw(st, c2, good)
+	ret, _ := callIt(t, e, c2, nil, uint256.Zero)
+	if uint256.SetBytes(ret).Uint64() != 7 {
+		t.Fatalf("ret = %x", ret)
+	}
+}
+
+func TestJumpdestInsidePushIsInvalid(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(8)
+	// PUSH2 0x5b5b embeds 0x5b bytes; jumping there must fail.
+	code := append([]byte{byte(PUSH1) + 1, 0x5b, 0x5b}, (&asm{}).push(1).op(JUMP).code...)
+	deployRaw(st, c, code)
+	_, _, err := e.Call(addrOf(0xEE), c, nil, 100_000, uint256.Zero)
+	if !errors.Is(err, ErrInvalidJump) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValueTransferViaCall(t *testing.T) {
+	e, st := testEVM()
+	sender, recipient := addrOf(0xEE), addrOf(9)
+	st.AddBalance(sender, ethtypes.Ether(10))
+	_, _, err := e.Call(sender, recipient, nil, 100_000, ethtypes.Ether(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GetBalance(recipient) != ethtypes.Ether(3) {
+		t.Fatal("recipient not credited")
+	}
+	if st.GetBalance(sender) != ethtypes.Ether(7) {
+		t.Fatal("sender not debited")
+	}
+	// Overdraft fails without state change.
+	_, _, err = e.Call(sender, recipient, nil, 100_000, ethtypes.Ether(100))
+	if !errors.Is(err, ErrInsufficientBalance) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallerCallvalueSelfbalance(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(10)
+	st.AddBalance(addrOf(0xEE), ethtypes.Ether(5))
+	// return caller
+	deployRaw(st, c, (&asm{}).op(CALLER).returnTop())
+	ret, _ := callIt(t, e, c, nil, uint256.Zero)
+	if got := wordToAddress(uint256.SetBytes(ret)); got != addrOf(0xEE) {
+		t.Fatalf("caller = %s", got)
+	}
+	// return callvalue; also verify SELFBALANCE reflects the transfer.
+	c2 := addrOf(11)
+	deployRaw(st, c2, (&asm{}).op(CALLVALUE).returnTop())
+	ret, _ = callIt(t, e, c2, nil, uint256.NewUint64(12345))
+	if uint256.SetBytes(ret).Uint64() != 12345 {
+		t.Fatal("callvalue")
+	}
+	c3 := addrOf(12)
+	deployRaw(st, c3, (&asm{}).op(SELFBALANCE).returnTop())
+	ret, _ = callIt(t, e, c3, nil, uint256.NewUint64(55))
+	if uint256.SetBytes(ret).Uint64() != 55 {
+		t.Fatal("selfbalance")
+	}
+}
+
+func TestBlockContextOpcodes(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(13)
+	deployRaw(st, c, (&asm{}).op(TIMESTAMP).op(NUMBER).op(ADD).returnTop())
+	ret, _ := callIt(t, e, c, nil, uint256.Zero)
+	if uint256.SetBytes(ret).Uint64() != 1_600_000_000+7 {
+		t.Fatalf("timestamp+number = %x", ret)
+	}
+	c2 := addrOf(14)
+	deployRaw(st, c2, (&asm{}).op(CHAINID).returnTop())
+	ret, _ = callIt(t, e, c2, nil, uint256.Zero)
+	if uint256.SetBytes(ret).Uint64() != 1337 {
+		t.Fatal("chainid")
+	}
+}
+
+func TestLogsEmitted(t *testing.T) {
+	const topic = 0xABCD
+	const dataWord = 0xD
+	e, st := testEVM()
+	c := addrOf(15)
+	// LOG1: mstore data word, push topic, size, offset.
+	code := (&asm{}).
+		push(dataWord).push(0).op(MSTORE).
+		push(topic).push(32).push(0).op(OpCode(0xa1)).code
+	deployRaw(st, c, code)
+	callIt(t, e, c, nil, uint256.Zero)
+	logs := st.Logs()
+	if len(logs) != 1 {
+		t.Fatalf("logs = %d", len(logs))
+	}
+	if logs[0].Address != c {
+		t.Fatal("log address")
+	}
+	if logs[0].Topics[0] != ethtypes.Hash(uint256.NewUint64(topic).Bytes32()) {
+		t.Fatal("topic")
+	}
+	if uint256.SetBytes(logs[0].Data).Uint64() != dataWord {
+		t.Fatal("data")
+	}
+}

@@ -1,0 +1,142 @@
+package evm
+
+import (
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+)
+
+// Gas schedule. The constants follow the Istanbul fork; relative
+// ordering (storage ≫ state reads ≫ arithmetic) is what the
+// reproduction's experiments depend on.
+const (
+	GasZero    = 0
+	GasBase    = 2
+	GasVeryLow = 3
+	GasLow     = 5
+	GasMid     = 8
+	GasHigh    = 10
+
+	GasExp         = 10
+	GasExpByte     = 50
+	GasSha3        = 30
+	GasSha3Word    = 6
+	GasCopyWord    = 3
+	GasBlockhash   = 20
+	GasJumpdest    = 1
+	GasBalance     = 700
+	GasExtCode     = 700
+	GasExtCodeHash = 700
+	GasSload       = 800
+
+	// EIP-2200 SSTORE metering.
+	GasSstoreSet      = 20000 // zero -> non-zero
+	GasSstoreReset    = 5000  // non-zero -> different non-zero (or to zero)
+	GasSstoreNoop     = 800   // current == new
+	GasSstoreDirty    = 800   // already written this tx
+	RefundSstoreClear = 15000
+
+	GasCall            = 700
+	GasCallValue       = 9000
+	GasCallStipend     = 2300
+	GasNewAccount      = 25000
+	GasCreate          = 32000
+	GasCodeDepositByte = 200
+	GasSelfdestruct    = 5000
+	RefundSelfdestruct = 24000
+
+	GasLog      = 375
+	GasLogTopic = 375
+	GasLogByte  = 8
+
+	// Transaction-level intrinsic gas.
+	GasTx                = 21000
+	GasTxCreate          = 32000
+	GasTxDataZeroByte    = 4
+	GasTxDataNonZeroByte = 16
+
+	// MaxCodeSize is the EIP-170 deployed-code limit.
+	MaxCodeSize = 24576
+
+	// CallCreateDepth is the maximum call/create nesting.
+	CallCreateDepth = 1024
+)
+
+// memoryGas returns the total cost of having `size` bytes of memory:
+// 3·w + w²/512 where w is the word count.
+func memoryGas(size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	words := (size + 31) / 32
+	return words*3 + words*words/512
+}
+
+// memoryExpansionGas returns the incremental cost of growing memory from
+// its current size to cover [offset, offset+length).
+func memoryExpansionGas(mem *Memory, offset, length uint64) uint64 {
+	if length == 0 {
+		return 0
+	}
+	newSize := offset + length
+	if newSize <= uint64(mem.Len()) {
+		return 0
+	}
+	return memoryGas(newSize) - memoryGas(uint64(mem.Len()))
+}
+
+// copyGas is the per-word cost of copy operations.
+func copyGas(length uint64) uint64 {
+	return ((length + 31) / 32) * GasCopyWord
+}
+
+// sstoreGas computes the EIP-2200 gas and refund delta for writing value
+// into slot of addr. refundDelta may be negative (refund taken back).
+func (e *EVM) sstoreGas(addr ethtypes.Address, slot ethtypes.Hash, value uint256.Int) (gas uint64, refundAdd uint64, refundSub uint64) {
+	current := e.State.GetState(addr, slot)
+	if current == value {
+		return GasSstoreNoop, 0, 0
+	}
+	original := e.State.GetCommittedState(addr, slot)
+	if original == current { // clean slot
+		if original.IsZero() {
+			return GasSstoreSet, 0, 0
+		}
+		if value.IsZero() {
+			return GasSstoreReset, RefundSstoreClear, 0
+		}
+		return GasSstoreReset, 0, 0
+	}
+	// Dirty slot: charge the cheap rate and adjust refunds.
+	if !original.IsZero() {
+		if current.IsZero() { // recreating a deleted slot
+			refundSub += RefundSstoreClear
+		} else if value.IsZero() { // deleting the slot now
+			refundAdd += RefundSstoreClear
+		}
+	}
+	if original == value { // restored to original
+		if original.IsZero() {
+			refundAdd += GasSstoreSet - GasSstoreDirty
+		} else {
+			refundAdd += GasSstoreReset - GasSstoreDirty
+		}
+	}
+	return GasSstoreDirty, refundAdd, refundSub
+}
+
+// IntrinsicGas returns the transaction-level gas charged before
+// execution starts.
+func IntrinsicGas(data []byte, isCreate bool) uint64 {
+	gas := uint64(GasTx)
+	if isCreate {
+		gas += GasTxCreate
+	}
+	for _, b := range data {
+		if b == 0 {
+			gas += GasTxDataZeroByte
+		} else {
+			gas += GasTxDataNonZeroByte
+		}
+	}
+	return gas
+}

@@ -1,0 +1,71 @@
+package evm
+
+import (
+	"crypto/sha256"
+	"math/big"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/secp256k1"
+)
+
+// precompile is a built-in contract at a fixed address.
+type precompile struct {
+	gas func(input []byte) uint64
+	run func(input []byte) ([]byte, error)
+}
+
+// precompiles maps the standard addresses. ecrecover (0x1), sha256 (0x2)
+// and identity (0x4) are the ones contract code commonly touches.
+var precompiles = map[ethtypes.Address]precompile{
+	ethtypes.BytesToAddress([]byte{1}): {
+		gas: func([]byte) uint64 { return 3000 },
+		run: runEcrecover,
+	},
+	ethtypes.BytesToAddress([]byte{2}): {
+		gas: func(in []byte) uint64 { return 60 + 12*uint64((len(in)+31)/32) },
+		run: func(in []byte) ([]byte, error) {
+			h := sha256.Sum256(in)
+			return h[:], nil
+		},
+	},
+	ethtypes.BytesToAddress([]byte{4}): {
+		gas: func(in []byte) uint64 { return 15 + 3*uint64((len(in)+31)/32) },
+		run: func(in []byte) ([]byte, error) {
+			return append([]byte(nil), in...), nil
+		},
+	},
+}
+
+func runPrecompile(p precompile, input []byte, gas uint64) ([]byte, uint64, error) {
+	cost := p.gas(input)
+	if gas < cost {
+		return nil, 0, ErrOutOfGas
+	}
+	out, err := p.run(input)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, gas - cost, nil
+}
+
+// runEcrecover implements the ecrecover precompile: input is
+// [hash(32) | v(32) | r(32) | s(32)], output the recovered address
+// left-padded to 32 bytes; invalid signatures return empty output.
+func runEcrecover(input []byte) ([]byte, error) {
+	in := hexutil.RightPad(input, 128)
+	hash := in[:32]
+	v := new(big.Int).SetBytes(in[32:64])
+	r := new(big.Int).SetBytes(in[64:96])
+	s := new(big.Int).SetBytes(in[96:128])
+	if !v.IsUint64() || (v.Uint64() != 27 && v.Uint64() != 28) {
+		return nil, nil
+	}
+	sig := &secp256k1.Signature{R: r, S: s, V: byte(v.Uint64() - 27)}
+	pub, err := secp256k1.Recover(hash, sig)
+	if err != nil {
+		return nil, nil // invalid input yields empty output, not failure
+	}
+	addr := ethtypes.PubkeyToAddress(pub)
+	return hexutil.LeftPad(addr[:], 32), nil
+}

@@ -1,0 +1,92 @@
+package evm
+
+import (
+	"math/rand"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+)
+
+// TestRandomBytecodeNeverPanics feeds the interpreter random byte
+// sequences as contract code. Every outcome is acceptable except a
+// panic: malformed code must surface as a VM error (or succeed).
+func TestRandomBytecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	e, st := testEVM()
+	st.AddBalance(addrOf(0xEE), ethtypes.Ether(1000))
+	for i := 0; i < 500; i++ {
+		code := make([]byte, r.Intn(200)+1)
+		r.Read(code)
+		c := addrOf(0x80)
+		st.SetCode(c, code)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on random code %x: %v", code, p)
+				}
+			}()
+			input := make([]byte, r.Intn(64))
+			r.Read(input)
+			e.Call(addrOf(0xEE), c, input, 50_000, uint256.NewUint64(uint64(r.Intn(5))))
+		}()
+	}
+}
+
+// TestRandomStructuredBytecode biases generation toward valid opcodes
+// (pushes with bodies, dups, calls) to penetrate deeper paths.
+func TestRandomStructuredBytecode(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	interesting := []OpCode{
+		ADD, MUL, SUB, DIV, SHA3, CALLDATALOAD, CALLDATACOPY, CODECOPY,
+		MLOAD, MSTORE, SLOAD, SSTORE, JUMP, JUMPI, JUMPDEST, PC, GAS,
+		LOG0, OpCode(0xa1), CREATE, CALL, DELEGATECALL, STATICCALL,
+		RETURN, REVERT, SELFDESTRUCT, RETURNDATACOPY, EXTCODECOPY,
+		DUP1, DUP16, SWAP1, SWAP16, BALANCE, EXP, ADDMOD,
+	}
+	e, st := testEVM()
+	st.AddBalance(addrOf(0xEE), ethtypes.Ether(1000))
+	for i := 0; i < 500; i++ {
+		var code []byte
+		for len(code) < 64 {
+			switch r.Intn(3) {
+			case 0: // small push
+				n := r.Intn(4) + 1
+				code = append(code, byte(PUSH1)+byte(n-1))
+				for j := 0; j < n; j++ {
+					code = append(code, byte(r.Intn(256)))
+				}
+			default:
+				code = append(code, byte(interesting[r.Intn(len(interesting))]))
+			}
+		}
+		c := addrOf(0x81)
+		st.SetCode(c, code)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on structured code %x: %v", code, p)
+				}
+			}()
+			e.Call(addrOf(0xEE), c, []byte{1, 2, 3, 4}, 100_000, uint256.Zero)
+		}()
+	}
+}
+
+// TestGasNeverExceedsProvided: whatever code runs, gasUsed <= provided
+// and leftover <= provided.
+func TestGasNeverExceedsProvided(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	e, st := testEVM()
+	for i := 0; i < 200; i++ {
+		code := make([]byte, 80)
+		r.Read(code)
+		c := addrOf(0x82)
+		st.SetCode(c, code)
+		const budget = 30_000
+		_, left, _ := e.Call(addrOf(0xEE), c, nil, budget, uint256.Zero)
+		if left > budget {
+			t.Fatalf("gas left %d exceeds budget", left)
+		}
+	}
+}

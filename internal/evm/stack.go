@@ -1,0 +1,75 @@
+package evm
+
+import (
+	"errors"
+
+	"legalchain/internal/uint256"
+)
+
+// StackLimit is the consensus maximum operand-stack depth.
+const StackLimit = 1024
+
+// Errors surfaced by stack manipulation.
+var (
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	ErrStackOverflow  = errors.New("evm: stack overflow")
+)
+
+// Stack is the EVM operand stack of 256-bit words.
+type Stack struct {
+	data []uint256.Int
+}
+
+func newStack() *Stack {
+	return &Stack{data: make([]uint256.Int, 0, 16)}
+}
+
+// Len returns the current depth.
+func (s *Stack) Len() int { return len(s.data) }
+
+// push appends a value; the interpreter validates the limit beforehand,
+// but push double-checks to keep the invariant local.
+func (s *Stack) push(v uint256.Int) error {
+	if len(s.data) >= StackLimit {
+		return ErrStackOverflow
+	}
+	s.data = append(s.data, v)
+	return nil
+}
+
+// pop removes and returns the top value.
+func (s *Stack) pop() (uint256.Int, error) {
+	if len(s.data) == 0 {
+		return uint256.Zero, ErrStackUnderflow
+	}
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v, nil
+}
+
+// peek returns the n-th value from the top (0 = top) without removing it.
+func (s *Stack) peek(n int) (uint256.Int, error) {
+	if n >= len(s.data) {
+		return uint256.Zero, ErrStackUnderflow
+	}
+	return s.data[len(s.data)-1-n], nil
+}
+
+// dup pushes a copy of the n-th value from the top (1-based, DUP1..DUP16).
+func (s *Stack) dup(n int) error {
+	v, err := s.peek(n - 1)
+	if err != nil {
+		return err
+	}
+	return s.push(v)
+}
+
+// swap exchanges the top with the n-th value below it (SWAP1..SWAP16).
+func (s *Stack) swap(n int) error {
+	if n >= len(s.data) {
+		return ErrStackUnderflow
+	}
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+	return nil
+}

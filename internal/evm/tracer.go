@@ -1,0 +1,90 @@
+package evm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tracer observes execution step by step (the debug_traceTransaction
+// facility). Implementations must be cheap; the interpreter calls
+// CaptureStep before every instruction when a tracer is installed.
+type Tracer interface {
+	// CaptureStep is invoked before executing one instruction.
+	CaptureStep(depth int, pc uint64, op OpCode, gas uint64, stackSize int)
+	// CaptureFault is invoked when a frame aborts with err.
+	CaptureFault(depth int, pc uint64, op OpCode, err error)
+}
+
+// StructLog is one recorded step.
+type StructLog struct {
+	Depth     int
+	PC        uint64
+	Op        OpCode
+	Gas       uint64
+	StackSize int
+}
+
+// String renders one line of the trace.
+func (l StructLog) String() string {
+	return fmt.Sprintf("depth=%d pc=%04d gas=%-8d stack=%-3d %s", l.Depth, l.PC, l.Gas, l.StackSize, l.Op)
+}
+
+// StructLogger records every step up to a cap, plus the first fault.
+type StructLogger struct {
+	Logs  []StructLog
+	Fault error
+	// MaxSteps bounds memory; 0 means DefaultMaxSteps.
+	MaxSteps int
+	// OpCount aggregates executed instruction counts by mnemonic.
+	OpCount map[string]int
+
+	truncated bool
+}
+
+// DefaultMaxSteps bounds a StructLogger when MaxSteps is unset.
+const DefaultMaxSteps = 100_000
+
+// NewStructLogger returns an empty logger.
+func NewStructLogger() *StructLogger {
+	return &StructLogger{OpCount: map[string]int{}}
+}
+
+// CaptureStep implements Tracer.
+func (s *StructLogger) CaptureStep(depth int, pc uint64, op OpCode, gas uint64, stackSize int) {
+	limit := s.MaxSteps
+	if limit == 0 {
+		limit = DefaultMaxSteps
+	}
+	s.OpCount[op.String()]++
+	if len(s.Logs) >= limit {
+		s.truncated = true
+		return
+	}
+	s.Logs = append(s.Logs, StructLog{Depth: depth, PC: pc, Op: op, Gas: gas, StackSize: stackSize})
+}
+
+// CaptureFault implements Tracer.
+func (s *StructLogger) CaptureFault(depth int, pc uint64, op OpCode, err error) {
+	if s.Fault == nil {
+		s.Fault = fmt.Errorf("at depth %d pc %d (%s): %w", depth, pc, op, err)
+	}
+}
+
+// Truncated reports whether the step cap was hit.
+func (s *StructLogger) Truncated() bool { return s.truncated }
+
+// Format renders the whole trace, one step per line.
+func (s *StructLogger) Format() string {
+	var b strings.Builder
+	for _, l := range s.Logs {
+		b.WriteString(l.String())
+		b.WriteByte('\n')
+	}
+	if s.truncated {
+		b.WriteString("... (truncated)\n")
+	}
+	if s.Fault != nil {
+		fmt.Fprintf(&b, "FAULT: %v\n", s.Fault)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package evm
+
+import (
+	"strings"
+	"testing"
+
+	"legalchain/internal/uint256"
+)
+
+func TestStructLoggerRecordsSteps(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(0x70)
+	deployRaw(st, c, (&asm{}).push(2).push(3).op(ADD).returnTop())
+	tr := NewStructLogger()
+	e.Tracer = tr
+	if _, _, err := e.Call(addrOf(0xEE), c, nil, 100_000, uint256.Zero); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Logs) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	// First op is the first PUSH, last is RETURN.
+	if tr.Logs[0].Op != PUSH1 {
+		t.Fatalf("first op %s", tr.Logs[0].Op)
+	}
+	if tr.Logs[len(tr.Logs)-1].Op != RETURN {
+		t.Fatalf("last op %s", tr.Logs[len(tr.Logs)-1].Op)
+	}
+	if tr.OpCount["ADD"] != 1 || tr.OpCount["PUSH1"] < 2 {
+		t.Fatalf("op counts %v", tr.OpCount)
+	}
+	// Gas decreases monotonically within the frame.
+	for i := 1; i < len(tr.Logs); i++ {
+		if tr.Logs[i].Gas > tr.Logs[i-1].Gas {
+			t.Fatal("gas increased mid-frame")
+		}
+	}
+	if tr.Fault != nil {
+		t.Fatalf("unexpected fault: %v", tr.Fault)
+	}
+	if !strings.Contains(tr.Format(), "ADD") {
+		t.Fatal("Format missing ops")
+	}
+}
+
+func TestStructLoggerCapturesFault(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(0x71)
+	deployRaw(st, c, (&asm{}).push(99).op(JUMP).code) // invalid jump
+	tr := NewStructLogger()
+	e.Tracer = tr
+	if _, _, err := e.Call(addrOf(0xEE), c, nil, 100_000, uint256.Zero); err == nil {
+		t.Fatal("expected failure")
+	}
+	if tr.Fault == nil || !strings.Contains(tr.Fault.Error(), "invalid jump") {
+		t.Fatalf("fault = %v", tr.Fault)
+	}
+}
+
+func TestStructLoggerDepthAcrossCalls(t *testing.T) {
+	e, st := testEVM()
+	inner, outer := addrOf(0x72), addrOf(0x73)
+	deployRaw(st, inner, (&asm{}).push(1).returnTop())
+	a := &asm{}
+	a.push(0).push(0).push(0).push(0).push(0)
+	a.pushBytes(inner[:])
+	a.push(100_000).op(CALL, POP, STOP)
+	deployRaw(st, outer, a.code)
+	tr := NewStructLogger()
+	e.Tracer = tr
+	callIt(t, e, outer, nil, uint256.Zero)
+	var sawDepth2 bool
+	for _, l := range tr.Logs {
+		if l.Depth == 2 {
+			sawDepth2 = true
+		}
+	}
+	if !sawDepth2 {
+		t.Fatal("inner frame not traced at depth 2")
+	}
+}
+
+func TestStructLoggerTruncation(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(0x74)
+	// Tight loop.
+	deployRaw(st, c, (&asm{}).op(JUMPDEST).push(0).op(JUMP).code)
+	tr := NewStructLogger()
+	tr.MaxSteps = 10
+	e.Tracer = tr
+	e.Call(addrOf(0xEE), c, nil, 10_000, uint256.Zero)
+	if len(tr.Logs) != 10 || !tr.Truncated() {
+		t.Fatalf("logs=%d truncated=%v", len(tr.Logs), tr.Truncated())
+	}
+	if !strings.Contains(tr.Format(), "truncated") {
+		t.Fatal("Format missing truncation marker")
+	}
+}

@@ -1,0 +1,98 @@
+package ipfs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Gateway serves a Node over HTTP with the familiar endpoints:
+//
+//	GET  /ipfs/<cid>    fetch a blob by CID (integrity-checked)
+//	GET  /name/<name>   resolve a published name and fetch its blob
+//	POST /add           store the request body, respond with the CID
+//	POST /publish?name= store the body and publish name -> CID
+//	GET  /pins          list stored CIDs, one per line
+type Gateway struct {
+	Node *Node
+}
+
+// NewGateway wraps a node.
+func NewGateway(n *Node) *Gateway { return &Gateway{Node: n} }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/ipfs/"):
+		cid := CID(strings.TrimPrefix(r.URL.Path, "/ipfs/"))
+		data, err := g.Node.Blobs.Get(cid)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/name/"):
+		name := strings.TrimPrefix(r.URL.Path, "/name/")
+		data, err := g.Node.GetByName(name)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Write(data)
+
+	case r.Method == http.MethodPost && r.URL.Path == "/add":
+		data, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		cid, err := g.Node.Blobs.Add(data)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		fmt.Fprintln(w, cid)
+
+	case r.Method == http.MethodPost && r.URL.Path == "/publish":
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			http.Error(w, "name parameter required", http.StatusBadRequest)
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		cid, err := g.Node.AddDocument(name, data)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		fmt.Fprintln(w, cid)
+
+	case r.Method == http.MethodGet && r.URL.Path == "/pins":
+		for _, cid := range g.Node.Blobs.Pins() {
+			fmt.Fprintln(w, cid)
+		}
+
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		return
+	case strings.Contains(err.Error(), "not found"):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case strings.Contains(err.Error(), "malformed"):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

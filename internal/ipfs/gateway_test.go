@@ -1,0 +1,103 @@
+package ipfs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gatewayRig(t *testing.T) (*httptest.Server, *Node) {
+	t.Helper()
+	n := NewNode(NewMemStore())
+	srv := httptest.NewServer(NewGateway(n))
+	t.Cleanup(srv.Close)
+	return srv, n
+}
+
+func TestGatewayAddAndFetch(t *testing.T) {
+	srv, _ := gatewayRig(t)
+	resp, err := http.Post(srv.URL+"/add", "application/octet-stream",
+		strings.NewReader("the ABI document"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cid := strings.TrimSpace(string(body))
+	if CID(cid).Validate() != nil {
+		t.Fatalf("bad CID %q", cid)
+	}
+	resp, err = http.Get(srv.URL + "/ipfs/" + cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(data) != "the ABI document" {
+		t.Fatalf("fetched %q", data)
+	}
+	// Missing CID -> 404.
+	resp, _ = http.Get(srv.URL + "/ipfs/" + string(ComputeCID([]byte("nope"))))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing: %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayPublishAndName(t *testing.T) {
+	srv, n := gatewayRig(t)
+	resp, err := http.Post(srv.URL+"/publish?name=0xabc", "text/plain",
+		strings.NewReader(`[{"type":"function"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("publish: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/name/0xABC") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(data) != `[{"type":"function"}]` {
+		t.Fatalf("resolve: %q", data)
+	}
+	if _, ok := n.Names.Resolve("0xabc"); !ok {
+		t.Fatal("name not in index")
+	}
+	// Publish without name -> 400.
+	resp, _ = http.Post(srv.URL+"/publish", "text/plain", strings.NewReader("x"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("missing name accepted")
+	}
+}
+
+func TestGatewayPins(t *testing.T) {
+	srv, n := gatewayRig(t)
+	n.Blobs.Add([]byte("one"))
+	n.Blobs.Add([]byte("two"))
+	resp, err := http.Get(srv.URL + "/pins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.Fields(string(body))
+	if len(lines) != 2 {
+		t.Fatalf("pins = %v", lines)
+	}
+}
+
+func TestGatewayMethodChecks(t *testing.T) {
+	srv, _ := gatewayRig(t)
+	resp, _ := http.Get(srv.URL + "/add")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatal("GET /add accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package ipfs implements a content-addressable store with the
+// properties the paper relies on from the InterPlanetary File System:
+// blobs are addressed by a CID derived from their content (a CIDv0-style
+// base58btc sha2-256 multihash), retrieval is integrity-checked, and a
+// name index maps contract addresses to the CID of their ABI document so
+// that a client holding only an address recovered from a version link
+// can reconstruct a full contract binding.
+package ipfs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by stores.
+var (
+	ErrNotFound  = errors.New("ipfs: content not found")
+	ErrCorrupted = errors.New("ipfs: stored content does not match its CID")
+	ErrBadCID    = errors.New("ipfs: malformed CID")
+)
+
+// CID is a content identifier string ("Qm..." base58btc of the sha2-256
+// multihash).
+type CID string
+
+// multihash prefix for sha2-256: code 0x12, length 0x20.
+var mhPrefix = []byte{0x12, 0x20}
+
+// base58btc alphabet (Bitcoin/IPFS).
+const b58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+// ComputeCID derives the CID of a blob.
+func ComputeCID(data []byte) CID {
+	sum := sha256.Sum256(data)
+	raw := append(append([]byte(nil), mhPrefix...), sum[:]...)
+	return CID(base58Encode(raw))
+}
+
+// Validate checks the CID's syntax and digest length.
+func (c CID) Validate() error {
+	raw, err := base58Decode(string(c))
+	if err != nil {
+		return ErrBadCID
+	}
+	if len(raw) != 34 || raw[0] != 0x12 || raw[1] != 0x20 {
+		return ErrBadCID
+	}
+	return nil
+}
+
+func base58Encode(b []byte) string {
+	x := new(big.Int).SetBytes(b)
+	radix := big.NewInt(58)
+	mod := new(big.Int)
+	var out []byte
+	for x.Sign() > 0 {
+		x.DivMod(x, radix, mod)
+		out = append(out, b58Alphabet[mod.Int64()])
+	}
+	// Leading zero bytes become leading '1's.
+	for _, c := range b {
+		if c != 0 {
+			break
+		}
+		out = append(out, '1')
+	}
+	// Reverse.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return string(out)
+}
+
+func base58Decode(s string) ([]byte, error) {
+	x := big.NewInt(0)
+	radix := big.NewInt(58)
+	for _, c := range s {
+		idx := strings.IndexRune(b58Alphabet, c)
+		if idx < 0 {
+			return nil, fmt.Errorf("ipfs: invalid base58 character %q", c)
+		}
+		x.Mul(x, radix)
+		x.Add(x, big.NewInt(int64(idx)))
+	}
+	out := x.Bytes()
+	// Restore leading zeros.
+	for _, c := range s {
+		if c != '1' {
+			break
+		}
+		out = append([]byte{0}, out...)
+	}
+	return out, nil
+}
+
+// Store is a content-addressable blob store.
+type Store interface {
+	// Add stores data and returns its CID (idempotent).
+	Add(data []byte) (CID, error)
+	// Get retrieves and integrity-checks the blob.
+	Get(cid CID) ([]byte, error)
+	// Has reports whether the blob is present.
+	Has(cid CID) bool
+	// Pins lists stored CIDs, sorted.
+	Pins() []CID
+}
+
+// MemStore keeps blobs in memory.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[CID][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: map[CID][]byte{}}
+}
+
+// Add implements Store.
+func (m *MemStore) Add(data []byte) (CID, error) {
+	cid := ComputeCID(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[cid]; !ok {
+		m.blobs[cid] = append([]byte(nil), data...)
+	}
+	return cid, nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(cid CID) ([]byte, error) {
+	m.mu.RLock()
+	data, ok := m.blobs[cid]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, cid)
+	}
+	if ComputeCID(data) != cid {
+		return nil, ErrCorrupted
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Has implements Store.
+func (m *MemStore) Has(cid CID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.blobs[cid]
+	return ok
+}
+
+// Pins implements Store.
+func (m *MemStore) Pins() []CID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]CID, 0, len(m.blobs))
+	for c := range m.blobs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FileStore persists blobs under a directory, one file per CID.
+type FileStore struct {
+	dir string
+	mu  sync.RWMutex
+}
+
+// NewFileStore creates/opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ipfs: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (f *FileStore) path(cid CID) string { return filepath.Join(f.dir, string(cid)) }
+
+// Add implements Store.
+func (f *FileStore) Add(data []byte) (CID, error) {
+	cid := ComputeCID(data)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.path(cid)
+	if _, err := os.Stat(p); err == nil {
+		return cid, nil
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return "", err
+	}
+	return cid, nil
+}
+
+// Get implements Store.
+func (f *FileStore) Get(cid CID) ([]byte, error) {
+	if err := cid.Validate(); err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	data, err := os.ReadFile(f.path(cid))
+	f.mu.RUnlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, cid)
+		}
+		return nil, err
+	}
+	if ComputeCID(data) != cid {
+		return nil, ErrCorrupted
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (f *FileStore) Has(cid CID) bool {
+	if cid.Validate() != nil {
+		return false
+	}
+	_, err := os.Stat(f.path(cid))
+	return err == nil
+}
+
+// Pins implements Store.
+func (f *FileStore) Pins() []CID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil
+	}
+	var out []CID
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		cid := CID(e.Name())
+		if cid.Validate() == nil {
+			out = append(out, cid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NameIndex maps names (contract addresses, in the paper's use) to CIDs.
+// It is the mutable companion to the immutable blob store.
+type NameIndex struct {
+	mu    sync.RWMutex
+	names map[string]CID
+}
+
+// NewNameIndex returns an empty index.
+func NewNameIndex() *NameIndex {
+	return &NameIndex{names: map[string]CID{}}
+}
+
+// Publish points name at cid, replacing any previous target.
+func (n *NameIndex) Publish(name string, cid CID) {
+	n.mu.Lock()
+	n.names[strings.ToLower(name)] = cid
+	n.mu.Unlock()
+}
+
+// Resolve returns the CID for name.
+func (n *NameIndex) Resolve(name string) (CID, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	cid, ok := n.names[strings.ToLower(name)]
+	return cid, ok
+}
+
+// Names lists published names, sorted.
+func (n *NameIndex) Names() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.names))
+	for k := range n.names {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Node bundles a blob store with a name index — the "IPFS node" of the
+// paper's architecture.
+type Node struct {
+	Blobs Store
+	Names *NameIndex
+}
+
+// NewNode builds a node over the given blob store.
+func NewNode(blobs Store) *Node {
+	return &Node{Blobs: blobs, Names: NewNameIndex()}
+}
+
+// AddDocument stores data and publishes name → CID in one step.
+func (n *Node) AddDocument(name string, data []byte) (CID, error) {
+	cid, err := n.Blobs.Add(data)
+	if err != nil {
+		return "", err
+	}
+	n.Names.Publish(name, cid)
+	return cid, nil
+}
+
+// GetByName resolves and fetches in one step.
+func (n *Node) GetByName(name string) ([]byte, error) {
+	cid, ok := n.Names.Resolve(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: name %q", ErrNotFound, name)
+	}
+	return n.Blobs.Get(cid)
+}
+
+// Equal reports whether two blobs would share a CID without storing.
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) || ComputeCID(a) == ComputeCID(b) }

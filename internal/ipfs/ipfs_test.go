@@ -1,0 +1,168 @@
+package ipfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeCIDKnown(t *testing.T) {
+	// Raw sha2-256 multihash of the content, base58btc. (Unlike `ipfs
+	// add`, no UnixFS dag-pb framing is applied — the content IS the
+	// block.) The constant was computed independently of this package.
+	got := ComputeCID([]byte("hello world\n"))
+	want := CID("QmZjTnYw2TFhn9Nn7tjmPSoTBoY7YRkwPzwSrSbabY24Kp")
+	if got != want {
+		t.Fatalf("CID = %s, want %s", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIDDeterministicAndDistinct(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ca1, ca2 := ComputeCID(a), ComputeCID(a)
+		cb := ComputeCID(b)
+		if ca1 != ca2 {
+			return false
+		}
+		if !bytes.Equal(a, b) && ca1 == cb {
+			return false // collision on random input: effectively impossible
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBase58RoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		enc := base58Encode(raw)
+		dec, err := base58Decode(enc)
+		return err == nil && bytes.Equal(dec, raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := base58Decode("0OIl"); err == nil {
+		t.Error("invalid base58 accepted")
+	}
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	data := []byte("rental agreement ABI document")
+	cid, err := s.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(cid) {
+		t.Fatal("Has after Add")
+	}
+	back, err := s.Get(cid)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("Get: %q %v", back, err)
+	}
+	// Idempotent add.
+	cid2, _ := s.Add(data)
+	if cid2 != cid {
+		t.Fatal("Add not idempotent")
+	}
+	// Missing content.
+	if _, err := s.Get(ComputeCID([]byte("other"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	// Pins.
+	s.Add([]byte("second blob"))
+	if len(s.Pins()) != 2 {
+		t.Fatalf("pins = %v", s.Pins())
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, fs)
+	// Persistence across reopen.
+	cid := ComputeCID([]byte("rental agreement ABI document"))
+	fs2, _ := NewFileStore(dir)
+	if !fs2.Has(cid) {
+		t.Fatal("content lost across reopen")
+	}
+}
+
+func TestFileStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := NewFileStore(dir)
+	cid, _ := fs.Add([]byte("important ABI"))
+	// Corrupt the file on disk.
+	p := filepath.Join(dir, string(cid))
+	if err := os.WriteFile(p, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get(cid); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestNameIndex(t *testing.T) {
+	n := NewNode(NewMemStore())
+	cid, err := n.AddDocument("0xABCDEF", []byte(`[{"type":"function"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive address resolution.
+	got, ok := n.Names.Resolve("0xabcdef")
+	if !ok || got != cid {
+		t.Fatal("resolve failed")
+	}
+	data, err := n.GetByName("0xAbCdEf")
+	if err != nil || string(data) != `[{"type":"function"}]` {
+		t.Fatal("GetByName failed")
+	}
+	if _, err := n.GetByName("0x999"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing name must 404")
+	}
+	// Republish points to new content; old blob remains pinned.
+	cid2, _ := n.AddDocument("0xabcdef", []byte("v2"))
+	if cid2 == cid {
+		t.Fatal("different content same CID")
+	}
+	data, _ = n.GetByName("0xabcdef")
+	if string(data) != "v2" {
+		t.Fatal("republish not effective")
+	}
+	if !n.Blobs.Has(cid) {
+		t.Fatal("old version garbage-collected (should stay pinned)")
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	for _, s := range []CID{"", "notacid", "Qm///", CID(base58Encode([]byte{0x12, 0x19, 1, 2}))} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%q) accepted", s)
+		}
+	}
+}
+
+func BenchmarkAdd1KiB(b *testing.B) {
+	s := NewMemStore()
+	data := bytes.Repeat([]byte("a"), 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i)
+		if _, err := s.Add(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package keccak implements the legacy Keccak-256 and Keccak-512 hash
+// functions as used by Ethereum.
+//
+// Ethereum predates the FIPS-202 standardisation of SHA-3 and uses the
+// original Keccak padding (domain byte 0x01) rather than the SHA-3 domain
+// byte 0x06, so the standard library's sha3 cannot be substituted even if
+// it were available. The implementation below is a straightforward
+// sponge over Keccak-f[1600].
+package keccak
+
+import "hash"
+
+// round constants for the iota step of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets for the rho step, indexed [x][y].
+var rotc = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// permute applies the full 24-round Keccak-f[1600] permutation to the
+// state a, indexed a[x][y].
+func permute(a *[5][5]uint64) {
+	var b [5][5]uint64
+	var c, d [5]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x][y] ^= d[x]
+			}
+		}
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y][(2*x+3*y)%5] = rotl(a[x][y], rotc[x][y])
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x][y] = b[x][y] ^ (^b[(x+1)%5][y] & b[(x+2)%5][y])
+			}
+		}
+		// iota
+		a[0][0] ^= roundConstants[round]
+	}
+}
+
+// digest is a sponge instance. It implements hash.Hash.
+type digest struct {
+	a       [5][5]uint64 // state
+	buf     []byte       // unabsorbed input, len < rate
+	rate    int          // bytes absorbed per block
+	outSize int
+}
+
+// New256 returns a hash.Hash computing Keccak-256 (32-byte output).
+func New256() hash.Hash { return &digest{rate: 136, outSize: 32} }
+
+// New512 returns a hash.Hash computing Keccak-512 (64-byte output).
+func New512() hash.Hash { return &digest{rate: 72, outSize: 64} }
+
+func (d *digest) Size() int      { return d.outSize }
+func (d *digest) BlockSize() int { return d.rate }
+
+func (d *digest) Reset() {
+	d.a = [5][5]uint64{}
+	d.buf = d.buf[:0]
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.buf = append(d.buf, p...)
+	for len(d.buf) >= d.rate {
+		d.absorb(d.buf[:d.rate])
+		d.buf = d.buf[d.rate:]
+	}
+	return n, nil
+}
+
+// absorb XORs one rate-sized block into the state and permutes.
+func (d *digest) absorb(block []byte) {
+	for i := 0; i < d.rate/8; i++ {
+		lane := le64(block[i*8:])
+		x, y := i%5, i/5
+		d.a[x][y] ^= lane
+	}
+	permute(&d.a)
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Copy the state so Sum does not disturb the running hash.
+	dup := *d
+	dup.buf = append([]byte(nil), d.buf...)
+
+	// Keccak (pre-FIPS) multi-rate padding: 0x01 ... 0x80.
+	pad := make([]byte, dup.rate-len(dup.buf))
+	pad[0] = 0x01
+	pad[len(pad)-1] |= 0x80
+	dup.buf = append(dup.buf, pad...)
+	dup.absorb(dup.buf)
+
+	// Squeeze.
+	out := make([]byte, dup.outSize)
+	off := 0
+	for off < dup.outSize {
+		for i := 0; i < dup.rate/8 && off < dup.outSize; i++ {
+			x, y := i%5, i/5
+			putLE64(out[off:], dup.a[x][y], dup.outSize-off)
+			off += 8
+		}
+		if off < dup.outSize {
+			permute(&dup.a)
+		}
+	}
+	return append(in, out...)
+}
+
+// Sum256 computes the Keccak-256 digest of data.
+func Sum256(data []byte) [32]byte {
+	d := digest{rate: 136, outSize: 32}
+	d.Write(data)
+	var out [32]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// Sum512 computes the Keccak-512 digest of data.
+func Sum512(data []byte) [64]byte {
+	d := digest{rate: 72, outSize: 64}
+	d.Write(data)
+	var out [64]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// putLE64 writes up to max (≤8) bytes of v into b little-endian.
+func putLE64(b []byte, v uint64, max int) {
+	n := 8
+	if max < n {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,150 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Published Keccak-256 test vectors (legacy padding, as used by Ethereum).
+var vectors256 = []struct {
+	in  string
+	out string
+}{
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	// keccak256("hello world")
+	{"hello world", "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad"},
+	// keccak256 of the canonical transfer event signature
+	{"Transfer(address,address,uint256)", "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"},
+	// Function selector source for ERC-20 transfer.
+	{"transfer(address,uint256)", "a9059cbb2ab09eb219583f4a59a5d0623ade346d962bcd4e46b11da047c9049b"},
+	{"The quick brown fox jumps over the lazy dog", "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+}
+
+func TestSum256Vectors(t *testing.T) {
+	for _, v := range vectors256 {
+		got := Sum256([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.out {
+			t.Errorf("Sum256(%q) = %x, want %s", v.in, got, v.out)
+		}
+	}
+}
+
+func TestSum512Vector(t *testing.T) {
+	// Keccak-512("") from the original Keccak submission.
+	want := "0eab42de4c3ceb9235fc91acffe746b29c29a8c366b7c60e4e67c466f36a4304" +
+		"c00fa9caf9d87976ba469bcbe06713b435f091ef2769fb160cdab33d3670680e"
+	got := Sum512(nil)
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("Sum512(\"\") = %x, want %s", got, want)
+	}
+}
+
+// TestIncrementalWrite checks that chunked writes agree with one-shot
+// hashing for a range of chunk sizes straddling the sponge rate.
+func TestIncrementalWrite(t *testing.T) {
+	msg := bytes.Repeat([]byte("legalchain"), 100) // 1000 bytes, > 7 blocks
+	want := Sum256(msg)
+	for _, chunk := range []int{1, 3, 7, 31, 135, 136, 137, 271, 1000} {
+		h := New256()
+		for off := 0; off < len(msg); off += chunk {
+			end := off + chunk
+			if end > len(msg) {
+				end = len(msg)
+			}
+			h.Write(msg[off:end])
+		}
+		if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Errorf("chunk=%d: got %x want %x", chunk, got, want)
+		}
+	}
+}
+
+// TestSumIdempotent checks Sum does not consume or alter the running state.
+func TestSumIdempotent(t *testing.T) {
+	h := New256()
+	h.Write([]byte("part one "))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("Sum not idempotent: %x vs %x", first, second)
+	}
+	h.Write([]byte("part two"))
+	want := Sum256([]byte("part one part two"))
+	if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Fatalf("continuing after Sum diverged: got %x want %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	want := Sum256([]byte("abc"))
+	if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Fatalf("Reset did not clear state")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if New256().Size() != 32 || New512().Size() != 64 {
+		t.Fatal("wrong output sizes")
+	}
+	if New256().BlockSize() != 136 || New512().BlockSize() != 72 {
+		t.Fatal("wrong block sizes")
+	}
+}
+
+// Property: one-shot == incremental for arbitrary inputs and split points.
+func TestQuickIncrementalAgreement(t *testing.T) {
+	f := func(data []byte, split uint16) bool {
+		s := int(split)
+		if s > len(data) {
+			s = len(data)
+		}
+		h := New256()
+		h.Write(data[:s])
+		h.Write(data[s:])
+		want := Sum256(data)
+		return bytes.Equal(h.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct short inputs give distinct digests (collision
+// resistance smoke test on a small corpus).
+func TestNoTrivialCollisions(t *testing.T) {
+	seen := map[[32]byte]string{}
+	for _, s := range []string{"", "a", "b", "ab", "ba", "aa", "bb", "abc", "acb"} {
+		d := Sum256([]byte(s))
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("collision between %q and %q", prev, s)
+		}
+		seen[d] = s
+	}
+}
+
+func TestLongInput(t *testing.T) {
+	// Hash 1 MiB; mostly a crash/accounting test for the sponge loop.
+	msg := []byte(strings.Repeat("0123456789abcdef", 65536))
+	d1 := Sum256(msg)
+	h := New256()
+	h.Write(msg)
+	if got := h.Sum(nil); !bytes.Equal(got, d1[:]) {
+		t.Fatal("mismatch on 1MiB input")
+	}
+}
+
+func BenchmarkSum256_1KiB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

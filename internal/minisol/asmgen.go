@@ -1,0 +1,126 @@
+package minisol
+
+import (
+	"fmt"
+	"math/big"
+
+	"legalchain/internal/evm"
+)
+
+// assembler builds EVM bytecode with symbolic labels. Label references
+// are emitted as fixed-width PUSH2 instructions and patched at assembly
+// time, so code up to 64 KiB is addressable (generous for contracts,
+// which are capped at 24 KiB anyway).
+type assembler struct {
+	code   []byte
+	labels map[string]int
+	refs   []labelRef
+}
+
+type labelRef struct {
+	pos   int // position of the 2 offset bytes
+	label string
+}
+
+func newAssembler() *assembler {
+	return &assembler{labels: map[string]int{}}
+}
+
+// op appends raw opcodes.
+func (a *assembler) op(ops ...evm.OpCode) {
+	for _, o := range ops {
+		a.code = append(a.code, byte(o))
+	}
+}
+
+// raw appends literal bytes (embedded data).
+func (a *assembler) raw(b []byte) { a.code = append(a.code, b...) }
+
+// pushU emits the minimal PUSH for v.
+func (a *assembler) pushU(v uint64) {
+	a.pushBig(new(big.Int).SetUint64(v))
+}
+
+// pushBig emits the minimal PUSH for non-negative v.
+func (a *assembler) pushBig(v *big.Int) {
+	b := v.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	if len(b) > 32 {
+		panic("minisol: push value exceeds 256 bits")
+	}
+	a.code = append(a.code, byte(evm.PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+}
+
+// pushBytes emits a PUSH of the literal bytes (1..32).
+func (a *assembler) pushBytes(b []byte) {
+	if len(b) == 0 || len(b) > 32 {
+		panic("minisol: pushBytes length out of range")
+	}
+	a.code = append(a.code, byte(evm.PUSH1)+byte(len(b)-1))
+	a.code = append(a.code, b...)
+}
+
+// pushLabel emits PUSH2 <label>, patched at assemble time.
+func (a *assembler) pushLabel(name string) {
+	a.code = append(a.code, byte(evm.PUSH2))
+	a.refs = append(a.refs, labelRef{pos: len(a.code), label: name})
+	a.code = append(a.code, 0, 0)
+}
+
+// label defines name at the current position and emits a JUMPDEST.
+func (a *assembler) label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("minisol: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.code)
+	a.op(evm.JUMPDEST)
+}
+
+// mark defines name at the current position without a JUMPDEST (for
+// data positions like the runtime-code offset).
+func (a *assembler) mark(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("minisol: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.code)
+}
+
+// assemble resolves label references and returns the bytecode.
+func (a *assembler) assemble() ([]byte, error) {
+	for _, r := range a.refs {
+		pos, ok := a.labels[r.label]
+		if !ok {
+			return nil, fmt.Errorf("minisol: undefined label %q", r.label)
+		}
+		if pos > 0xffff {
+			return nil, fmt.Errorf("minisol: label %q beyond PUSH2 range", r.label)
+		}
+		a.code[r.pos] = byte(pos >> 8)
+		a.code[r.pos+1] = byte(pos)
+	}
+	return a.code, nil
+}
+
+// Convenience emitters used heavily by the code generator.
+
+// mload emits MLOAD of a constant offset.
+func (a *assembler) mload(off int) {
+	a.pushU(uint64(off))
+	a.op(evm.MLOAD)
+}
+
+// mstoreTo emits MSTORE of stack-top into a constant offset.
+func (a *assembler) mstoreTo(off int) {
+	a.pushU(uint64(off))
+	a.op(evm.MSTORE)
+}
+
+// revertZero emits REVERT(0, 0).
+func (a *assembler) revertZero() {
+	a.pushU(0)
+	a.pushU(0)
+	a.op(evm.REVERT)
+}

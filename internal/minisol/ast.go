@@ -1,0 +1,263 @@
+package minisol
+
+import "math/big"
+
+// SourceUnit is a parsed file: pragma (ignored) plus contracts.
+type SourceUnit struct {
+	Contracts []*ContractDef
+}
+
+// ContractDef is one contract declaration.
+type ContractDef struct {
+	Name    string
+	Parent  string // single inheritance; empty if none
+	Structs []*StructDef
+	Enums   []*EnumDef
+	Vars    []*StateVarDef
+	Events  []*EventDef
+	Funcs   []*FuncDef // constructor has Name == "" and IsConstructor
+	Line    int
+}
+
+// StructDef declares a struct type.
+type StructDef struct {
+	Name   string
+	Fields []Param
+}
+
+// EnumDef declares an enum type.
+type EnumDef struct {
+	Name    string
+	Members []string
+}
+
+// TypeName is a syntactic type reference, resolved during analysis.
+type TypeName struct {
+	// Name is a primitive ("uint256", "address", "string", ...) or a
+	// user-defined struct/enum/contract name.
+	Name string
+	// Payable marks "address payable".
+	Payable bool
+	// Key/Value are set for mapping types.
+	Key, Value *TypeName
+	// IsArray marks a dynamic array of Name/mapping.
+	IsArray bool
+	Elem    *TypeName
+}
+
+// Param is a typed name (function parameter, return value, struct field).
+type Param struct {
+	Type    TypeName
+	Name    string
+	Indexed bool // event parameters
+}
+
+// StateVarDef is a contract-level variable.
+type StateVarDef struct {
+	Type   TypeName
+	Name   string
+	Public bool
+	Line   int
+}
+
+// EventDef declares an event.
+type EventDef struct {
+	Name   string
+	Params []Param
+}
+
+// Mutability of a function.
+type Mutability int
+
+// Mutability values.
+const (
+	NonPayable Mutability = iota
+	Payable
+	View
+	Pure
+)
+
+// Visibility of a function.
+type Visibility int
+
+// Visibility values.
+const (
+	Public Visibility = iota
+	External
+	Internal
+	Private
+)
+
+// FuncDef is a function or constructor.
+type FuncDef struct {
+	Name          string
+	IsConstructor bool
+	Params        []Param
+	Returns       []Param
+	Mutability    Mutability
+	Visibility    Visibility
+	Body          []Stmt
+	Line          int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type (
+	// VarDeclStmt declares a local: `uint x = e;`
+	VarDeclStmt struct {
+		Type TypeName
+		Name string
+		Init Expr // may be nil
+		Line int
+	}
+	// AssignStmt is `lhs = rhs;` or compound `lhs += rhs;`.
+	AssignStmt struct {
+		LHS  Expr
+		Op   string // "=", "+=", "-=", "*=", "/="
+		RHS  Expr
+		Line int
+	}
+	// ExprStmt evaluates an expression for side effects.
+	ExprStmt struct {
+		E    Expr
+		Line int
+	}
+	// IfStmt with optional else.
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+		Line int
+	}
+	// WhileStmt loops while cond holds.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+		Line int
+	}
+	// ForStmt is the C-style loop.
+	ForStmt struct {
+		Init Stmt // may be nil
+		Cond Expr // may be nil
+		Post Stmt // may be nil
+		Body []Stmt
+		Line int
+	}
+	// ReturnStmt returns zero or more values.
+	ReturnStmt struct {
+		Values []Expr
+		Line   int
+	}
+	// RequireStmt is require(cond[, reason]).
+	RequireStmt struct {
+		Cond   Expr
+		Reason string
+		Line   int
+	}
+	// RevertStmt is revert([reason]).
+	RevertStmt struct {
+		Reason string
+		Line   int
+	}
+	// EmitStmt is emit Event(args).
+	EmitStmt struct {
+		Event string
+		Args  []Expr
+		Line  int
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct {
+		Line int
+	}
+	// ContinueStmt jumps to the next iteration of the innermost loop.
+	ContinueStmt struct {
+		Line int
+	}
+)
+
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*RequireStmt) stmtNode()  {}
+func (*RevertStmt) stmtNode()   {}
+func (*EmitStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+type (
+	// NumberLit is an integer literal (with optional ether/wei unit
+	// already applied).
+	NumberLit struct {
+		Value *big.Int
+		Line  int
+	}
+	// StringLit is a string literal.
+	StringLit struct {
+		Value string
+		Line  int
+	}
+	// BoolLit is true/false.
+	BoolLit struct {
+		Value bool
+		Line  int
+	}
+	// Ident references a variable, function, type or enum.
+	Ident struct {
+		Name string
+		Line int
+	}
+	// Member is `expr.name` (msg.sender, arr.length, s.field, Enum.Member).
+	Member struct {
+		X    Expr
+		Name string
+		Line int
+	}
+	// Index is `expr[i]` for mappings and arrays.
+	Index struct {
+		X    Expr
+		I    Expr
+		Line int
+	}
+	// Call is `fn(args)`: internal calls, type conversions, struct
+	// construction, builtin calls (transfer, push, keccak-ish).
+	Call struct {
+		Fn   Expr
+		Args []Expr
+		Line int
+	}
+	// Binary is a binary operation.
+	Binary struct {
+		Op   string
+		L, R Expr
+		Line int
+	}
+	// Unary is !x or -x.
+	Unary struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// ThisExpr is `this`.
+	ThisExpr struct {
+		Line int
+	}
+)
+
+func (*NumberLit) exprNode() {}
+func (*StringLit) exprNode() {}
+func (*BoolLit) exprNode()   {}
+func (*Ident) exprNode()     {}
+func (*Member) exprNode()    {}
+func (*Index) exprNode()     {}
+func (*Call) exprNode()      {}
+func (*Binary) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*ThisExpr) exprNode()  {}

@@ -1,0 +1,79 @@
+package minisol
+
+import (
+	"bytes"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+)
+
+func TestKeccak256Builtin(t *testing.T) {
+	src := `
+	contract H {
+		function hashOf(string memory s) public returns (bytes32) {
+			return keccak256(s);
+		}
+		function hashLit() public returns (bytes32) {
+			return keccak256("pay rent");
+		}
+	}`
+	art := compileOne(t, src, "H")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	for _, s := range []string{"", "a", "legal smart contract", string(bytes.Repeat([]byte("x"), 100))} {
+		out := h.mustCall(alice, addr, art, uint256.Zero, "hashOf", s)
+		want := ethtypes.Keccak256([]byte(s))
+		if !bytes.Equal(out[0].([]byte), want[:]) {
+			t.Fatalf("keccak256(%q) = %x, want %s", s, out[0], want)
+		}
+	}
+	out := h.mustCall(alice, addr, art, uint256.Zero, "hashLit")
+	want := ethtypes.Keccak256([]byte("pay rent"))
+	if !bytes.Equal(out[0].([]byte), want[:]) {
+		t.Fatalf("literal hash mismatch")
+	}
+}
+
+func TestSelfdestructBuiltin(t *testing.T) {
+	src := `
+	contract Mortal {
+		address payable public owner;
+		constructor() public payable { owner = msg.sender; }
+		function kill() public {
+			require(msg.sender == owner, "only owner");
+			selfdestruct(owner);
+		}
+	}`
+	art := compileOne(t, src, "Mortal")
+	h := newHarness(t)
+	addr := h.deploy(art, ethtypes.Ether(3))
+	// Non-owner blocked.
+	if _, err := h.call(alice, addr, art, uint256.Zero, "kill"); err == nil {
+		t.Fatal("non-owner killed the contract")
+	}
+	before := h.st.GetBalance(deployer)
+	h.mustCall(deployer, addr, art, uint256.Zero, "kill")
+	// Balance swept to the owner.
+	if diff := h.st.GetBalance(deployer).Sub(before); diff != ethtypes.Ether(3) {
+		t.Fatalf("owner received %s", ethtypes.FormatEther(diff))
+	}
+	// Code gone after finalize.
+	h.st.Finalise()
+	if h.st.GetCodeSize(addr) != 0 {
+		t.Fatal("code survives selfdestruct")
+	}
+}
+
+func TestBuiltinArityErrors(t *testing.T) {
+	for _, src := range []string{
+		`contract X { function f() public { keccak256(); } }`,
+		`contract X { function f() public returns (bytes32) { return keccak256(1); } }`,
+		`contract X { function f() public { selfdestruct(); } }`,
+		`contract X { function f() public { selfdestruct(1); } }`,
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

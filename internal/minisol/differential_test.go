@@ -1,0 +1,337 @@
+package minisol
+
+// Differential testing: random expression trees are compiled into a
+// contract and executed on the EVM; the result must equal a direct Go
+// evaluation with EVM semantics (mod-2^256 wrapping, x/0 == x%0 == 0).
+// This cross-checks the whole pipeline — parser, codegen, dispatcher,
+// ABI — against an independent interpreter.
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"legalchain/internal/uint256"
+)
+
+// uexpr is a uint-typed expression tree.
+type uexpr interface {
+	src() string
+	eval(env map[string]uint256.Int) uint256.Int
+}
+
+type uvar string
+
+func (v uvar) src() string { return string(v) }
+func (v uvar) eval(env map[string]uint256.Int) uint256.Int {
+	return env[string(v)]
+}
+
+type ulit struct{ v uint256.Int }
+
+func (l ulit) src() string { return l.v.String() }
+func (l ulit) eval(map[string]uint256.Int) uint256.Int {
+	return l.v
+}
+
+type ubin struct {
+	op   string
+	l, r uexpr
+}
+
+func (b ubin) src() string {
+	return "(" + b.l.src() + " " + b.op + " " + b.r.src() + ")"
+}
+
+func (b ubin) eval(env map[string]uint256.Int) uint256.Int {
+	l, r := b.l.eval(env), b.r.eval(env)
+	switch b.op {
+	case "+":
+		return l.Add(r)
+	case "-":
+		return l.Sub(r)
+	case "*":
+		return l.Mul(r)
+	case "/":
+		return l.Div(r) // 0 on zero divisor, EVM semantics
+	case "%":
+		return l.Mod(r)
+	}
+	panic("bad op")
+}
+
+// bexpr is a bool-typed expression tree.
+type bexpr interface {
+	bsrc() string
+	beval(env map[string]uint256.Int) bool
+}
+
+type bcmp struct {
+	op   string
+	l, r uexpr
+}
+
+func (c bcmp) bsrc() string { return "(" + c.l.src() + " " + c.op + " " + c.r.src() + ")" }
+func (c bcmp) beval(env map[string]uint256.Int) bool {
+	l, r := c.l.eval(env), c.r.eval(env)
+	switch c.op {
+	case "<":
+		return l.Lt(r)
+	case ">":
+		return l.Gt(r)
+	case "<=":
+		return !l.Gt(r)
+	case ">=":
+		return !l.Lt(r)
+	case "==":
+		return l.Eq(r)
+	case "!=":
+		return !l.Eq(r)
+	}
+	panic("bad cmp")
+}
+
+type blogic struct {
+	op   string // "&&", "||"
+	l, r bexpr
+}
+
+func (b blogic) bsrc() string { return "(" + b.l.bsrc() + " " + b.op + " " + b.r.bsrc() + ")" }
+func (b blogic) beval(env map[string]uint256.Int) bool {
+	if b.op == "&&" {
+		return b.l.beval(env) && b.r.beval(env)
+	}
+	return b.l.beval(env) || b.r.beval(env)
+}
+
+type bnot struct{ x bexpr }
+
+func (b bnot) bsrc() string                          { return "(!" + b.x.bsrc() + ")" }
+func (b bnot) beval(env map[string]uint256.Int) bool { return !b.x.beval(env) }
+
+func genU(r *rand.Rand, depth int) uexpr {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return uvar([]string{"a", "b", "c"}[r.Intn(3)])
+		}
+		switch r.Intn(4) {
+		case 0:
+			return ulit{uint256.NewUint64(uint64(r.Intn(10)))}
+		case 1:
+			return ulit{uint256.NewUint64(r.Uint64())}
+		default:
+			return ulit{uint256.NewUint64(uint64(r.Intn(1000)))}
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%"}
+	return ubin{op: ops[r.Intn(len(ops))], l: genU(r, depth-1), r: genU(r, depth-1)}
+}
+
+func genB(r *rand.Rand, depth int) bexpr {
+	if depth == 0 || r.Intn(3) == 0 {
+		ops := []string{"<", ">", "<=", ">=", "==", "!="}
+		return bcmp{op: ops[r.Intn(len(ops))], l: genU(r, 1), r: genU(r, 1)}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return bnot{genB(r, depth-1)}
+	case 1:
+		return blogic{op: "&&", l: genB(r, depth-1), r: genB(r, depth-1)}
+	default:
+		return blogic{op: "||", l: genB(r, depth-1), r: genB(r, depth-1)}
+	}
+}
+
+func randWord(r *rand.Rand) uint256.Int {
+	switch r.Intn(4) {
+	case 0:
+		return uint256.NewUint64(uint64(r.Intn(10)))
+	case 1:
+		return uint256.Max.Sub(uint256.NewUint64(uint64(r.Intn(10))))
+	default:
+		return uint256.Int{r.Uint64(), r.Uint64(), 0, 0}
+	}
+}
+
+// TestDifferentialArithmetic cross-checks 60 random arithmetic
+// expressions, each with 5 random inputs.
+func TestDifferentialArithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	h := newHarness(t)
+	for iter := 0; iter < 60; iter++ {
+		expr := genU(r, 3)
+		src := fmt.Sprintf(`contract D {
+			function f(uint a, uint b, uint c) public returns (uint) {
+				return %s;
+			}
+		}`, expr.src())
+		art, err := CompileContract(src, "D")
+		if err != nil {
+			t.Fatalf("compile %q: %v", expr.src(), err)
+		}
+		addr := h.deploy(art, uint256.Zero)
+		for trial := 0; trial < 5; trial++ {
+			env := map[string]uint256.Int{
+				"a": randWord(r), "b": randWord(r), "c": randWord(r),
+			}
+			want := expr.eval(env)
+			out, err := h.call(alice, addr, art, uint256.Zero, "f",
+				env["a"].ToBig(), env["b"].ToBig(), env["c"].ToBig())
+			if err != nil {
+				t.Fatalf("exec %q: %v", expr.src(), err)
+			}
+			got := out[0].(uint256.Int)
+			if got != want {
+				t.Fatalf("expr %s\nenv a=%s b=%s c=%s\nevm=%s go=%s",
+					expr.src(), env["a"], env["b"], env["c"], got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialBooleans cross-checks 40 random boolean expressions
+// (short-circuit &&/||, comparisons, negation).
+func TestDifferentialBooleans(t *testing.T) {
+	r := rand.New(rand.NewSource(4077))
+	h := newHarness(t)
+	for iter := 0; iter < 40; iter++ {
+		expr := genB(r, 3)
+		src := fmt.Sprintf(`contract D {
+			function f(uint a, uint b, uint c) public returns (uint) {
+				if (%s) { return 1; }
+				return 0;
+			}
+		}`, expr.bsrc())
+		art, err := CompileContract(src, "D")
+		if err != nil {
+			t.Fatalf("compile %q: %v", expr.bsrc(), err)
+		}
+		addr := h.deploy(art, uint256.Zero)
+		for trial := 0; trial < 5; trial++ {
+			env := map[string]uint256.Int{
+				"a": randWord(r), "b": randWord(r), "c": randWord(r),
+			}
+			want := uint64(0)
+			if expr.beval(env) {
+				want = 1
+			}
+			out, err := h.call(alice, addr, art, uint256.Zero, "f",
+				env["a"].ToBig(), env["b"].ToBig(), env["c"].ToBig())
+			if err != nil {
+				t.Fatalf("exec %q: %v", expr.bsrc(), err)
+			}
+			if got := out[0].(uint256.Int).Uint64(); got != want {
+				t.Fatalf("expr %s\nenv a=%s b=%s c=%s\nevm=%d go=%d",
+					expr.bsrc(), env["a"], env["b"], env["c"], got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialStatements cross-checks loop-and-assignment programs:
+// a fold over i in [0, n) with a random per-step operation.
+func TestDifferentialStatements(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	h := newHarness(t)
+	steps := []struct {
+		src  string
+		eval func(acc, i uint256.Int) uint256.Int
+	}{
+		{"acc += i;", func(acc, i uint256.Int) uint256.Int { return acc.Add(i) }},
+		{"acc = acc * 3 + i;", func(acc, i uint256.Int) uint256.Int { return acc.Mul(uint256.NewUint64(3)).Add(i) }},
+		{"if (i % 2 == 0) { acc += i; } else { acc -= 1; }", func(acc, i uint256.Int) uint256.Int {
+			if i.Mod(uint256.NewUint64(2)).IsZero() {
+				return acc.Add(i)
+			}
+			return acc.Sub(uint256.One)
+		}},
+	}
+	for si, step := range steps {
+		src := fmt.Sprintf(`contract L {
+			function f(uint n) public returns (uint acc) {
+				for (uint i = 0; i < n; i++) { %s }
+				return acc;
+			}
+		}`, step.src)
+		art, err := CompileContract(src, "L")
+		if err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+		addr := h.deploy(art, uint256.Zero)
+		for trial := 0; trial < 4; trial++ {
+			n := uint64(r.Intn(40))
+			want := uint256.Zero
+			for i := uint64(0); i < n; i++ {
+				want = step.eval(want, uint256.NewUint64(i))
+			}
+			out, err := h.call(alice, addr, art, uint256.Zero, "f", n)
+			if err != nil {
+				t.Fatalf("step %d n=%d: %v", si, n, err)
+			}
+			if got := out[0].(uint256.Int); got != want {
+				t.Fatalf("step %d n=%d: evm=%s go=%s", si, n, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialNegativeLiterals checks unary minus wraps like the EVM.
+func TestDifferentialNegativeLiterals(t *testing.T) {
+	h := newHarness(t)
+	src := `contract N {
+		function f(uint a) public returns (uint) { return -a; }
+	}`
+	art, err := CompileContract(src, "N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := h.deploy(art, uint256.Zero)
+	for _, v := range []uint64{0, 1, 12345} {
+		out, err := h.call(alice, addr, art, uint256.Zero, "f", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint256.Zero.Sub(uint256.NewUint64(v))
+		if out[0].(uint256.Int) != want {
+			t.Fatalf("-%d = %s, want %s", v, out[0], want)
+		}
+	}
+}
+
+// TestPrecedenceMatchesGo spot-checks that minisol precedence equals the
+// conventional one on a handful of hand-picked expressions.
+func TestPrecedenceMatchesGo(t *testing.T) {
+	h := newHarness(t)
+	cases := []struct {
+		expr string
+		want uint64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"20 / 2 / 5", 2},
+		{"20 - 3 - 2", 15},
+		{"7 % 4 + 1", 4},
+		{"2 ** 10", 1024},
+		{"2 ** 3 ** 2", 64}, // left-assoc in minisol: (2**3)**2
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf(`contract P { function f() public returns (uint) { return %s; } }`, c.expr)
+		art, err := CompileContract(src, "P")
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		addr := h.deploy(art, uint256.Zero)
+		out, err := h.call(alice, addr, art, uint256.Zero, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out[0].(uint256.Int).Uint64(); got != c.want {
+			t.Fatalf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+var _ = strings.Repeat // imports guard
+var _ = big.NewInt

@@ -1,0 +1,174 @@
+package minisol
+
+// Storage-layout pinning: the compiler promises Solidity's layout rules
+// (minus packing): sequential slots for state variables (base contract
+// first), mapping elements at keccak(key ++ slot), dynamic array data at
+// keccak(slot) and the Solidity short/long string forms. These tests
+// inspect raw storage slots to pin the layout, so artifacts stay
+// interoperable with standard tooling.
+
+import (
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+)
+
+func slotOf(n uint64) ethtypes.Hash {
+	return ethtypes.Hash(uint256.NewUint64(n).Bytes32())
+}
+
+func TestSequentialSlotLayout(t *testing.T) {
+	src := `
+	contract L {
+		uint public a;      // slot 0
+		address public b;   // slot 1
+		bool public c;      // slot 2 (no packing)
+		uint public d;      // slot 3
+		function fill() public {
+			a = 11; b = msg.sender; c = true; d = 44;
+		}
+	}`
+	art := compileOne(t, src, "L")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	h.mustCall(alice, addr, art, uint256.Zero, "fill")
+
+	if h.st.GetState(addr, slotOf(0)).Uint64() != 11 {
+		t.Fatal("slot 0")
+	}
+	gotAddr := h.st.GetState(addr, slotOf(1)).Bytes32()
+	if ethtypes.BytesToAddress(gotAddr[12:]) != alice {
+		t.Fatal("slot 1 address")
+	}
+	if h.st.GetState(addr, slotOf(2)).Uint64() != 1 {
+		t.Fatal("slot 2 bool")
+	}
+	if h.st.GetState(addr, slotOf(3)).Uint64() != 44 {
+		t.Fatal("slot 3")
+	}
+}
+
+func TestInheritedSlotsComeFirst(t *testing.T) {
+	src := `
+	contract Base { uint public x; }
+	contract Kid is Base {
+		uint public y;
+		function fill() public { x = 1; y = 2; }
+	}`
+	art := compileOne(t, src, "Kid")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	h.mustCall(alice, addr, art, uint256.Zero, "fill")
+	if h.st.GetState(addr, slotOf(0)).Uint64() != 1 {
+		t.Fatal("base var must be slot 0")
+	}
+	if h.st.GetState(addr, slotOf(1)).Uint64() != 2 {
+		t.Fatal("derived var must follow")
+	}
+}
+
+func TestMappingSlotFormula(t *testing.T) {
+	src := `
+	contract M {
+		uint public filler;                 // slot 0
+		mapping(address => uint) public m; // slot 1
+		function set(address k, uint v) public { m[k] = v; }
+	}`
+	art := compileOne(t, src, "M")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	h.mustCall(alice, addr, art, uint256.Zero, "set", bob, uint64(777))
+
+	// Solidity: value at keccak(pad32(key) ++ pad32(slot)).
+	var key [32]byte
+	copy(key[12:], bob[:])
+	var slotWord [32]byte
+	slotWord[31] = 1
+	want := ethtypes.Keccak256(key[:], slotWord[:])
+	if h.st.GetState(addr, want).Uint64() != 777 {
+		t.Fatalf("mapping slot formula violated")
+	}
+}
+
+func TestArraySlotFormula(t *testing.T) {
+	src := `
+	contract A {
+		uint[] public xs; // slot 0: length; data at keccak(0)
+		function push2() public { xs.push(10); xs.push(20); }
+	}`
+	art := compileOne(t, src, "A")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	h.mustCall(alice, addr, art, uint256.Zero, "push2")
+	if h.st.GetState(addr, slotOf(0)).Uint64() != 2 {
+		t.Fatal("length not in declaration slot")
+	}
+	var slotWord [32]byte
+	dataBase := ethtypes.Keccak256(slotWord[:])
+	if h.st.GetState(addr, dataBase).Uint64() != 10 {
+		t.Fatal("element 0 not at keccak(slot)")
+	}
+	next := uint256.SetBytes(dataBase[:]).Add(uint256.One).Bytes32()
+	if h.st.GetState(addr, ethtypes.Hash(next)).Uint64() != 20 {
+		t.Fatal("element 1 not at keccak(slot)+1")
+	}
+}
+
+func TestShortStringStorageForm(t *testing.T) {
+	src := `
+	contract S {
+		string public s; // slot 0
+		function set(string memory v) public { s = v; }
+	}`
+	art := compileOne(t, src, "S")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+
+	// Short form: data left-aligned, low byte = 2*len.
+	h.mustCall(alice, addr, art, uint256.Zero, "set", "hi")
+	raw := h.st.GetState(addr, slotOf(0)).Bytes32()
+	if raw[0] != 'h' || raw[1] != 'i' {
+		t.Fatalf("short string data: %x", raw)
+	}
+	if raw[31] != 4 { // 2*len
+		t.Fatalf("short string length byte: %d", raw[31])
+	}
+	// Long form: slot = 2*len+1, data at keccak(slot).
+	long := "this string is far longer than thirty-one bytes, forcing long form"
+	h.mustCall(alice, addr, art, uint256.Zero, "set", long)
+	raw = h.st.GetState(addr, slotOf(0)).Bytes32()
+	got := uint256.SetBytes(raw[:]).Uint64()
+	if got != uint64(len(long))*2+1 {
+		t.Fatalf("long string slot = %d, want %d", got, len(long)*2+1)
+	}
+	var slotWord [32]byte
+	dataBase := ethtypes.Keccak256(slotWord[:])
+	first := h.st.GetState(addr, dataBase).Bytes32()
+	if string(first[:4]) != "this" {
+		t.Fatalf("long string data start: %q", first[:8])
+	}
+}
+
+func TestStructArraySlotStride(t *testing.T) {
+	src := `
+	contract T {
+		struct P { uint a; uint b; }
+		P[] public ps; // slot 0
+		function fill() public { ps.push(P(1, 2)); ps.push(P(3, 4)); }
+	}`
+	art := compileOne(t, src, "T")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	h.mustCall(alice, addr, art, uint256.Zero, "fill")
+	var slotWord [32]byte
+	base := uint256.SetBytes(func() []byte { h := ethtypes.Keccak256(slotWord[:]); return h[:] }())
+	at := func(off uint64) uint64 {
+		s := base.Add(uint256.NewUint64(off)).Bytes32()
+		return h.st.GetState(addr, ethtypes.Hash(s)).Uint64()
+	}
+	// Element i occupies 2 slots: [a, b].
+	if at(0) != 1 || at(1) != 2 || at(2) != 3 || at(3) != 4 {
+		t.Fatalf("struct stride: %d %d %d %d", at(0), at(1), at(2), at(3))
+	}
+}

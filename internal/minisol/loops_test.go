@@ -1,0 +1,119 @@
+package minisol
+
+import (
+	"testing"
+
+	"legalchain/internal/uint256"
+)
+
+func TestBreakStatement(t *testing.T) {
+	src := `
+	contract B {
+		function firstMultiple(uint of, uint above) public returns (uint r) {
+			for (uint i = above; i < above + 1000; i++) {
+				if (i % of == 0) { r = i; break; }
+			}
+			return r;
+		}
+	}`
+	art := compileOne(t, src, "B")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	out := h.mustCall(alice, addr, art, uint256.Zero, "firstMultiple", uint64(7), uint64(30))
+	if asU64(t, out[0]) != 35 {
+		t.Fatalf("got %v", out[0])
+	}
+}
+
+func TestContinueStatement(t *testing.T) {
+	src := `
+	contract C {
+		function sumOdd(uint n) public returns (uint s) {
+			for (uint i = 0; i < n; i++) {
+				if (i % 2 == 0) { continue; }
+				s += i;
+			}
+			return s;
+		}
+	}`
+	art := compileOne(t, src, "C")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	// sum of odd numbers < 10 = 1+3+5+7+9 = 25
+	out := h.mustCall(alice, addr, art, uint256.Zero, "sumOdd", uint64(10))
+	if asU64(t, out[0]) != 25 {
+		t.Fatalf("got %v", out[0])
+	}
+}
+
+func TestContinueRunsForPost(t *testing.T) {
+	// continue in a for-loop must still execute the post statement —
+	// otherwise this loops forever (and runs out of gas).
+	src := `
+	contract P {
+		function count(uint n) public returns (uint c) {
+			for (uint i = 0; i < n; i++) {
+				if (true) { continue; }
+				c += 100;
+			}
+			return 42;
+		}
+	}`
+	art := compileOne(t, src, "P")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	out := h.mustCall(alice, addr, art, uint256.Zero, "count", uint64(5))
+	if asU64(t, out[0]) != 42 {
+		t.Fatalf("got %v", out[0])
+	}
+}
+
+func TestBreakInWhile(t *testing.T) {
+	src := `
+	contract W {
+		function f() public returns (uint i) {
+			while (true) {
+				i += 1;
+				if (i == 9) { break; }
+			}
+			return i;
+		}
+	}`
+	art := compileOne(t, src, "W")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	if asU64(t, h.mustCall(alice, addr, art, uint256.Zero, "f")[0]) != 9 {
+		t.Fatal("break in while")
+	}
+}
+
+func TestNestedLoopBreakTargetsInnermost(t *testing.T) {
+	src := `
+	contract N {
+		function f() public returns (uint c) {
+			for (uint i = 0; i < 3; i++) {
+				for (uint j = 0; j < 10; j++) {
+					if (j == 2) { break; }
+					c += 1;
+				}
+			}
+			return c;
+		}
+	}`
+	art := compileOne(t, src, "N")
+	h := newHarness(t)
+	addr := h.deploy(art, uint256.Zero)
+	// inner contributes 2 per outer iteration: 3*2 = 6
+	if asU64(t, h.mustCall(alice, addr, art, uint256.Zero, "f")[0]) != 6 {
+		t.Fatal("nested break")
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	for _, body := range []string{"break;", "continue;"} {
+		src := `contract X { function f() public { ` + body + ` } }`
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s outside loop accepted", body)
+		}
+	}
+}

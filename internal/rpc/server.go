@@ -1,0 +1,456 @@
+// Package rpc exposes the devnet over JSON-RPC 2.0 — the endpoint role
+// Ganache plays in the paper's stack. The eth_* subset implemented is
+// the one web3 clients need for the legal-contract flows: transaction
+// submission, calls, receipts, logs, balances and code, plus the
+// development extension evm_increaseTime.
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/wallet"
+)
+
+// Server handles JSON-RPC requests for one Blockchain.
+type Server struct {
+	bc *chain.Blockchain
+	ks *wallet.Keystore // for eth_accounts; may be nil
+}
+
+// NewServer builds a server. ks may be nil.
+func NewServer(bc *chain.Blockchain, ks *wallet.Keystore) *Server {
+	return &Server{bc: bc, ks: ks}
+}
+
+// request/response are the JSON-RPC 2.0 wire structures.
+type request struct {
+	JSONRPC string            `json:"jsonrpc"`
+	ID      json.RawMessage   `json:"id"`
+	Method  string            `json:"method"`
+	Params  []json.RawMessage `json:"params"`
+}
+
+type response struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  interface{}     `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Standard JSON-RPC error codes.
+const (
+	codeParse          = -32700
+	codeInvalidRequest = -32600
+	codeMethodNotFound = -32601
+	codeInvalidParams  = -32602
+	codeServerError    = -32000
+)
+
+// ServeHTTP implements http.Handler (POST with a single request or a
+// batch array).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "[") {
+		var reqs []request
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			json.NewEncoder(w).Encode(errorResponse(nil, codeParse, "parse error"))
+			return
+		}
+		out := make([]response, len(reqs))
+		for i, req := range reqs {
+			out[i] = s.handle(&req)
+		}
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+	var req request
+	if err := json.Unmarshal(body, &req); err != nil {
+		json.NewEncoder(w).Encode(errorResponse(nil, codeParse, "parse error"))
+		return
+	}
+	json.NewEncoder(w).Encode(s.handle(&req))
+}
+
+func errorResponse(id json.RawMessage, code int, msg string) response {
+	return response{JSONRPC: "2.0", ID: id, Error: &rpcError{Code: code, Message: msg}}
+}
+
+func okResponse(id json.RawMessage, result interface{}) response {
+	return response{JSONRPC: "2.0", ID: id, Result: result}
+}
+
+// handle dispatches one request.
+func (s *Server) handle(req *request) response {
+	result, err := s.dispatch(req.Method, req.Params)
+	if err != nil {
+		code := codeServerError
+		if err == errMethodNotFound {
+			code = codeMethodNotFound
+		}
+		return errorResponse(req.ID, code, err.Error())
+	}
+	return okResponse(req.ID, result)
+}
+
+var errMethodNotFound = fmt.Errorf("method not found")
+
+func (s *Server) dispatch(method string, params []json.RawMessage) (interface{}, error) {
+	switch method {
+	case "web3_clientVersion":
+		return "legalchain/devnet/v1.0.0", nil
+	case "net_version":
+		return fmt.Sprintf("%d", s.bc.ChainID()), nil
+	case "eth_chainId":
+		return hexutil.EncodeUint64(s.bc.ChainID()), nil
+	case "eth_blockNumber":
+		return hexutil.EncodeUint64(s.bc.BlockNumber()), nil
+	case "eth_gasPrice":
+		return "0x3b9aca00", nil // 1 gwei
+	case "eth_accounts":
+		var out []string
+		if s.ks != nil {
+			for _, a := range s.ks.Accounts() {
+				out = append(out, a.Hex())
+			}
+		}
+		return out, nil
+
+	case "eth_getBalance":
+		addr, err := addrParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return hexutil.EncodeBig(s.bc.GetBalance(addr).ToBig()), nil
+
+	case "eth_getTransactionCount":
+		addr, err := addrParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return hexutil.EncodeUint64(s.bc.GetNonce(addr)), nil
+
+	case "eth_getCode":
+		addr, err := addrParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return hexutil.Encode(s.bc.GetCode(addr)), nil
+
+	case "eth_getStorageAt":
+		addr, err := addrParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		slotHex, err := strParam(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := hexutil.DecodeBig(slotHex)
+		if err != nil {
+			return nil, err
+		}
+		var slot ethtypes.Hash
+		raw.FillBytes(slot[:])
+		v := s.bc.GetStorageAt(addr, slot).Bytes32()
+		return hexutil.Encode(v[:]), nil
+
+	case "eth_sendRawTransaction":
+		rawHex, err := strParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := hexutil.Decode(rawHex)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := ethtypes.DecodeTransaction(raw)
+		if err != nil {
+			return nil, err
+		}
+		hash, err := s.bc.SendTransaction(tx)
+		if err != nil {
+			return nil, err
+		}
+		return hash.Hex(), nil
+
+	case "eth_call":
+		msg, err := callParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		res := s.bc.Call(msg.from, msg.to, msg.data, msg.value, msg.gas)
+		if res.Err != nil {
+			if res.Reason != "" {
+				return nil, fmt.Errorf("execution reverted: %s", res.Reason)
+			}
+			return nil, res.Err
+		}
+		return hexutil.Encode(res.Return), nil
+
+	case "eth_estimateGas":
+		msg, err := callParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		est, err := s.bc.EstimateGas(msg.from, msg.to, msg.data, msg.value)
+		if err != nil {
+			return nil, err
+		}
+		return hexutil.EncodeUint64(est), nil
+
+	case "eth_getTransactionReceipt":
+		h, err := hashParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		rcpt, ok := s.bc.GetReceipt(h)
+		if !ok {
+			return nil, nil // null result per spec
+		}
+		return receiptJSON(rcpt), nil
+
+	case "eth_getTransactionByHash":
+		h, err := hashParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		tx, ok := s.bc.GetTransaction(h)
+		if !ok {
+			return nil, nil
+		}
+		return txJSON(tx, s.bc.ChainID()), nil
+
+	case "eth_getBlockByNumber":
+		numHex, err := strParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		var n uint64
+		switch numHex {
+		case "latest", "pending", "safe", "finalized":
+			n = s.bc.BlockNumber()
+		case "earliest":
+			n = 0
+		default:
+			if n, err = hexutil.DecodeUint64(numHex); err != nil {
+				return nil, err
+			}
+		}
+		b, ok := s.bc.BlockByNumber(n)
+		if !ok {
+			return nil, nil
+		}
+		return blockJSON(b), nil
+
+	case "eth_getBlockByHash":
+		h, err := hashParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := s.bc.BlockByHash(h)
+		if !ok {
+			return nil, nil
+		}
+		return blockJSON(b), nil
+
+	case "eth_getLogs":
+		q, err := filterParam(params, 0, s.bc.BlockNumber())
+		if err != nil {
+			return nil, err
+		}
+		logs := s.bc.FilterLogs(q)
+		out := make([]interface{}, len(logs))
+		for i, l := range logs {
+			out[i] = logJSON(l)
+		}
+		return out, nil
+
+	case "debug_traceCall":
+		msg, err := callParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, trace := s.bc.TraceCall(msg.from, msg.to, msg.data, msg.gas)
+		out := map[string]interface{}{
+			"gas":      hexutil.EncodeUint64(res.GasUsed),
+			"failed":   res.Err != nil,
+			"steps":    len(trace.Logs),
+			"opCounts": trace.OpCount,
+		}
+		if res.Err != nil {
+			out["error"] = res.Err.Error()
+		}
+		if len(res.Return) > 0 {
+			out["returnValue"] = hexutil.Encode(res.Return)
+		}
+		return out, nil
+
+	case "evm_increaseTime":
+		secs, err := uintParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.bc.AdjustTime(secs)
+		return hexutil.EncodeUint64(secs), nil
+
+	default:
+		return nil, errMethodNotFound
+	}
+}
+
+// --- JSON shapes ----------------------------------------------------------
+
+func receiptJSON(r *ethtypes.Receipt) map[string]interface{} {
+	out := map[string]interface{}{
+		"transactionHash":   r.TxHash.Hex(),
+		"transactionIndex":  hexutil.EncodeUint64(uint64(r.TxIndex)),
+		"blockNumber":       hexutil.EncodeUint64(r.BlockNumber),
+		"blockHash":         r.BlockHash.Hex(),
+		"from":              r.From.Hex(),
+		"gasUsed":           hexutil.EncodeUint64(r.GasUsed),
+		"cumulativeGasUsed": hexutil.EncodeUint64(r.CumulativeGasUsed),
+		"status":            hexutil.EncodeUint64(r.Status),
+		"logs":              []interface{}{},
+	}
+	if r.To != nil {
+		out["to"] = r.To.Hex()
+	}
+	if r.ContractAddress != nil {
+		out["contractAddress"] = r.ContractAddress.Hex()
+	}
+	if r.RevertReason != "" {
+		out["revertReason"] = r.RevertReason
+	}
+	logs := make([]interface{}, len(r.Logs))
+	for i, l := range r.Logs {
+		logs[i] = logJSON(l)
+	}
+	out["logs"] = logs
+	return out
+}
+
+func logJSON(l *ethtypes.Log) map[string]interface{} {
+	topics := make([]string, len(l.Topics))
+	for i, t := range l.Topics {
+		topics[i] = t.Hex()
+	}
+	return map[string]interface{}{
+		"address":          l.Address.Hex(),
+		"topics":           topics,
+		"data":             hexutil.Encode(l.Data),
+		"blockNumber":      hexutil.EncodeUint64(l.BlockNumber),
+		"transactionHash":  l.TxHash.Hex(),
+		"transactionIndex": hexutil.EncodeUint64(uint64(l.TxIndex)),
+		"logIndex":         hexutil.EncodeUint64(uint64(l.Index)),
+	}
+}
+
+func txJSON(tx *ethtypes.Transaction, chainID uint64) map[string]interface{} {
+	out := map[string]interface{}{
+		"hash":     tx.Hash().Hex(),
+		"nonce":    hexutil.EncodeUint64(tx.Nonce),
+		"gas":      hexutil.EncodeUint64(tx.Gas),
+		"gasPrice": hexutil.EncodeBig(tx.GasPrice.ToBig()),
+		"value":    hexutil.EncodeBig(tx.Value.ToBig()),
+		"input":    hexutil.Encode(tx.Data),
+	}
+	if tx.To != nil {
+		out["to"] = tx.To.Hex()
+	}
+	if from, err := tx.Sender(chainID); err == nil {
+		out["from"] = from.Hex()
+	}
+	return out
+}
+
+func blockJSON(b *ethtypes.Block) map[string]interface{} {
+	txs := make([]string, len(b.Transactions))
+	for i, tx := range b.Transactions {
+		txs[i] = tx.Hash().Hex()
+	}
+	return map[string]interface{}{
+		"number":       hexutil.EncodeUint64(b.Number()),
+		"hash":         b.Hash().Hex(),
+		"parentHash":   b.Header.ParentHash.Hex(),
+		"timestamp":    hexutil.EncodeUint64(b.Header.Time),
+		"gasLimit":     hexutil.EncodeUint64(b.Header.GasLimit),
+		"gasUsed":      hexutil.EncodeUint64(b.Header.GasUsed),
+		"miner":        b.Header.Coinbase.Hex(),
+		"stateRoot":    b.Header.StateRoot.Hex(),
+		"transactions": txs,
+	}
+}
+
+// --- param helpers ---------------------------------------------------------
+
+func strParam(params []json.RawMessage, i int) (string, error) {
+	if i >= len(params) {
+		return "", fmt.Errorf("missing parameter %d", i)
+	}
+	var s string
+	if err := json.Unmarshal(params[i], &s); err != nil {
+		return "", fmt.Errorf("parameter %d: %v", i, err)
+	}
+	return s, nil
+}
+
+func addrParam(params []json.RawMessage, i int) (ethtypes.Address, error) {
+	s, err := strParam(params, i)
+	if err != nil {
+		return ethtypes.Address{}, err
+	}
+	raw, err := hexutil.Decode(s)
+	if err != nil || len(raw) != 20 {
+		return ethtypes.Address{}, fmt.Errorf("parameter %d: bad address", i)
+	}
+	return ethtypes.BytesToAddress(raw), nil
+}
+
+func hashParam(params []json.RawMessage, i int) (ethtypes.Hash, error) {
+	s, err := strParam(params, i)
+	if err != nil {
+		return ethtypes.Hash{}, err
+	}
+	raw, err := hexutil.Decode(s)
+	if err != nil || len(raw) != 32 {
+		return ethtypes.Hash{}, fmt.Errorf("parameter %d: bad hash", i)
+	}
+	return ethtypes.BytesToHash(raw), nil
+}
+
+func uintParam(params []json.RawMessage, i int) (uint64, error) {
+	if i >= len(params) {
+		return 0, fmt.Errorf("missing parameter %d", i)
+	}
+	var n uint64
+	if err := json.Unmarshal(params[i], &n); err == nil {
+		return n, nil
+	}
+	s, err := strParam(params, i)
+	if err != nil {
+		return 0, err
+	}
+	return hexutil.DecodeUint64(s)
+}

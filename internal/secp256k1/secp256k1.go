@@ -1,0 +1,405 @@
+// Package secp256k1 implements the secp256k1 elliptic curve and the
+// ECDSA operations Ethereum uses for transaction signing: deterministic
+// signing (RFC 6979), verification, and public-key recovery from a
+// recoverable signature (the ecrecover primitive).
+//
+// The standard library does not ship secp256k1 (crypto/elliptic only
+// covers the NIST curves), so the group law is implemented here directly
+// over math/big. Performance is adequate for a development chain; this
+// is not a constant-time implementation and must not be used to guard
+// production funds — a limitation shared with every devnet keystore.
+package secp256k1
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"math/big"
+)
+
+// Curve parameters: y² = x³ + 7 over F_p.
+var (
+	// P is the field prime 2^256 - 2^32 - 977.
+	P, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
+	// N is the group order.
+	N, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
+	// Gx, Gy are the coordinates of the base point.
+	Gx, _ = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
+	Gy, _ = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
+
+	halfN = new(big.Int).Rsh(N, 1)
+	seven = big.NewInt(7)
+)
+
+// Point is an affine curve point; the point at infinity is represented
+// by X == nil.
+type Point struct {
+	X, Y *big.Int
+}
+
+// Infinity returns the identity element.
+func Infinity() Point { return Point{} }
+
+// IsInfinity reports whether p is the identity.
+func (p Point) IsInfinity() bool { return p.X == nil }
+
+// OnCurve reports whether p satisfies the curve equation.
+func (p Point) OnCurve() bool {
+	if p.IsInfinity() {
+		return true
+	}
+	if p.X.Sign() < 0 || p.X.Cmp(P) >= 0 || p.Y.Sign() < 0 || p.Y.Cmp(P) >= 0 {
+		return false
+	}
+	y2 := new(big.Int).Mul(p.Y, p.Y)
+	y2.Mod(y2, P)
+	x3 := new(big.Int).Mul(p.X, p.X)
+	x3.Mul(x3, p.X)
+	x3.Add(x3, seven)
+	x3.Mod(x3, P)
+	return y2.Cmp(x3) == 0
+}
+
+func modInverse(a *big.Int, m *big.Int) *big.Int {
+	return new(big.Int).ModInverse(new(big.Int).Mod(a, m), m)
+}
+
+// Add returns p + q using the affine group law.
+func Add(p, q Point) Point {
+	if p.IsInfinity() {
+		return q
+	}
+	if q.IsInfinity() {
+		return p
+	}
+	if p.X.Cmp(q.X) == 0 {
+		sum := new(big.Int).Add(p.Y, q.Y)
+		sum.Mod(sum, P)
+		if sum.Sign() == 0 {
+			return Infinity() // p == -q
+		}
+		return Double(p)
+	}
+	// lambda = (qy - py) / (qx - px)
+	num := new(big.Int).Sub(q.Y, p.Y)
+	den := new(big.Int).Sub(q.X, p.X)
+	lambda := num.Mul(num, modInverse(den, P))
+	lambda.Mod(lambda, P)
+	return chord(p, q, lambda)
+}
+
+// Double returns 2p.
+func Double(p Point) Point {
+	if p.IsInfinity() || p.Y.Sign() == 0 {
+		return Infinity()
+	}
+	// lambda = 3x² / 2y
+	num := new(big.Int).Mul(p.X, p.X)
+	num.Mul(num, big.NewInt(3))
+	den := new(big.Int).Lsh(p.Y, 1)
+	lambda := num.Mul(num, modInverse(den, P))
+	lambda.Mod(lambda, P)
+	return chord(p, p, lambda)
+}
+
+// chord completes point addition given the slope lambda.
+func chord(p, q Point, lambda *big.Int) Point {
+	x := new(big.Int).Mul(lambda, lambda)
+	x.Sub(x, p.X)
+	x.Sub(x, q.X)
+	x.Mod(x, P)
+	if x.Sign() < 0 {
+		x.Add(x, P)
+	}
+	y := new(big.Int).Sub(p.X, x)
+	y.Mul(y, lambda)
+	y.Sub(y, p.Y)
+	y.Mod(y, P)
+	if y.Sign() < 0 {
+		y.Add(y, P)
+	}
+	return Point{X: x, Y: y}
+}
+
+// ScalarMult returns k·p (double-and-add).
+func ScalarMult(p Point, k *big.Int) Point {
+	k = new(big.Int).Mod(k, N)
+	result := Infinity()
+	addend := p
+	for i := 0; i < k.BitLen(); i++ {
+		if k.Bit(i) == 1 {
+			result = Add(result, addend)
+		}
+		addend = Double(addend)
+	}
+	return result
+}
+
+// ScalarBaseMult returns k·G.
+func ScalarBaseMult(k *big.Int) Point {
+	return ScalarMult(Point{X: Gx, Y: Gy}, k)
+}
+
+// PrivateKey is a secp256k1 private scalar with its public point.
+type PrivateKey struct {
+	D      *big.Int
+	Public Point
+}
+
+// GenerateKey creates a key from crypto/rand.
+func GenerateKey() (*PrivateKey, error) {
+	for {
+		var buf [32]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return nil, err
+		}
+		d := new(big.Int).SetBytes(buf[:])
+		if d.Sign() > 0 && d.Cmp(N) < 0 {
+			return PrivateKeyFromScalar(d), nil
+		}
+	}
+}
+
+// PrivateKeyFromScalar builds a key from an in-range scalar.
+func PrivateKeyFromScalar(d *big.Int) *PrivateKey {
+	return &PrivateKey{D: new(big.Int).Set(d), Public: ScalarBaseMult(d)}
+}
+
+// PrivateKeyFromBytes parses a 32-byte scalar.
+func PrivateKeyFromBytes(b []byte) (*PrivateKey, error) {
+	d := new(big.Int).SetBytes(b)
+	if d.Sign() == 0 || d.Cmp(N) >= 0 {
+		return nil, errors.New("secp256k1: private key out of range")
+	}
+	return PrivateKeyFromScalar(d), nil
+}
+
+// Bytes returns the 32-byte big-endian scalar.
+func (k *PrivateKey) Bytes() []byte {
+	out := make([]byte, 32)
+	k.D.FillBytes(out)
+	return out
+}
+
+// SerializePublic returns the 65-byte uncompressed encoding 0x04||X||Y.
+func SerializePublic(p Point) []byte {
+	out := make([]byte, 65)
+	out[0] = 0x04
+	p.X.FillBytes(out[1:33])
+	p.Y.FillBytes(out[33:65])
+	return out
+}
+
+// ParsePublic parses a 65-byte uncompressed public key.
+func ParsePublic(b []byte) (Point, error) {
+	if len(b) != 65 || b[0] != 0x04 {
+		return Point{}, errors.New("secp256k1: invalid uncompressed public key")
+	}
+	p := Point{X: new(big.Int).SetBytes(b[1:33]), Y: new(big.Int).SetBytes(b[33:65])}
+	if !p.OnCurve() || p.IsInfinity() {
+		return Point{}, errors.New("secp256k1: point not on curve")
+	}
+	return p, nil
+}
+
+// Signature is a recoverable ECDSA signature. V is the recovery id (0/1),
+// identifying which of the candidate R points was used.
+type Signature struct {
+	R, S *big.Int
+	V    byte
+}
+
+// Serialize returns the 65-byte [R||S||V] form used in transactions.
+func (sig *Signature) Serialize() []byte {
+	out := make([]byte, 65)
+	sig.R.FillBytes(out[:32])
+	sig.S.FillBytes(out[32:64])
+	out[64] = sig.V
+	return out
+}
+
+// ParseSignature parses the 65-byte [R||S||V] form.
+func ParseSignature(b []byte) (*Signature, error) {
+	if len(b) != 65 {
+		return nil, errors.New("secp256k1: signature must be 65 bytes")
+	}
+	sig := &Signature{
+		R: new(big.Int).SetBytes(b[:32]),
+		S: new(big.Int).SetBytes(b[32:64]),
+		V: b[64],
+	}
+	if err := sig.validate(); err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+func (sig *Signature) validate() error {
+	if sig.R.Sign() <= 0 || sig.R.Cmp(N) >= 0 || sig.S.Sign() <= 0 || sig.S.Cmp(N) >= 0 {
+		return errors.New("secp256k1: signature component out of range")
+	}
+	if sig.V > 1 {
+		return errors.New("secp256k1: recovery id must be 0 or 1")
+	}
+	if sig.S.Cmp(halfN) > 0 {
+		return errors.New("secp256k1: signature s not normalized (malleable)")
+	}
+	return nil
+}
+
+// Sign produces a deterministic (RFC 6979, HMAC-SHA256) recoverable
+// signature over the 32-byte digest. S is normalized to the low half to
+// rule out malleability, as Ethereum requires.
+func (k *PrivateKey) Sign(digest []byte) (*Signature, error) {
+	if len(digest) != 32 {
+		return nil, errors.New("secp256k1: digest must be 32 bytes")
+	}
+	z := hashToInt(digest)
+	for attempt := 0; ; attempt++ {
+		kNonce := rfc6979Nonce(k.D, digest, attempt)
+		if kNonce.Sign() == 0 || kNonce.Cmp(N) >= 0 {
+			continue
+		}
+		rp := ScalarBaseMult(kNonce)
+		if rp.IsInfinity() {
+			continue
+		}
+		r := new(big.Int).Mod(rp.X, N)
+		if r.Sign() == 0 {
+			continue
+		}
+		// s = k^-1 (z + r d) mod n
+		s := new(big.Int).Mul(r, k.D)
+		s.Add(s, z)
+		s.Mul(s, modInverse(kNonce, N))
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			continue
+		}
+		v := byte(rp.Y.Bit(0))
+		if rp.X.Cmp(N) >= 0 {
+			// r aliased past the group order; the recovery id encoding
+			// cannot express this (~2^-127 chance) — retry.
+			continue
+		}
+		if s.Cmp(halfN) > 0 {
+			s.Sub(N, s)
+			v ^= 1
+		}
+		return &Signature{R: r, S: s, V: v}, nil
+	}
+}
+
+// Verify checks a (non-recoverable) signature over digest against pub.
+func Verify(pub Point, digest []byte, r, s *big.Int) bool {
+	if len(digest) != 32 || pub.IsInfinity() || !pub.OnCurve() {
+		return false
+	}
+	if r.Sign() <= 0 || r.Cmp(N) >= 0 || s.Sign() <= 0 || s.Cmp(N) >= 0 {
+		return false
+	}
+	z := hashToInt(digest)
+	w := modInverse(s, N)
+	u1 := new(big.Int).Mul(z, w)
+	u1.Mod(u1, N)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, N)
+	pt := Add(ScalarBaseMult(u1), ScalarMult(pub, u2))
+	if pt.IsInfinity() {
+		return false
+	}
+	return new(big.Int).Mod(pt.X, N).Cmp(r) == 0
+}
+
+// Recover returns the public key that produced sig over digest
+// (the ecrecover primitive).
+func Recover(digest []byte, sig *Signature) (Point, error) {
+	if len(digest) != 32 {
+		return Point{}, errors.New("secp256k1: digest must be 32 bytes")
+	}
+	if err := sig.validate(); err != nil {
+		return Point{}, err
+	}
+	// Reconstruct R from x = r and the parity bit v.
+	x := new(big.Int).Set(sig.R)
+	y, err := liftX(x, sig.V)
+	if err != nil {
+		return Point{}, err
+	}
+	rPoint := Point{X: x, Y: y}
+	// Q = r^-1 (s·R - z·G)
+	z := hashToInt(digest)
+	rInv := modInverse(sig.R, N)
+	sR := ScalarMult(rPoint, sig.S)
+	zG := ScalarBaseMult(new(big.Int).Mod(new(big.Int).Neg(z), N))
+	q := ScalarMult(Add(sR, zG), rInv)
+	if q.IsInfinity() || !q.OnCurve() {
+		return Point{}, errors.New("secp256k1: recovery produced invalid point")
+	}
+	return q, nil
+}
+
+// liftX computes the curve y with the requested parity for the given x.
+func liftX(x *big.Int, parity byte) (*big.Int, error) {
+	if x.Cmp(P) >= 0 {
+		return nil, errors.New("secp256k1: x out of field")
+	}
+	// y² = x³ + 7; sqrt via exponent (p+1)/4 since p ≡ 3 (mod 4).
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	y2.Add(y2, seven)
+	y2.Mod(y2, P)
+	exp := new(big.Int).Add(P, big.NewInt(1))
+	exp.Rsh(exp, 2)
+	y := new(big.Int).Exp(y2, exp, P)
+	// Check y is actually a root.
+	chk := new(big.Int).Mul(y, y)
+	chk.Mod(chk, P)
+	if chk.Cmp(y2) != 0 {
+		return nil, errors.New("secp256k1: x has no square root (invalid signature)")
+	}
+	if byte(y.Bit(0)) != parity {
+		y.Sub(P, y)
+	}
+	return y, nil
+}
+
+func hashToInt(digest []byte) *big.Int {
+	return new(big.Int).SetBytes(digest)
+}
+
+// rfc6979Nonce derives the deterministic nonce k for signing. The extra
+// counter folds in retry attempts (RFC 6979 §3.2 step h loop).
+func rfc6979Nonce(d *big.Int, digest []byte, attempt int) *big.Int {
+	x := make([]byte, 32)
+	d.FillBytes(x)
+
+	v := make([]byte, 32)
+	kk := make([]byte, 32)
+	for i := range v {
+		v[i] = 0x01
+	}
+
+	mac := func(key []byte, chunks ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, c := range chunks {
+			m.Write(c)
+		}
+		return m.Sum(nil)
+	}
+
+	kk = mac(kk, v, []byte{0x00}, x, digest)
+	v = mac(kk, v)
+	kk = mac(kk, v, []byte{0x01}, x, digest)
+	v = mac(kk, v)
+
+	for i := 0; ; i++ {
+		v = mac(kk, v)
+		if i >= attempt {
+			return new(big.Int).SetBytes(v)
+		}
+		kk = mac(kk, v, []byte{0x00})
+		v = mac(kk, v)
+	}
+}

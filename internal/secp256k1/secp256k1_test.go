@@ -1,0 +1,276 @@
+package secp256k1
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestBasePointOnCurve(t *testing.T) {
+	g := Point{X: Gx, Y: Gy}
+	if !g.OnCurve() {
+		t.Fatal("base point not on curve")
+	}
+	// n·G = infinity
+	if !ScalarBaseMult(N).IsInfinity() {
+		t.Fatal("N*G is not the identity")
+	}
+	// (n-1)·G = -G
+	m := ScalarBaseMult(new(big.Int).Sub(N, big.NewInt(1)))
+	if m.X.Cmp(Gx) != 0 {
+		t.Fatal("(N-1)*G has wrong x")
+	}
+	if new(big.Int).Add(m.Y, Gy).Mod(new(big.Int).Add(m.Y, Gy), P).Sign() != 0 {
+		t.Fatal("(N-1)*G is not -G")
+	}
+}
+
+// Known scalar multiples of G (from the canonical secp256k1 test table).
+func TestKnownMultiples(t *testing.T) {
+	cases := []struct{ k, x, y string }{
+		{"1",
+			"79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798",
+			"483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8"},
+		{"2",
+			"C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5",
+			"1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A"},
+		{"3",
+			"F9308A019258C31049344F85F89D5229B531C845836F99B08601F113BCE036F9",
+			"388F7B0F632DE8140FE337E62A37F3566500A99934C2231B6CB9FD7584B8E672"},
+		{"20",
+			"4CE119C96E2FA357200B559B2F7DD5A5F02D5290AFF74B03F3E471B273211C97",
+			"12BA26DCB10EC1625DA61FA10A844C676162948271D96967450288EE9233DC3A"},
+		{"112233445566778899",
+			"A90CC3D3F3E146DAADFC74CA1372207CB4B725AE708CEF713A98EDD73D99EF29",
+			"5A79D6B289610C68BC3B47F3D72F9788A26A06868B4D8E433E1E2AD76FB7DC76"},
+	}
+	for _, c := range cases {
+		k, _ := new(big.Int).SetString(c.k, 10)
+		wantX, _ := new(big.Int).SetString(c.x, 16)
+		wantY, _ := new(big.Int).SetString(c.y, 16)
+		got := ScalarBaseMult(k)
+		if got.X.Cmp(wantX) != 0 || got.Y.Cmp(wantY) != 0 {
+			t.Errorf("k=%s: got (%x, %x)", c.k, got.X, got.Y)
+		}
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		a := new(big.Int).Rand(r, N)
+		b := new(big.Int).Rand(r, N)
+		pa, pb := ScalarBaseMult(a), ScalarBaseMult(b)
+		// (a+b)G == aG + bG
+		sum := ScalarBaseMult(new(big.Int).Mod(new(big.Int).Add(a, b), N))
+		got := Add(pa, pb)
+		if (sum.IsInfinity()) != (got.IsInfinity()) {
+			t.Fatal("infinity mismatch")
+		}
+		if !sum.IsInfinity() && (sum.X.Cmp(got.X) != 0 || sum.Y.Cmp(got.Y) != 0) {
+			t.Fatalf("distributivity failed at i=%d", i)
+		}
+		// Commutativity
+		ba := Add(pb, pa)
+		if !got.IsInfinity() && (ba.X.Cmp(got.X) != 0 || ba.Y.Cmp(got.Y) != 0) {
+			t.Fatal("addition not commutative")
+		}
+		// Identity
+		idl := Add(pa, Infinity())
+		if idl.X.Cmp(pa.X) != 0 {
+			t.Fatal("identity law failed")
+		}
+	}
+}
+
+func TestSignVerifyRecover(t *testing.T) {
+	key := PrivateKeyFromScalar(big.NewInt(0x1337))
+	for i := 0; i < 10; i++ {
+		digest := sha256.Sum256([]byte{byte(i), 0xaa})
+		sig, err := key.Sign(digest[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(key.Public, digest[:], sig.R, sig.S) {
+			t.Fatal("verification failed")
+		}
+		// Deterministic: same digest ⇒ same signature.
+		sig2, _ := key.Sign(digest[:])
+		if sig.R.Cmp(sig2.R) != 0 || sig.S.Cmp(sig2.S) != 0 || sig.V != sig2.V {
+			t.Fatal("signing is not deterministic")
+		}
+		// Recovery returns the signing key.
+		rec, err := Recover(digest[:], sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.X.Cmp(key.Public.X) != 0 || rec.Y.Cmp(key.Public.Y) != 0 {
+			t.Fatal("recovered wrong public key")
+		}
+		// Low-s normalization.
+		if sig.S.Cmp(halfN) > 0 {
+			t.Fatal("signature s not normalized")
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	key := PrivateKeyFromScalar(big.NewInt(42))
+	digest := sha256.Sum256([]byte("pay rent"))
+	sig, _ := key.Sign(digest[:])
+
+	other := sha256.Sum256([]byte("pay rent twice"))
+	if Verify(key.Public, other[:], sig.R, sig.S) {
+		t.Fatal("signature verified against wrong digest")
+	}
+	wrongKey := PrivateKeyFromScalar(big.NewInt(43))
+	if Verify(wrongKey.Public, digest[:], sig.R, sig.S) {
+		t.Fatal("signature verified against wrong key")
+	}
+	badS := new(big.Int).Add(sig.S, big.NewInt(1))
+	if Verify(key.Public, digest[:], sig.R, badS) {
+		t.Fatal("tampered s accepted")
+	}
+	if _, err := Recover(other[:], sig); err == nil {
+		rec, _ := Recover(other[:], sig)
+		if rec.X.Cmp(key.Public.X) == 0 {
+			t.Fatal("recovery returned original key for wrong digest")
+		}
+	}
+}
+
+func TestSignatureSerialization(t *testing.T) {
+	key := PrivateKeyFromScalar(big.NewInt(7777))
+	digest := sha256.Sum256([]byte("serialize me"))
+	sig, _ := key.Sign(digest[:])
+	raw := sig.Serialize()
+	if len(raw) != 65 {
+		t.Fatal("signature must be 65 bytes")
+	}
+	back, err := ParseSignature(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.R.Cmp(sig.R) != 0 || back.S.Cmp(sig.S) != 0 || back.V != sig.V {
+		t.Fatal("round trip mismatch")
+	}
+	// High-s must be rejected on parse.
+	high := &Signature{R: sig.R, S: new(big.Int).Sub(N, big.NewInt(1)), V: 0}
+	if _, err := ParseSignature(high.Serialize()); err == nil {
+		t.Fatal("malleable signature accepted")
+	}
+}
+
+func TestPublicKeySerialization(t *testing.T) {
+	key, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := SerializePublic(key.Public)
+	if len(raw) != 65 || raw[0] != 0x04 {
+		t.Fatal("bad uncompressed encoding")
+	}
+	back, err := ParsePublic(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.X.Cmp(key.Public.X) != 0 || back.Y.Cmp(key.Public.Y) != 0 {
+		t.Fatal("round trip mismatch")
+	}
+	// Off-curve point must be rejected.
+	raw[40] ^= 0x01
+	if _, err := ParsePublic(raw); err == nil {
+		t.Fatal("off-curve point accepted")
+	}
+}
+
+func TestPrivateKeyRange(t *testing.T) {
+	if _, err := PrivateKeyFromBytes(make([]byte, 32)); err == nil {
+		t.Fatal("zero key accepted")
+	}
+	nBytes := make([]byte, 32)
+	N.FillBytes(nBytes)
+	if _, err := PrivateKeyFromBytes(nBytes); err == nil {
+		t.Fatal("key == N accepted")
+	}
+	k, err := PrivateKeyFromBytes(bytes.Repeat([]byte{0x11}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k.Bytes(), bytes.Repeat([]byte{0x11}, 32)) {
+		t.Fatal("Bytes round trip")
+	}
+}
+
+func TestRecoverDistinctKeys(t *testing.T) {
+	// Two different keys signing the same digest recover to themselves.
+	digest := sha256.Sum256([]byte("shared message"))
+	for _, d := range []int64{2, 3, 99999, 123456789} {
+		key := PrivateKeyFromScalar(big.NewInt(d))
+		sig, err := key.Sign(digest[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(digest[:], sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.X.Cmp(key.Public.X) != 0 {
+			t.Fatalf("key %d: wrong recovery", d)
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	key := PrivateKeyFromScalar(big.NewInt(0xabcdef))
+	digest := sha256.Sum256([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Sign(digest[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	key := PrivateKeyFromScalar(big.NewInt(0xabcdef))
+	digest := sha256.Sum256([]byte("bench"))
+	sig, _ := key.Sign(digest[:])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Recover(digest[:], sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRandomKeysSignVerifyRecover is the end-to-end property over fresh
+// random keys: sign/verify/recover agree, and signatures never verify
+// under a different key.
+func TestRandomKeysSignVerifyRecover(t *testing.T) {
+	var prev *PrivateKey
+	for i := 0; i < 6; i++ {
+		key, err := GenerateKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		digest := sha256.Sum256([]byte{byte(i), 0x55, byte(i * 7)})
+		sig, err := key.Sign(digest[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(key.Public, digest[:], sig.R, sig.S) {
+			t.Fatal("self-verify failed")
+		}
+		rec, err := Recover(digest[:], sig)
+		if err != nil || rec.X.Cmp(key.Public.X) != 0 || rec.Y.Cmp(key.Public.Y) != 0 {
+			t.Fatal("recovery mismatch")
+		}
+		if prev != nil && Verify(prev.Public, digest[:], sig.R, sig.S) {
+			t.Fatal("signature verified under unrelated key")
+		}
+		prev = key
+	}
+}

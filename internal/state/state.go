@@ -1,0 +1,447 @@
+// Package state implements the journaled world state of the chain: the
+// account model (nonce, balance, code, storage) with snapshot/revert
+// semantics required by the EVM's nested call frames, plus Merkle root
+// computation over the account and storage tries.
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/rlp"
+	"legalchain/internal/trie"
+	"legalchain/internal/uint256"
+)
+
+// EmptyCodeHash is keccak256 of empty code — the code hash of every
+// externally-owned account.
+var EmptyCodeHash = ethtypes.Keccak256(nil)
+
+// stateObject is the in-memory representation of one account.
+type stateObject struct {
+	nonce    uint64
+	balance  uint256.Int
+	code     []byte
+	codeHash ethtypes.Hash
+
+	// storage holds the live storage values. origin holds the value each
+	// slot had when the current transaction began, used for SSTORE gas
+	// metering and refunds.
+	storage map[ethtypes.Hash]uint256.Int
+	origin  map[ethtypes.Hash]uint256.Int
+
+	selfdestructed bool
+}
+
+func newStateObject() *stateObject {
+	return &stateObject{
+		codeHash: EmptyCodeHash,
+		storage:  make(map[ethtypes.Hash]uint256.Int),
+		origin:   make(map[ethtypes.Hash]uint256.Int),
+	}
+}
+
+// empty reports whether the account is empty per EIP-161
+// (nonce == 0, balance == 0, no code).
+func (o *stateObject) empty() bool {
+	return o.nonce == 0 && o.balance.IsZero() && len(o.code) == 0
+}
+
+// StateDB is the mutable world state with journaling.
+type StateDB struct {
+	objects map[ethtypes.Address]*stateObject
+	journal []func()
+	refund  uint64
+	logs    []*ethtypes.Log
+
+	// storage-root cache, invalidated on writes per account
+	rootCache map[ethtypes.Address]ethtypes.Hash
+}
+
+// New returns an empty world state.
+func New() *StateDB {
+	return &StateDB{
+		objects:   make(map[ethtypes.Address]*stateObject),
+		rootCache: make(map[ethtypes.Address]ethtypes.Hash),
+	}
+}
+
+func (s *StateDB) getObject(addr ethtypes.Address) *stateObject {
+	return s.objects[addr]
+}
+
+func (s *StateDB) getOrNewObject(addr ethtypes.Address) *stateObject {
+	if o := s.objects[addr]; o != nil {
+		return o
+	}
+	o := newStateObject()
+	s.objects[addr] = o
+	s.journal = append(s.journal, func() { delete(s.objects, addr) })
+	return o
+}
+
+func (s *StateDB) touch(addr ethtypes.Address) {
+	delete(s.rootCache, addr)
+}
+
+// Exist reports whether the account exists in state.
+func (s *StateDB) Exist(addr ethtypes.Address) bool {
+	return s.getObject(addr) != nil
+}
+
+// Empty reports whether the account is absent or empty (EIP-161).
+func (s *StateDB) Empty(addr ethtypes.Address) bool {
+	o := s.getObject(addr)
+	return o == nil || o.empty()
+}
+
+// CreateAccount explicitly creates an account (used for contract
+// deployment targets).
+func (s *StateDB) CreateAccount(addr ethtypes.Address) {
+	s.getOrNewObject(addr)
+	s.touch(addr)
+}
+
+// GetBalance returns the account balance (zero for absent accounts).
+func (s *StateDB) GetBalance(addr ethtypes.Address) uint256.Int {
+	if o := s.getObject(addr); o != nil {
+		return o.balance
+	}
+	return uint256.Zero
+}
+
+// AddBalance credits addr by amount.
+func (s *StateDB) AddBalance(addr ethtypes.Address, amount uint256.Int) {
+	o := s.getOrNewObject(addr)
+	prev := o.balance
+	s.journal = append(s.journal, func() { o.balance = prev })
+	o.balance = o.balance.Add(amount)
+	s.touch(addr)
+}
+
+// SubBalance debits addr by amount. The caller must have checked funds;
+// it panics on underflow to surface accounting bugs loudly.
+func (s *StateDB) SubBalance(addr ethtypes.Address, amount uint256.Int) {
+	o := s.getOrNewObject(addr)
+	next, under := o.balance.SubUnderflow(amount)
+	if under {
+		panic(fmt.Sprintf("state: balance underflow for %s", addr))
+	}
+	prev := o.balance
+	s.journal = append(s.journal, func() { o.balance = prev })
+	o.balance = next
+	s.touch(addr)
+}
+
+// GetNonce returns the account nonce.
+func (s *StateDB) GetNonce(addr ethtypes.Address) uint64 {
+	if o := s.getObject(addr); o != nil {
+		return o.nonce
+	}
+	return 0
+}
+
+// SetNonce sets the account nonce.
+func (s *StateDB) SetNonce(addr ethtypes.Address, nonce uint64) {
+	o := s.getOrNewObject(addr)
+	prev := o.nonce
+	s.journal = append(s.journal, func() { o.nonce = prev })
+	o.nonce = nonce
+	s.touch(addr)
+}
+
+// GetCode returns the contract code at addr.
+func (s *StateDB) GetCode(addr ethtypes.Address) []byte {
+	if o := s.getObject(addr); o != nil {
+		return o.code
+	}
+	return nil
+}
+
+// GetCodeSize returns len(code) without copying.
+func (s *StateDB) GetCodeSize(addr ethtypes.Address) int {
+	return len(s.GetCode(addr))
+}
+
+// GetCodeHash returns keccak(code), the zero hash for absent accounts.
+func (s *StateDB) GetCodeHash(addr ethtypes.Address) ethtypes.Hash {
+	if o := s.getObject(addr); o != nil {
+		return o.codeHash
+	}
+	return ethtypes.Hash{}
+}
+
+// SetCode installs contract code at addr.
+func (s *StateDB) SetCode(addr ethtypes.Address, code []byte) {
+	o := s.getOrNewObject(addr)
+	prevCode, prevHash := o.code, o.codeHash
+	s.journal = append(s.journal, func() { o.code, o.codeHash = prevCode, prevHash })
+	o.code = append([]byte(nil), code...)
+	o.codeHash = ethtypes.Keccak256(code)
+	s.touch(addr)
+}
+
+// GetState reads a storage slot.
+func (s *StateDB) GetState(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
+	if o := s.getObject(addr); o != nil {
+		return o.storage[slot]
+	}
+	return uint256.Zero
+}
+
+// GetCommittedState reads the value the slot had at the start of the
+// current transaction (for SSTORE gas metering).
+func (s *StateDB) GetCommittedState(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
+	o := s.getObject(addr)
+	if o == nil {
+		return uint256.Zero
+	}
+	if v, ok := o.origin[slot]; ok {
+		return v
+	}
+	return o.storage[slot]
+}
+
+// SetState writes a storage slot.
+func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint256.Int) {
+	o := s.getOrNewObject(addr)
+	if _, tracked := o.origin[slot]; !tracked {
+		o.origin[slot] = o.storage[slot]
+	}
+	prev, existed := o.storage[slot]
+	s.journal = append(s.journal, func() {
+		if existed {
+			o.storage[slot] = prev
+		} else {
+			delete(o.storage, slot)
+		}
+	})
+	if value.IsZero() {
+		delete(o.storage, slot)
+	} else {
+		o.storage[slot] = value
+	}
+	s.touch(addr)
+}
+
+// SelfDestruct marks the contract for deletion at transaction finalize
+// and zeroes its balance (the caller moves funds first).
+func (s *StateDB) SelfDestruct(addr ethtypes.Address) {
+	o := s.getObject(addr)
+	if o == nil {
+		return
+	}
+	prevFlag, prevBal := o.selfdestructed, o.balance
+	s.journal = append(s.journal, func() { o.selfdestructed, o.balance = prevFlag, prevBal })
+	o.selfdestructed = true
+	o.balance = uint256.Zero
+	s.touch(addr)
+}
+
+// HasSelfDestructed reports the destruct flag.
+func (s *StateDB) HasSelfDestructed(addr ethtypes.Address) bool {
+	o := s.getObject(addr)
+	return o != nil && o.selfdestructed
+}
+
+// AddRefund accumulates the SSTORE refund counter.
+func (s *StateDB) AddRefund(gas uint64) {
+	prev := s.refund
+	s.journal = append(s.journal, func() { s.refund = prev })
+	s.refund += gas
+}
+
+// SubRefund decreases the refund counter (EIP-2200 net metering).
+func (s *StateDB) SubRefund(gas uint64) {
+	prev := s.refund
+	s.journal = append(s.journal, func() { s.refund = prev })
+	if gas > s.refund {
+		panic("state: refund counter below zero")
+	}
+	s.refund -= gas
+}
+
+// GetRefund returns the refund counter.
+func (s *StateDB) GetRefund() uint64 { return s.refund }
+
+// AddLog appends an event log emitted by the current execution.
+func (s *StateDB) AddLog(log *ethtypes.Log) {
+	s.journal = append(s.journal, func() { s.logs = s.logs[:len(s.logs)-1] })
+	s.logs = append(s.logs, log)
+}
+
+// Logs returns logs emitted since the last TakeLogs.
+func (s *StateDB) Logs() []*ethtypes.Log { return s.logs }
+
+// TakeLogs returns and clears the accumulated logs (end of transaction).
+func (s *StateDB) TakeLogs() []*ethtypes.Log {
+	out := s.logs
+	s.logs = nil
+	return out
+}
+
+// Snapshot returns an identifier for the current state revision.
+func (s *StateDB) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot undoes every change made after the snapshot was taken.
+func (s *StateDB) RevertToSnapshot(id int) {
+	if id < 0 || id > len(s.journal) {
+		panic(fmt.Sprintf("state: invalid snapshot id %d (journal %d)", id, len(s.journal)))
+	}
+	for i := len(s.journal) - 1; i >= id; i-- {
+		s.journal[i]()
+	}
+	s.journal = s.journal[:id]
+	// Conservatively drop root caches; reverted writes already touched.
+	s.rootCache = make(map[ethtypes.Address]ethtypes.Hash)
+}
+
+// Finalise ends a transaction: deletes self-destructed and empty-touched
+// accounts, clears per-tx origin tracking, resets refund and journal.
+func (s *StateDB) Finalise() {
+	for addr, o := range s.objects {
+		if o.selfdestructed || o.empty() && len(o.storage) == 0 {
+			delete(s.objects, addr)
+			delete(s.rootCache, addr)
+			continue
+		}
+		o.origin = make(map[ethtypes.Hash]uint256.Int)
+	}
+	s.journal = nil
+	s.refund = 0
+}
+
+// StorageRoot computes the Merkle root of one account's storage trie.
+func (s *StateDB) StorageRoot(addr ethtypes.Address) ethtypes.Hash {
+	if h, ok := s.rootCache[addr]; ok {
+		return h
+	}
+	o := s.getObject(addr)
+	if o == nil || len(o.storage) == 0 {
+		return trie.EmptyRoot
+	}
+	st := trie.NewSecure()
+	for slot, val := range o.storage {
+		st.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
+	}
+	root := st.Hash(nil)
+	s.rootCache[addr] = root
+	return root
+}
+
+// Root computes the world-state Merkle root over all accounts.
+func (s *StateDB) Root() ethtypes.Hash {
+	at := trie.NewSecure()
+	for addr, o := range s.objects {
+		if o.empty() && len(o.storage) == 0 {
+			continue
+		}
+		storageRoot := s.StorageRoot(addr)
+		enc := rlp.Encode(rlp.List(
+			rlp.Uint(o.nonce),
+			rlp.BigInt(o.balance.ToBig()),
+			rlp.Bytes(storageRoot[:]),
+			rlp.Bytes(o.codeHash[:]),
+		))
+		at.Put(addr[:], enc)
+	}
+	return at.Hash(nil)
+}
+
+// Accounts returns the addresses present in state, sorted, for
+// inspection tools and tests.
+func (s *StateDB) Accounts() []ethtypes.Address {
+	out := make([]ethtypes.Address, 0, len(s.objects))
+	for a := range s.objects {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < ethtypes.AddressLength; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// StorageSlots returns the non-zero slots of one account, for tooling.
+func (s *StateDB) StorageSlots(addr ethtypes.Address) map[ethtypes.Hash]uint256.Int {
+	o := s.getObject(addr)
+	if o == nil {
+		return nil
+	}
+	out := make(map[ethtypes.Hash]uint256.Int, len(o.storage))
+	for k, v := range o.storage {
+		out[k] = v
+	}
+	return out
+}
+
+// Copy returns a deep copy of the state (journal not carried over) for
+// speculative execution such as eth_call and gas estimation.
+func (s *StateDB) Copy() *StateDB {
+	cp := New()
+	for addr, o := range s.objects {
+		no := newStateObject()
+		no.nonce = o.nonce
+		no.balance = o.balance
+		no.code = append([]byte(nil), o.code...)
+		no.codeHash = o.codeHash
+		for k, v := range o.storage {
+			no.storage[k] = v
+		}
+		no.selfdestructed = o.selfdestructed
+		cp.objects[addr] = no
+	}
+	return cp
+}
+
+// TotalBalance sums all account balances — a conservation-law hook for
+// property tests.
+func (s *StateDB) TotalBalance() uint256.Int {
+	total := uint256.Zero
+	for _, o := range s.objects {
+		total = total.Add(o.balance)
+	}
+	return total
+}
+
+// AccountDump is a JSON-friendly rendering of one account, for
+// inspection tooling.
+type AccountDump struct {
+	Address  string            `json:"address"`
+	Nonce    uint64            `json:"nonce"`
+	Balance  string            `json:"balance"`
+	CodeSize int               `json:"codeSize,omitempty"`
+	Storage  map[string]string `json:"storage,omitempty"`
+}
+
+// Dump renders the whole world state (sorted by address) for debugging
+// and the inspection CLI. Not for consensus use.
+func (s *StateDB) Dump() []AccountDump {
+	addrs := s.Accounts()
+	out := make([]AccountDump, 0, len(addrs))
+	for _, addr := range addrs {
+		o := s.objects[addr]
+		if o == nil || (o.empty() && len(o.storage) == 0) {
+			continue
+		}
+		d := AccountDump{
+			Address:  addr.Hex(),
+			Nonce:    o.nonce,
+			Balance:  o.balance.String(),
+			CodeSize: len(o.code),
+		}
+		if len(o.storage) > 0 {
+			d.Storage = make(map[string]string, len(o.storage))
+			for k, v := range o.storage {
+				d.Storage[k.Hex()] = v.Hex()
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package trie
+
+// Iteration over trie contents in key order. Because keys are stored as
+// nibble paths, in-order traversal yields lexicographic byte order —
+// which is what state dumps and range queries need.
+
+// Entry is one key/value pair yielded by iteration.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Walk visits every key/value pair in lexicographic key order. fn
+// returning false stops the walk early.
+func (t *Trie) Walk(fn func(key, value []byte) bool) {
+	walkNode(t.root, nil, fn)
+}
+
+// walkNode traverses in order, accumulating the nibble path.
+func walkNode(n node, path []byte, fn func(key, value []byte) bool) bool {
+	switch cur := n.(type) {
+	case nil:
+		return true
+	case valueNode:
+		return fn(nibblesToKey(path), cur)
+	case *shortNode:
+		return walkNode(cur.Val, append(path, cur.Key...), fn)
+	case *fullNode:
+		// Value terminating at this branch comes first (shorter key).
+		if cur.Children[16] != nil {
+			if v, ok := cur.Children[16].(valueNode); ok {
+				if !fn(nibblesToKey(path), v) {
+					return false
+				}
+			}
+		}
+		for i := 0; i < 16; i++ {
+			if cur.Children[i] == nil {
+				continue
+			}
+			if !walkNode(cur.Children[i], append(path, byte(i)), fn) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// nibblesToKey reverses keyNibbles (dropping the terminator).
+func nibblesToKey(nibbles []byte) []byte {
+	if len(nibbles) > 0 && nibbles[len(nibbles)-1] == terminator {
+		nibbles = nibbles[:len(nibbles)-1]
+	}
+	out := make([]byte, len(nibbles)/2)
+	for i := 0; i+1 < len(nibbles); i += 2 {
+		out[i/2] = nibbles[i]<<4 | nibbles[i+1]
+	}
+	return out
+}
+
+// Entries returns all pairs in key order.
+func (t *Trie) Entries() []Entry {
+	var out []Entry
+	t.Walk(func(k, v []byte) bool {
+		out = append(out, Entry{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,87 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestWalkOrderAndCompleteness(t *testing.T) {
+	tr := New()
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%03d", r.Intn(500))
+		v := fmt.Sprintf("val-%d", i)
+		tr.Put([]byte(k), []byte(v))
+		model[k] = v
+	}
+	var got []Entry
+	tr.Walk(func(k, v []byte) bool {
+		got = append(got, Entry{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("walk yielded %d, model has %d", len(got), len(model))
+	}
+	// Lexicographic order.
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1].Key, got[i].Key) >= 0 {
+			t.Fatalf("out of order at %d: %q >= %q", i, got[i-1].Key, got[i].Key)
+		}
+	}
+	// Values correct.
+	for _, e := range got {
+		if model[string(e.Key)] != string(e.Value) {
+			t.Fatalf("wrong value for %q", e.Key)
+		}
+	}
+}
+
+func TestWalkPrefixKeys(t *testing.T) {
+	tr := New()
+	keys := []string{"a", "ab", "abc", "b", ""}
+	for _, k := range keys {
+		tr.Put([]byte(k), []byte("v"+k))
+	}
+	entries := tr.Entries()
+	var got []string
+	for _, e := range entries {
+		got = append(got, string(e.Key))
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("%02d", i)), []byte("x"))
+	}
+	n := 0
+	tr.Walk(func(k, v []byte) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestWalkEmptyTrie(t *testing.T) {
+	tr := New()
+	tr.Walk(func(k, v []byte) bool {
+		t.Fatal("empty trie yielded an entry")
+		return false
+	})
+}

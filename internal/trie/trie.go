@@ -1,0 +1,607 @@
+// Package trie implements the Merkle Patricia Trie, Ethereum's
+// authenticated key/value structure used for the state, storage and
+// receipt commitments.
+//
+// The implementation follows the yellow-paper node model: short nodes
+// (leaf/extension with hex-prefix-encoded key fragments), full nodes
+// (17-ary branches) and value nodes, with sub-32-byte nodes inlined into
+// their parent and larger nodes referenced by Keccak-256 hash. Keys are
+// expanded to nibbles with a terminator nibble (16) so that keys may be
+// prefixes of one another.
+//
+// Trie keeps all nodes in memory (a devnet fits comfortably); Hash
+// additionally records every hash-referenced node in an optional node
+// store so Merkle proofs can be produced and verified.
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/rlp"
+)
+
+// EmptyRoot is the root hash of an empty trie,
+// keccak256(rlp("")) — a well-known constant.
+var EmptyRoot = ethtypes.HexToHash("0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421")
+
+// node is one of: nil, *shortNode, *fullNode, valueNode.
+type node interface{}
+
+type (
+	// shortNode is a leaf (Val is valueNode, Key ends with the
+	// terminator nibble) or an extension (Val is a further node).
+	shortNode struct {
+		Key []byte // nibbles
+		Val node
+	}
+	// fullNode is a 17-way branch; slot 16 holds a value terminating
+	// exactly at this node.
+	fullNode struct {
+		Children [17]node
+	}
+	valueNode []byte
+)
+
+const terminator = 16
+
+// Trie is a mutable in-memory Merkle Patricia Trie.
+type Trie struct {
+	root node
+	size int
+}
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{} }
+
+// Len returns the number of keys stored.
+func (t *Trie) Len() int { return t.size }
+
+// keyNibbles converts a byte key to its nibble expansion plus terminator.
+func keyNibbles(key []byte) []byte {
+	n := make([]byte, 0, len(key)*2+1)
+	for _, b := range key {
+		n = append(n, b>>4, b&0x0f)
+	}
+	return append(n, terminator)
+}
+
+func prefixLen(a, b []byte) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Get returns the value for key and whether it exists.
+func (t *Trie) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	k := keyNibbles(key)
+	for {
+		switch cur := n.(type) {
+		case nil:
+			return nil, false
+		case valueNode:
+			if len(k) == 0 {
+				return cur, true
+			}
+			return nil, false
+		case *shortNode:
+			if len(k) < len(cur.Key) || !bytes.Equal(cur.Key, k[:len(cur.Key)]) {
+				return nil, false
+			}
+			k = k[len(cur.Key):]
+			n = cur.Val
+		case *fullNode:
+			if len(k) == 0 {
+				return nil, false
+			}
+			n = cur.Children[k[0]]
+			k = k[1:]
+		default:
+			panic(fmt.Sprintf("trie: unknown node %T", n))
+		}
+	}
+}
+
+// Put inserts or updates key with value. Empty values are legal and
+// distinct from absence (use Delete to remove).
+func (t *Trie) Put(key, value []byte) {
+	if _, exists := t.Get(key); !exists {
+		t.size++
+	}
+	v := valueNode(append([]byte(nil), value...))
+	t.root = insert(t.root, keyNibbles(key), v)
+}
+
+func insert(n node, key []byte, value node) node {
+	if len(key) == 0 {
+		return value
+	}
+	switch cur := n.(type) {
+	case nil:
+		return &shortNode{Key: key, Val: value}
+	case *shortNode:
+		match := prefixLen(key, cur.Key)
+		if match == len(cur.Key) {
+			return &shortNode{Key: cur.Key, Val: insert(cur.Val, key[match:], value)}
+		}
+		// Paths diverge inside cur.Key: split into a branch.
+		branch := &fullNode{}
+		branch.Children[cur.Key[match]] = shortOrVal(cur.Key[match+1:], cur.Val)
+		branch.Children[key[match]] = shortOrVal(key[match+1:], value)
+		if match == 0 {
+			return branch
+		}
+		return &shortNode{Key: key[:match], Val: branch}
+	case *fullNode:
+		out := *cur
+		out.Children[key[0]] = insert(cur.Children[key[0]], key[1:], value)
+		return &out
+	case valueNode:
+		// Existing value terminates here but the new key continues —
+		// impossible with terminator nibbles (terminator can't extend).
+		panic("trie: insert past value node")
+	default:
+		panic(fmt.Sprintf("trie: unknown node %T", n))
+	}
+}
+
+func shortOrVal(key []byte, val node) node {
+	if len(key) == 0 {
+		return val
+	}
+	return &shortNode{Key: key, Val: val}
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *Trie) Delete(key []byte) bool {
+	newRoot, deleted := del(t.root, keyNibbles(key))
+	if deleted {
+		t.root = newRoot
+		t.size--
+	}
+	return deleted
+}
+
+func del(n node, key []byte) (node, bool) {
+	switch cur := n.(type) {
+	case nil:
+		return nil, false
+	case valueNode:
+		if len(key) == 0 {
+			return nil, true
+		}
+		return n, false
+	case *shortNode:
+		match := prefixLen(key, cur.Key)
+		if match < len(cur.Key) {
+			return n, false
+		}
+		child, ok := del(cur.Val, key[match:])
+		if !ok {
+			return n, false
+		}
+		switch c := child.(type) {
+		case nil:
+			return nil, true
+		case *shortNode:
+			// Merge consecutive short nodes.
+			merged := append(append([]byte(nil), cur.Key...), c.Key...)
+			return &shortNode{Key: merged, Val: c.Val}, true
+		default:
+			return &shortNode{Key: cur.Key, Val: child}, true
+		}
+	case *fullNode:
+		if len(key) == 0 {
+			return n, false
+		}
+		child, ok := del(cur.Children[key[0]], key[1:])
+		if !ok {
+			return n, false
+		}
+		out := *cur
+		out.Children[key[0]] = child
+
+		// If only one child remains, collapse the branch.
+		pos := -1
+		count := 0
+		for i, ch := range out.Children {
+			if ch != nil {
+				count++
+				pos = i
+			}
+		}
+		if count > 1 {
+			return &out, true
+		}
+		if pos == terminator {
+			return &shortNode{Key: []byte{terminator}, Val: out.Children[terminator]}, true
+		}
+		if sn, isShort := out.Children[pos].(*shortNode); isShort {
+			merged := append([]byte{byte(pos)}, sn.Key...)
+			return &shortNode{Key: merged, Val: sn.Val}, true
+		}
+		return &shortNode{Key: []byte{byte(pos)}, Val: out.Children[pos]}, true
+	default:
+		panic(fmt.Sprintf("trie: unknown node %T", n))
+	}
+}
+
+// hexPrefix encodes nibbles (possibly ending in the terminator) into the
+// yellow-paper compact encoding.
+func hexPrefix(nibbles []byte) []byte {
+	leaf := false
+	if len(nibbles) > 0 && nibbles[len(nibbles)-1] == terminator {
+		leaf = true
+		nibbles = nibbles[:len(nibbles)-1]
+	}
+	var flag byte
+	if leaf {
+		flag = 2
+	}
+	out := make([]byte, 0, len(nibbles)/2+1)
+	if len(nibbles)%2 == 1 {
+		out = append(out, (flag+1)<<4|nibbles[0])
+		nibbles = nibbles[1:]
+	} else {
+		out = append(out, flag<<4)
+	}
+	for i := 0; i < len(nibbles); i += 2 {
+		out = append(out, nibbles[i]<<4|nibbles[i+1])
+	}
+	return out
+}
+
+// compactToNibbles reverses hexPrefix.
+func compactToNibbles(compact []byte) ([]byte, error) {
+	if len(compact) == 0 {
+		return nil, errors.New("trie: empty compact key")
+	}
+	flag := compact[0] >> 4
+	if flag > 3 {
+		return nil, errors.New("trie: bad hex-prefix flag")
+	}
+	var nibbles []byte
+	if flag&1 == 1 { // odd
+		nibbles = append(nibbles, compact[0]&0x0f)
+	}
+	for _, b := range compact[1:] {
+		nibbles = append(nibbles, b>>4, b&0x0f)
+	}
+	if flag&2 == 2 { // leaf
+		nibbles = append(nibbles, terminator)
+	}
+	return nibbles, nil
+}
+
+// NodeStore records hash-referenced node encodings, enough to serve and
+// verify Merkle proofs.
+type NodeStore map[ethtypes.Hash][]byte
+
+// Hash computes the Merkle root. If store is non-nil, every node that is
+// referenced by hash (including the root) is recorded in it.
+func (t *Trie) Hash(store NodeStore) ethtypes.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	enc := rlp.Encode(encodeNode(t.root, store))
+	h := ethtypes.Keccak256(enc)
+	if store != nil {
+		store[h] = enc
+	}
+	return h
+}
+
+// encodeNode renders a node as its RLP item, replacing large children by
+// hash references.
+func encodeNode(n node, store NodeStore) *rlp.Item {
+	switch cur := n.(type) {
+	case nil:
+		return rlp.Bytes(nil)
+	case valueNode:
+		return rlp.Bytes(cur)
+	case *shortNode:
+		return rlp.List(rlp.Bytes(hexPrefix(cur.Key)), refItem(cur.Val, store))
+	case *fullNode:
+		items := make([]*rlp.Item, 17)
+		for i := 0; i < 16; i++ {
+			items[i] = refItem(cur.Children[i], store)
+		}
+		if v, ok := cur.Children[16].(valueNode); ok {
+			items[16] = rlp.Bytes(v)
+		} else {
+			items[16] = rlp.Bytes(nil)
+		}
+		return rlp.List(items...)
+	default:
+		panic(fmt.Sprintf("trie: unknown node %T", n))
+	}
+}
+
+// refItem returns the reference form of a child: the node itself when
+// its encoding is under 32 bytes, otherwise its keccak hash.
+func refItem(n node, store NodeStore) *rlp.Item {
+	if n == nil {
+		return rlp.Bytes(nil)
+	}
+	if v, ok := n.(valueNode); ok {
+		return rlp.Bytes(v)
+	}
+	item := encodeNode(n, store)
+	enc := rlp.Encode(item)
+	if len(enc) < 32 {
+		return item
+	}
+	h := ethtypes.Keccak256(enc)
+	if store != nil {
+		store[h] = enc
+	}
+	return rlp.Bytes(h[:])
+}
+
+// Prove returns the ordered list of RLP node encodings from the root to
+// the node proving key (inclusive), suitable for VerifyProof. The trie
+// is hashed as a side effect.
+func (t *Trie) Prove(key []byte) (ethtypes.Hash, [][]byte, error) {
+	store := NodeStore{}
+	root := t.Hash(store)
+	// Walk like VerifyProof does, collecting the stored encodings.
+	var proof [][]byte
+	h := root
+	k := keyNibbles(key)
+	for {
+		enc, ok := store[h]
+		if !ok {
+			return root, nil, errors.New("trie: missing node during prove")
+		}
+		proof = append(proof, enc)
+		item, err := rlp.Decode(enc)
+		if err != nil {
+			return root, nil, err
+		}
+		next, rest, err := stepProof(item, k)
+		if err != nil {
+			return root, nil, err
+		}
+		if next == nil { // terminated (found or proven absent)
+			return root, proof, nil
+		}
+		if nh, ok := next.(proofHashRef); ok {
+			h = ethtypes.Hash(nh)
+			k = rest
+			continue
+		}
+		// Inline node: keep stepping within the same proof element.
+		item = next.(*rlp.Item)
+		k = rest
+		for {
+			next, rest, err = stepProof(item, k)
+			if err != nil {
+				return root, nil, err
+			}
+			if next == nil {
+				return root, proof, nil
+			}
+			if nh, ok := next.(proofHashRef); ok {
+				h = ethtypes.Hash(nh)
+				k = rest
+				break
+			}
+			item = next.(*rlp.Item)
+			k = rest
+		}
+	}
+}
+
+// proofHashRef marks a 32-byte hash reference during proof walking.
+type proofHashRef ethtypes.Hash
+
+// stepProof advances one node: given a decoded node item and remaining
+// nibbles, it returns the next reference (hash or inline item) and the
+// remaining key, or (nil, nil) when the walk terminates at this node.
+func stepProof(item *rlp.Item, k []byte) (interface{}, []byte, error) {
+	if item.Kind() != rlp.KindList {
+		return nil, nil, errors.New("trie: proof node is not a list")
+	}
+	switch item.Len() {
+	case 2: // short node
+		nibbles, err := compactToNibbles(item.At(0).Str())
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(k) < len(nibbles) || !bytes.Equal(nibbles, k[:len(nibbles)]) {
+			return nil, nil, nil // diverged: key absent
+		}
+		rest := k[len(nibbles):]
+		child := item.At(1)
+		if len(rest) == 0 {
+			return nil, nil, nil // leaf value (or proven absence)
+		}
+		return childRef(child, rest)
+	case 17: // full node
+		if len(k) == 0 {
+			return nil, nil, errors.New("trie: key exhausted at branch")
+		}
+		if k[0] == terminator {
+			return nil, nil, nil // value slot
+		}
+		return childRef(item.At(int(k[0])), k[1:])
+	default:
+		return nil, nil, fmt.Errorf("trie: proof node has %d items", item.Len())
+	}
+}
+
+func childRef(child *rlp.Item, rest []byte) (interface{}, []byte, error) {
+	if child.Kind() == rlp.KindList {
+		return child, rest, nil // inline node
+	}
+	s := child.Str()
+	switch len(s) {
+	case 0:
+		return nil, nil, nil // empty slot: absent
+	case 32:
+		var h proofHashRef
+		copy(h[:], s)
+		return h, rest, nil
+	default:
+		return nil, nil, errors.New("trie: bad child reference length")
+	}
+}
+
+// VerifyProof checks a Merkle proof against root and returns the proven
+// value (nil with ok=false meaning proven absence). An error indicates a
+// malformed or non-matching proof.
+func VerifyProof(root ethtypes.Hash, key []byte, proof [][]byte) (value []byte, ok bool, err error) {
+	nodes := map[ethtypes.Hash][]byte{}
+	for _, enc := range proof {
+		nodes[ethtypes.Keccak256(enc)] = enc
+	}
+	k := keyNibbles(key)
+	want := root
+	for {
+		enc, found := nodes[want]
+		if !found {
+			return nil, false, fmt.Errorf("trie: proof missing node %s", want)
+		}
+		item, err := rlp.Decode(enc)
+		if err != nil {
+			return nil, false, err
+		}
+		val, next, rest, err := walkProofNode(item, k)
+		if err != nil {
+			return nil, false, err
+		}
+		if next == nil {
+			return val, val != nil, nil
+		}
+		if nh, isHash := next.(proofHashRef); isHash {
+			want = ethtypes.Hash(nh)
+			k = rest
+			continue
+		}
+		// Inline node: walk within the current element.
+		item = next.(*rlp.Item)
+		k = rest
+		for {
+			val, next, rest, err = walkProofNode(item, k)
+			if err != nil {
+				return nil, false, err
+			}
+			if next == nil {
+				return val, val != nil, nil
+			}
+			if nh, isHash := next.(proofHashRef); isHash {
+				want = ethtypes.Hash(nh)
+				k = rest
+				break
+			}
+			item = next.(*rlp.Item)
+			k = rest
+		}
+	}
+}
+
+// walkProofNode resolves one node for verification, returning either a
+// terminal value, or the next reference with remaining key.
+func walkProofNode(item *rlp.Item, k []byte) (value []byte, next interface{}, rest []byte, err error) {
+	if item.Kind() != rlp.KindList {
+		return nil, nil, nil, errors.New("trie: proof node is not a list")
+	}
+	switch item.Len() {
+	case 2:
+		nibbles, err := compactToNibbles(item.At(0).Str())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(k) < len(nibbles) || !bytes.Equal(nibbles, k[:len(nibbles)]) {
+			return nil, nil, nil, nil // proven absent
+		}
+		restK := k[len(nibbles):]
+		child := item.At(1)
+		if len(restK) == 0 {
+			if len(nibbles) == 0 || nibbles[len(nibbles)-1] == terminator {
+				if child.Kind() != rlp.KindString {
+					return nil, nil, nil, errors.New("trie: leaf value is a list")
+				}
+				return child.Str(), nil, nil, nil
+			}
+			return nil, nil, nil, nil
+		}
+		ref, rest2, err := childRef(child, restK)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return nil, ref, rest2, nil
+	case 17:
+		if len(k) == 0 {
+			return nil, nil, nil, errors.New("trie: key exhausted at branch")
+		}
+		if k[0] == terminator {
+			v := item.At(16)
+			if v.Kind() != rlp.KindString {
+				return nil, nil, nil, errors.New("trie: branch value is a list")
+			}
+			if v.Len() == 0 {
+				return nil, nil, nil, nil // absent
+			}
+			return v.Str(), nil, nil, nil
+		}
+		ref, rest2, err := childRef(item.At(int(k[0])), k[1:])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return nil, ref, rest2, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("trie: proof node has %d items", item.Len())
+	}
+}
+
+// Secure wraps a Trie so that all keys are hashed with Keccak-256 before
+// use, bounding path depth and preventing key-grinding attacks — the
+// construction used by the Ethereum state trie.
+type Secure struct {
+	t *Trie
+}
+
+// NewSecure returns an empty secure trie.
+func NewSecure() *Secure { return &Secure{t: New()} }
+
+// Get returns the value for key.
+func (s *Secure) Get(key []byte) ([]byte, bool) {
+	h := ethtypes.Keccak256(key)
+	return s.t.Get(h[:])
+}
+
+// Put inserts or updates key.
+func (s *Secure) Put(key, value []byte) {
+	h := ethtypes.Keccak256(key)
+	s.t.Put(h[:], value)
+}
+
+// Delete removes key.
+func (s *Secure) Delete(key []byte) bool {
+	h := ethtypes.Keccak256(key)
+	return s.t.Delete(h[:])
+}
+
+// Hash computes the root, recording nodes in store when non-nil.
+func (s *Secure) Hash(store NodeStore) ethtypes.Hash { return s.t.Hash(store) }
+
+// Len returns the number of keys stored.
+func (s *Secure) Len() int { return s.t.Len() }
+
+// Prove produces a proof for the hashed key.
+func (s *Secure) Prove(key []byte) (ethtypes.Hash, [][]byte, error) {
+	h := ethtypes.Keccak256(key)
+	return s.t.Prove(h[:])
+}
+
+// VerifySecureProof verifies a proof produced by Secure.Prove.
+func VerifySecureProof(root ethtypes.Hash, key []byte, proof [][]byte) ([]byte, bool, error) {
+	h := ethtypes.Keccak256(key)
+	return VerifyProof(root, h[:], proof)
+}

@@ -1,0 +1,317 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+)
+
+func TestEmptyRoot(t *testing.T) {
+	tr := New()
+	if got := tr.Hash(nil); got != EmptyRoot {
+		t.Fatalf("empty root = %s, want %s", got, EmptyRoot)
+	}
+	if got := ethtypes.Keccak256([]byte{0x80}); got != EmptyRoot {
+		t.Fatalf("EmptyRoot constant inconsistent with keccak(rlp(\"\"))")
+	}
+}
+
+// The canonical "dog" vector from the ethereum/tests trie suite.
+func TestKnownRootDogVector(t *testing.T) {
+	tr := New()
+	for k, v := range map[string]string{
+		"do":    "verb",
+		"dog":   "puppy",
+		"doge":  "coin",
+		"horse": "stallion",
+	} {
+		tr.Put([]byte(k), []byte(v))
+	}
+	want := ethtypes.HexToHash("0x5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84")
+	if got := tr.Hash(nil); got != want {
+		t.Fatalf("dog vector root = %s, want %s", got, want)
+	}
+}
+
+// Root is insertion-order independent.
+func TestRootOrderIndependence(t *testing.T) {
+	keys := []string{"do", "dog", "doge", "horse", "", "a", "ab", "abc", "abd", "b"}
+	perm := rand.New(rand.NewSource(3)).Perm(len(keys))
+	t1, t2 := New(), New()
+	for _, k := range keys {
+		t1.Put([]byte(k), []byte("v:"+k))
+	}
+	for _, i := range perm {
+		t2.Put([]byte(keys[i]), []byte("v:"+keys[i]))
+	}
+	if t1.Hash(nil) != t2.Hash(nil) {
+		t.Fatal("root depends on insertion order")
+	}
+}
+
+func TestGetPutDelete(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("empty trie returned a value")
+	}
+	tr.Put([]byte("key"), []byte("one"))
+	if v, ok := tr.Get([]byte("key")); !ok || string(v) != "one" {
+		t.Fatal("get after put")
+	}
+	tr.Put([]byte("key"), []byte("two"))
+	if v, _ := tr.Get([]byte("key")); string(v) != "two" {
+		t.Fatal("update failed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after update", tr.Len())
+	}
+	if !tr.Delete([]byte("key")) {
+		t.Fatal("delete reported absent")
+	}
+	if tr.Delete([]byte("key")) {
+		t.Fatal("double delete reported present")
+	}
+	if tr.Hash(nil) != EmptyRoot {
+		t.Fatal("trie not empty after deleting only key")
+	}
+}
+
+// Keys that are prefixes of one another exercise the terminator logic.
+func TestPrefixKeys(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("a"), []byte("1"))
+	tr.Put([]byte("ab"), []byte("2"))
+	tr.Put([]byte("abc"), []byte("3"))
+	for k, want := range map[string]string{"a": "1", "ab": "2", "abc": "3"} {
+		if v, ok := tr.Get([]byte(k)); !ok || string(v) != want {
+			t.Fatalf("Get(%q) = %q, %v", k, v, ok)
+		}
+	}
+	// Delete the middle key; neighbours survive.
+	tr.Delete([]byte("ab"))
+	if _, ok := tr.Get([]byte("ab")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, _ := tr.Get([]byte("a")); string(v) != "1" {
+		t.Fatal("sibling destroyed")
+	}
+	if v, _ := tr.Get([]byte("abc")); string(v) != "3" {
+		t.Fatal("descendant destroyed")
+	}
+}
+
+// Property: the trie behaves exactly like a map over random workloads,
+// and equal maps give equal roots.
+func TestMapEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	tr := New()
+	model := map[string]string{}
+	keyPool := make([]string, 50)
+	for i := range keyPool {
+		keyPool[i] = fmt.Sprintf("k%02d-%x", i, r.Intn(256))
+	}
+	for step := 0; step < 5000; step++ {
+		k := keyPool[r.Intn(len(keyPool))]
+		switch r.Intn(3) {
+		case 0, 1: // put
+			v := fmt.Sprintf("v%d", r.Intn(1000))
+			tr.Put([]byte(k), []byte(v))
+			model[k] = v
+		case 2: // delete
+			_, inModel := model[k]
+			if tr.Delete([]byte(k)) != inModel {
+				t.Fatalf("delete disagreement for %q", k)
+			}
+			delete(model, k)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len=%d model=%d", tr.Len(), len(model))
+		}
+	}
+	for k, v := range model {
+		got, ok := tr.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("final Get(%q) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	// Rebuild from the model: roots must match.
+	rebuilt := New()
+	for k, v := range model {
+		rebuilt.Put([]byte(k), []byte(v))
+	}
+	if rebuilt.Hash(nil) != tr.Hash(nil) {
+		t.Fatal("root differs from rebuilt trie")
+	}
+}
+
+func TestDeleteEverythingRestoresEmptyRoot(t *testing.T) {
+	tr := New()
+	var keys []string
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		keys = append(keys, k)
+		tr.Put([]byte(k), bytes.Repeat([]byte{byte(i)}, i%40+1))
+	}
+	for _, k := range keys {
+		if !tr.Delete([]byte(k)) {
+			t.Fatalf("delete %q failed", k)
+		}
+	}
+	if tr.Hash(nil) != EmptyRoot {
+		t.Fatal("root not empty after deleting all keys")
+	}
+}
+
+func TestHexPrefixRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{terminator},
+		{1, 2, 3},
+		{1, 2, 3, terminator},
+		{0xf},
+		{0xf, terminator},
+		{0, 0, 0, 0},
+	}
+	for _, nibbles := range cases {
+		enc := hexPrefix(append([]byte(nil), nibbles...))
+		back, err := compactToNibbles(enc)
+		if err != nil {
+			t.Fatalf("decode(%x): %v", enc, err)
+		}
+		if !bytes.Equal(back, nibbles) {
+			t.Fatalf("hexPrefix round trip: %v -> %x -> %v", nibbles, enc, back)
+		}
+	}
+}
+
+func TestProveAndVerify(t *testing.T) {
+	tr := New()
+	entries := map[string]string{}
+	for i := 0; i < 120; i++ {
+		k := fmt.Sprintf("account-%03d", i)
+		v := fmt.Sprintf("balance=%d wei and some padding to cross 32 bytes", i*7)
+		entries[k] = v
+		tr.Put([]byte(k), []byte(v))
+	}
+	for k, v := range entries {
+		root, proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", k, err)
+		}
+		got, ok, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("VerifyProof(%q): %v", k, err)
+		}
+		if !ok || string(got) != v {
+			t.Fatalf("VerifyProof(%q) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestProofOfAbsence(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("present-%d", i)), []byte("x"))
+	}
+	root, proof, err := tr.Prove([]byte("absent-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := VerifyProof(root, []byte("absent-key"), proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("absence proof claimed presence")
+	}
+}
+
+func TestProofRejectsTampering(t *testing.T) {
+	tr := New()
+	for i := 0; i < 64; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 40))
+	}
+	root, proof, err := tr.Prove([]byte("k7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte of a proof node: either an error or a failed lookup,
+	// never a successful wrong value.
+	if len(proof) == 0 {
+		t.Fatal("empty proof")
+	}
+	tampered := make([][]byte, len(proof))
+	for i := range proof {
+		tampered[i] = append([]byte(nil), proof[i]...)
+	}
+	tampered[len(tampered)-1][5] ^= 0xff
+	v, ok, err := VerifyProof(root, []byte("k7"), tampered)
+	if err == nil && ok && string(v) == string(bytes.Repeat([]byte{7}, 40)) {
+		t.Fatal("tampered proof verified to the original value")
+	}
+	// Wrong root must fail.
+	badRoot := ethtypes.Keccak256([]byte("not the root"))
+	if _, ok, err := VerifyProof(badRoot, []byte("k7"), proof); err == nil && ok {
+		t.Fatal("proof verified against wrong root")
+	}
+}
+
+func TestSecureTrie(t *testing.T) {
+	s := NewSecure()
+	s.Put([]byte("landlord"), []byte("0xabc"))
+	s.Put([]byte("tenant"), []byte("0xdef"))
+	if v, ok := s.Get([]byte("landlord")); !ok || string(v) != "0xabc" {
+		t.Fatal("secure get")
+	}
+	if s.Len() != 2 {
+		t.Fatal("secure len")
+	}
+	root, proof, err := s.Prove([]byte("tenant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := VerifySecureProof(root, []byte("tenant"), proof)
+	if err != nil || !ok || string(v) != "0xdef" {
+		t.Fatalf("secure proof: %q %v %v", v, ok, err)
+	}
+	if !s.Delete([]byte("tenant")) {
+		t.Fatal("secure delete")
+	}
+	if _, ok := s.Get([]byte("tenant")); ok {
+		t.Fatal("secure delete left value")
+	}
+}
+
+func TestEmptyValueDistinctFromAbsent(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), nil)
+	if v, ok := tr.Get([]byte("k")); !ok || len(v) != 0 {
+		t.Fatal("empty value not stored")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("len")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		tr.Put(key, key)
+	}
+}
+
+func BenchmarkHash1k(b *testing.B) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte{byte(i)}, 32))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Hash(nil)
+	}
+}

@@ -1,0 +1,130 @@
+// Package wallet provides key custody and transaction signing — the
+// MetaMask role in the paper's Table I. A Keystore holds secp256k1 keys
+// in memory; DevAccounts derives the deterministic, pre-funded accounts
+// a devnet exposes (the Ganache behaviour).
+package wallet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/keccak"
+	"legalchain/internal/secp256k1"
+	"legalchain/internal/uint256"
+)
+
+// ErrUnknownAccount is returned when signing with an address the
+// keystore does not hold.
+var ErrUnknownAccount = errors.New("wallet: unknown account")
+
+// Account couples an address with its private key.
+type Account struct {
+	Address ethtypes.Address
+	Key     *secp256k1.PrivateKey
+}
+
+// Keystore is an in-memory key vault.
+type Keystore struct {
+	mu   sync.RWMutex
+	keys map[ethtypes.Address]*secp256k1.PrivateKey
+}
+
+// NewKeystore returns an empty keystore.
+func NewKeystore() *Keystore {
+	return &Keystore{keys: map[ethtypes.Address]*secp256k1.PrivateKey{}}
+}
+
+// NewAccount generates a fresh random account.
+func (ks *Keystore) NewAccount() (Account, error) {
+	key, err := secp256k1.GenerateKey()
+	if err != nil {
+		return Account{}, err
+	}
+	return ks.Import(key), nil
+}
+
+// Import adds a key and returns its account.
+func (ks *Keystore) Import(key *secp256k1.PrivateKey) Account {
+	addr := ethtypes.PubkeyToAddress(key.Public)
+	ks.mu.Lock()
+	ks.keys[addr] = key
+	ks.mu.Unlock()
+	return Account{Address: addr, Key: key}
+}
+
+// Accounts lists the held addresses, sorted for determinism.
+func (ks *Keystore) Accounts() []ethtypes.Address {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	out := make([]ethtypes.Address, 0, len(ks.keys))
+	for a := range ks.keys {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hex() < out[j].Hex() })
+	return out
+}
+
+// Has reports whether the keystore holds addr.
+func (ks *Keystore) Has(addr ethtypes.Address) bool {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	_, ok := ks.keys[addr]
+	return ok
+}
+
+// SignTx signs tx with the key for addr using EIP-155.
+func (ks *Keystore) SignTx(addr ethtypes.Address, tx *ethtypes.Transaction, chainID uint64) error {
+	ks.mu.RLock()
+	key, ok := ks.keys[addr]
+	ks.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAccount, addr)
+	}
+	return tx.Sign(key, chainID)
+}
+
+// SignDigest signs an arbitrary 32-byte digest with addr's key.
+func (ks *Keystore) SignDigest(addr ethtypes.Address, digest []byte) (*secp256k1.Signature, error) {
+	ks.mu.RLock()
+	key, ok := ks.keys[addr]
+	ks.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAccount, addr)
+	}
+	return key.Sign(digest)
+}
+
+// DevAccounts derives n deterministic accounts from a seed string, the
+// way development chains pre-fund a stable account list. The derivation
+// is keccak256(seed || index) used as the private scalar.
+func DevAccounts(seed string, n int) []Account {
+	out := make([]Account, 0, n)
+	for i := 0; len(out) < n; i++ {
+		digest := keccak.Sum256([]byte(fmt.Sprintf("%s/%d", seed, i)))
+		key, err := secp256k1.PrivateKeyFromBytes(digest[:])
+		if err != nil {
+			continue // out-of-range scalar (negligible probability): skip
+		}
+		out = append(out, Account{
+			Address: ethtypes.PubkeyToAddress(key.Public),
+			Key:     key,
+		})
+	}
+	return out
+}
+
+// DefaultDevSeed is the seed used by the bundled devnet.
+const DefaultDevSeed = "legalchain devnet"
+
+// DevAlloc builds a genesis allocation giving each dev account the same
+// balance.
+func DevAlloc(accounts []Account, balance uint256.Int) map[ethtypes.Address]uint256.Int {
+	alloc := make(map[ethtypes.Address]uint256.Int, len(accounts))
+	for _, acc := range accounts {
+		alloc[acc.Address] = balance
+	}
+	return alloc
+}

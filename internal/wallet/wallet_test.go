@@ -1,0 +1,106 @@
+package wallet
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/secp256k1"
+	"legalchain/internal/uint256"
+)
+
+func TestKeystoreLifecycle(t *testing.T) {
+	ks := NewKeystore()
+	if len(ks.Accounts()) != 0 {
+		t.Fatal("fresh keystore not empty")
+	}
+	acc, err := ks.NewAccount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ks.Has(acc.Address) {
+		t.Fatal("Has after NewAccount")
+	}
+	// Import a known key.
+	key := secp256k1.PrivateKeyFromScalar(big.NewInt(42))
+	acc2 := ks.Import(key)
+	if acc2.Address != ethtypes.PubkeyToAddress(key.Public) {
+		t.Fatal("import address mismatch")
+	}
+	accounts := ks.Accounts()
+	if len(accounts) != 2 {
+		t.Fatalf("accounts = %d", len(accounts))
+	}
+	// Sorted.
+	if accounts[0].Hex() >= accounts[1].Hex() {
+		t.Fatal("accounts not sorted")
+	}
+}
+
+func TestSignTx(t *testing.T) {
+	ks := NewKeystore()
+	acc := ks.Import(secp256k1.PrivateKeyFromScalar(big.NewInt(7)))
+	to := ethtypes.HexToAddress("0x00000000000000000000000000000000000000aa")
+	tx := &ethtypes.Transaction{Nonce: 0, GasPrice: ethtypes.Gwei(1), Gas: 21000, To: &to, Value: uint256.One}
+	if err := ks.SignTx(acc.Address, tx, 1337); err != nil {
+		t.Fatal(err)
+	}
+	sender, err := tx.Sender(1337)
+	if err != nil || sender != acc.Address {
+		t.Fatalf("sender = %s, %v", sender, err)
+	}
+	// Unknown account.
+	other := ethtypes.HexToAddress("0x00000000000000000000000000000000000000bb")
+	if err := ks.SignTx(other, tx, 1337); !errors.Is(err, ErrUnknownAccount) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSignDigest(t *testing.T) {
+	ks := NewKeystore()
+	acc := ks.Import(secp256k1.PrivateKeyFromScalar(big.NewInt(9)))
+	digest := ethtypes.Keccak256([]byte("message"))
+	sig, err := ks.SignDigest(acc.Address, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := secp256k1.Recover(digest[:], sig)
+	if err != nil || ethtypes.PubkeyToAddress(pub) != acc.Address {
+		t.Fatal("digest signature does not recover")
+	}
+	if _, err := ks.SignDigest(ethtypes.Address{}, digest[:]); !errors.Is(err, ErrUnknownAccount) {
+		t.Fatal("unknown account signed")
+	}
+}
+
+func TestDevAccountsProperties(t *testing.T) {
+	accs := DevAccounts(DefaultDevSeed, 10)
+	if len(accs) != 10 {
+		t.Fatal("count")
+	}
+	seen := map[ethtypes.Address]bool{}
+	for _, a := range accs {
+		if seen[a.Address] {
+			t.Fatal("duplicate dev account")
+		}
+		seen[a.Address] = true
+		// Key actually controls the address.
+		if ethtypes.PubkeyToAddress(a.Key.Public) != a.Address {
+			t.Fatal("key/address mismatch")
+		}
+	}
+}
+
+func TestDevAlloc(t *testing.T) {
+	accs := DevAccounts("x", 3)
+	alloc := DevAlloc(accs, ethtypes.Ether(5))
+	if len(alloc) != 3 {
+		t.Fatal("alloc size")
+	}
+	for _, a := range accs {
+		if alloc[a.Address] != ethtypes.Ether(5) {
+			t.Fatal("alloc balance")
+		}
+	}
+}
