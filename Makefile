@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check bench race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the fast pre-merge gate: vet everything, then run the
+# concurrency-sensitive suites (state commit pipeline, chain) under the
+# race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/state/... ./internal/chain/...
+
+race:
+	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/app/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 3x .
+	$(GO) test -run xxx -bench 'StateRoot|Copy_COW|EthCall' ./internal/state/ ./internal/chain/

@@ -258,7 +258,7 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 	header.GasUsed = receipt.GasUsed
 	header.TxRoot = ethtypes.TxRootOf([]*ethtypes.Transaction{tx})
 	header.StateRoot = bc.st.Root()
-	header.ReceiptRoot = ethtypes.Keccak256([]byte(fmt.Sprintf("receipt:%s:%d", receipt.TxHash, receipt.Status)))
+	header.ReceiptRoot = DeriveReceiptRoot([]*ethtypes.Receipt{receipt})
 	block := &ethtypes.Block{Header: header, Transactions: []*ethtypes.Transaction{tx}}
 
 	receipt.BlockHash = block.Hash()

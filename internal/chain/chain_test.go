@@ -383,3 +383,36 @@ func TestGasRefundReducesReceiptGas(t *testing.T) {
 		t.Fatal("supply drifted through refund accounting")
 	}
 }
+
+// BenchmarkEthCall_Snapshot measures a read-only eth_call against a
+// populated chain. Dominated by StateDB.Copy before copy-on-write; now
+// the snapshot is O(accounts) header clones plus O(1) trie snapshots.
+func BenchmarkEthCall_Snapshot(b *testing.B) {
+	accs := wallet.DevAccounts("bench-call", 2)
+	g := DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(1_000_000))
+	bc := New(g)
+	// Bloat the world state so the per-call snapshot cost is visible.
+	for i := 0; i < 500; i++ {
+		var a ethtypes.Address
+		a[17] = 0xbb
+		a[18] = byte(i >> 8)
+		a[19] = byte(i)
+		tx := &ethtypes.Transaction{
+			Nonce: uint64(i), GasPrice: ethtypes.Gwei(1), Gas: 21000,
+			To: &a, Value: uint256.One,
+		}
+		tx.Sign(accs[0].Key, bc.ChainID())
+		if _, err := bc.SendTransaction(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := bc.Call(accs[0].Address, &accs[1].Address, nil, uint256.One, 0)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}

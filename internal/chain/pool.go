@@ -113,7 +113,7 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 	header.GasUsed = cumulative
 	header.TxRoot = ethtypes.TxRootOf(included)
 	header.StateRoot = bc.st.Root()
-	header.ReceiptRoot = ethtypes.Keccak256([]byte(fmt.Sprintf("receipts:%d:%d", header.Number, len(receipts))))
+	header.ReceiptRoot = DeriveReceiptRoot(receipts)
 	block := &ethtypes.Block{Header: header, Transactions: included}
 
 	for i, rcpt := range receipts {

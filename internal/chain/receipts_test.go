@@ -1,0 +1,107 @@
+package chain
+
+import (
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/trie"
+	"legalchain/internal/uint256"
+)
+
+// TestReceiptRootPathsAgree: the same transfer mined through the
+// instant-seal path and the batch-mining path must commit to the same
+// receipt root — both share DeriveReceiptRoot.
+func TestReceiptRootPathsAgree(t *testing.T) {
+	sealBC, sealAccs := devChain(t)
+	tx1 := signedTx(t, sealBC, sealAccs[0], &sealAccs[1].Address, ethtypes.Ether(1), nil, 21000)
+	if _, err := sealBC.SendTransaction(tx1); err != nil {
+		t.Fatal(err)
+	}
+
+	mineBC, mineAccs := devChain(t)
+	tx2 := signedTx(t, mineBC, mineAccs[0], &mineAccs[1].Address, ethtypes.Ether(1), nil, 21000)
+	if _, err := mineBC.SubmitTransaction(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := mineBC.MineBlock(); len(failed) != 0 {
+		t.Fatalf("mining failed: %v", failed)
+	}
+
+	sealRoot := sealBC.Head().Header.ReceiptRoot
+	mineRoot := mineBC.Head().Header.ReceiptRoot
+	if sealRoot != mineRoot {
+		t.Fatalf("instant-seal receipt root %s != batch-mined %s", sealRoot, mineRoot)
+	}
+	if sealRoot == (ethtypes.Hash{}) {
+		t.Fatal("receipt root is zero")
+	}
+}
+
+// TestReceiptRootCommitsToContents: changing any receipt field changes
+// the root, and order matters.
+func TestReceiptRootCommitsToContents(t *testing.T) {
+	r1 := &ethtypes.Receipt{Status: 1, CumulativeGasUsed: 21000}
+	r2 := &ethtypes.Receipt{Status: 1, CumulativeGasUsed: 42000}
+	base := DeriveReceiptRoot([]*ethtypes.Receipt{r1, r2})
+
+	failed := &ethtypes.Receipt{Status: 0, CumulativeGasUsed: 21000}
+	if DeriveReceiptRoot([]*ethtypes.Receipt{failed, r2}) == base {
+		t.Fatal("status flip did not change receipt root")
+	}
+	if DeriveReceiptRoot([]*ethtypes.Receipt{r2, r1}) == base {
+		t.Fatal("receipt root is order-insensitive")
+	}
+	withLog := &ethtypes.Receipt{Status: 1, CumulativeGasUsed: 21000,
+		Logs: []*ethtypes.Log{{Address: ethtypes.Address{1}, Data: []byte{0xaa}}}}
+	if DeriveReceiptRoot([]*ethtypes.Receipt{withLog, r2}) == base {
+		t.Fatal("log did not change receipt root")
+	}
+}
+
+// TestReceiptRootEmptyBlock: a block with no receipts commits to the
+// canonical empty-trie root.
+func TestReceiptRootEmptyBlock(t *testing.T) {
+	if got := DeriveReceiptRoot(nil); got != trie.EmptyRoot {
+		t.Fatalf("empty receipt root = %s, want empty-trie root %s", got, trie.EmptyRoot)
+	}
+}
+
+// TestReceiptRootMultiTxBlock: a batch-mined block over several
+// transactions produces a root distinct from any single-receipt root
+// (indexed trie keys, not a running hash).
+func TestReceiptRootMultiTxBlock(t *testing.T) {
+	bc, accs := devChain(t)
+	for i := 0; i < 3; i++ {
+		tx := &ethtypes.Transaction{
+			Nonce: uint64(i), GasPrice: ethtypes.Gwei(1), Gas: 21000,
+			To: &accs[1].Address, Value: uint256.One,
+		}
+		tx.Sign(accs[0].Key, bc.ChainID())
+		if _, err := bc.SubmitTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block, failed := bc.MineBlock()
+	if len(failed) != 0 {
+		t.Fatalf("mining failed: %v", failed)
+	}
+	if len(block.Transactions) != 3 {
+		t.Fatalf("included %d txs, want 3", len(block.Transactions))
+	}
+	root := block.Header.ReceiptRoot
+	if root == (ethtypes.Hash{}) || root == trie.EmptyRoot {
+		t.Fatalf("degenerate multi-tx receipt root %s", root)
+	}
+	// Recompute from the stored receipts: must round-trip.
+	var receipts []*ethtypes.Receipt
+	for _, tx := range block.Transactions {
+		r, ok := bc.GetReceipt(tx.Hash())
+		if !ok {
+			t.Fatal("missing receipt")
+		}
+		receipts = append(receipts, r)
+	}
+	if got := DeriveReceiptRoot(receipts); got != root {
+		t.Fatalf("recomputed receipt root %s != header %s", got, root)
+	}
+}

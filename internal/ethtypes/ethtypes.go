@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"math/big"
+	"sync"
 
 	"legalchain/internal/hexutil"
 	"legalchain/internal/keccak"
@@ -106,14 +108,26 @@ func (a *Address) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// keccakPool recycles Keccak-256 sponge states: hashing dominates the
+// trie/state commit pipeline, and a fresh sponge per call costs an
+// allocation plus buffer growth on every node hashed.
+var keccakPool = sync.Pool{New: func() any { return keccak.New256() }}
+
 // Keccak256 hashes data with Keccak-256.
 func Keccak256(data ...[]byte) Hash {
-	h := keccak.New256()
+	if len(data) == 1 {
+		// One-shot fast path: absorbs straight from the input, no
+		// sponge buffering at all.
+		return Hash(keccak.Sum256(data[0]))
+	}
+	h := keccakPool.Get().(hash.Hash)
+	h.Reset()
 	for _, d := range data {
 		h.Write(d)
 	}
 	var out Hash
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
+	keccakPool.Put(h)
 	return out
 }
 
@@ -311,6 +325,29 @@ type Receipt struct {
 
 // Succeeded reports whether the transaction executed without reverting.
 func (r *Receipt) Succeeded() bool { return r.Status == ReceiptStatusSuccessful }
+
+// EncodeRLP returns the consensus encoding of the receipt:
+// [status, cumulativeGasUsed, [[address, [topics...], data]...]].
+// (No bloom filter — the devnet serves log queries from its index.)
+func (r *Receipt) EncodeRLP() []byte {
+	logItems := make([]*rlp.Item, len(r.Logs))
+	for i, l := range r.Logs {
+		topics := make([]*rlp.Item, len(l.Topics))
+		for j := range l.Topics {
+			topics[j] = rlp.Bytes(l.Topics[j][:])
+		}
+		logItems[i] = rlp.List(
+			rlp.Bytes(l.Address[:]),
+			rlp.List(topics...),
+			rlp.Bytes(l.Data),
+		)
+	}
+	return rlp.Encode(rlp.List(
+		rlp.Uint(r.Status),
+		rlp.Uint(r.CumulativeGasUsed),
+		rlp.List(logItems...),
+	))
+}
 
 // Header is a block header. Consensus fields not needed by an
 // instant-seal devnet (difficulty, mixhash, nonce) are omitted.

@@ -90,58 +90,109 @@ func (d *digest) Reset() {
 
 func (d *digest) Write(p []byte) (int, error) {
 	n := len(p)
-	d.buf = append(d.buf, p...)
-	for len(d.buf) >= d.rate {
-		d.absorb(d.buf[:d.rate])
-		d.buf = d.buf[d.rate:]
+	// Top up a partial block first.
+	if len(d.buf) > 0 {
+		need := d.rate - len(d.buf)
+		if need > len(p) {
+			need = len(p)
+		}
+		d.buf = append(d.buf, p[:need]...)
+		p = p[need:]
+		if len(d.buf) == d.rate {
+			d.absorb(d.buf)
+			d.buf = d.buf[:0]
+		}
+	}
+	// Absorb full blocks straight from the input, no copying.
+	for len(p) >= d.rate {
+		d.absorb(p[:d.rate])
+		p = p[d.rate:]
+	}
+	if len(p) > 0 {
+		d.buf = append(d.buf, p...)
 	}
 	return n, nil
 }
 
 // absorb XORs one rate-sized block into the state and permutes.
-func (d *digest) absorb(block []byte) {
-	for i := 0; i < d.rate/8; i++ {
+func (d *digest) absorb(block []byte) { absorbInto(&d.a, block) }
+
+// absorbInto XORs one rate-sized block into a and permutes.
+func absorbInto(a *[5][5]uint64, block []byte) {
+	for i := 0; i < len(block)/8; i++ {
 		lane := le64(block[i*8:])
 		x, y := i%5, i/5
-		d.a[x][y] ^= lane
+		a[x][y] ^= lane
 	}
-	permute(&d.a)
+	permute(a)
 }
 
 func (d *digest) Sum(in []byte) []byte {
-	// Copy the state so Sum does not disturb the running hash.
-	dup := *d
-	dup.buf = append([]byte(nil), d.buf...)
+	// Copy the state so Sum does not disturb the running hash. The
+	// partial block is padded on the stack: rate is at most 136 bytes.
+	a := d.a
+	var block [136]byte
+	n := copy(block[:], d.buf)
 
 	// Keccak (pre-FIPS) multi-rate padding: 0x01 ... 0x80.
-	pad := make([]byte, dup.rate-len(dup.buf))
-	pad[0] = 0x01
-	pad[len(pad)-1] |= 0x80
-	dup.buf = append(dup.buf, pad...)
-	dup.absorb(dup.buf)
+	block[n] = 0x01
+	block[d.rate-1] |= 0x80
+	absorbInto(&a, block[:d.rate])
 
 	// Squeeze.
-	out := make([]byte, dup.outSize)
+	var out [64]byte
 	off := 0
-	for off < dup.outSize {
-		for i := 0; i < dup.rate/8 && off < dup.outSize; i++ {
+	for off < d.outSize {
+		for i := 0; i < d.rate/8 && off < d.outSize; i++ {
 			x, y := i%5, i/5
-			putLE64(out[off:], dup.a[x][y], dup.outSize-off)
+			putLE64(out[off:], a[x][y], d.outSize-off)
 			off += 8
 		}
-		if off < dup.outSize {
-			permute(&dup.a)
+		if off < d.outSize {
+			permute(&a)
 		}
 	}
-	return append(in, out...)
+	return append(in, out[:d.outSize]...)
 }
 
-// Sum256 computes the Keccak-256 digest of data.
+// sum finalizes into out without preserving the running state; out must
+// be outSize bytes. Used by the one-shot helpers to stay allocation-free.
+func (d *digest) sum(out []byte) {
+	var block [136]byte
+	n := copy(block[:], d.buf)
+	block[n] = 0x01
+	block[d.rate-1] |= 0x80
+	absorbInto(&d.a, block[:d.rate])
+	off := 0
+	for off < d.outSize {
+		for i := 0; i < d.rate/8 && off < d.outSize; i++ {
+			x, y := i%5, i/5
+			putLE64(out[off:], d.a[x][y], d.outSize-off)
+			off += 8
+		}
+		if off < d.outSize {
+			permute(&d.a)
+		}
+	}
+}
+
+// Sum256 computes the Keccak-256 digest of data without heap allocation.
 func Sum256(data []byte) [32]byte {
 	d := digest{rate: 136, outSize: 32}
-	d.Write(data)
+	for len(data) >= d.rate {
+		d.absorb(data[:d.rate])
+		data = data[d.rate:]
+	}
+	var block [136]byte
+	n := copy(block[:], data)
+	block[n] = 0x01
+	block[d.rate-1] |= 0x80
+	d.absorb(block[:d.rate])
 	var out [32]byte
-	copy(out[:], d.Sum(nil))
+	for i := 0; i < 4; i++ {
+		x, y := i%5, i/5
+		putLE64(out[i*8:], d.a[x][y], 8)
+	}
 	return out
 }
 
@@ -150,7 +201,7 @@ func Sum512(data []byte) [64]byte {
 	d := digest{rate: 72, outSize: 64}
 	d.Write(data)
 	var out [64]byte
-	copy(out[:], d.Sum(nil))
+	d.sum(out[:])
 	return out
 }
 

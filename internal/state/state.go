@@ -2,11 +2,22 @@
 // account model (nonce, balance, code, storage) with snapshot/revert
 // semantics required by the EVM's nested call frames, plus Merkle root
 // computation over the account and storage tries.
+//
+// Root computation is incremental: the StateDB keeps a persistent
+// account trie and per-account storage tries that are *updated* from
+// dirty-tracked accounts and slots on each Root() call, rather than
+// rebuilt from scratch. Storage tries of distinct dirty accounts are
+// independent, so their roots are recomputed in parallel on a bounded
+// worker pool. RebuildRoot keeps the original from-scratch computation
+// as a test oracle.
 package state
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/rlp"
@@ -32,6 +43,12 @@ type stateObject struct {
 	origin  map[ethtypes.Hash]uint256.Int
 
 	selfdestructed bool
+
+	// shared marks storage/origin as copy-on-write shared with at least
+	// one Copy() of this state. Writers must call ensureOwned first.
+	// Atomic because concurrent eth_call snapshots may mark the same
+	// object shared while holding only a read lock on the chain.
+	shared atomic.Bool
 }
 
 func newStateObject() *stateObject {
@@ -42,10 +59,39 @@ func newStateObject() *stateObject {
 	}
 }
 
+// ensureOwned un-shares the object's maps before a write: if a Copy()
+// still references them, the writer clones and mutates its private clone,
+// leaving the shared snapshot untouched.
+func (o *stateObject) ensureOwned() {
+	if !o.shared.Load() {
+		return
+	}
+	st := make(map[ethtypes.Hash]uint256.Int, len(o.storage))
+	for k, v := range o.storage {
+		st[k] = v
+	}
+	og := make(map[ethtypes.Hash]uint256.Int, len(o.origin))
+	for k, v := range o.origin {
+		og[k] = v
+	}
+	o.storage, o.origin = st, og
+	o.shared.Store(false)
+}
+
 // empty reports whether the account is empty per EIP-161
 // (nonce == 0, balance == 0, no code).
 func (o *stateObject) empty() bool {
 	return o.nonce == 0 && o.balance.IsZero() && len(o.code) == 0
+}
+
+// dirtyEntry records what changed for one account since the tries were
+// last synced. Presence of an entry means the account-trie leaf is stale;
+// slots lists the storage slots whose trie values need refreshing; reset
+// means the whole storage trie must be rebuilt (the account was deleted,
+// so per-slot tracking is no longer sufficient).
+type dirtyEntry struct {
+	reset bool
+	slots map[ethtypes.Hash]struct{}
 }
 
 // StateDB is the mutable world state with journaling.
@@ -55,15 +101,25 @@ type StateDB struct {
 	refund  uint64
 	logs    []*ethtypes.Log
 
-	// storage-root cache, invalidated on writes per account
+	// Incremental commit pipeline: persistent tries, synced from the
+	// dirty set on Root()/StorageRoot().
+	accountTrie  *trie.Secure
+	storageTries map[ethtypes.Address]*trie.Secure
+	// rootCache holds each account's storage root as of its last sync.
 	rootCache map[ethtypes.Address]ethtypes.Hash
+	dirties   map[ethtypes.Address]*dirtyEntry
+	worldRoot ethtypes.Hash
+	rootValid bool
 }
 
 // New returns an empty world state.
 func New() *StateDB {
 	return &StateDB{
-		objects:   make(map[ethtypes.Address]*stateObject),
-		rootCache: make(map[ethtypes.Address]ethtypes.Hash),
+		objects:      make(map[ethtypes.Address]*stateObject),
+		accountTrie:  trie.NewSecure(),
+		storageTries: make(map[ethtypes.Address]*trie.Secure),
+		rootCache:    make(map[ethtypes.Address]ethtypes.Hash),
+		dirties:      make(map[ethtypes.Address]*dirtyEntry),
 	}
 }
 
@@ -77,12 +133,45 @@ func (s *StateDB) getOrNewObject(addr ethtypes.Address) *stateObject {
 	}
 	o := newStateObject()
 	s.objects[addr] = o
-	s.journal = append(s.journal, func() { delete(s.objects, addr) })
+	s.journal = append(s.journal, func() {
+		delete(s.objects, addr)
+		// The account (and any storage it accumulated) must fall out of
+		// the tries on the next sync.
+		s.markReset(addr)
+	})
 	return o
 }
 
+// touch marks the account's trie leaf stale.
 func (s *StateDB) touch(addr ethtypes.Address) {
-	delete(s.rootCache, addr)
+	s.markAccount(addr)
+}
+
+func (s *StateDB) markAccount(addr ethtypes.Address) *dirtyEntry {
+	e := s.dirties[addr]
+	if e == nil {
+		e = &dirtyEntry{}
+		s.dirties[addr] = e
+	}
+	s.rootValid = false
+	return e
+}
+
+func (s *StateDB) markSlot(addr ethtypes.Address, slot ethtypes.Hash) {
+	e := s.markAccount(addr)
+	if e.reset {
+		return // the whole storage trie is pending a rebuild anyway
+	}
+	if e.slots == nil {
+		e.slots = make(map[ethtypes.Hash]struct{})
+	}
+	e.slots[slot] = struct{}{}
+}
+
+func (s *StateDB) markReset(addr ethtypes.Address) {
+	e := s.markAccount(addr)
+	e.reset = true
+	e.slots = nil
 }
 
 // Exist reports whether the account exists in state.
@@ -115,7 +204,10 @@ func (s *StateDB) GetBalance(addr ethtypes.Address) uint256.Int {
 func (s *StateDB) AddBalance(addr ethtypes.Address, amount uint256.Int) {
 	o := s.getOrNewObject(addr)
 	prev := o.balance
-	s.journal = append(s.journal, func() { o.balance = prev })
+	s.journal = append(s.journal, func() {
+		o.balance = prev
+		s.markAccount(addr)
+	})
 	o.balance = o.balance.Add(amount)
 	s.touch(addr)
 }
@@ -129,7 +221,10 @@ func (s *StateDB) SubBalance(addr ethtypes.Address, amount uint256.Int) {
 		panic(fmt.Sprintf("state: balance underflow for %s", addr))
 	}
 	prev := o.balance
-	s.journal = append(s.journal, func() { o.balance = prev })
+	s.journal = append(s.journal, func() {
+		o.balance = prev
+		s.markAccount(addr)
+	})
 	o.balance = next
 	s.touch(addr)
 }
@@ -146,7 +241,10 @@ func (s *StateDB) GetNonce(addr ethtypes.Address) uint64 {
 func (s *StateDB) SetNonce(addr ethtypes.Address, nonce uint64) {
 	o := s.getOrNewObject(addr)
 	prev := o.nonce
-	s.journal = append(s.journal, func() { o.nonce = prev })
+	s.journal = append(s.journal, func() {
+		o.nonce = prev
+		s.markAccount(addr)
+	})
 	o.nonce = nonce
 	s.touch(addr)
 }
@@ -176,7 +274,10 @@ func (s *StateDB) GetCodeHash(addr ethtypes.Address) ethtypes.Hash {
 func (s *StateDB) SetCode(addr ethtypes.Address, code []byte) {
 	o := s.getOrNewObject(addr)
 	prevCode, prevHash := o.code, o.codeHash
-	s.journal = append(s.journal, func() { o.code, o.codeHash = prevCode, prevHash })
+	s.journal = append(s.journal, func() {
+		o.code, o.codeHash = prevCode, prevHash
+		s.markAccount(addr)
+	})
 	o.code = append([]byte(nil), code...)
 	o.codeHash = ethtypes.Keccak256(code)
 	s.touch(addr)
@@ -206,23 +307,26 @@ func (s *StateDB) GetCommittedState(addr ethtypes.Address, slot ethtypes.Hash) u
 // SetState writes a storage slot.
 func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint256.Int) {
 	o := s.getOrNewObject(addr)
+	o.ensureOwned()
 	if _, tracked := o.origin[slot]; !tracked {
 		o.origin[slot] = o.storage[slot]
 	}
 	prev, existed := o.storage[slot]
 	s.journal = append(s.journal, func() {
+		o.ensureOwned()
 		if existed {
 			o.storage[slot] = prev
 		} else {
 			delete(o.storage, slot)
 		}
+		s.markSlot(addr, slot)
 	})
 	if value.IsZero() {
 		delete(o.storage, slot)
 	} else {
 		o.storage[slot] = value
 	}
-	s.touch(addr)
+	s.markSlot(addr, slot)
 }
 
 // SelfDestruct marks the contract for deletion at transaction finalize
@@ -233,7 +337,10 @@ func (s *StateDB) SelfDestruct(addr ethtypes.Address) {
 		return
 	}
 	prevFlag, prevBal := o.selfdestructed, o.balance
-	s.journal = append(s.journal, func() { o.selfdestructed, o.balance = prevFlag, prevBal })
+	s.journal = append(s.journal, func() {
+		o.selfdestructed, o.balance = prevFlag, prevBal
+		s.markAccount(addr)
+	})
 	o.selfdestructed = true
 	o.balance = uint256.Zero
 	s.touch(addr)
@@ -285,6 +392,8 @@ func (s *StateDB) TakeLogs() []*ethtypes.Log {
 func (s *StateDB) Snapshot() int { return len(s.journal) }
 
 // RevertToSnapshot undoes every change made after the snapshot was taken.
+// Each undo re-marks what it restores, so the tries re-sync the reverted
+// values on the next Root() — no wholesale cache invalidation needed.
 func (s *StateDB) RevertToSnapshot(id int) {
 	if id < 0 || id > len(s.journal) {
 		panic(fmt.Sprintf("state: invalid snapshot id %d (journal %d)", id, len(s.journal)))
@@ -293,51 +402,241 @@ func (s *StateDB) RevertToSnapshot(id int) {
 		s.journal[i]()
 	}
 	s.journal = s.journal[:id]
-	// Conservatively drop root caches; reverted writes already touched.
-	s.rootCache = make(map[ethtypes.Address]ethtypes.Hash)
 }
 
 // Finalise ends a transaction: deletes self-destructed and empty-touched
 // accounts, clears per-tx origin tracking, resets refund and journal.
+//
+// Self-destruct always wins: a self-destructed account is removed even
+// if it still holds storage or was re-funded after the destruct within
+// the same transaction (the ether is burned, matching mainnet pre-Cancun
+// semantics). The EIP-161 empty-account sweep applies only to accounts
+// that also have no storage left.
 func (s *StateDB) Finalise() {
 	for addr, o := range s.objects {
-		if o.selfdestructed || o.empty() && len(o.storage) == 0 {
+		if o.selfdestructed || (o.empty() && len(o.storage) == 0) {
 			delete(s.objects, addr)
-			delete(s.rootCache, addr)
+			s.markReset(addr)
 			continue
 		}
-		o.origin = make(map[ethtypes.Hash]uint256.Int)
+		if len(o.origin) > 0 {
+			// Replacing the map (rather than clearing it) keeps any
+			// copy-on-write sharer's view intact.
+			o.origin = make(map[ethtypes.Hash]uint256.Int)
+		}
 	}
 	s.journal = nil
 	s.refund = 0
 }
 
-// StorageRoot computes the Merkle root of one account's storage trie.
+// applyStorageDirt brings tr up to date for the given object: either a
+// full rebuild from every live slot, or a per-slot refresh of just the
+// dirty ones.
+func applyStorageDirt(tr *trie.Secure, o *stateObject, slots []ethtypes.Hash, full bool) {
+	if full {
+		for slot, val := range o.storage {
+			tr.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
+		}
+		return
+	}
+	for _, slot := range slots {
+		if val, ok := o.storage[slot]; ok {
+			tr.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
+		} else {
+			tr.Delete(slot[:])
+		}
+	}
+}
+
+// StorageRoot computes the Merkle root of one account's storage trie,
+// syncing any pending dirty slots for that account first.
 func (s *StateDB) StorageRoot(addr ethtypes.Address) ethtypes.Hash {
+	o := s.getObject(addr)
+	e := s.dirties[addr]
+	if o == nil || len(o.storage) == 0 {
+		if e != nil {
+			delete(s.storageTries, addr)
+			delete(s.rootCache, addr)
+			e.reset, e.slots = false, nil // account leaf stays marked
+		}
+		return trie.EmptyRoot
+	}
+	if e != nil && (e.reset || len(e.slots) > 0) {
+		tr := s.storageTries[addr]
+		full := false
+		if tr == nil || e.reset {
+			tr = trie.NewSecure()
+			full = true
+		}
+		slots := make([]ethtypes.Hash, 0, len(e.slots))
+		for slot := range e.slots {
+			slots = append(slots, slot)
+		}
+		applyStorageDirt(tr, o, slots, full)
+		s.storageTries[addr] = tr
+		s.rootCache[addr] = tr.Hash(nil)
+		e.reset, e.slots = false, nil
+	}
 	if h, ok := s.rootCache[addr]; ok {
 		return h
 	}
-	o := s.getObject(addr)
-	if o == nil || len(o.storage) == 0 {
-		return trie.EmptyRoot
-	}
-	st := trie.NewSecure()
-	for slot, val := range o.storage {
-		st.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
-	}
-	root := st.Hash(nil)
-	s.rootCache[addr] = root
-	return root
+	// Cold path: storage present but never synced (e.g. a Copy taken
+	// before any root computation). Full rebuild.
+	tr := trie.NewSecure()
+	applyStorageDirt(tr, o, nil, true)
+	s.storageTries[addr] = tr
+	h := tr.Hash(nil)
+	s.rootCache[addr] = h
+	return h
 }
 
-// Root computes the world-state Merkle root over all accounts.
+// storageJob is one dirty account's storage-trie sync, runnable in
+// parallel with other accounts' jobs (their tries share no nodes).
+type storageJob struct {
+	addr  ethtypes.Address
+	obj   *stateObject
+	tr    *trie.Secure
+	slots []ethtypes.Hash
+	full  bool
+	drop  bool // storage gone (or account deleted): drop the trie
+	root  ethtypes.Hash
+}
+
+// maxStorageHashWorkers bounds the worker pool for parallel storage-root
+// computation; beyond this, keccak throughput saturates memory bandwidth.
+const maxStorageHashWorkers = 8
+
+// minParallelJobs is the fan-out threshold below which goroutine setup
+// costs more than it saves.
+const minParallelJobs = 3
+
+func (j *storageJob) run() {
+	if j.drop || j.tr == nil {
+		return
+	}
+	applyStorageDirt(j.tr, j.obj, j.slots, j.full)
+	j.root = j.tr.Hash(nil)
+}
+
+// Root computes the world-state Merkle root over all accounts by syncing
+// the persistent tries against the dirty set: storage roots for dirty
+// accounts in parallel, then their account-trie leaves, then one
+// incremental hash of the account trie.
 func (s *StateDB) Root() ethtypes.Hash {
+	if s.rootValid {
+		return s.worldRoot
+	}
+
+	jobs := make([]storageJob, 0, len(s.dirties))
+	hashWork := 0
+	for addr, e := range s.dirties {
+		o := s.objects[addr]
+		j := storageJob{addr: addr, obj: o}
+		switch {
+		case o == nil || len(o.storage) == 0:
+			j.drop = true
+		case e.reset:
+			j.tr = trie.NewSecure()
+			j.full = true
+			hashWork++
+		case len(e.slots) > 0:
+			tr := s.storageTries[addr]
+			if tr == nil {
+				tr = trie.NewSecure()
+				j.full = true
+			} else {
+				j.slots = make([]ethtypes.Hash, 0, len(e.slots))
+				for slot := range e.slots {
+					j.slots = append(j.slots, slot)
+				}
+			}
+			j.tr = tr
+			hashWork++
+		default:
+			// Meta-only change: the storage root is already current.
+		}
+		jobs = append(jobs, j)
+	}
+
+	// Phase 1: storage roots, fanned out when there is enough work.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxStorageHashWorkers {
+		workers = maxStorageHashWorkers
+	}
+	if hashWork >= minParallelJobs && workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					jobs[i].run()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			jobs[i].run()
+		}
+	}
+
+	// Phase 2: merge results and refresh account-trie leaves (serial:
+	// the account trie is shared).
+	for i := range jobs {
+		j := &jobs[i]
+		switch {
+		case j.drop:
+			delete(s.storageTries, j.addr)
+			delete(s.rootCache, j.addr)
+		case j.tr != nil:
+			s.storageTries[j.addr] = j.tr
+			s.rootCache[j.addr] = j.root
+		}
+		o := j.obj
+		if o == nil || (o.empty() && len(o.storage) == 0) {
+			s.accountTrie.Delete(j.addr[:])
+			continue
+		}
+		storageRoot, ok := s.rootCache[j.addr]
+		if !ok {
+			storageRoot = trie.EmptyRoot
+		}
+		enc := rlp.Encode(rlp.List(
+			rlp.Uint(o.nonce),
+			rlp.BigInt(o.balance.ToBig()),
+			rlp.Bytes(storageRoot[:]),
+			rlp.Bytes(o.codeHash[:]),
+		))
+		s.accountTrie.Put(j.addr[:], enc)
+	}
+
+	s.dirties = make(map[ethtypes.Address]*dirtyEntry)
+	s.worldRoot = s.accountTrie.Hash(nil)
+	s.rootValid = true
+	return s.worldRoot
+}
+
+// RebuildRoot recomputes the world root from scratch — fresh tries, no
+// caches. It is the oracle the incremental pipeline is property-tested
+// against and is intentionally kept on the original (pre-incremental)
+// code path.
+func (s *StateDB) RebuildRoot() ethtypes.Hash {
 	at := trie.NewSecure()
 	for addr, o := range s.objects {
 		if o.empty() && len(o.storage) == 0 {
 			continue
 		}
-		storageRoot := s.StorageRoot(addr)
+		st := trie.NewSecure()
+		for slot, val := range o.storage {
+			st.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
+		}
+		storageRoot := st.Hash(nil)
 		enc := rlp.Encode(rlp.List(
 			rlp.Uint(o.nonce),
 			rlp.BigInt(o.balance.ToBig()),
@@ -380,21 +679,53 @@ func (s *StateDB) StorageSlots(addr ethtypes.Address) map[ethtypes.Hash]uint256.
 	return out
 }
 
-// Copy returns a deep copy of the state (journal not carried over) for
-// speculative execution such as eth_call and gas estimation.
+// Copy returns an isolated copy of the state (journal not carried over)
+// for speculative execution such as eth_call and gas estimation.
+//
+// The copy is copy-on-write over the shared committed state: account
+// headers are duplicated (cheap scalars), while storage maps and the
+// persistent tries are shared until either side writes. Trie sharing is
+// safe because trie mutation path-copies; map sharing is mediated by the
+// per-object shared flag.
 func (s *StateDB) Copy() *StateDB {
-	cp := New()
+	cp := &StateDB{
+		objects:      make(map[ethtypes.Address]*stateObject, len(s.objects)),
+		accountTrie:  s.accountTrie.Snapshot(),
+		storageTries: make(map[ethtypes.Address]*trie.Secure, len(s.storageTries)),
+		rootCache:    make(map[ethtypes.Address]ethtypes.Hash, len(s.rootCache)),
+		dirties:      make(map[ethtypes.Address]*dirtyEntry, len(s.dirties)),
+		worldRoot:    s.worldRoot,
+		rootValid:    s.rootValid,
+	}
 	for addr, o := range s.objects {
-		no := newStateObject()
-		no.nonce = o.nonce
-		no.balance = o.balance
-		no.code = append([]byte(nil), o.code...)
-		no.codeHash = o.codeHash
-		for k, v := range o.storage {
-			no.storage[k] = v
+		o.shared.Store(true)
+		no := &stateObject{
+			nonce:          o.nonce,
+			balance:        o.balance,
+			code:           o.code, // immutable: SetCode replaces, never mutates
+			codeHash:       o.codeHash,
+			storage:        o.storage,
+			origin:         o.origin,
+			selfdestructed: o.selfdestructed,
 		}
-		no.selfdestructed = o.selfdestructed
+		no.shared.Store(true)
 		cp.objects[addr] = no
+	}
+	for addr, tr := range s.storageTries {
+		cp.storageTries[addr] = tr.Snapshot()
+	}
+	for addr, h := range s.rootCache {
+		cp.rootCache[addr] = h
+	}
+	for addr, e := range s.dirties {
+		ne := &dirtyEntry{reset: e.reset}
+		if len(e.slots) > 0 {
+			ne.slots = make(map[ethtypes.Hash]struct{}, len(e.slots))
+			for slot := range e.slots {
+				ne.slots[slot] = struct{}{}
+			}
+		}
+		cp.dirties[addr] = ne
 	}
 	return cp
 }

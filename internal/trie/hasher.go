@@ -1,0 +1,172 @@
+// Incremental trie hashing.
+//
+// Every shortNode/fullNode memoises the *reference form* of its RLP
+// encoding — the bytes a parent embeds for it: the encoding itself when
+// it is under 32 bytes, otherwise rlp(keccak(encoding)). Because Put and
+// Delete path-copy (hasher caches start empty on every fresh node and
+// nodes already linked into a trie are never mutated), a memoised entry
+// can never go stale: re-hashing after k updates recomputes only the
+// O(k·depth) nodes along the changed paths and serves every untouched
+// subtree from its cache. The byte output is identical to the
+// rlp.Encode(encodeNode(...)) path used when a NodeStore is requested.
+//
+// Caches are published through atomic pointers so snapshots sharing
+// structure with a live trie can be hashed concurrently: racing writers
+// compute identical values, and last-write-wins is harmless.
+package trie
+
+import (
+	"sync"
+
+	"legalchain/internal/ethtypes"
+)
+
+// encCache is the memoised hashing result of one immutable node.
+type encCache struct {
+	ref    []byte        // reference form: full encoding if <32 bytes, else rlp(hash)
+	hash   ethtypes.Hash // keccak256 of the full encoding; valid when hashed
+	hashed bool
+}
+
+// encBufPool recycles the payload-assembly scratch buffers so steady-state
+// hashing does not allocate per node beyond the retained cache entry.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// fastHash returns the root hash of n using the memoised encoder.
+func fastHash(n node) ethtypes.Hash {
+	if v, ok := n.(valueNode); ok {
+		// A bare value at the root cannot arise from keyed inserts
+		// (keys always carry the terminator nibble) but is handled for
+		// completeness.
+		return ethtypes.Keccak256(appendRLPString(nil, v))
+	}
+	c := cachedRef(n)
+	if c.hashed {
+		return c.hash
+	}
+	// Root encoding under 32 bytes: the root is still referenced by
+	// hash, so hash its (inline) encoding.
+	return ethtypes.Keccak256(c.ref)
+}
+
+// cachedRef returns the memoised reference of a shortNode or fullNode,
+// computing and publishing it on first use.
+func cachedRef(n node) *encCache {
+	switch cur := n.(type) {
+	case *shortNode:
+		if c := cur.cache.Load(); c != nil {
+			return c
+		}
+		c := buildCache(func(payload []byte) []byte {
+			payload = appendRLPString(payload, hexPrefix(cur.Key))
+			return appendChildRef(payload, cur.Val)
+		})
+		cur.cache.Store(c)
+		return c
+	case *fullNode:
+		if c := cur.cache.Load(); c != nil {
+			return c
+		}
+		c := buildCache(func(payload []byte) []byte {
+			for i := 0; i < 16; i++ {
+				payload = appendChildRef(payload, cur.Children[i])
+			}
+			if v, ok := cur.Children[16].(valueNode); ok {
+				payload = appendRLPString(payload, v)
+			} else {
+				payload = appendRLPString(payload, nil)
+			}
+			return payload
+		})
+		cur.cache.Store(c)
+		return c
+	default:
+		panic("trie: cachedRef on non-cacheable node")
+	}
+}
+
+// buildCache assembles a node's list payload with fill, wraps it in the
+// list header and produces the cache entry.
+func buildCache(fill func([]byte) []byte) *encCache {
+	bufp := encBufPool.Get().(*[]byte)
+	payload := fill((*bufp)[:0])
+
+	var header [9]byte
+	hn := putListHeader(header[:], len(payload))
+
+	c := &encCache{}
+	if hn+len(payload) < 32 {
+		c.ref = make([]byte, 0, hn+len(payload))
+		c.ref = append(c.ref, header[:hn]...)
+		c.ref = append(c.ref, payload...)
+	} else {
+		c.hash = ethtypes.Keccak256(header[:hn], payload)
+		ref := make([]byte, 33)
+		ref[0] = 0x80 + 32
+		copy(ref[1:], c.hash[:])
+		c.ref = ref
+		c.hashed = true
+	}
+
+	*bufp = payload[:0]
+	encBufPool.Put(bufp)
+	return c
+}
+
+// appendChildRef appends the reference form of a child node: value nodes
+// are embedded as strings (mirroring refItem), cacheable nodes via their
+// memoised reference.
+func appendChildRef(dst []byte, n node) []byte {
+	switch cur := n.(type) {
+	case nil:
+		return append(dst, 0x80)
+	case valueNode:
+		return appendRLPString(dst, cur)
+	default:
+		return append(dst, cachedRef(n).ref...)
+	}
+}
+
+// appendRLPString appends the canonical RLP encoding of byte string s,
+// byte-identical to rlp.Encode(rlp.Bytes(s)).
+func appendRLPString(dst, s []byte) []byte {
+	if len(s) == 1 && s[0] <= 0x7f {
+		return append(dst, s[0])
+	}
+	if len(s) <= 55 {
+		dst = append(dst, 0x80+byte(len(s)))
+		return append(dst, s...)
+	}
+	var lenBytes [8]byte
+	i := 8
+	for v := uint64(len(s)); v > 0; v >>= 8 {
+		i--
+		lenBytes[i] = byte(v)
+	}
+	dst = append(dst, 0xb7+byte(8-i))
+	dst = append(dst, lenBytes[i:]...)
+	return append(dst, s...)
+}
+
+// putListHeader writes the RLP list header for a payload of n bytes into
+// dst and returns the header length.
+func putListHeader(dst []byte, n int) int {
+	if n <= 55 {
+		dst[0] = 0xc0 + byte(n)
+		return 1
+	}
+	var lenBytes [8]byte
+	i := 8
+	for v := uint64(n); v > 0; v >>= 8 {
+		i--
+		lenBytes[i] = byte(v)
+	}
+	dst[0] = 0xf7 + byte(8-i)
+	copy(dst[1:], lenBytes[i:])
+	return 1 + (8 - i)
+}

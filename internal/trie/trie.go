@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/rlp"
@@ -34,13 +35,15 @@ type (
 	// shortNode is a leaf (Val is valueNode, Key ends with the
 	// terminator nibble) or an extension (Val is a further node).
 	shortNode struct {
-		Key []byte // nibbles
-		Val node
+		Key   []byte // nibbles
+		Val   node
+		cache atomic.Pointer[encCache] // memoised encoding, see hasher.go
 	}
 	// fullNode is a 17-way branch; slot 16 holds a value terminating
 	// exactly at this node.
 	fullNode struct {
 		Children [17]node
+		cache    atomic.Pointer[encCache]
 	}
 	valueNode []byte
 )
@@ -138,9 +141,11 @@ func insert(n node, key []byte, value node) node {
 		}
 		return &shortNode{Key: key[:match], Val: branch}
 	case *fullNode:
-		out := *cur
+		// Path-copy: a fresh node (with an empty encoding cache) so that
+		// prior snapshots sharing cur stay valid.
+		out := &fullNode{Children: cur.Children}
 		out.Children[key[0]] = insert(cur.Children[key[0]], key[1:], value)
-		return &out
+		return out
 	case valueNode:
 		// Existing value terminates here but the new key continues —
 		// impossible with terminator nibbles (terminator can't extend).
@@ -203,7 +208,7 @@ func del(n node, key []byte) (node, bool) {
 		if !ok {
 			return n, false
 		}
-		out := *cur
+		out := &fullNode{Children: cur.Children}
 		out.Children[key[0]] = child
 
 		// If only one child remains, collapse the branch.
@@ -216,7 +221,7 @@ func del(n node, key []byte) (node, bool) {
 			}
 		}
 		if count > 1 {
-			return &out, true
+			return out, true
 		}
 		if pos == terminator {
 			return &shortNode{Key: []byte{terminator}, Val: out.Children[terminator]}, true
@@ -284,9 +289,17 @@ type NodeStore map[ethtypes.Hash][]byte
 
 // Hash computes the Merkle root. If store is non-nil, every node that is
 // referenced by hash (including the root) is recorded in it.
+//
+// With store == nil the computation is incremental: every node memoises
+// its encoding/hash, and because mutations path-copy (never edit nodes
+// in place) a re-hash after k updates touches only the O(k·depth) fresh
+// nodes — unchanged subtrees are served from their caches.
 func (t *Trie) Hash(store NodeStore) ethtypes.Hash {
 	if t.root == nil {
 		return EmptyRoot
+	}
+	if store == nil {
+		return fastHash(t.root)
 	}
 	enc := rlp.Encode(encodeNode(t.root, store))
 	h := ethtypes.Keccak256(enc)
@@ -295,6 +308,12 @@ func (t *Trie) Hash(store NodeStore) ethtypes.Hash {
 	}
 	return h
 }
+
+// Snapshot returns an O(1) logical copy of the trie. Nodes are immutable
+// once linked in (Put/Delete path-copy), so the snapshot and the parent
+// can both be read, mutated and hashed independently — including from
+// different goroutines (the encoding caches are updated atomically).
+func (t *Trie) Snapshot() *Trie { return &Trie{root: t.root, size: t.size} }
 
 // encodeNode renders a node as its RLP item, replacing large children by
 // hash references.
@@ -590,6 +609,9 @@ func (s *Secure) Delete(key []byte) bool {
 
 // Hash computes the root, recording nodes in store when non-nil.
 func (s *Secure) Hash(store NodeStore) ethtypes.Hash { return s.t.Hash(store) }
+
+// Snapshot returns an O(1) logical copy (see Trie.Snapshot).
+func (s *Secure) Snapshot() *Secure { return &Secure{t: s.t.Snapshot()} }
 
 // Len returns the number of keys stored.
 func (s *Secure) Len() int { return s.t.Len() }

@@ -315,3 +315,58 @@ func BenchmarkHash1k(b *testing.B) {
 		tr.Hash(nil)
 	}
 }
+
+// The memoised fast hasher (store == nil) must produce exactly the same
+// root as the proof-recording encoder, across a churn of inserts,
+// overwrites and deletes of varied value sizes.
+func TestFastHashMatchesStoreHash(t *testing.T) {
+	tr := New()
+	check := func() {
+		t.Helper()
+		fast := tr.Hash(nil)
+		slow := tr.Hash(NodeStore{})
+		if fast != slow {
+			t.Fatalf("fast hash %s != store hash %s", fast, slow)
+		}
+	}
+	check() // empty
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i%64))
+		val := bytes.Repeat([]byte{byte(i)}, i%70) // spans inline and hashed nodes
+		switch i % 5 {
+		case 4:
+			tr.Delete(key)
+		default:
+			tr.Put(key, val)
+		}
+		check()
+	}
+}
+
+// A snapshot must keep hashing to the root it was taken at while the
+// parent diverges, and vice versa.
+func TestSnapshotIndependence(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte{byte(i)}, 40))
+	}
+	rootBefore := tr.Hash(nil)
+	snap := tr.Snapshot()
+
+	tr.Put([]byte("key-7"), []byte("mutated"))
+	tr.Delete([]byte("key-11"))
+	if got := snap.Hash(nil); got != rootBefore {
+		t.Fatalf("snapshot root drifted: %s != %s", got, rootBefore)
+	}
+	if tr.Hash(nil) == rootBefore {
+		t.Fatal("parent root did not change")
+	}
+
+	snap.Put([]byte("key-99"), []byte("snap-only"))
+	if _, ok := tr.Get([]byte("key-99")); ok {
+		t.Fatal("snapshot write leaked into parent")
+	}
+	if snap.Len() != 51 {
+		t.Fatalf("snapshot len = %d", snap.Len())
+	}
+}

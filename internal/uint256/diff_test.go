@@ -1,0 +1,227 @@
+package uint256
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigOracle reproduces the former math/big implementations of the
+// division-family opcodes; the native limb code is differentially tested
+// against it.
+type bigOracle struct{ mod256 *big.Int }
+
+func newOracle() *bigOracle {
+	return &bigOracle{mod256: new(big.Int).Lsh(big.NewInt(1), 256)}
+}
+
+func (o *bigOracle) signed(x Int) *big.Int {
+	b := x.ToBig()
+	if x[3]>>63 == 1 {
+		b.Sub(b, o.mod256)
+	}
+	return b
+}
+
+func (o *bigOracle) div(x, y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	return FromBig(new(big.Int).Div(x.ToBig(), y.ToBig()))
+}
+
+func (o *bigOracle) mod(x, y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	return FromBig(new(big.Int).Mod(x.ToBig(), y.ToBig()))
+}
+
+func (o *bigOracle) sdiv(x, y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	return FromBig(new(big.Int).Quo(o.signed(x), o.signed(y)))
+}
+
+func (o *bigOracle) smod(x, y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	return FromBig(new(big.Int).Rem(o.signed(x), o.signed(y)))
+}
+
+func (o *bigOracle) addMod(x, y, m Int) Int {
+	if m.IsZero() {
+		return Zero
+	}
+	s := new(big.Int).Add(x.ToBig(), y.ToBig())
+	return FromBig(s.Mod(s, m.ToBig()))
+}
+
+func (o *bigOracle) mulMod(x, y, m Int) Int {
+	if m.IsZero() {
+		return Zero
+	}
+	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
+	return FromBig(p.Mod(p, m.ToBig()))
+}
+
+func (o *bigOracle) exp(x, y Int) Int {
+	return FromBig(new(big.Int).Exp(x.ToBig(), y.ToBig(), o.mod256))
+}
+
+// adversarial covers the qhat estimate/correction edge cases of Knuth
+// Algorithm D alongside the usual boundary values.
+var adversarial = []Int{
+	Zero,
+	One,
+	NewUint64(2),
+	NewUint64(3),
+	Max,
+	Max.Sub(One),
+	{^uint64(0), 0, 0, 0},                       // 2^64 - 1
+	{0, 1, 0, 0},                                // 2^64
+	{0, 0, 1, 0},                                // 2^128
+	{0, 0, 0, 1},                                // 2^192
+	{0, 0, 0, 1 << 63},                          // 2^255 (most negative signed)
+	{^uint64(0), ^uint64(0), 0, 0},              // 2^128 - 1
+	{0, ^uint64(0), ^uint64(0), 0},              // middle limbs saturated
+	{1, 0, 0, 1 << 63},                          // -2^255 + 1 signed
+	{0, 0, 0, ^uint64(0)},                       // high limb saturated
+	{^uint64(0), 0, ^uint64(0), 1},              // alternating limbs
+	{0, 0, ^uint64(0), 1<<63 - 1},               // dh just below normalised
+	{^uint64(0), ^uint64(0), ^uint64(0), 1},     // forces add-back paths
+	{1, 1, 1, 1},
+	{^uint64(0) - 1, ^uint64(0), ^uint64(0), ^uint64(0) >> 1},
+}
+
+func randLimbInt(rng *rand.Rand) Int {
+	// Vary significant limb count so short divisors and dividends are hit.
+	n := rng.Intn(5)
+	var out Int
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			out[i] = rng.Uint64()
+		case 1:
+			out[i] = ^uint64(0) // saturated limbs provoke qhat corrections
+		case 2:
+			out[i] = 1 << uint(rng.Intn(64))
+		}
+	}
+	return out
+}
+
+func checkPair(t *testing.T, o *bigOracle, x, y Int) {
+	t.Helper()
+	if got, want := x.Div(y), o.div(x, y); got != want {
+		t.Fatalf("Div(%s, %s) = %s, want %s", x, y, got, want)
+	}
+	if got, want := x.Mod(y), o.mod(x, y); got != want {
+		t.Fatalf("Mod(%s, %s) = %s, want %s", x, y, got, want)
+	}
+	if got, want := x.SDiv(y), o.sdiv(x, y); got != want {
+		t.Fatalf("SDiv(%s, %s) = %s, want %s", x.Hex(), y.Hex(), got, want)
+	}
+	if got, want := x.SMod(y), o.smod(x, y); got != want {
+		t.Fatalf("SMod(%s, %s) = %s, want %s", x.Hex(), y.Hex(), got, want)
+	}
+}
+
+func TestDivModDifferentialAdversarial(t *testing.T) {
+	o := newOracle()
+	for _, x := range adversarial {
+		for _, y := range adversarial {
+			checkPair(t, o, x, y)
+		}
+	}
+}
+
+func TestDivModDifferentialRandom(t *testing.T) {
+	o := newOracle()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		checkPair(t, o, randLimbInt(rng), randLimbInt(rng))
+	}
+}
+
+func TestAddModMulModDifferential(t *testing.T) {
+	o := newOracle()
+	for _, x := range adversarial {
+		for _, y := range adversarial {
+			for _, m := range adversarial {
+				if got, want := x.AddMod(y, m), o.addMod(x, y, m); got != want {
+					t.Fatalf("AddMod(%s, %s, %s) = %s, want %s", x, y, m, got, want)
+				}
+				if got, want := x.MulMod(y, m), o.mulMod(x, y, m); got != want {
+					t.Fatalf("MulMod(%s, %s, %s) = %s, want %s", x, y, m, got, want)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		x, y, m := randLimbInt(rng), randLimbInt(rng), randLimbInt(rng)
+		if got, want := x.AddMod(y, m), o.addMod(x, y, m); got != want {
+			t.Fatalf("AddMod(%s, %s, %s) = %s, want %s", x, y, m, got, want)
+		}
+		if got, want := x.MulMod(y, m), o.mulMod(x, y, m); got != want {
+			t.Fatalf("MulMod(%s, %s, %s) = %s, want %s", x, y, m, got, want)
+		}
+	}
+}
+
+func TestExpDifferential(t *testing.T) {
+	o := newOracle()
+	for _, x := range adversarial {
+		for _, y := range adversarial {
+			// Cap exponent size: big.Int.Exp over huge exponents is slow;
+			// correctness over large exponents follows from the bit loop
+			// being exercised by 128-bit values already.
+			e := y
+			e[2], e[3] = 0, 0
+			if got, want := x.Exp(e), o.exp(x, e); got != want {
+				t.Fatalf("Exp(%s, %s) = %s, want %s", x, e, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		x := randLimbInt(rng)
+		e := Int{rng.Uint64() >> uint(rng.Intn(64)), 0, 0, 0}
+		if got, want := x.Exp(e), o.exp(x, e); got != want {
+			t.Fatalf("Exp(%s, %s) = %s, want %s", x, e, got, want)
+		}
+	}
+}
+
+func BenchmarkDiv(b *testing.B) {
+	x := Int{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0) >> 3}
+	y := Int{12345678901234567, 42, 7, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = x.Div(y)
+	}
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	x := Int{^uint64(0), 1, ^uint64(0), 3}
+	y := Int{99, ^uint64(0), 17, 1}
+	m := Int{0, ^uint64(0), 0, 1 << 17}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = x.MulMod(y, m)
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	x := NewUint64(3)
+	y := NewUint64(0xffffffff)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = x.Exp(y)
+	}
+}
+
+var sink Int

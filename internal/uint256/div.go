@@ -1,0 +1,143 @@
+// Multi-limb division (Knuth Algorithm D) and the 512-bit intermediates
+// backing Div, Mod, SDiv, SMod, AddMod, MulMod and Exp — the EVM opcodes
+// that previously round-tripped through math/big. Native limb arithmetic
+// keeps these allocation-free on the interpreter hot path.
+
+package uint256
+
+import "math/bits"
+
+// umul512 returns the full 512-bit product of x and y as eight
+// little-endian limbs (schoolbook multiplication).
+func umul512(x, y Int) [8]uint64 {
+	var p [8]uint64
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(x[i], y[j])
+			var c uint64
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c // cannot overflow: hi <= 2^64 - 2
+			p[i+j], c = bits.Add64(p[i+j], lo, 0)
+			carry = hi + c
+		}
+		p[i+4] = carry
+	}
+	return p
+}
+
+// subMulTo computes u -= d * q in place over len(d) limbs and returns
+// the final borrow.
+func subMulTo(u, d []uint64, q uint64) uint64 {
+	var borrow uint64
+	for i := range d {
+		s, c1 := bits.Sub64(u[i], borrow, 0)
+		ph, pl := bits.Mul64(d[i], q)
+		t, c2 := bits.Sub64(s, pl, 0)
+		u[i] = t
+		borrow = ph + c1 + c2
+	}
+	return borrow
+}
+
+// addTo computes u += d in place over len(d) limbs and returns the carry.
+func addTo(u, d []uint64) uint64 {
+	var carry uint64
+	for i := range d {
+		u[i], carry = bits.Add64(u[i], d[i], carry)
+	}
+	return carry
+}
+
+// udivrem divides the little-endian limbs u (up to 8) by the non-zero
+// divisor d, writing the quotient limbs into quo (which must be at least
+// len(u) limbs, zero-initialised) and returning the remainder. This is
+// Knuth's Algorithm D with the classic normalise / estimate / correct /
+// add-back structure.
+func udivrem(quo, u []uint64, d Int) (rem Int) {
+	dLen := 0
+	for i := 3; i >= 0; i-- {
+		if d[i] != 0 {
+			dLen = i + 1
+			break
+		}
+	}
+	shift := uint(bits.LeadingZeros64(d[dLen-1]))
+
+	uLen := 0
+	for i := len(u) - 1; i >= 0; i-- {
+		if u[i] != 0 {
+			uLen = i + 1
+			break
+		}
+	}
+	if uLen < dLen {
+		copy(rem[:], u)
+		return rem
+	}
+
+	// Single-limb divisor: straight 128/64 division per limb.
+	if dLen == 1 {
+		var r uint64
+		for i := uLen - 1; i >= 0; i-- {
+			quo[i], r = bits.Div64(r, u[i], d[0])
+		}
+		rem[0] = r
+		return rem
+	}
+
+	// Normalise so the divisor's top bit is set. A shift of 0 is safe:
+	// Go defines x>>64 and x<<64 as 0.
+	var dnStorage [4]uint64
+	dn := dnStorage[:dLen]
+	for i := dLen - 1; i > 0; i-- {
+		dn[i] = d[i]<<shift | d[i-1]>>(64-shift)
+	}
+	dn[0] = d[0] << shift
+
+	var unStorage [9]uint64
+	un := unStorage[:uLen+1]
+	un[uLen] = u[uLen-1] >> (64 - shift)
+	for i := uLen - 1; i > 0; i-- {
+		un[i] = u[i]<<shift | u[i-1]>>(64-shift)
+	}
+	un[0] = u[0] << shift
+
+	dh, dl := dn[dLen-1], dn[dLen-2]
+	for j := uLen - dLen; j >= 0; j-- {
+		u2, u1, u0 := un[j+dLen], un[j+dLen-1], un[j+dLen-2]
+
+		var qhat uint64
+		if u2 >= dh {
+			// Estimate would overflow 64 bits; the true digit is B-1
+			// (normalisation bounds u2 <= dh).
+			qhat = ^uint64(0)
+		} else {
+			var rhat uint64
+			qhat, rhat = bits.Div64(u2, u1, dh)
+			// One refinement step against the next divisor limb.
+			ph, pl := bits.Mul64(qhat, dl)
+			if ph > rhat || (ph == rhat && pl > u0) {
+				qhat--
+			}
+		}
+
+		borrow := subMulTo(un[j:j+dLen], dn, qhat)
+		un[j+dLen] = u2 - borrow
+		if u2 < borrow {
+			// Overshot by one: add the divisor back.
+			qhat--
+			un[j+dLen] += addTo(un[j:j+dLen], dn)
+		}
+		quo[j] = qhat
+	}
+
+	// Denormalise the remainder out of un[0:dLen].
+	for i := 0; i < dLen; i++ {
+		rem[i] = un[i] >> shift
+		if shift > 0 {
+			rem[i] |= un[i+1] << (64 - shift)
+		}
+	}
+	return rem
+}

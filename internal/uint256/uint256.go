@@ -3,10 +3,11 @@
 //
 // Values are immutable four-limb little-endian arrays; all operations
 // return new values, which keeps the EVM interpreter free of aliasing
-// bugs at the cost of some allocation. Hot-path operations (add, sub,
-// mul, comparisons, bit ops, shifts) are implemented natively on the
-// limbs; division, modulo and exponentiation fall back to math/big,
-// which is correct and fast enough for contract workloads.
+// bugs at the cost of some allocation. All arithmetic — including
+// division, modulo, the 512-bit AddMod/MulMod intermediates and
+// exponentiation — is implemented natively on the limbs (see div.go for
+// the Knuth Algorithm D core); math/big appears only at the
+// encoding/printing boundary (FromBig, ToBig, String).
 package uint256
 
 import (
@@ -56,6 +57,17 @@ func (x Int) ToBig() *big.Int {
 	for i := 3; i >= 0; i-- {
 		b.Lsh(b, 64)
 		b.Or(b, new(big.Int).SetUint64(x[i]))
+	}
+	return b
+}
+
+// toSigned returns x as a signed big integer in [-2^255, 2^255) — a
+// conversion-boundary helper for oracles and printing, not used by the
+// native arithmetic.
+func (x Int) toSigned() *big.Int {
+	b := x.ToBig()
+	if x[3]>>63 == 1 {
+		b.Sub(b, new(big.Int).Lsh(big.NewInt(1), 256))
 	}
 	return b
 }
@@ -183,10 +195,15 @@ func (x Int) Mul(y Int) Int {
 
 // Div returns x / y (unsigned), or 0 when y == 0 (EVM semantics).
 func (x Int) Div(y Int) Int {
-	if y.IsZero() {
+	if y.IsZero() || x.Lt(y) {
 		return Zero
 	}
-	return FromBig(new(big.Int).Div(x.ToBig(), y.ToBig()))
+	if x.IsUint64() {
+		return NewUint64(x[0] / y[0]) // y <= x so y is single-limb too
+	}
+	var quo Int
+	udivrem(quo[:], x[:], y)
+	return quo
 }
 
 // Mod returns x % y (unsigned), or 0 when y == 0.
@@ -194,16 +211,24 @@ func (x Int) Mod(y Int) Int {
 	if y.IsZero() {
 		return Zero
 	}
-	return FromBig(new(big.Int).Mod(x.ToBig(), y.ToBig()))
+	if x.Lt(y) {
+		return x
+	}
+	if x.IsUint64() {
+		return NewUint64(x[0] % y[0])
+	}
+	var quo Int
+	return udivrem(quo[:], x[:], y)
 }
 
-// toSigned returns x as a signed big integer in [-2^255, 2^255).
-func (x Int) toSigned() *big.Int {
-	b := x.ToBig()
+// abs returns |x| under two's-complement interpretation. Note the most
+// negative value -2^255 maps to itself, which is exactly what the EVM's
+// SDIV(-2^255, -1) = -2^255 overflow case requires.
+func (x Int) abs() Int {
 	if x[3]>>63 == 1 {
-		b.Sub(b, new(big.Int).Lsh(big.NewInt(1), 256))
+		return Zero.Sub(x)
 	}
-	return b
+	return x
 }
 
 // SDiv returns x / y as two's-complement signed division truncating
@@ -212,7 +237,11 @@ func (x Int) SDiv(y Int) Int {
 	if y.IsZero() {
 		return Zero
 	}
-	return FromBig(new(big.Int).Quo(x.toSigned(), y.toSigned()))
+	q := x.abs().Div(y.abs())
+	if (x[3]>>63 == 1) != (y[3]>>63 == 1) {
+		return Zero.Sub(q)
+	}
+	return q
 }
 
 // SMod returns the signed remainder (sign follows dividend), 0 if y == 0.
@@ -220,31 +249,54 @@ func (x Int) SMod(y Int) Int {
 	if y.IsZero() {
 		return Zero
 	}
-	return FromBig(new(big.Int).Rem(x.toSigned(), y.toSigned()))
+	r := x.abs().Mod(y.abs())
+	if x[3]>>63 == 1 {
+		return Zero.Sub(r)
+	}
+	return r
 }
 
-// AddMod returns (x + y) % m computed without intermediate wrap, 0 if m == 0.
+// AddMod returns (x + y) % m computed without intermediate wrap, 0 if
+// m == 0. The sum is carried into a fifth limb before reduction.
 func (x Int) AddMod(y, m Int) Int {
 	if m.IsZero() {
 		return Zero
 	}
-	s := new(big.Int).Add(x.ToBig(), y.ToBig())
-	return FromBig(s.Mod(s, m.ToBig()))
+	var sum [5]uint64
+	var c uint64
+	sum[0], c = bits.Add64(x[0], y[0], 0)
+	sum[1], c = bits.Add64(x[1], y[1], c)
+	sum[2], c = bits.Add64(x[2], y[2], c)
+	sum[3], c = bits.Add64(x[3], y[3], c)
+	sum[4] = c
+	var quo [5]uint64
+	return udivrem(quo[:], sum[:], m)
 }
 
-// MulMod returns (x * y) % m computed without intermediate wrap, 0 if m == 0.
+// MulMod returns (x * y) % m computed without intermediate wrap, 0 if
+// m == 0. The full 512-bit product is reduced directly.
 func (x Int) MulMod(y, m Int) Int {
 	if m.IsZero() {
 		return Zero
 	}
-	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
-	return FromBig(p.Mod(p, m.ToBig()))
+	p := umul512(x, y)
+	var quo [8]uint64
+	return udivrem(quo[:], p[:], m)
 }
 
-// Exp returns x^y mod 2^256.
+// Exp returns x^y mod 2^256 by square-and-multiply over the significant
+// bits of the exponent; Mul's wrapping provides the modulus for free.
 func (x Int) Exp(y Int) Int {
-	mod := new(big.Int).Lsh(big.NewInt(1), 256)
-	return FromBig(new(big.Int).Exp(x.ToBig(), y.ToBig(), mod))
+	out := One
+	base := x
+	n := y.BitLen()
+	for i := 0; i < n; i++ {
+		if (y[i/64]>>(uint(i)%64))&1 == 1 {
+			out = out.Mul(base)
+		}
+		base = base.Mul(base)
+	}
+	return out
 }
 
 // SignExtend extends the sign bit of the (k+1)-th lowest byte through the
