@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race
+.PHONY: build test check bench race persistence-torture
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,20 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the fast pre-merge gate: vet everything, then run the
+# check is the fast pre-merge gate: vet everything, run the
 # concurrency-sensitive suites (state commit pipeline, chain) under the
-# race detector.
+# race detector, then the crash-recovery fault-injection suites.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/state/... ./internal/chain/...
+	$(MAKE) persistence-torture
+
+# persistence-torture runs every fault-injection suite — torn log
+# tails, flipped bytes, deleted/corrupted snapshots, damaged WALs —
+# under the race detector.
+persistence-torture:
+	$(GO) test -race ./internal/blockdb/... ./internal/docstore/...
+	$(GO) test -race -run 'Restart|Torture|Genesis|WAL' ./internal/chain/... ./internal/rpc/...
 
 race:
 	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/app/...
@@ -21,3 +29,4 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 3x .
 	$(GO) test -run xxx -bench 'StateRoot|Copy_COW|EthCall' ./internal/state/ ./internal/chain/
+	$(GO) test -run xxx -bench Recovery -benchtime 3x ./internal/chain/

@@ -3,16 +3,27 @@
 // deterministic set of accounts and prints their keys, so wallets and
 // the rental application can sign transactions against it.
 //
+// With -datadir the chain is durable: every sealed block is journaled
+// to a segmented, checksummed log and the node resumes from it on the
+// next start, verifying state roots as it recovers. Without -datadir
+// the chain lives in memory, like Ganache.
+//
 // Usage:
 //
-//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000]
+//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"legalchain/internal/chain"
 	"legalchain/internal/ethtypes"
@@ -29,6 +40,7 @@ func main() {
 		balance  = flag.Int64("balance", 1000, "initial balance per account (ether)")
 		chainID  = flag.Uint64("chainid", 1337, "chain id")
 		gasLimit = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
+		datadir  = flag.String("datadir", "", "directory for the durable block log (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -37,7 +49,15 @@ func main() {
 	g.ChainID = *chainID
 	g.GasLimit = *gasLimit
 	g.Alloc = wallet.DevAlloc(accounts, ethtypes.Ether(*balance))
-	bc := chain.New(g)
+
+	var opts []chain.Option
+	if *datadir != "" {
+		opts = append(opts, chain.WithPersistence(chain.PersistConfig{DataDir: *datadir}))
+	}
+	bc, err := chain.Open(g, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ks := wallet.NewKeystore()
 	for _, acc := range accounts {
@@ -55,9 +75,36 @@ func main() {
 	for i, acc := range accounts {
 		fmt.Printf("(%d) %s\n", i, hexutil.Encode(acc.Key.Bytes()))
 	}
+	if rep := bc.RecoveryReport(); rep != nil {
+		fmt.Printf("\nRecovered chain from %s: head #%d", *datadir, rep.Head)
+		if rep.SnapshotUsed {
+			fmt.Printf(" (snapshot at #%d, %d blocks replayed)", rep.SnapshotBlock, rep.BlocksReplayed)
+		}
+		fmt.Println()
+		if rep.Dropped() {
+			fmt.Printf("  WARNING: dropped %d unverifiable blocks (%s), %d bytes of damaged log\n",
+				rep.BlocksDropped, rep.DroppedReason, rep.LogDroppedBytes)
+		}
+	}
 	fmt.Printf("\nJSON-RPC listening on %s\n", *addr)
 
-	if err := http.ListenAndServe(*addr, rpc.NewServer(bc, ks)); err != nil {
-		log.Fatal(err)
+	srv := &http.Server{Addr: *addr, Handler: rpc.NewServer(bc, ks)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	// Graceful shutdown: stop accepting requests, then flush the final
+	// snapshot so the next start replays nothing.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down...")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := bc.Close(); err != nil {
+		log.Fatalf("flush failed: %v", err)
 	}
 }

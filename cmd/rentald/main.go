@@ -4,17 +4,29 @@
 // manager (business tier) and the web application (presentation tier) —
 // the full four-tier architecture of the paper's Fig. 1 in one process.
 //
+// With -datadir every tier is durable: the chain journals sealed blocks
+// under <datadir>/chain, agreements live in the write-ahead-logged
+// document store under <datadir>/db, and ABI blobs under
+// <datadir>/ipfs. A restarted rentald resumes with the same contracts,
+// balances and agreement history.
+//
 // Usage:
 //
 //	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"legalchain/internal/app"
 	"legalchain/internal/chain"
@@ -39,7 +51,23 @@ func main() {
 	faucet := wallet.DevAccounts(wallet.DefaultDevSeed, 1)[0]
 	g := chain.DefaultGenesis()
 	g.Alloc = wallet.DevAlloc([]wallet.Account{faucet}, ethtypes.Ether(1_000_000_000))
-	bc := chain.New(g)
+	var chainOpts []chain.Option
+	if *datadir != "" {
+		chainOpts = append(chainOpts, chain.WithPersistence(chain.PersistConfig{
+			DataDir: filepath.Join(*datadir, "chain"),
+		}))
+	}
+	bc, err := chain.Open(g, chainOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep := bc.RecoveryReport(); rep != nil {
+		log.Printf("chain recovered: head #%d (snapshot used: %v, %d blocks replayed)",
+			rep.Head, rep.SnapshotUsed, rep.BlocksReplayed)
+		if rep.Dropped() {
+			log.Printf("WARNING: dropped %d unverifiable blocks: %s", rep.BlocksDropped, rep.DroppedReason)
+		}
+	}
 	ks := wallet.NewKeystore()
 	ks.Import(faucet.Key)
 
@@ -64,17 +92,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
 
 	// Business + presentation tiers.
 	manager := core.NewManager(client, ipfs.NewNode(blobs), store)
 	webApp := app.New(manager)
 	webApp.Faucet = faucet.Address
 
+	var rpcSrv *http.Server
 	if *rpcAddr != "" {
+		rpcSrv = &http.Server{Addr: *rpcAddr, Handler: rpc.NewServer(bc, ks)}
 		go func() {
 			log.Printf("JSON-RPC on %s", *rpcAddr)
-			if err := http.ListenAndServe(*rpcAddr, rpc.NewServer(bc, ks)); err != nil {
+			if err := rpcSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatal(err)
 			}
 		}()
@@ -85,7 +114,30 @@ func main() {
 	if *rpcAddr != "" {
 		fmt.Printf("  JSON-RPC: http://localhost%s\n", *rpcAddr)
 	}
-	if err := http.ListenAndServe(*addr, webApp.Handler()); err != nil {
-		log.Fatal(err)
+
+	webSrv := &http.Server{Addr: *addr, Handler: webApp.Handler()}
+	go func() {
+		if err := webSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	// Graceful shutdown: close listeners, then flush the chain snapshot
+	// and the docstore WAL so restart resumes exactly here.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down...")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	webSrv.Shutdown(ctx)
+	if rpcSrv != nil {
+		rpcSrv.Shutdown(ctx)
+	}
+	if err := bc.Close(); err != nil {
+		log.Printf("chain flush failed: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("docstore close failed: %v", err)
 	}
 }

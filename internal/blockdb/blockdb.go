@@ -1,0 +1,396 @@
+// Package blockdb is the durable persistence layer of the devnet chain:
+// an append-only, segmented block log of length-prefixed, CRC32C-framed
+// RLP records, fsync'd on seal, plus periodic state snapshots that
+// bound startup replay. The chain journals every sealed block here and
+// recovers on open by loading the latest valid snapshot and
+// re-executing only the blocks after it.
+//
+// Corruption handling is prefix-oriented: opening the log scans every
+// segment in order and keeps the longest verifiable prefix of records —
+// a torn tail, a flipped byte inside a frame, or an undecodable record
+// stops the scan, the damaged bytes are truncated away, and later
+// segments are dropped. Open never fails because of a damaged tail; it
+// reports what was discarded instead.
+package blockdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	segPrefix = "blocks-"
+	segSuffix = ".seg"
+	// DefaultSegmentSize rotates segments at 4 MiB — small enough that a
+	// damaged segment loses little, large enough to keep the directory
+	// tidy on long chains.
+	DefaultSegmentSize = 4 << 20
+)
+
+// Options tunes the log.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes (0 = default).
+	SegmentSize int64
+	// NoSync skips the per-append fsync. Only for tests and benchmarks;
+	// a production chain must keep the sync-on-seal guarantee.
+	NoSync bool
+}
+
+// OpenReport describes what an Open scan found and repaired.
+type OpenReport struct {
+	Segments        int    // segment files seen
+	Records         int    // valid records recovered
+	DroppedBytes    int64  // bytes truncated from the damaged segment
+	DroppedSegments int    // whole segments discarded after the damage
+	Reason          string // why the scan stopped early, if it did
+}
+
+// Dropped reports whether the open scan discarded anything.
+func (r *OpenReport) Dropped() bool {
+	return r.DroppedBytes > 0 || r.DroppedSegments > 0
+}
+
+// recLoc remembers where a record lives so Rewind can truncate there.
+type recLoc struct {
+	seg int   // index into segs
+	off int64 // byte offset of the record's frame within the segment
+}
+
+type segment struct {
+	path  string
+	first uint64 // number of the first record in the segment
+	size  int64
+}
+
+// Log is the segmented block log. Methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segs []segment
+	locs []recLoc // one per record, in order
+	f    *os.File // active (last) segment, opened for append
+	size int64    // size of the active segment
+}
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%010d%s", segPrefix, first, segSuffix))
+}
+
+// Open opens (creating if needed) the log in dir and returns the
+// longest verifiable prefix of records together with a report of
+// anything that had to be dropped to get there. The log file is
+// repaired in place: damaged tails are truncated, segments after the
+// damage are deleted.
+func Open(dir string, opts Options) (*Log, []*Record, *OpenReport, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("blockdb: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	recs, report, err := l.scan()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, nil, nil, err
+	}
+	return l, recs, report, nil
+}
+
+// listSegments returns the segment files in dir sorted by first-record
+// number. Files whose names don't parse are ignored.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blockdb: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%010d"+segSuffix, &first); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), first: first, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scan reads every segment in order, decoding records and validating
+// the numbering, and repairs the log down to the longest valid prefix.
+func (l *Log) scan() ([]*Record, *OpenReport, error) {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &OpenReport{Segments: len(segs)}
+	var recs []*Record
+	var locs []recLoc
+	next := uint64(0) // expected record number
+
+	damagedAt := -1 // index of the segment where scanning stopped
+	var keepBytes int64
+
+	for si := range segs {
+		seg := &segs[si]
+		if seg.first != next {
+			// Gap or overlap in segment numbering: everything from here on
+			// is unusable.
+			damagedAt = si
+			keepBytes = 0
+			report.Reason = fmt.Sprintf("segment %s starts at record %d, want %d", filepath.Base(seg.path), seg.first, next)
+			break
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("blockdb: read segment: %w", err)
+		}
+		var off int64
+		valid, scanErr := scanFrames(data, func(payload []byte) error {
+			rec, err := DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			if rec.Header.Number != next {
+				return fmt.Errorf("record number %d, want %d", rec.Header.Number, next)
+			}
+			recs = append(recs, rec)
+			locs = append(locs, recLoc{seg: si, off: off})
+			off += frameSize(len(payload))
+			next++
+			return nil
+		})
+		if scanErr != nil {
+			damagedAt = si
+			keepBytes = valid
+			report.Reason = scanErr.Error()
+			report.DroppedBytes = int64(len(data)) - valid
+			break
+		}
+	}
+
+	if damagedAt >= 0 {
+		// Truncate the damaged segment to its valid prefix (or remove it
+		// entirely when nothing in it survived) and delete every later
+		// segment.
+		for si := len(segs) - 1; si > damagedAt; si-- {
+			fi, statErr := os.Stat(segs[si].path)
+			if statErr == nil {
+				report.DroppedBytes += fi.Size()
+			}
+			if err := os.Remove(segs[si].path); err != nil {
+				return nil, nil, fmt.Errorf("blockdb: drop segment: %w", err)
+			}
+			report.DroppedSegments++
+		}
+		seg := &segs[damagedAt]
+		if keepBytes == 0 {
+			if err := os.Remove(seg.path); err != nil {
+				return nil, nil, fmt.Errorf("blockdb: drop segment: %w", err)
+			}
+			report.DroppedSegments++
+			segs = segs[:damagedAt]
+		} else {
+			if err := os.Truncate(seg.path, keepBytes); err != nil {
+				return nil, nil, fmt.Errorf("blockdb: repair segment: %w", err)
+			}
+			seg.size = keepBytes
+			segs = segs[:damagedAt+1]
+		}
+	}
+
+	l.segs = segs
+	l.locs = locs
+	report.Records = len(recs)
+	return recs, report, nil
+}
+
+// openActive opens the last segment for appending, creating the first
+// segment when the log is empty.
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 {
+		l.segs = append(l.segs, segment{path: segPath(l.dir, 0), first: 0})
+	}
+	seg := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("blockdb: open segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("blockdb: stat segment: %w", err)
+	}
+	l.f = f
+	l.size = fi.Size()
+	seg.size = fi.Size()
+	return nil
+}
+
+// Append journals one record, rotating to a fresh segment when the
+// active one is full and fsyncing before returning (unless NoSync).
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("blockdb: log is closed")
+	}
+	if want := uint64(len(l.locs)); rec.Header.Number != want {
+		return fmt.Errorf("blockdb: append out of order: record %d, want %d", rec.Header.Number, want)
+	}
+	frame := appendFrame(nil, rec.Encode())
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentSize {
+		if err := l.rotateLocked(rec.Header.Number); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("blockdb: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("blockdb: sync: %w", err)
+		}
+	}
+	l.locs = append(l.locs, recLoc{seg: len(l.segs) - 1, off: l.size})
+	l.size += int64(len(frame))
+	l.segs[len(l.segs)-1].size = l.size
+	return nil
+}
+
+func (l *Log) rotateLocked(first uint64) error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("blockdb: sync before rotate: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("blockdb: close segment: %w", err)
+	}
+	l.segs = append(l.segs, segment{path: segPath(l.dir, first), first: first})
+	l.f = nil
+	l.size = 0
+	return l.openActiveLocked()
+}
+
+func (l *Log) openActiveLocked() error {
+	seg := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("blockdb: open segment: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// Len returns the number of records in the log.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.locs)
+}
+
+// Rewind truncates the log to its first keep records — used when
+// recovery finds that records past some point fail state verification
+// even though their frames are intact.
+func (l *Log) Rewind(keep int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if keep < 0 || keep > len(l.locs) {
+		return fmt.Errorf("blockdb: rewind to %d out of range (have %d)", keep, len(l.locs))
+	}
+	if keep == len(l.locs) {
+		return nil
+	}
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	var cutSeg int
+	var cutOff int64
+	if keep == 0 {
+		cutSeg, cutOff = 0, 0
+	} else {
+		loc := l.locs[keep]
+		cutSeg, cutOff = loc.seg, loc.off
+	}
+	for si := len(l.segs) - 1; si > cutSeg; si-- {
+		if err := os.Remove(l.segs[si].path); err != nil {
+			return fmt.Errorf("blockdb: rewind: %w", err)
+		}
+	}
+	l.segs = l.segs[:cutSeg+1]
+	if cutOff == 0 && cutSeg > 0 {
+		// The cut lands exactly on a segment boundary: drop the whole
+		// segment and append to its predecessor.
+		if err := os.Remove(l.segs[cutSeg].path); err != nil {
+			return fmt.Errorf("blockdb: rewind: %w", err)
+		}
+		l.segs = l.segs[:cutSeg]
+	} else {
+		if err := os.Truncate(l.segs[cutSeg].path, cutOff); err != nil {
+			return fmt.Errorf("blockdb: rewind: %w", err)
+		}
+		l.segs[cutSeg].size = cutOff
+	}
+	l.locs = l.locs[:keep]
+	return l.reopenActiveLocked()
+}
+
+// reopenActiveLocked reopens the tail segment for append after a rewind
+// and refreshes the cached size.
+func (l *Log) reopenActiveLocked() error {
+	if err := l.openActiveLocked(); err != nil {
+		return err
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("blockdb: stat segment: %w", err)
+	}
+	l.size = fi.Size()
+	l.segs[len(l.segs)-1].size = l.size
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Dir returns the directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,309 @@
+package blockdb
+
+import (
+	"errors"
+	"fmt"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/rlp"
+)
+
+// Record is one sealed block as journaled in the log: the header, the
+// transactions, and the full receipts (including the derived metadata —
+// block hash, indexes, log positions — so that a restart can rebuild
+// the receipt and log indexes of historical blocks without re-executing
+// them).
+type Record struct {
+	Header   *ethtypes.Header
+	Txs      []*ethtypes.Transaction
+	Receipts []*ethtypes.Receipt
+}
+
+// Encode serialises the record as RLP:
+// [header, [txRLP...], [receipt...]].
+func (r *Record) Encode() []byte {
+	txItems := make([]*rlp.Item, len(r.Txs))
+	for i, tx := range r.Txs {
+		txItems[i] = rlp.Bytes(tx.Encode())
+	}
+	rcptItems := make([]*rlp.Item, len(r.Receipts))
+	for i, rc := range r.Receipts {
+		rcptItems[i] = receiptItem(rc)
+	}
+	return rlp.Encode(rlp.List(
+		headerItem(r.Header),
+		rlp.List(txItems...),
+		rlp.List(rcptItems...),
+	))
+}
+
+func headerItem(h *ethtypes.Header) *rlp.Item {
+	return rlp.List(
+		rlp.Bytes(h.ParentHash[:]),
+		rlp.Uint(h.Number),
+		rlp.Uint(h.Time),
+		rlp.Uint(h.GasLimit),
+		rlp.Uint(h.GasUsed),
+		rlp.Bytes(h.Coinbase[:]),
+		rlp.Bytes(h.StateRoot[:]),
+		rlp.Bytes(h.TxRoot[:]),
+		rlp.Bytes(h.ReceiptRoot[:]),
+	)
+}
+
+func optAddrItem(a *ethtypes.Address) *rlp.Item {
+	if a == nil {
+		return rlp.Bytes(nil)
+	}
+	return rlp.Bytes(a[:])
+}
+
+func receiptItem(r *ethtypes.Receipt) *rlp.Item {
+	logItems := make([]*rlp.Item, len(r.Logs))
+	for i, l := range r.Logs {
+		logItems[i] = logItem(l)
+	}
+	return rlp.List(
+		rlp.Bytes(r.TxHash[:]),
+		rlp.Uint(uint64(r.TxIndex)),
+		rlp.Uint(r.BlockNumber),
+		rlp.Bytes(r.BlockHash[:]),
+		rlp.Bytes(r.From[:]),
+		optAddrItem(r.To),
+		optAddrItem(r.ContractAddress),
+		rlp.Uint(r.GasUsed),
+		rlp.Uint(r.CumulativeGasUsed),
+		rlp.Uint(r.Status),
+		rlp.String(r.RevertReason),
+		rlp.List(logItems...),
+	)
+}
+
+func logItem(l *ethtypes.Log) *rlp.Item {
+	topics := make([]*rlp.Item, len(l.Topics))
+	for i := range l.Topics {
+		topics[i] = rlp.Bytes(l.Topics[i][:])
+	}
+	return rlp.List(
+		rlp.Bytes(l.Address[:]),
+		rlp.List(topics...),
+		rlp.Bytes(l.Data),
+		rlp.Uint(l.BlockNumber),
+		rlp.Bytes(l.BlockHash[:]),
+		rlp.Bytes(l.TxHash[:]),
+		rlp.Uint(uint64(l.TxIndex)),
+		rlp.Uint(uint64(l.Index)),
+	)
+}
+
+// DecodeRecord parses a journaled block record.
+func DecodeRecord(data []byte) (*Record, error) {
+	it, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("blockdb: record: %w", err)
+	}
+	if it.Kind() != rlp.KindList || it.Len() != 3 {
+		return nil, errors.New("blockdb: record must be a 3-item list")
+	}
+	rec := &Record{}
+	if rec.Header, err = decodeHeader(it.At(0)); err != nil {
+		return nil, err
+	}
+	txList := it.At(1)
+	if txList.Kind() != rlp.KindList {
+		return nil, errors.New("blockdb: record txs must be a list")
+	}
+	rec.Txs = make([]*ethtypes.Transaction, txList.Len())
+	for i := 0; i < txList.Len(); i++ {
+		raw := txList.At(i)
+		if raw.Kind() != rlp.KindString {
+			return nil, errors.New("blockdb: record tx must be a string item")
+		}
+		if rec.Txs[i], err = ethtypes.DecodeTransaction(raw.Str()); err != nil {
+			return nil, fmt.Errorf("blockdb: record tx %d: %w", i, err)
+		}
+	}
+	rcptList := it.At(2)
+	if rcptList.Kind() != rlp.KindList {
+		return nil, errors.New("blockdb: record receipts must be a list")
+	}
+	rec.Receipts = make([]*ethtypes.Receipt, rcptList.Len())
+	for i := 0; i < rcptList.Len(); i++ {
+		if rec.Receipts[i], err = decodeReceipt(rcptList.At(i)); err != nil {
+			return nil, fmt.Errorf("blockdb: record receipt %d: %w", i, err)
+		}
+	}
+	return rec, nil
+}
+
+// Block materialises the record's block.
+func (r *Record) Block() *ethtypes.Block {
+	return &ethtypes.Block{Header: r.Header, Transactions: r.Txs}
+}
+
+func asHash(it *rlp.Item) (ethtypes.Hash, error) {
+	if it.Kind() != rlp.KindString || it.Len() != ethtypes.HashLength {
+		return ethtypes.Hash{}, errors.New("blockdb: expected 32-byte hash")
+	}
+	return ethtypes.BytesToHash(it.Str()), nil
+}
+
+func asAddr(it *rlp.Item) (ethtypes.Address, error) {
+	if it.Kind() != rlp.KindString || it.Len() != ethtypes.AddressLength {
+		return ethtypes.Address{}, errors.New("blockdb: expected 20-byte address")
+	}
+	return ethtypes.BytesToAddress(it.Str()), nil
+}
+
+func asOptAddr(it *rlp.Item) (*ethtypes.Address, error) {
+	if it.Kind() != rlp.KindString {
+		return nil, errors.New("blockdb: expected optional address")
+	}
+	switch it.Len() {
+	case 0:
+		return nil, nil
+	case ethtypes.AddressLength:
+		a := ethtypes.BytesToAddress(it.Str())
+		return &a, nil
+	default:
+		return nil, errors.New("blockdb: bad optional address length")
+	}
+}
+
+func decodeHeader(it *rlp.Item) (*ethtypes.Header, error) {
+	if it.Kind() != rlp.KindList || it.Len() != 9 {
+		return nil, errors.New("blockdb: header must be a 9-item list")
+	}
+	h := &ethtypes.Header{}
+	var err error
+	if h.ParentHash, err = asHash(it.At(0)); err != nil {
+		return nil, err
+	}
+	if h.Number, err = it.At(1).AsUint64(); err != nil {
+		return nil, err
+	}
+	if h.Time, err = it.At(2).AsUint64(); err != nil {
+		return nil, err
+	}
+	if h.GasLimit, err = it.At(3).AsUint64(); err != nil {
+		return nil, err
+	}
+	if h.GasUsed, err = it.At(4).AsUint64(); err != nil {
+		return nil, err
+	}
+	if h.Coinbase, err = asAddr(it.At(5)); err != nil {
+		return nil, err
+	}
+	if h.StateRoot, err = asHash(it.At(6)); err != nil {
+		return nil, err
+	}
+	if h.TxRoot, err = asHash(it.At(7)); err != nil {
+		return nil, err
+	}
+	if h.ReceiptRoot, err = asHash(it.At(8)); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func decodeReceipt(it *rlp.Item) (*ethtypes.Receipt, error) {
+	if it.Kind() != rlp.KindList || it.Len() != 12 {
+		return nil, errors.New("blockdb: receipt must be a 12-item list")
+	}
+	r := &ethtypes.Receipt{}
+	var err error
+	var u uint64
+	if r.TxHash, err = asHash(it.At(0)); err != nil {
+		return nil, err
+	}
+	if u, err = it.At(1).AsUint64(); err != nil {
+		return nil, err
+	}
+	r.TxIndex = uint(u)
+	if r.BlockNumber, err = it.At(2).AsUint64(); err != nil {
+		return nil, err
+	}
+	if r.BlockHash, err = asHash(it.At(3)); err != nil {
+		return nil, err
+	}
+	if r.From, err = asAddr(it.At(4)); err != nil {
+		return nil, err
+	}
+	if r.To, err = asOptAddr(it.At(5)); err != nil {
+		return nil, err
+	}
+	if r.ContractAddress, err = asOptAddr(it.At(6)); err != nil {
+		return nil, err
+	}
+	if r.GasUsed, err = it.At(7).AsUint64(); err != nil {
+		return nil, err
+	}
+	if r.CumulativeGasUsed, err = it.At(8).AsUint64(); err != nil {
+		return nil, err
+	}
+	if r.Status, err = it.At(9).AsUint64(); err != nil {
+		return nil, err
+	}
+	if it.At(10).Kind() != rlp.KindString {
+		return nil, errors.New("blockdb: receipt revert reason must be a string")
+	}
+	r.RevertReason = string(it.At(10).Str())
+	logList := it.At(11)
+	if logList.Kind() != rlp.KindList {
+		return nil, errors.New("blockdb: receipt logs must be a list")
+	}
+	if logList.Len() > 0 {
+		r.Logs = make([]*ethtypes.Log, logList.Len())
+		for i := 0; i < logList.Len(); i++ {
+			if r.Logs[i], err = decodeLog(logList.At(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+func decodeLog(it *rlp.Item) (*ethtypes.Log, error) {
+	if it.Kind() != rlp.KindList || it.Len() != 8 {
+		return nil, errors.New("blockdb: log must be an 8-item list")
+	}
+	l := &ethtypes.Log{}
+	var err error
+	var u uint64
+	if l.Address, err = asAddr(it.At(0)); err != nil {
+		return nil, err
+	}
+	topics := it.At(1)
+	if topics.Kind() != rlp.KindList {
+		return nil, errors.New("blockdb: log topics must be a list")
+	}
+	for i := 0; i < topics.Len(); i++ {
+		t, err := asHash(topics.At(i))
+		if err != nil {
+			return nil, err
+		}
+		l.Topics = append(l.Topics, t)
+	}
+	if it.At(2).Kind() != rlp.KindString {
+		return nil, errors.New("blockdb: log data must be a string")
+	}
+	l.Data = append([]byte(nil), it.At(2).Str()...)
+	if l.BlockNumber, err = it.At(3).AsUint64(); err != nil {
+		return nil, err
+	}
+	if l.BlockHash, err = asHash(it.At(4)); err != nil {
+		return nil, err
+	}
+	if l.TxHash, err = asHash(it.At(5)); err != nil {
+		return nil, err
+	}
+	if u, err = it.At(6).AsUint64(); err != nil {
+		return nil, err
+	}
+	l.TxIndex = uint(u)
+	if u, err = it.At(7).AsUint64(); err != nil {
+		return nil, err
+	}
+	l.Index = uint(u)
+	return l, nil
+}

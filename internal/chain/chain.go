@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"legalchain/internal/abi"
+	"legalchain/internal/blockdb"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/evm"
 	"legalchain/internal/state"
@@ -66,10 +67,23 @@ type Blockchain struct {
 	pending  []*ethtypes.Transaction // batch-mining queue (SubmitTransaction)
 
 	timeOffset uint64 // AdjustTime accumulates here
+
+	// Durable persistence (nil / zero for a memory-only chain); see
+	// persist.go.
+	db           *blockdb.Log
+	snapInterval uint64
+	persistErr   error
+	recovery     *RecoveryReport
 }
 
-// New creates a chain from the genesis.
+// New creates a memory-only chain from the genesis. Use Open with
+// WithPersistence for a chain that survives restarts.
 func New(g *Genesis) *Blockchain {
+	return newMemory(g)
+}
+
+// genesisState builds the pre-funded world state and the genesis block.
+func genesisState(g *Genesis) (*state.StateDB, *ethtypes.Block) {
 	st := state.New()
 	for addr, bal := range g.Alloc {
 		st.AddBalance(addr, bal)
@@ -82,7 +96,11 @@ func New(g *Genesis) *Blockchain {
 		Coinbase:  g.Coinbase,
 		StateRoot: st.Root(),
 	}
-	genesisBlock := &ethtypes.Block{Header: genesisHeader}
+	return st, &ethtypes.Block{Header: genesisHeader}
+}
+
+func newMemory(g *Genesis) *Blockchain {
+	st, genesisBlock := genesisState(g)
 	bc := &Blockchain{
 		chainID:  g.ChainID,
 		gasLimit: g.GasLimit,
@@ -263,12 +281,14 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 
 	receipt.BlockHash = block.Hash()
 	for _, l := range receipt.Logs {
+		l.BlockHash = receipt.BlockHash
 		bc.allLogs = append(bc.allLogs, l)
 	}
 	bc.blocks = append(bc.blocks, block)
 	bc.byHash[block.Hash()] = block
 	bc.receipts[hash] = receipt
 	bc.txs[hash] = tx
+	bc.persistBlockLocked(block, []*ethtypes.Receipt{receipt})
 	return hash, nil
 }
 

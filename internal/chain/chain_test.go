@@ -20,7 +20,7 @@ func devChain(t *testing.T) (*Blockchain, []wallet.Account) {
 }
 
 // signedTx builds and signs a transaction from acc.
-func signedTx(t *testing.T, bc *Blockchain, acc wallet.Account, to *ethtypes.Address, value uint256.Int, data []byte, gas uint64) *ethtypes.Transaction {
+func signedTx(t testing.TB, bc *Blockchain, acc wallet.Account, to *ethtypes.Address, value uint256.Int, data []byte, gas uint64) *ethtypes.Transaction {
 	t.Helper()
 	tx := &ethtypes.Transaction{
 		Nonce:    bc.GetNonce(acc.Address),
@@ -123,7 +123,7 @@ contract Counter {
 	function fail() public { require(false, "always fails"); }
 }`
 
-func deployCounter(t *testing.T, bc *Blockchain, acc wallet.Account) (ethtypes.Address, *minisol.Artifact) {
+func deployCounter(t testing.TB, bc *Blockchain, acc wallet.Account) (ethtypes.Address, *minisol.Artifact) {
 	t.Helper()
 	art, err := minisol.CompileContract(counterSrc, "Counter")
 	if err != nil {

@@ -1,0 +1,102 @@
+package chain
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"legalchain/internal/uint256"
+	"legalchain/internal/wallet"
+)
+
+// buildChainDir seals nBlocks counter-increment blocks into a fresh
+// datadir and returns it. The final head snapshot is removed so every
+// recovery run replays at least the blocks after the last periodic
+// snapshot, as after a crash.
+func buildChainDir(b *testing.B, nBlocks int, snapInterval uint64) (string, []wallet.Account) {
+	b.Helper()
+	dir := b.TempDir()
+	accs := wallet.DevAccounts("bench recovery", 2)
+	bc, err := Open(persistGenesis(accs), WithPersistence(PersistConfig{
+		DataDir:          dir,
+		SnapshotInterval: snapInterval,
+		NoSync:           true,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, art := deployCounter(b, bc, accs[0])
+	input, _ := art.ABI.Pack("increment")
+	for i := 1; i < nBlocks; i++ {
+		tx := signedTx(b, bc, accs[1], &addr, uint256.Zero, input, 200_000)
+		if _, err := bc.SendTransaction(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bc.PersistErr(); err != nil {
+		b.Fatal(err)
+	}
+	// Abandon without Close: crash-style recovery, no head snapshot.
+	return dir, accs
+}
+
+// dropSnapshots removes either every snapshot (replay-all case) or only
+// the head-aligned one, so each recovery run starts from the previous
+// periodic snapshot and replays exactly one interval of blocks.
+func dropSnapshots(dir string, nBlocks int, withSnapshots bool) {
+	if withSnapshots {
+		paths, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("state-%010d.snap", nBlocks)))
+		for _, p := range paths {
+			os.Remove(p)
+		}
+		return
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "state-*.snap"))
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+func benchRecovery(b *testing.B, nBlocks int, withSnapshots bool) {
+	interval := uint64(DefaultSnapshotInterval)
+	dir, accs := buildChainDir(b, nBlocks, interval)
+	dropSnapshots(dir, nBlocks, withSnapshots)
+	g := persistGenesis(accs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc, err := Open(g, WithPersistence(PersistConfig{
+			DataDir:          dir,
+			SnapshotInterval: interval,
+			NoSync:           true,
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := bc.RecoveryReport()
+		if rep.Head != uint64(nBlocks) || rep.Dropped() {
+			b.Fatalf("bad recovery: %+v", rep)
+		}
+		b.StopTimer()
+		// Close writes a head snapshot; remove it again so every run
+		// recovers the same way.
+		bc.Close()
+		dropSnapshots(dir, nBlocks, withSnapshots)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	// Chain lengths sit 32 blocks past a snapshot boundary, so the
+	// snapshot-bounded runs replay a fixed 32-block tail regardless of
+	// chain length while the no-snapshot runs replay everything.
+	for _, n := range []int{160, 544, 1056} {
+		b.Run(fmt.Sprintf("snapshots/blocks=%d", n), func(b *testing.B) {
+			benchRecovery(b, n, true)
+		})
+		b.Run(fmt.Sprintf("replayAll/blocks=%d", n), func(b *testing.B) {
+			benchRecovery(b, n, false)
+		})
+	}
+}

@@ -118,12 +118,16 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 
 	for i, rcpt := range receipts {
 		rcpt.BlockHash = block.Hash()
+		for _, l := range rcpt.Logs {
+			l.BlockHash = rcpt.BlockHash
+		}
 		bc.receipts[rcpt.TxHash] = rcpt
 		bc.txs[included[i].Hash()] = included[i]
 		bc.allLogs = append(bc.allLogs, rcpt.Logs...)
 	}
 	bc.blocks = append(bc.blocks, block)
 	bc.byHash[block.Hash()] = block
+	bc.persistBlockLocked(block, receipts)
 	return block, failed
 }
 

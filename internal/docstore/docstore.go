@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -84,8 +85,12 @@ func (s *Store) loadSnapshot() error {
 	return nil
 }
 
+// replayWAL applies the longest valid prefix of the WAL and truncates
+// anything after it. Stopping at the damage without truncating would
+// leave records appended by this process stranded behind the corrupt
+// line, silently lost on the NEXT restart.
 func (s *Store) replayWAL() error {
-	f, err := os.Open(s.walPath())
+	f, err := os.OpenFile(s.walPath(), os.O_RDWR, 0o644)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -93,22 +98,43 @@ func (s *Store) replayWAL() error {
 		return fmt.Errorf("docstore: open wal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+	rd := bufio.NewReaderSize(f, 1<<20)
+	var offset, valid int64 // valid = end of the last applied record
+	for {
+		line, err := rd.ReadString('\n')
+		if err == io.EOF {
+			// An unterminated tail is a torn final write; drop it.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("docstore: read wal: %w", err)
+		}
+		offset += int64(len(line))
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			valid = offset
 			continue
 		}
 		var rec walRecord
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			// A torn final write is expected after a crash; stop there.
+		if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
+			break
+		}
+		if rec.Op != "put" && rec.Op != "del" {
 			break
 		}
 		s.applyLocked(&rec)
 		s.walN++
+		valid = offset
 	}
-	return sc.Err()
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			return fmt.Errorf("docstore: truncate damaged wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("docstore: sync wal: %w", err)
+		}
+	}
+	return nil
 }
 
 func (s *Store) applyLocked(rec *walRecord) {

@@ -1,0 +1,191 @@
+package docstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walFile returns the WAL path of a store dir.
+func walFile(dir string) string { return filepath.Join(dir, "wal.jsonl") }
+
+// seedStore writes n rows and closes the store, leaving a WAL behind.
+func seedStore(t *testing.T, dir string, n int) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put("rows", key(i), map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func key(i int) string { return string(rune('a' + i)) }
+
+func countRows(t *testing.T, dir string) (int, *Store) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Count("rows"), s
+}
+
+func TestWALTornTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 8)
+
+	// Tear the last line mid-record, as a crash mid-write would.
+	fi, err := os.Stat(walFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walFile(dir), fi.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+
+	n, s := countRows(t, dir)
+	defer s.Close()
+	if n != 7 {
+		t.Fatalf("recovered %d rows, want 7", n)
+	}
+	// The torn bytes were removed: appends go after the valid prefix.
+	if err := s.Put("rows", "zz", map[string]int{"i": 99}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALCorruptMiddleStopsThere(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 8)
+
+	data, err := os.ReadFile(walFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] = 0x00 // destroy a record in the middle
+	if err := os.WriteFile(walFile(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, s := countRows(t, dir)
+	defer s.Close()
+	if n == 0 || n >= 8 {
+		t.Fatalf("recovered %d rows, want a proper prefix", n)
+	}
+}
+
+// TestWALAppendsAfterRecoverySurvive is the regression for the stranded-
+// records bug: without truncation, rows written after recovering from a
+// corrupt WAL sat behind the damage and vanished on the next restart.
+func TestWALAppendsAfterRecoverySurvive(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 4)
+
+	fi, _ := os.Stat(walFile(dir))
+	if err := os.Truncate(walFile(dir), fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen: 3 rows survive; write 2 more.
+	n, s := countRows(t, dir)
+	if n != 3 {
+		t.Fatalf("first reopen: %d rows, want 3", n)
+	}
+	for i := 10; i < 12; i++ {
+		if err := s.Put("rows", key(i), map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second reopen: the post-recovery rows must still be there.
+	n, s = countRows(t, dir)
+	defer s.Close()
+	if n != 5 {
+		t.Fatalf("second reopen: %d rows, want 5", n)
+	}
+	var row map[string]int
+	if err := s.Get("rows", key(11), &row); err != nil || row["i"] != 11 {
+		t.Fatalf("post-recovery row lost: %v %v", row, err)
+	}
+}
+
+func TestWALUnknownOpTreatedAsDamage(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 3)
+
+	f, err := os.OpenFile(walFile(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"merge","table":"rows","key":"x"}` + "\n")
+	f.Close()
+
+	n, s := countRows(t, dir)
+	defer s.Close()
+	if n != 3 {
+		t.Fatalf("recovered %d rows, want 3", n)
+	}
+}
+
+func TestWALWholeFileGarbage(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 3)
+	if err := os.WriteFile(walFile(dir), []byte("\x00\x01\x02 not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, s := countRows(t, dir)
+	defer s.Close()
+	if n != 0 {
+		t.Fatalf("recovered %d rows from garbage, want 0", n)
+	}
+	// Store still works.
+	if err := s.Put("rows", "fresh", map[string]int{"i": 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALSurvivesCompactionDamage: damage after a snapshot only loses
+// WAL-resident rows; the snapshot's rows stay.
+func TestWALSurvivesCompactionDamage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put("rows", key(i), map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 8; i++ {
+		if err := s.Put("rows", key(i), map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destroy the whole post-snapshot WAL.
+	if err := os.WriteFile(walFile(dir), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, s2 := countRows(t, dir)
+	defer s2.Close()
+	if n != 4 {
+		t.Fatalf("recovered %d rows, want the 4 snapshotted ones", n)
+	}
+}

@@ -296,6 +296,7 @@ type Log struct {
 
 	// Execution context, filled by the chain when the log is mined.
 	BlockNumber uint64 `json:"blockNumber"`
+	BlockHash   Hash   `json:"blockHash"`
 	TxHash      Hash   `json:"transactionHash"`
 	TxIndex     uint   `json:"transactionIndex"`
 	Index       uint   `json:"logIndex"`

@@ -139,6 +139,14 @@ func Encode(it *Item) []byte {
 	return appendItem(nil, it)
 }
 
+// AppendEncode serialises the item tree onto dst and returns the
+// extended slice, letting callers that frame many records (the block
+// log, snapshot writers) reuse one buffer instead of allocating per
+// encode.
+func AppendEncode(dst []byte, it *Item) []byte {
+	return appendItem(dst, it)
+}
+
 func appendItem(dst []byte, it *Item) []byte {
 	if it.kind == KindString {
 		return appendString(dst, it.str)

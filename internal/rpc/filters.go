@@ -1,0 +1,157 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/hexutil"
+)
+
+// Polling filters: eth_newFilter / eth_newBlockFilter hand out an ID,
+// eth_getFilterChanges returns what happened since the previous poll,
+// eth_uninstallFilter removes it. This is the notification mechanism
+// web3 clients fall back to over plain HTTP, where subscriptions are
+// unavailable — the paper's rental DApp polls for its contract events
+// this way.
+
+// filterTimeout is how long an unpolled filter survives. Clients that
+// stop polling (crashed DApps) would otherwise leak registry entries.
+const filterTimeout = 5 * time.Minute
+
+type filterKind int
+
+const (
+	logFilter filterKind = iota
+	blockFilter
+)
+
+type filter struct {
+	kind     filterKind
+	query    chain.FilterQuery // logFilter only
+	next     uint64            // first block number the next poll inspects
+	lastUsed time.Time
+}
+
+type filterRegistry struct {
+	mu      sync.Mutex
+	nextID  uint64
+	filters map[string]*filter
+}
+
+// install registers f and returns its ID, pruning expired entries.
+func (r *filterRegistry) install(f *filter) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filters == nil {
+		r.filters = map[string]*filter{}
+	}
+	now := time.Now()
+	for id, old := range r.filters {
+		if now.Sub(old.lastUsed) > filterTimeout {
+			delete(r.filters, id)
+		}
+	}
+	r.nextID++
+	id := hexutil.EncodeUint64(r.nextID)
+	f.lastUsed = now
+	r.filters[id] = f
+	return id
+}
+
+// get looks up id and refreshes its expiry clock.
+func (r *filterRegistry) get(id string) (*filter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.filters[id]
+	if !ok {
+		return nil, fmt.Errorf("filter not found")
+	}
+	f.lastUsed = time.Now()
+	return f, nil
+}
+
+func (r *filterRegistry) uninstall(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.filters[id]
+	delete(r.filters, id)
+	return ok
+}
+
+// newLogFilter registers a log filter. The first poll reports matches
+// from the query's fromBlock (default: blocks sealed after creation).
+func (s *Server) newLogFilter(q chain.FilterQuery, explicitFrom bool) string {
+	next := s.bc.BlockNumber() + 1
+	if explicitFrom {
+		next = q.FromBlock
+	}
+	return s.filters.install(&filter{kind: logFilter, query: q, next: next})
+}
+
+// newBlockFilter registers a filter reporting hashes of newly sealed
+// blocks.
+func (s *Server) newBlockFilter() string {
+	return s.filters.install(&filter{kind: blockFilter, next: s.bc.BlockNumber() + 1})
+}
+
+// filterChanges returns what happened since the last poll and advances
+// the filter's cursor. Always an array, possibly empty.
+func (s *Server) filterChanges(id string) (interface{}, error) {
+	f, err := s.filters.get(id)
+	if err != nil {
+		return nil, err
+	}
+	head := s.bc.BlockNumber()
+	s.filters.mu.Lock()
+	from := f.next
+	if head >= from {
+		f.next = head + 1
+	}
+	s.filters.mu.Unlock()
+	if from > head {
+		return []interface{}{}, nil
+	}
+
+	switch f.kind {
+	case blockFilter:
+		out := []interface{}{}
+		for n := from; n <= head; n++ {
+			if b, ok := s.bc.BlockByNumber(n); ok {
+				out = append(out, b.Hash().Hex())
+			}
+		}
+		return out, nil
+	default:
+		q := f.query
+		q.FromBlock = from
+		to := head
+		if q.ToBlock != nil && *q.ToBlock < to {
+			to = *q.ToBlock
+		}
+		q.ToBlock = &to
+		out := []interface{}{}
+		for _, l := range s.bc.FilterLogs(q) {
+			out = append(out, logJSON(l))
+		}
+		return out, nil
+	}
+}
+
+// filterLogs returns every log matching a log filter's full query,
+// without moving the poll cursor — eth_getFilterLogs.
+func (s *Server) filterLogs(id string) (interface{}, error) {
+	f, err := s.filters.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if f.kind != logFilter {
+		return nil, fmt.Errorf("filter is not a log filter")
+	}
+	out := []interface{}{}
+	for _, l := range s.bc.FilterLogs(f.query) {
+		out = append(out, logJSON(l))
+	}
+	return out, nil
+}

@@ -99,24 +99,14 @@ func filterParam(params []json.RawMessage, i int, latest uint64) (chain.FilterQu
 	if err := json.Unmarshal(params[i], &obj); err != nil {
 		return q, fmt.Errorf("bad filter object: %v", err)
 	}
-	parseBlock := func(s string) (uint64, error) {
-		switch s {
-		case "", "latest", "pending":
-			return latest, nil
-		case "earliest":
-			return 0, nil
-		default:
-			return hexutil.DecodeUint64(s)
-		}
-	}
 	var err error
-	if obj.FromBlock != "" && obj.FromBlock != "latest" {
-		if q.FromBlock, err = parseBlock(obj.FromBlock); err != nil {
+	if obj.FromBlock != "" && obj.FromBlock != "latest" && obj.FromBlock != "pending" {
+		if q.FromBlock, err = parseBlockTag(obj.FromBlock, latest); err != nil {
 			return q, err
 		}
 	}
 	if obj.ToBlock != "" {
-		to, err := parseBlock(obj.ToBlock)
+		to, err := parseBlockTag(obj.ToBlock, latest)
 		if err != nil {
 			return q, err
 		}
@@ -175,6 +165,48 @@ func filterParam(params []json.RawMessage, i int, latest uint64) (chain.FilterQu
 		q.Topics = append(q.Topics, alts)
 	}
 	return q, nil
+}
+
+// parseBlockTag resolves a block-number parameter: a named tag or a hex
+// quantity. The devnet seals instantly, so latest/pending/safe/finalized
+// all mean the head.
+func parseBlockTag(s string, latest uint64) (uint64, error) {
+	switch s {
+	case "", "latest", "pending", "safe", "finalized":
+		return latest, nil
+	case "earliest":
+		return 0, nil
+	default:
+		n, err := hexutil.DecodeUint64(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad block tag %q", s)
+		}
+		return n, nil
+	}
+}
+
+// newFilterParam parses the eth_newFilter argument like filterParam but
+// also reports whether fromBlock was set to a concrete height — a new
+// filter without one only watches blocks sealed after its creation.
+func newFilterParam(params []json.RawMessage, i int, latest uint64) (chain.FilterQuery, bool, error) {
+	q, err := filterParam(params, i, latest)
+	if err != nil {
+		return q, false, err
+	}
+	explicit := false
+	if i < len(params) {
+		var obj struct {
+			FromBlock string `json:"fromBlock"`
+		}
+		if json.Unmarshal(params[i], &obj) == nil {
+			switch obj.FromBlock {
+			case "", "latest", "pending":
+			default:
+				explicit = true
+			}
+		}
+	}
+	return q, explicit, nil
 }
 
 func parseAddr(s string) (ethtypes.Address, error) {

@@ -20,8 +20,9 @@ import (
 
 // Server handles JSON-RPC requests for one Blockchain.
 type Server struct {
-	bc *chain.Blockchain
-	ks *wallet.Keystore // for eth_accounts; may be nil
+	bc      *chain.Blockchain
+	ks      *wallet.Keystore // for eth_accounts; may be nil
+	filters filterRegistry
 }
 
 // NewServer builds a server. ks may be nil.
@@ -243,26 +244,19 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		return txJSON(tx, s.bc.ChainID()), nil
 
 	case "eth_getBlockByNumber":
-		numHex, err := strParam(params, 0)
+		tag, err := strParam(params, 0)
 		if err != nil {
 			return nil, err
 		}
-		var n uint64
-		switch numHex {
-		case "latest", "pending", "safe", "finalized":
-			n = s.bc.BlockNumber()
-		case "earliest":
-			n = 0
-		default:
-			if n, err = hexutil.DecodeUint64(numHex); err != nil {
-				return nil, err
-			}
+		n, err := parseBlockTag(tag, s.bc.BlockNumber())
+		if err != nil {
+			return nil, err
 		}
 		b, ok := s.bc.BlockByNumber(n)
 		if !ok {
 			return nil, nil
 		}
-		return blockJSON(b), nil
+		return blockJSON(b, boolParam(params, 1), s.bc.ChainID()), nil
 
 	case "eth_getBlockByHash":
 		h, err := hashParam(params, 0)
@@ -273,7 +267,7 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		if !ok {
 			return nil, nil
 		}
-		return blockJSON(b), nil
+		return blockJSON(b, boolParam(params, 1), s.bc.ChainID()), nil
 
 	case "eth_getLogs":
 		q, err := filterParam(params, 0, s.bc.BlockNumber())
@@ -306,6 +300,37 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 			out["returnValue"] = hexutil.Encode(res.Return)
 		}
 		return out, nil
+
+	case "eth_newFilter":
+		q, explicitFrom, err := newFilterParam(params, 0, s.bc.BlockNumber())
+		if err != nil {
+			return nil, err
+		}
+		return s.newLogFilter(q, explicitFrom), nil
+
+	case "eth_newBlockFilter":
+		return s.newBlockFilter(), nil
+
+	case "eth_getFilterChanges":
+		id, err := strParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return s.filterChanges(id)
+
+	case "eth_getFilterLogs":
+		id, err := strParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return s.filterLogs(id)
+
+	case "eth_uninstallFilter":
+		id, err := strParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return s.filters.uninstall(id), nil
 
 	case "evm_increaseTime":
 		secs, err := uintParam(params, 0)
@@ -361,9 +386,11 @@ func logJSON(l *ethtypes.Log) map[string]interface{} {
 		"topics":           topics,
 		"data":             hexutil.Encode(l.Data),
 		"blockNumber":      hexutil.EncodeUint64(l.BlockNumber),
+		"blockHash":        l.BlockHash.Hex(),
 		"transactionHash":  l.TxHash.Hex(),
 		"transactionIndex": hexutil.EncodeUint64(uint64(l.TxIndex)),
 		"logIndex":         hexutil.EncodeUint64(uint64(l.Index)),
+		"removed":          false,
 	}
 }
 
@@ -385,10 +412,24 @@ func txJSON(tx *ethtypes.Transaction, chainID uint64) map[string]interface{} {
 	return out
 }
 
-func blockJSON(b *ethtypes.Block) map[string]interface{} {
-	txs := make([]string, len(b.Transactions))
-	for i, tx := range b.Transactions {
-		txs[i] = tx.Hash().Hex()
+func blockJSON(b *ethtypes.Block, fullTx bool, chainID uint64) map[string]interface{} {
+	var txs interface{}
+	if fullTx {
+		objs := make([]interface{}, len(b.Transactions))
+		for i, tx := range b.Transactions {
+			obj := txJSON(tx, chainID)
+			obj["blockHash"] = b.Hash().Hex()
+			obj["blockNumber"] = hexutil.EncodeUint64(b.Number())
+			obj["transactionIndex"] = hexutil.EncodeUint64(uint64(i))
+			objs[i] = obj
+		}
+		txs = objs
+	} else {
+		hashes := make([]string, len(b.Transactions))
+		for i, tx := range b.Transactions {
+			hashes[i] = tx.Hash().Hex()
+		}
+		txs = hashes
 	}
 	return map[string]interface{}{
 		"number":       hexutil.EncodeUint64(b.Number()),
@@ -438,6 +479,17 @@ func hashParam(params []json.RawMessage, i int) (ethtypes.Hash, error) {
 		return ethtypes.Hash{}, fmt.Errorf("parameter %d: bad hash", i)
 	}
 	return ethtypes.BytesToHash(raw), nil
+}
+
+// boolParam reads an optional boolean parameter, false when absent or
+// malformed — the eth_getBlockBy* full-transactions flag.
+func boolParam(params []json.RawMessage, i int) bool {
+	if i >= len(params) {
+		return false
+	}
+	var b bool
+	json.Unmarshal(params[i], &b)
+	return b
 }
 
 func uintParam(params []json.RawMessage, i int) (uint64, error) {
