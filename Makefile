@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race persistence-torture
+.PHONY: build test check bench race persistence-torture fmt-check obs-check
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,21 @@ test:
 # concurrency-sensitive suites (state commit pipeline, chain) under the
 # race detector, then the crash-recovery fault-injection suites.
 check:
+	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(GO) test -race ./internal/state/... ./internal/chain/...
 	$(MAKE) persistence-torture
+	$(MAKE) obs-check
+
+# fmt-check fails the build if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# obs-check is the instrumentation-overhead gate: it fails if the
+# metrics layer slows the EthCall hot path by more than 5%.
+obs-check:
+	OBS_CHECK=1 $(GO) test -run TestEthCallInstrumentationOverhead -count 1 ./internal/chain/
 
 # persistence-torture runs every fault-injection suite — torn log
 # tails, flipped bytes, deleted/corrupted snapshots, damaged WALs —

@@ -8,9 +8,14 @@
 // next start, verifying state roots as it recovers. Without -datadir
 // the chain lives in memory, like Ganache.
 //
+// With -metrics-addr a second listener exposes /metrics (Prometheus
+// text format) and /healthz; adding -pprof mounts the Go profiler
+// under /debug/pprof/ on that listener. -log-level debug turns on
+// structured per-request JSON-RPC logs.
+//
 // Usage:
 //
-//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data]
+//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data] [-metrics-addr :9090] [-pprof] [-log-level info]
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"legalchain/internal/chain"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/hexutil"
+	"legalchain/internal/obs"
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
 )
@@ -41,6 +47,9 @@ func main() {
 		chainID  = flag.Uint64("chainid", 1337, "chain id")
 		gasLimit = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
 		datadir  = flag.String("datadir", "", "directory for the durable block log (empty = in-memory)")
+		metrics  = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -88,12 +97,28 @@ func main() {
 	}
 	fmt.Printf("\nJSON-RPC listening on %s\n", *addr)
 
-	srv := &http.Server{Addr: *addr, Handler: rpc.NewServer(bc, ks)}
+	rpcSrv := rpc.NewServer(bc, ks)
+	rpcSrv.SetLogger(obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)))
+	srv := &http.Server{Addr: *addr, Handler: rpcSrv}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
+
+	var opsSrv *http.Server
+	if *metrics != "" {
+		health := func() map[string]interface{} {
+			return map[string]interface{}{"head": bc.Head().Header.Number, "chainId": bc.ChainID()}
+		}
+		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health)}
+		go func() {
+			fmt.Printf("metrics listening on %s (pprof: %v)\n", *metrics, *pprofOn)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	// Graceful shutdown: stop accepting requests, then flush the final
 	// snapshot so the next start replays nothing.
@@ -104,6 +129,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
+	if opsSrv != nil {
+		opsSrv.Shutdown(ctx)
+	}
 	if err := bc.Close(); err != nil {
 		log.Fatalf("flush failed: %v", err)
 	}

@@ -10,9 +10,14 @@
 // <datadir>/ipfs. A restarted rentald resumes with the same contracts,
 // balances and agreement history.
 //
+// With -metrics-addr a sidecar listener exposes /metrics (Prometheus
+// text format, covering every tier) and /healthz; -pprof additionally
+// mounts /debug/pprof/ there. Web and RPC requests are logged as
+// structured JSON lines with request IDs; -log-level tunes verbosity.
+//
 // Usage:
 //
-//	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data]
+//	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data] [-metrics-addr :9090] [-pprof] [-log-level info]
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"legalchain/internal/docstore"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/ipfs"
+	"legalchain/internal/obs"
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
 	"legalchain/internal/web3"
@@ -41,11 +47,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "web application listen address")
-		rpcAddr = flag.String("rpc", ":8545", "JSON-RPC listen address (empty to disable)")
-		datadir = flag.String("datadir", "", "directory for durable data (empty = in-memory)")
+		addr     = flag.String("addr", ":8080", "web application listen address")
+		rpcAddr  = flag.String("rpc", ":8545", "JSON-RPC listen address (empty to disable)")
+		datadir  = flag.String("datadir", "", "directory for durable data (empty = in-memory)")
+		metrics  = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
 
 	// Blockchain tier with a faucet account.
 	faucet := wallet.DevAccounts(wallet.DefaultDevSeed, 1)[0]
@@ -100,7 +110,9 @@ func main() {
 
 	var rpcSrv *http.Server
 	if *rpcAddr != "" {
-		rpcSrv = &http.Server{Addr: *rpcAddr, Handler: rpc.NewServer(bc, ks)}
+		rpcHandler := rpc.NewServer(bc, ks)
+		rpcHandler.SetLogger(logger)
+		rpcSrv = &http.Server{Addr: *rpcAddr, Handler: rpcHandler}
 		go func() {
 			log.Printf("JSON-RPC on %s", *rpcAddr)
 			if err := rpcSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -115,12 +127,29 @@ func main() {
 		fmt.Printf("  JSON-RPC: http://localhost%s\n", *rpcAddr)
 	}
 
-	webSrv := &http.Server{Addr: *addr, Handler: webApp.Handler()}
+	webSrv := &http.Server{Addr: *addr, Handler: obs.LogRequests(logger, webApp.Handler())}
 	go func() {
 		if err := webSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
+
+	var opsSrv *http.Server
+	if *metrics != "" {
+		health := func() map[string]interface{} {
+			return map[string]interface{}{
+				"head":      bc.Head().Header.Number,
+				"contracts": store.Count("contracts"),
+			}
+		}
+		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health)}
+		go func() {
+			fmt.Printf("  metrics:  http://localhost%s/metrics (pprof: %v)\n", *metrics, *pprofOn)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	// Graceful shutdown: close listeners, then flush the chain snapshot
 	// and the docstore WAL so restart resumes exactly here.
@@ -133,6 +162,9 @@ func main() {
 	webSrv.Shutdown(ctx)
 	if rpcSrv != nil {
 		rpcSrv.Shutdown(ctx)
+	}
+	if opsSrv != nil {
+		opsSrv.Shutdown(ctx)
 	}
 	if err := bc.Close(); err != nil {
 		log.Printf("chain flush failed: %v", err)

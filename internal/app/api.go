@@ -19,10 +19,10 @@ import (
 //	GET /api/me                        the session user + balance
 
 // APIHandler returns the /api/ mux (mounted by Handler).
-func (a *App) apiRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("/api/me", a.withUser(a.apiMe))
-	mux.HandleFunc("/api/contracts", a.withUser(a.apiContracts))
-	mux.HandleFunc("/api/contracts/", a.withUser(a.apiContract))
+func (a *App) apiRoutes(handle func(pattern string, h http.HandlerFunc)) {
+	handle("/api/me", a.withUser(a.apiMe))
+	handle("/api/contracts", a.withUser(a.apiContracts))
+	handle("/api/contracts/", a.withUser(a.apiContract))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -1,0 +1,291 @@
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"legalchain/internal/core"
+	"legalchain/internal/ethtypes"
+)
+
+// Versioned REST API for the contract manager, coexisting with the HTML
+// UI and the legacy /api/ endpoints. All endpoints require the session
+// cookie and speak a uniform error envelope:
+//
+//	{"error":{"code":"bad_request","message":"..."}}
+//
+// Routes:
+//
+//	GET  /api/v1/me                        session user + balance
+//	GET  /api/v1/contracts                 dashboard rows for the user
+//	POST /api/v1/contracts                 deploy a rental agreement
+//	GET  /api/v1/contracts/{addr}          row + live state + version chain + payments
+//	POST /api/v1/contracts/{addr}/actions  lifecycle action (confirm, pay, ...)
+
+// Machine-readable error codes of the v1 envelope.
+const (
+	v1Unauthorized = "unauthorized"
+	v1NotFound     = "not_found"
+	v1BadRequest   = "bad_request"
+	v1NotAllowed   = "method_not_allowed"
+	v1Internal     = "internal"
+)
+
+func writeV1Error(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, map[string]interface{}{
+		"error": map[string]string{"code": code, "message": message},
+	})
+}
+
+func (a *App) apiV1Routes(handle func(pattern string, h http.HandlerFunc)) {
+	handle("/api/v1/me", a.withUser(a.v1Me))
+	handle("/api/v1/contracts", a.withUser(a.v1Contracts))
+	handle("/api/v1/contracts/", a.withUser(a.v1Contract))
+}
+
+func (a *App) v1Me(w http.ResponseWriter, r *http.Request, u *User) {
+	if r.Method != http.MethodGet {
+		writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+		return
+	}
+	bal, _ := a.Manager.Client.Backend().GetBalance(u.Addr())
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name":       u.Name,
+		"email":      u.Email,
+		"address":    u.Address,
+		"balanceWei": bal.String(),
+		"balanceEth": ethtypes.FormatEther(bal),
+	})
+}
+
+// v1Terms is the JSON shape of rental terms for deploys and modifies.
+// Ether amounts are decimal strings ("1.5"), matching the HTML forms.
+type v1Terms struct {
+	RentEth        string `json:"rentEth"`
+	DepositEth     string `json:"depositEth"`
+	Months         uint64 `json:"months"`
+	House          string `json:"house"`
+	MaintenanceEth string `json:"maintenanceEth"`
+	DiscountEth    string `json:"discountEth"`
+	FineEth        string `json:"fineEth"`
+	Document       string `json:"document"`
+}
+
+func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
+	switch r.Method {
+	case http.MethodGet:
+		rows, err := a.Dashboard(u)
+		if err != nil {
+			writeV1Error(w, http.StatusInternalServerError, v1Internal, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"contracts": rows})
+
+	case http.MethodPost:
+		var body struct {
+			Artifact string `json:"artifact"`
+			v1Terms
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeV1Error(w, http.StatusBadRequest, v1BadRequest, "bad JSON body: "+err.Error())
+			return
+		}
+		terms := core.RentalTerms{
+			Rent:    weiOf(body.RentEth),
+			Deposit: weiOf(body.DepositEth),
+			Months:  body.Months,
+			House:   body.House,
+		}
+		if body.Document != "" {
+			terms.LegalDoc = []byte(body.Document)
+		}
+		var dep *core.Deployment
+		var err error
+		if body.Artifact != "" && !strings.EqualFold(body.Artifact, "BaseRental") {
+			art, aerr := a.GetArtifact(body.Artifact)
+			if aerr != nil {
+				writeV1Error(w, http.StatusBadRequest, v1BadRequest, aerr.Error())
+				return
+			}
+			dep, err = a.Manager.DeployVersion(u.Addr(), art, terms.LegalDoc,
+				terms.Rent, terms.Deposit, terms.Months, terms.House)
+		} else {
+			dep, err = a.Rental.DeployRental(u.Addr(), terms)
+		}
+		if err != nil {
+			writeV1Error(w, http.StatusBadRequest, v1BadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]interface{}{
+			"address": dep.Row.Address,
+			"gasUsed": dep.GasUsed,
+			"row":     dep.Row,
+		})
+
+	default:
+		writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET or POST only")
+	}
+}
+
+// v1Contract routes /api/v1/contracts/{addr}[/actions].
+func (a *App) v1Contract(w http.ResponseWriter, r *http.Request, u *User) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/contracts/")
+	parts := strings.SplitN(rest, "/", 2)
+	addrHex := parts[0]
+	if !strings.HasPrefix(addrHex, "0x") || len(addrHex) != 42 {
+		writeV1Error(w, http.StatusBadRequest, v1BadRequest, "bad contract address")
+		return
+	}
+	addr := ethtypes.HexToAddress(addrHex)
+	sub := ""
+	if len(parts) == 2 {
+		sub = parts[1]
+	}
+	switch sub {
+	case "":
+		if r.Method != http.MethodGet {
+			writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+			return
+		}
+		a.v1ContractDetail(w, u, addr)
+	case "actions":
+		if r.Method != http.MethodPost {
+			writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "POST only")
+			return
+		}
+		a.v1ContractAction(w, r, u, addr)
+	default:
+		writeV1Error(w, http.StatusNotFound, v1NotFound, "unknown endpoint "+sub)
+	}
+}
+
+// v1ContractDetail is the one-stop read: registry row, live chain
+// state, the walked version chain with its verification verdict, and
+// the cross-version payment history.
+func (a *App) v1ContractDetail(w http.ResponseWriter, u *User, addr ethtypes.Address) {
+	row, err := a.Manager.GetRow(addr)
+	if err != nil {
+		writeV1Error(w, http.StatusNotFound, v1NotFound, err.Error())
+		return
+	}
+	out := map[string]interface{}{"row": row}
+
+	viewer := u.Addr()
+	if bound, err := a.Manager.BindVersion(addr); err == nil {
+		live := map[string]string{}
+		for _, getter := range []string{"rent", "deposit", "state", "monthCounter"} {
+			if v, err := bound.CallUint(viewer, getter); err == nil {
+				live[getter] = v.String()
+			}
+		}
+		if house, err := bound.CallString(viewer, "house"); err == nil {
+			live["house"] = house
+		}
+		out["live"] = live
+	}
+
+	if line, err := a.Manager.WalkChain(addr); err == nil {
+		type nodeJSON struct {
+			Address string `json:"address"`
+			Version int    `json:"version"`
+			State   string `json:"state"`
+			Prev    string `json:"prev,omitempty"`
+			Next    string `json:"next,omitempty"`
+		}
+		nodes := make([]nodeJSON, len(line))
+		for i, n := range line {
+			nodes[i] = nodeJSON{Address: n.Address.Hex(), Version: n.Version, State: n.State}
+			if !n.Prev.IsZero() {
+				nodes[i].Prev = n.Prev.Hex()
+			}
+			if !n.Next.IsZero() {
+				nodes[i].Next = n.Next.Hex()
+			}
+		}
+		out["versions"] = nodes
+		out["verified"] = core.VerifyChain(line) == nil
+	}
+
+	if hist, err := a.Rental.RentHistory(viewer, addr); err == nil {
+		type payJSON struct {
+			Version int    `json:"version"`
+			Month   uint64 `json:"month"`
+			Amount  string `json:"amountWei"`
+		}
+		pays := make([]payJSON, len(hist))
+		for i, p := range hist {
+			pays[i] = payJSON{Version: p.Version, Month: p.Month, Amount: p.Amount.String()}
+		}
+		out["payments"] = pays
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// v1ContractAction executes one lifecycle step. The action names match
+// the HTML form routes; "modify" deploys a new linked version and
+// returns its row.
+func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, addr ethtypes.Address) {
+	if _, err := a.Manager.GetRow(addr); err != nil {
+		writeV1Error(w, http.StatusNotFound, v1NotFound, err.Error())
+		return
+	}
+	var body struct {
+		Action string   `json:"action"`
+		Terms  *v1Terms `json:"terms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeV1Error(w, http.StatusBadRequest, v1BadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	result := map[string]interface{}{"action": body.Action, "status": "ok"}
+	var err error
+	switch body.Action {
+	case "confirm":
+		err = a.Rental.Confirm(u.Addr(), addr)
+	case "pay":
+		_, err = a.Rental.PayRent(u.Addr(), addr)
+	case "maintenance":
+		_, err = a.Rental.PayMaintenance(u.Addr(), addr)
+	case "terminate":
+		err = a.Rental.Terminate(u.Addr(), addr)
+	case "confirm-modification":
+		err = a.Rental.ConfirmModification(u.Addr(), addr)
+	case "reject-modification":
+		err = a.Rental.RejectModification(u.Addr(), addr)
+	case "modify":
+		if body.Terms == nil {
+			writeV1Error(w, http.StatusBadRequest, v1BadRequest, "modify requires terms")
+			return
+		}
+		terms := core.ModifiedTerms{
+			Rent:           weiOf(body.Terms.RentEth),
+			Deposit:        weiOf(body.Terms.DepositEth),
+			Months:         body.Terms.Months,
+			House:          body.Terms.House,
+			MaintenanceFee: weiOf(body.Terms.MaintenanceEth),
+			Discount:       weiOf(body.Terms.DiscountEth),
+			Fine:           weiOf(body.Terms.FineEth),
+		}
+		if body.Terms.Document != "" {
+			terms.LegalDoc = []byte(body.Terms.Document)
+		}
+		var dep *core.Deployment
+		dep, err = a.Rental.Modify(u.Addr(), addr, terms)
+		if err == nil {
+			result["newVersion"] = dep.Row
+		}
+	case "":
+		writeV1Error(w, http.StatusBadRequest, v1BadRequest, "missing action")
+		return
+	default:
+		writeV1Error(w, http.StatusBadRequest, v1BadRequest, fmt.Sprintf("unknown action %q", body.Action))
+		return
+	}
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, v1BadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}

@@ -1,0 +1,224 @@
+package app
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"testing"
+)
+
+// postJSON sends a JSON body through the browser's cookie-carrying
+// client and decodes the JSON reply.
+func postJSON(t *testing.T, b *browser, path string, payload, out interface{}) int {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.c.Post(b.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v (%s)", path, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// v1Envelope is the uniform error shape of /api/v1/.
+type v1Envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func TestV1MeAndList(t *testing.T) {
+	b, _, addr := apiRig(t)
+	var me map[string]interface{}
+	if code := getJSON(t, b, "/api/v1/me", &me); code != 200 {
+		t.Fatalf("me: code %d", code)
+	}
+	if me["name"] != "api_landlord" || me["balanceWei"] == "" {
+		t.Fatalf("me = %v", me)
+	}
+	var list struct {
+		Contracts []map[string]interface{} `json:"contracts"`
+	}
+	if code := getJSON(t, b, "/api/v1/contracts", &list); code != 200 {
+		t.Fatalf("list: code %d", code)
+	}
+	if len(list.Contracts) != 1 || list.Contracts[0]["Address"] != addr {
+		t.Fatalf("contracts = %v", list.Contracts)
+	}
+}
+
+func TestV1DeployAndDetail(t *testing.T) {
+	b, _, _ := apiRig(t)
+	var dep struct {
+		Address string                 `json:"address"`
+		GasUsed float64                `json:"gasUsed"`
+		Row     map[string]interface{} `json:"row"`
+	}
+	code := postJSON(t, b, "/api/v1/contracts", map[string]interface{}{
+		"artifact": "BaseRental", "rentEth": "2", "depositEth": "4",
+		"months": 6, "house": "v1-house", "document": "v1 legal text",
+	}, &dep)
+	if code != http.StatusCreated {
+		t.Fatalf("deploy: code %d (%+v)", code, dep)
+	}
+	if len(dep.Address) != 42 || dep.GasUsed == 0 {
+		t.Fatalf("deploy = %+v", dep)
+	}
+
+	var detail struct {
+		Row      map[string]interface{} `json:"row"`
+		Live     map[string]string      `json:"live"`
+		Versions []map[string]interface{}
+		Verified bool `json:"verified"`
+	}
+	if code := getJSON(t, b, "/api/v1/contracts/"+dep.Address, &detail); code != 200 {
+		t.Fatalf("detail: code %d", code)
+	}
+	if detail.Live["house"] != "v1-house" {
+		t.Fatalf("live = %v", detail.Live)
+	}
+	if detail.Live["rent"] != "2000000000000000000" {
+		t.Fatalf("rent = %v", detail.Live["rent"])
+	}
+	if !detail.Verified {
+		t.Fatal("fresh single-version chain should verify")
+	}
+}
+
+func TestV1Actions(t *testing.T) {
+	landlord, _, addr := apiRig(t)
+	jar, _ := cookiejar.New(nil)
+	tenant := &browser{t: t, c: &http.Client{Jar: jar}, url: landlord.url}
+	tenant.register("v1_tenant", "pw")
+
+	var ok map[string]interface{}
+	if code := postJSON(t, tenant, "/api/v1/contracts/"+addr+"/actions",
+		map[string]interface{}{"action": "confirm"}, &ok); code != 200 {
+		t.Fatalf("confirm: code %d (%v)", code, ok)
+	}
+	if code := postJSON(t, tenant, "/api/v1/contracts/"+addr+"/actions",
+		map[string]interface{}{"action": "pay"}, &ok); code != 200 {
+		t.Fatalf("pay: code %d (%v)", code, ok)
+	}
+
+	// Landlord proposes a modification; the reply carries the new row.
+	var mod struct {
+		NewVersion map[string]interface{} `json:"newVersion"`
+	}
+	code := postJSON(t, landlord, "/api/v1/contracts/"+addr+"/actions", map[string]interface{}{
+		"action": "modify",
+		"terms": map[string]interface{}{
+			"rentEth": "1.5", "depositEth": "2", "months": 12, "house": "api-house",
+			"maintenanceEth": "0.1", "discountEth": "0", "fineEth": "1",
+		},
+	}, &mod)
+	if code != 200 || mod.NewVersion["address"] == nil {
+		t.Fatalf("modify: code %d (%+v)", code, mod)
+	}
+
+	var detail struct {
+		Versions []map[string]interface{} `json:"versions"`
+		Verified bool                     `json:"verified"`
+	}
+	if code := getJSON(t, landlord, "/api/v1/contracts/"+addr, &detail); code != 200 {
+		t.Fatalf("detail: code %d", code)
+	}
+	if len(detail.Versions) != 2 || !detail.Verified {
+		t.Fatalf("versions = %+v verified=%v", detail.Versions, detail.Verified)
+	}
+
+	// Payments made on v1 survive into the aggregated history.
+	var paid struct {
+		Payments []map[string]interface{} `json:"payments"`
+	}
+	if code := getJSON(t, tenant, "/api/v1/contracts/"+addr, &paid); code != 200 {
+		t.Fatal("tenant detail")
+	}
+	if len(paid.Payments) != 1 {
+		t.Fatalf("payments = %+v", paid.Payments)
+	}
+}
+
+func TestV1ErrorEnvelope(t *testing.T) {
+	b, _, addr := apiRig(t)
+
+	// Unauthenticated requests get the envelope with code "unauthorized".
+	srv := httptest.NewServer(rig(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env v1Envelope
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != 401 || env.Error.Code != "unauthorized" {
+		t.Fatalf("unauthenticated: %d %+v", resp.StatusCode, env)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   interface{}
+		status int
+		code   string
+	}{
+		{"bad address", "GET", "/api/v1/contracts/short", nil, 400, "bad_request"},
+		{"unknown contract", "GET", "/api/v1/contracts/0x0000000000000000000000000000000000000abc", nil, 404, "not_found"},
+		{"unknown subresource", "GET", "/api/v1/contracts/" + addr + "/nope", nil, 404, "not_found"},
+		{"method not allowed", "DELETE", "/api/v1/me", nil, 405, "method_not_allowed"},
+		{"unknown action", "POST", "/api/v1/contracts/" + addr + "/actions",
+			map[string]interface{}{"action": "explode"}, 400, "bad_request"},
+		{"missing action", "POST", "/api/v1/contracts/" + addr + "/actions",
+			map[string]interface{}{}, 400, "bad_request"},
+		{"modify without terms", "POST", "/api/v1/contracts/" + addr + "/actions",
+			map[string]interface{}{"action": "modify"}, 400, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != nil {
+				raw, _ := json.Marshal(tc.body)
+				body = bytes.NewReader(raw)
+			}
+			req, err := http.NewRequest(tc.method, b.url+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := b.c.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env v1Envelope
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatalf("non-envelope body: %s", data)
+			}
+			if resp.StatusCode != tc.status || env.Error.Code != tc.code {
+				t.Fatalf("got %d %q, want %d %q (%s)",
+					resp.StatusCode, env.Error.Code, tc.status, tc.code, data)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}

@@ -10,32 +10,44 @@ import (
 
 	"legalchain/internal/core"
 	"legalchain/internal/ethtypes"
+	"legalchain/internal/obs"
 	"legalchain/internal/uint256"
 )
 
-// Handler builds the HTTP mux of the web application.
+// Handler builds the HTTP mux of the web application. Every route is
+// wrapped in obs.InstrumentHandler with its mux pattern as the metric
+// label, so cardinality stays bounded no matter what paths clients hit.
 func (a *App) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", a.handleIndex)
-	mux.HandleFunc("/register", a.handleRegister)
-	mux.HandleFunc("/login", a.handleLogin)
-	mux.HandleFunc("/logout", a.handleLogout)
-	mux.HandleFunc("/dashboard", a.withUser(a.handleDashboard))
-	mux.HandleFunc("/upload", a.withUser(a.handleUpload))
-	mux.HandleFunc("/deploy", a.withUser(a.handleDeploy))
-	mux.HandleFunc("/contract/", a.withUser(a.handleContract))
-	mux.HandleFunc("/doc/", a.withUser(a.handleDocument))
-	a.apiRoutes(mux)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.InstrumentHandler(pattern, h))
+	}
+	handle("/", a.handleIndex)
+	handle("/register", a.handleRegister)
+	handle("/login", a.handleLogin)
+	handle("/logout", a.handleLogout)
+	handle("/dashboard", a.withUser(a.handleDashboard))
+	handle("/upload", a.withUser(a.handleUpload))
+	handle("/deploy", a.withUser(a.handleDeploy))
+	handle("/contract/", a.withUser(a.handleContract))
+	handle("/doc/", a.withUser(a.handleDocument))
+	a.apiRoutes(handle)
+	a.apiV1Routes(handle)
 	return mux
 }
 
 const sessionCookie = "legalchain_session"
 
 // withUser resolves the session and injects the user. HTML routes
-// redirect to the login page; /api/ routes answer 401 JSON.
+// redirect to the login page; /api/v1/ routes answer 401 with the v1
+// error envelope, legacy /api/ routes keep their flat 401 JSON.
 func (a *App) withUser(fn func(http.ResponseWriter, *http.Request, *User)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		deny := func() {
+			if strings.HasPrefix(r.URL.Path, "/api/v1/") {
+				writeV1Error(w, http.StatusUnauthorized, v1Unauthorized, "not logged in")
+				return
+			}
 			if strings.HasPrefix(r.URL.Path, "/api/") {
 				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "not logged in"})
 				return

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -246,6 +247,8 @@ func (l *Log) openActive() error {
 // Append journals one record, rotating to a fresh segment when the
 // active one is full and fsyncing before returning (unless NoSync).
 func (l *Log) Append(rec *Record) error {
+	appendStart := time.Now()
+	defer mAppendSeconds.ObserveSince(appendStart)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
@@ -264,10 +267,13 @@ func (l *Log) Append(rec *Record) error {
 		return fmt.Errorf("blockdb: append: %w", err)
 	}
 	if !l.opts.NoSync {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("blockdb: sync: %w", err)
 		}
+		mFsyncSeconds.ObserveSince(syncStart)
 	}
+	mAppends.Inc()
 	l.locs = append(l.locs, recLoc{seg: len(l.segs) - 1, off: l.size})
 	l.size += int64(len(frame))
 	l.segs[len(l.segs)-1].size = l.size
@@ -284,6 +290,7 @@ func (l *Log) rotateLocked(first uint64) error {
 	l.segs = append(l.segs, segment{path: segPath(l.dir, first), first: first})
 	l.f = nil
 	l.size = 0
+	mRotations.Inc()
 	return l.openActiveLocked()
 }
 

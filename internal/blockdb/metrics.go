@@ -1,0 +1,19 @@
+package blockdb
+
+import (
+	"legalchain/internal/metrics"
+)
+
+// Storage-tier metrics for the segmented block log. Append latency is
+// split from fsync latency so an operator can tell write-path pressure
+// from disk-flush pressure.
+var (
+	mAppendSeconds = metrics.Default.Histogram("legalchain_blockdb_append_seconds",
+		"Wall time to append one block record (framing, write and any fsync).", nil)
+	mFsyncSeconds = metrics.Default.Histogram("legalchain_blockdb_fsync_seconds",
+		"Wall time of fsync calls on the active segment.", nil)
+	mAppends = metrics.Default.Counter("legalchain_blockdb_appends_total",
+		"Block records appended to the log.")
+	mRotations = metrics.Default.Counter("legalchain_blockdb_rotations_total",
+		"Segment rotations performed.")
+)

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"legalchain/internal/abi"
 	"legalchain/internal/blockdb"
@@ -243,6 +244,7 @@ func (bc *Blockchain) evmContext(h *ethtypes.Header, origin ethtypes.Address, ga
 // block, returning its hash. The transaction must be EIP-155 signed for
 // this chain.
 func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, error) {
+	sealStart := time.Now()
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 
@@ -275,7 +277,9 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 	// Seal the block.
 	header.GasUsed = receipt.GasUsed
 	header.TxRoot = ethtypes.TxRootOf([]*ethtypes.Transaction{tx})
+	rootStart := time.Now()
 	header.StateRoot = bc.st.Root()
+	mStateRootSeconds.ObserveSince(rootStart)
 	header.ReceiptRoot = DeriveReceiptRoot([]*ethtypes.Receipt{receipt})
 	block := &ethtypes.Block{Header: header, Transactions: []*ethtypes.Transaction{tx}}
 
@@ -289,12 +293,18 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 	bc.receipts[hash] = receipt
 	bc.txs[hash] = tx
 	bc.persistBlockLocked(block, []*ethtypes.Receipt{receipt})
+	mSealSeconds.ObserveSince(sealStart)
+	mBlocksSealed.Inc()
+	mTxsExecuted.Inc()
+	mHeadBlock.Set(int64(header.Number))
 	return hash, nil
 }
 
 // applyTransaction executes tx against the live state, following the
 // yellow-paper gas flow (buy gas, execute, refund, pay coinbase).
 func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Transaction, sender ethtypes.Address) (*ethtypes.Receipt, error) {
+	execStart := time.Now()
+	defer mExecSeconds.ObserveSince(execStart)
 	intrinsic := evm.IntrinsicGas(tx.Data, tx.IsCreate())
 	if tx.Gas < intrinsic {
 		return nil, fmt.Errorf("%w: need %d, limit %d", ErrIntrinsicGas, intrinsic, tx.Gas)
@@ -377,6 +387,24 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 	}, nil
 }
 
+// RevertError is the typed error for a reverted call or gas estimate.
+// Ret carries the raw return bytes (the ABI-encoded Error(string)
+// payload when a reason was given), which the RPC layer exposes in the
+// JSON-RPC error's data field per the geth convention.
+type RevertError struct {
+	Reason string
+	Ret    []byte
+}
+
+// Error keeps the canonical "execution reverted[: reason]" shape that
+// clients match on.
+func (e *RevertError) Error() string {
+	if e.Reason == "" {
+		return "execution reverted"
+	}
+	return "execution reverted: " + e.Reason
+}
+
 // CallResult is the outcome of a read-only call.
 type CallResult struct {
 	Return  []byte
@@ -385,9 +413,20 @@ type CallResult struct {
 	Reason  string // decoded revert reason, if any
 }
 
+// Revert returns a typed *RevertError when the call ended in a REVERT,
+// nil for success or any other failure (out of gas, stack error, ...).
+func (res *CallResult) Revert() *RevertError {
+	if res.Err == nil || !errors.Is(res.Err, evm.ErrExecutionReverted) {
+		return nil
+	}
+	return &RevertError{Reason: res.Reason, Ret: res.Return}
+}
+
 // Call executes a read-only message against a copy of the latest state
 // (eth_call semantics).
 func (bc *Blockchain) Call(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
+	callStart := time.Now()
+	defer mCallSeconds.ObserveSince(callStart)
 	bc.mu.RLock()
 	stCopy := bc.st.Copy()
 	header := bc.nextHeaderLocked()
@@ -423,8 +462,8 @@ func (bc *Blockchain) Call(from ethtypes.Address, to *ethtypes.Address, data []b
 func (bc *Blockchain) EstimateGas(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int) (uint64, error) {
 	res := bc.Call(from, to, data, value, bc.gasLimit)
 	if res.Err != nil {
-		if res.Reason != "" {
-			return 0, fmt.Errorf("execution reverted: %s", res.Reason)
+		if re := res.Revert(); re != nil {
+			return 0, re
 		}
 		return 0, res.Err
 	}

@@ -1,0 +1,29 @@
+package chain
+
+import (
+	"legalchain/internal/metrics"
+)
+
+// Chain-tier metrics. A devnet process hosts one Blockchain; when tests
+// construct several, they share these process-wide instruments, which
+// only ever makes the aggregate counts larger, never wrong per scrape.
+var (
+	mSealSeconds = metrics.Default.Histogram("legalchain_chain_seal_seconds",
+		"Wall time to validate, execute and seal a block.", nil)
+	mExecSeconds = metrics.Default.Histogram("legalchain_chain_exec_seconds",
+		"Wall time to execute one transaction (gas purchase through refund).", nil)
+	mStateRootSeconds = metrics.Default.Histogram("legalchain_chain_state_root_seconds",
+		"Wall time to compute the post-block world-state root.", nil)
+	mCallSeconds = metrics.Default.Histogram("legalchain_chain_call_seconds",
+		"Wall time of read-only eth_call execution.", nil)
+	mTxpoolPending = metrics.Default.Gauge("legalchain_chain_txpool_pending",
+		"Transactions queued for the next MineBlock.")
+	mHeadBlock = metrics.Default.Gauge("legalchain_chain_head_block",
+		"Number of the latest sealed block.")
+	mBlocksSealed = metrics.Default.Counter("legalchain_chain_blocks_sealed_total",
+		"Blocks sealed since process start.")
+	mTxsExecuted = metrics.Default.Counter("legalchain_chain_txs_total",
+		"Transactions executed into sealed blocks since process start.")
+	mTxsFailed = metrics.Default.Counter("legalchain_chain_txs_failed_total",
+		"Transactions dropped at mining time (bad nonce, insufficient funds, ...).")
+)

@@ -3,6 +3,7 @@ package chain
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/evm"
@@ -37,6 +38,7 @@ func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash
 		return ethtypes.Hash{}, ErrGasLimitExceeded
 	}
 	bc.pending = append(bc.pending, tx)
+	mTxpoolPending.Set(int64(len(bc.pending)))
 	return hash, nil
 }
 
@@ -53,11 +55,13 @@ func (bc *Blockchain) PendingCount() int {
 // their error recorded in the returned map. Mining an empty pool
 // produces an empty block (useful to advance time).
 func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
+	sealStart := time.Now()
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 
 	txs := bc.pending
 	bc.pending = nil
+	mTxpoolPending.Set(0)
 	// Stable order: by sender then nonce; submission order breaks ties.
 	type withMeta struct {
 		tx     *ethtypes.Transaction
@@ -112,7 +116,9 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 
 	header.GasUsed = cumulative
 	header.TxRoot = ethtypes.TxRootOf(included)
+	rootStart := time.Now()
 	header.StateRoot = bc.st.Root()
+	mStateRootSeconds.ObserveSince(rootStart)
 	header.ReceiptRoot = DeriveReceiptRoot(receipts)
 	block := &ethtypes.Block{Header: header, Transactions: included}
 
@@ -128,6 +134,11 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 	bc.blocks = append(bc.blocks, block)
 	bc.byHash[block.Hash()] = block
 	bc.persistBlockLocked(block, receipts)
+	mSealSeconds.ObserveSince(sealStart)
+	mBlocksSealed.Inc()
+	mTxsExecuted.Add(uint64(len(included)))
+	mTxsFailed.Add(uint64(len(failed)))
+	mHeadBlock.Set(int64(header.Number))
 	return block, failed
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Errors returned by the store.
@@ -90,6 +91,8 @@ func (s *Store) loadSnapshot() error {
 // leave records appended by this process stranded behind the corrupt
 // line, silently lost on the NEXT restart.
 func (s *Store) replayWAL() error {
+	replayStart := time.Now()
+	defer mReplaySeconds.ObserveSince(replayStart)
 	f, err := os.OpenFile(s.walPath(), os.O_RDWR, 0o644)
 	if os.IsNotExist(err) {
 		return nil
@@ -159,6 +162,7 @@ func (s *Store) logLocked(rec *walRecord) error {
 	if s.wal == nil {
 		return nil
 	}
+	appendStart := time.Now()
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -166,9 +170,12 @@ func (s *Store) logLocked(rec *walRecord) error {
 	if _, err := s.wal.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("docstore: wal write: %w", err)
 	}
+	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("docstore: wal sync: %w", err)
 	}
+	mWalFsyncSeconds.ObserveSince(syncStart)
+	mWalAppendSeconds.ObserveSince(appendStart)
 	s.walN++
 	if s.walN >= 4096 {
 		return s.compactLocked()
@@ -178,6 +185,7 @@ func (s *Store) logLocked(rec *walRecord) error {
 
 // compactLocked writes a snapshot and truncates the WAL.
 func (s *Store) compactLocked() error {
+	mCompactions.Inc()
 	data, err := json.Marshal(s.tables)
 	if err != nil {
 		return err

@@ -1,0 +1,17 @@
+package docstore
+
+import (
+	"legalchain/internal/metrics"
+)
+
+// Document-tier metrics for the WAL-backed store.
+var (
+	mWalAppendSeconds = metrics.Default.Histogram("legalchain_docstore_wal_append_seconds",
+		"Wall time to journal one WAL record (write plus fsync).", nil)
+	mWalFsyncSeconds = metrics.Default.Histogram("legalchain_docstore_wal_fsync_seconds",
+		"Wall time of fsync calls on the WAL.", nil)
+	mReplaySeconds = metrics.Default.Histogram("legalchain_docstore_replay_seconds",
+		"Wall time to replay the WAL at startup.", nil)
+	mCompactions = metrics.Default.Counter("legalchain_docstore_compactions_total",
+		"Snapshot compactions performed.")
+)

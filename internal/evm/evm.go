@@ -49,6 +49,9 @@ type EVM struct {
 	// (debug_traceTransaction support). Leave nil for full speed.
 	Tracer Tracer
 	depth  int
+	// steps accumulates interpreter iterations across the frames of the
+	// current outermost call, for the per-transaction step histogram.
+	steps uint64
 }
 
 // New returns an EVM bound to ctx and st.
@@ -144,14 +147,20 @@ func (e *EVM) Call(caller, to ethtypes.Address, input []byte, gas uint64, value 
 		stack: newStack(), mem: newMemory(),
 		jumpdests: analyzeJumpdests(code),
 	}
+	outer := e.depth == 0
 	e.depth++
 	ret, err := e.run(f)
 	e.depth--
 	if err != nil {
 		e.State.RevertToSnapshot(snapshot)
-		if !errors.Is(err, ErrExecutionReverted) {
+		if errors.Is(err, ErrExecutionReverted) {
+			mReverts.Inc()
+		} else {
 			f.gas = 0
 		}
+	}
+	if outer {
+		e.observeOuter(gas, f.gas)
 	}
 	return ret, f.gas, err
 }
@@ -179,14 +188,20 @@ func (e *EVM) StaticCall(caller, to ethtypes.Address, input []byte, gas uint64) 
 		stack: newStack(), mem: newMemory(),
 		jumpdests: analyzeJumpdests(code),
 	}
+	outer := e.depth == 0
 	e.depth++
 	ret, err := e.run(f)
 	e.depth--
 	if err != nil {
 		e.State.RevertToSnapshot(snapshot)
-		if !errors.Is(err, ErrExecutionReverted) {
+		if errors.Is(err, ErrExecutionReverted) {
+			mReverts.Inc()
+		} else {
 			f.gas = 0
 		}
+	}
+	if outer {
+		e.observeOuter(gas, f.gas)
 	}
 	return ret, f.gas, err
 }
@@ -301,12 +316,18 @@ func (e *EVM) create(caller ethtypes.Address, initCode []byte, gas uint64, value
 		stack: newStack(), mem: newMemory(),
 		jumpdests: analyzeJumpdests(initCode),
 	}
+	outer := e.depth == 0
 	e.depth++
 	ret, err := e.run(f)
 	e.depth--
+	if outer {
+		defer func() { e.observeOuter(gas, f.gas) }()
+	}
 	if err != nil {
 		e.State.RevertToSnapshot(snapshot)
-		if !errors.Is(err, ErrExecutionReverted) {
+		if errors.Is(err, ErrExecutionReverted) {
+			mReverts.Inc()
+		} else {
 			f.gas = 0
 		}
 		return ret, addr, f.gas, err

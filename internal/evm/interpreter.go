@@ -38,7 +38,14 @@ func (e *EVM) exec(f *frame) ([]byte, error) {
 	pop := func() (uint256.Int, error) { return f.stack.pop() }
 	push := func(v uint256.Int) error { return f.stack.push(v) }
 
+	// Step accounting stays a local counter in the hot loop; it is
+	// folded into the EVM-wide accumulator once per frame.
+	var steps uint64
+	defer func() { e.steps += steps }()
+	mFrames.Inc()
+
 	for {
+		steps++
 		var op OpCode
 		if f.pc < uint64(len(f.code)) {
 			op = OpCode(f.code[f.pc])

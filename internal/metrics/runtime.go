@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// The process/Go-runtime collector gathers everything from one
+// runtime.ReadMemStats call per scrape, so scraping stays cheap and the
+// numbers within a scrape are mutually consistent.
+
+var processStart = time.Now()
+
+func init() {
+	Default.RegisterCollector(writeRuntimeMetrics)
+}
+
+func writeRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	gauge("go_goroutines", "Number of goroutines that currently exist.", float64(runtime.NumGoroutine()))
+	gauge("go_threads_max", "GOMAXPROCS setting.", float64(runtime.GOMAXPROCS(0)))
+	gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	gauge("go_memstats_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+	gauge("go_memstats_stack_inuse_bytes", "Bytes in stack spans in use.", float64(ms.StackInuse))
+	gauge("go_memstats_next_gc_bytes", "Heap size at which the next GC cycle starts.", float64(ms.NextGC))
+	counter("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", float64(ms.TotalAlloc))
+	counter("go_memstats_mallocs_total", "Cumulative count of heap allocations.", float64(ms.Mallocs))
+	counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
+	gauge("process_start_time_seconds", "Unix time the process started.", float64(processStart.Unix()))
+	gauge("process_uptime_seconds", "Seconds since the process started.", time.Since(processStart).Seconds())
+	gauge("process_cpu_count", "Number of logical CPUs usable by the process.", float64(runtime.NumCPU()))
+}

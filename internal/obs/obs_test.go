@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"legalchain/internal/metrics"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("id %q: want 16 hex chars", id)
+	}
+	ctx := WithRequestID(t.Context(), id)
+	if got := RequestIDFrom(ctx); got != id {
+		t.Fatalf("got %q want %q", got, id)
+	}
+	if RequestIDFrom(t.Context()) != "" {
+		t.Fatal("empty context should yield empty id")
+	}
+}
+
+func TestLogRequestsAssignsAndReusesID(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	var seen string
+	h := LogRequests(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+
+	// Fresh ID assigned and reflected.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	rid := rec.Header().Get(RequestIDHeader)
+	if rid == "" || rid != seen {
+		t.Fatalf("header id %q, context id %q", rid, seen)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if line["id"] != rid || line["status"] != float64(http.StatusTeapot) || line["path"] != "/x" {
+		t.Fatalf("bad log line: %v", line)
+	}
+	if line["bytes"] != float64(len("short and stout")) {
+		t.Fatalf("bytes = %v", line["bytes"])
+	}
+
+	// Inbound ID reused.
+	req := httptest.NewRequest("GET", "/y", nil)
+	req.Header.Set(RequestIDHeader, "caller-chosen")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "caller-chosen" || rec.Header().Get(RequestIDHeader) != "caller-chosen" {
+		t.Fatalf("inbound id not propagated: %q", seen)
+	}
+}
+
+func TestLogRequestsNilLogger(t *testing.T) {
+	h := LogRequests(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if RequestIDFrom(r.Context()) == "" {
+			t.Error("nil logger should still assign ids")
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestInstrumentHandler(t *testing.T) {
+	before := httpRequests.With("/test-route", "404").Value()
+	h := InstrumentHandler("/test-route", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/test-route/abc", nil))
+	}
+	if got := httpRequests.With("/test-route", "404").Value(); got != before+3 {
+		t.Fatalf("requests counter = %d, want %d", got, before+3)
+	}
+	var b strings.Builder
+	metrics.Default.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`legalchain_http_requests_total{route="/test-route",code="404"}`,
+		`legalchain_http_request_seconds_bucket{route="/test-route",le="+Inf"}`,
+		"legalchain_http_in_flight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"legalchain/internal/metrics"
+)
+
+// OpsHandler builds the operational sidecar mux served on the
+// -metrics-addr listener of devnet and rentald:
+//
+//	/metrics        Prometheus text exposition of metrics.Default
+//	/healthz        liveness JSON; health() contributes extra fields
+//	/debug/pprof/*  Go profiler, only when pprofEnabled
+//
+// The pprof handlers are registered explicitly rather than through
+// net/http/pprof's init side effects on http.DefaultServeMux, so
+// profiling stays off unless the operator opts in with -pprof.
+func OpsHandler(pprofEnabled bool, health func() map[string]interface{}) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]interface{}{"status": "ok"}
+		if health != nil {
+			for k, v := range health() {
+				body[k] = v
+			}
+		}
+		writeHealthJSON(w, body)
+	})
+	if pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeHealthJSON(w http.ResponseWriter, body map[string]interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}

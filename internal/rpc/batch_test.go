@@ -1,0 +1,162 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"legalchain/internal/minisol"
+	"legalchain/internal/web3"
+)
+
+func postRaw(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.Bytes()
+}
+
+type wireResp struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  json.RawMessage `json:"result"`
+	Error   *struct {
+		Code    int         `json:"code"`
+		Message string      `json:"message"`
+		Data    interface{} `json:"data"`
+	} `json:"error"`
+}
+
+func TestBatchOfTen(t *testing.T) {
+	_, _, srv := rig(t)
+	var entries []string
+	for i := 1; i <= 10; i++ {
+		entries = append(entries, fmt.Sprintf(
+			`{"jsonrpc":"2.0","id":%d,"method":"eth_chainId","params":[]}`, i))
+	}
+	raw := postRaw(t, srv.URL, "["+strings.Join(entries, ",")+"]")
+	var out []wireResp
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("batch response not an array: %v\n%s", err, raw)
+	}
+	if len(out) != 10 {
+		t.Fatalf("batch of 10 returned %d responses", len(out))
+	}
+	for i, r := range out {
+		if r.Error != nil || string(r.Result) != `"0x539"` {
+			t.Fatalf("entry %d: %+v", i, r)
+		}
+		if string(r.ID) != fmt.Sprintf("%d", i+1) {
+			t.Fatalf("entry %d: id %s not echoed in order", i, r.ID)
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	_, _, srv := rig(t)
+
+	// Empty batch is a single invalid-request error object.
+	var single wireResp
+	if err := json.Unmarshal(postRaw(t, srv.URL, `[]`), &single); err != nil {
+		t.Fatalf("empty batch response: %v", err)
+	}
+	if single.Error == nil || single.Error.Code != codeInvalidRequest {
+		t.Fatalf("empty batch: %+v", single.Error)
+	}
+
+	// Malformed entries fail individually, valid siblings still run.
+	raw := postRaw(t, srv.URL,
+		`[1, {"jsonrpc":"2.0","id":7,"method":"eth_blockNumber","params":[]}, "x"]`)
+	var out []wireResp
+	if err := json.Unmarshal(raw, &out); err != nil || len(out) != 3 {
+		t.Fatalf("mixed batch = %s (%v)", raw, err)
+	}
+	if out[0].Error == nil || out[0].Error.Code != codeInvalidRequest {
+		t.Fatalf("non-object entry: %+v", out[0].Error)
+	}
+	if out[1].Error != nil || string(out[1].Result) != `"0x0"` {
+		t.Fatalf("valid entry in mixed batch: %+v", out[1])
+	}
+	if out[2].Error == nil || out[2].Error.Code != codeInvalidRequest {
+		t.Fatalf("string entry: %+v", out[2].Error)
+	}
+}
+
+// TestErrorCodes is the table test for the error redesign: specific
+// spec codes instead of a catch-all -32000.
+func TestErrorCodes(t *testing.T) {
+	_, _, srv := rig(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"parse error", `{not json`, codeParse},
+		{"valid JSON non-object", `42`, codeInvalidRequest},
+		{"missing method", `{"jsonrpc":"2.0","id":1,"params":[]}`, codeInvalidRequest},
+		{"unknown method", `{"jsonrpc":"2.0","id":1,"method":"eth_nope","params":[]}`, codeMethodNotFound},
+		{"missing param", `{"jsonrpc":"2.0","id":1,"method":"eth_getBalance","params":[]}`, codeInvalidParams},
+		{"bad address", `{"jsonrpc":"2.0","id":1,"method":"eth_getBalance","params":["nothex"]}`, codeInvalidParams},
+		{"bad hash", `{"jsonrpc":"2.0","id":1,"method":"eth_getTransactionReceipt","params":["0x12"]}`, codeInvalidParams},
+		{"bad raw tx", `{"jsonrpc":"2.0","id":1,"method":"eth_sendRawTransaction","params":["0x00"]}`, codeInvalidParams},
+		{"bad block tag", `{"jsonrpc":"2.0","id":1,"method":"eth_getBlockByNumber","params":["zzz"]}`, codeInvalidParams},
+		{"bad quantity", `{"jsonrpc":"2.0","id":1,"method":"evm_increaseTime","params":["xyz"]}`, codeInvalidParams},
+	}
+	for _, tc := range cases {
+		var out wireResp
+		if err := json.Unmarshal(postRaw(t, srv.URL, tc.body), &out); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if out.Error == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if out.Error.Code != tc.code {
+			t.Fatalf("%s: code %d, want %d (%s)", tc.name, out.Error.Code, tc.code, out.Error.Message)
+		}
+	}
+}
+
+// TestRevertErrorData checks the geth convention: reverted eth_call and
+// eth_estimateGas answer with code 3, the reason in the message, and
+// the raw ABI-encoded Error(string) bytes in error.data.
+func TestRevertErrorData(t *testing.T) {
+	client, accs, srv := rig(t)
+	art, err := minisol.CompileContract(rpcCounterSrc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, _ := art.ABI.Pack("guarded")
+	callObj := fmt.Sprintf(`{"from":"%s","to":"%s","data":"%s"}`,
+		accs[0].Address.Hex(), bound.Address.Hex(), hexEncode(input))
+
+	for _, method := range []string{"eth_call", "eth_estimateGas"} {
+		var out wireResp
+		body := fmt.Sprintf(`{"jsonrpc":"2.0","id":1,"method":"%s","params":[%s]}`, method, callObj)
+		if err := json.Unmarshal(postRaw(t, srv.URL, body), &out); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if out.Error == nil || out.Error.Code != codeRevert {
+			t.Fatalf("%s: %+v", method, out.Error)
+		}
+		if out.Error.Message != "execution reverted: nope" {
+			t.Fatalf("%s message: %q", method, out.Error.Message)
+		}
+		data, _ := out.Error.Data.(string)
+		// Error(string) selector is keccak("Error(string)")[:4] = 08c379a0.
+		if !strings.HasPrefix(data, "0x08c379a0") {
+			t.Fatalf("%s data: %q", method, data)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package rpc
 
 import (
 	"encoding/json"
-	"fmt"
 
 	"legalchain/internal/chain"
 	"legalchain/internal/ethtypes"
@@ -32,24 +31,24 @@ type callMsg struct {
 
 func callParam(params []json.RawMessage, i int) (*callMsg, error) {
 	if i >= len(params) {
-		return nil, fmt.Errorf("missing call object")
+		return nil, invalidParams("missing call object")
 	}
 	var obj callObject
 	if err := json.Unmarshal(params[i], &obj); err != nil {
-		return nil, fmt.Errorf("bad call object: %v", err)
+		return nil, invalidParams("bad call object: %v", err)
 	}
 	msg := &callMsg{}
 	if obj.From != "" {
 		raw, err := hexutil.Decode(obj.From)
 		if err != nil || len(raw) != 20 {
-			return nil, fmt.Errorf("bad from address")
+			return nil, invalidParams("bad from address")
 		}
 		msg.from = ethtypes.BytesToAddress(raw)
 	}
 	if obj.To != "" {
 		raw, err := hexutil.Decode(obj.To)
 		if err != nil || len(raw) != 20 {
-			return nil, fmt.Errorf("bad to address")
+			return nil, invalidParams("bad to address")
 		}
 		to := ethtypes.BytesToAddress(raw)
 		msg.to = &to
@@ -57,14 +56,14 @@ func callParam(params []json.RawMessage, i int) (*callMsg, error) {
 	if obj.Gas != "" {
 		g, err := hexutil.DecodeUint64(obj.Gas)
 		if err != nil {
-			return nil, fmt.Errorf("bad gas")
+			return nil, invalidParams("bad gas")
 		}
 		msg.gas = g
 	}
 	if obj.Value != "" {
 		v, err := hexutil.DecodeBig(obj.Value)
 		if err != nil {
-			return nil, fmt.Errorf("bad value")
+			return nil, invalidParams("bad value")
 		}
 		msg.value = uint256.FromBig(v)
 	}
@@ -75,7 +74,7 @@ func callParam(params []json.RawMessage, i int) (*callMsg, error) {
 	if dataHex != "" {
 		d, err := hexutil.Decode(dataHex)
 		if err != nil {
-			return nil, fmt.Errorf("bad data")
+			return nil, invalidParams("bad data")
 		}
 		msg.data = d
 	}
@@ -97,7 +96,7 @@ func filterParam(params []json.RawMessage, i int, latest uint64) (chain.FilterQu
 	}
 	var obj filterObject
 	if err := json.Unmarshal(params[i], &obj); err != nil {
-		return q, fmt.Errorf("bad filter object: %v", err)
+		return q, invalidParams("bad filter object: %v", err)
 	}
 	var err error
 	if obj.FromBlock != "" && obj.FromBlock != "latest" && obj.FromBlock != "pending" {
@@ -124,7 +123,7 @@ func filterParam(params []json.RawMessage, i int, latest uint64) (chain.FilterQu
 		} else {
 			var many []string
 			if err := json.Unmarshal(obj.Address, &many); err != nil {
-				return q, fmt.Errorf("bad address filter")
+				return q, invalidParams("bad address filter")
 			}
 			for _, s := range many {
 				a, err := parseAddr(s)
@@ -152,7 +151,7 @@ func filterParam(params []json.RawMessage, i int, latest uint64) (chain.FilterQu
 		}
 		var many []string
 		if err := json.Unmarshal(raw, &many); err != nil {
-			return q, fmt.Errorf("bad topic filter")
+			return q, invalidParams("bad topic filter")
 		}
 		var alts []ethtypes.Hash
 		for _, s := range many {
@@ -179,7 +178,7 @@ func parseBlockTag(s string, latest uint64) (uint64, error) {
 	default:
 		n, err := hexutil.DecodeUint64(s)
 		if err != nil {
-			return 0, fmt.Errorf("bad block tag %q", s)
+			return 0, invalidParams("bad block tag %q", s)
 		}
 		return n, nil
 	}
@@ -212,7 +211,7 @@ func newFilterParam(params []json.RawMessage, i int, latest uint64) (chain.Filte
 func parseAddr(s string) (ethtypes.Address, error) {
 	raw, err := hexutil.Decode(s)
 	if err != nil || len(raw) != 20 {
-		return ethtypes.Address{}, fmt.Errorf("bad address %q", s)
+		return ethtypes.Address{}, invalidParams("bad address %q", s)
 	}
 	return ethtypes.BytesToAddress(raw), nil
 }
@@ -220,7 +219,7 @@ func parseAddr(s string) (ethtypes.Address, error) {
 func parseHash(s string) (ethtypes.Hash, error) {
 	raw, err := hexutil.Decode(s)
 	if err != nil || len(raw) != 32 {
-		return ethtypes.Hash{}, fmt.Errorf("bad hash %q", s)
+		return ethtypes.Hash{}, invalidParams("bad hash %q", s)
 	}
 	return ethtypes.BytesToHash(raw), nil
 }

@@ -6,15 +6,21 @@
 package rpc
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"legalchain/internal/chain"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/hexutil"
+	"legalchain/internal/obs"
 	"legalchain/internal/wallet"
 )
 
@@ -22,6 +28,7 @@ import (
 type Server struct {
 	bc      *chain.Blockchain
 	ks      *wallet.Keystore // for eth_accounts; may be nil
+	log     *slog.Logger
 	filters filterRegistry
 }
 
@@ -29,6 +36,11 @@ type Server struct {
 func NewServer(bc *chain.Blockchain, ks *wallet.Keystore) *Server {
 	return &Server{bc: bc, ks: ks}
 }
+
+// SetLogger attaches a structured logger; every dispatched method is
+// then logged with its latency, outcome and the request ID obs
+// middleware put on the context.
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
 
 // request/response are the JSON-RPC 2.0 wire structures.
 type request struct {
@@ -46,18 +58,38 @@ type response struct {
 }
 
 type rpcError struct {
-	Code    int    `json:"code"`
-	Message string `json:"message"`
+	Code    int         `json:"code"`
+	Message string      `json:"message"`
+	Data    interface{} `json:"data,omitempty"`
 }
 
-// Standard JSON-RPC error codes.
+// Standard JSON-RPC error codes, plus geth's convention of code 3 for
+// reverted execution (revert return bytes ride in error.data).
 const (
 	codeParse          = -32700
 	codeInvalidRequest = -32600
 	codeMethodNotFound = -32601
 	codeInvalidParams  = -32602
 	codeServerError    = -32000
+	codeRevert         = 3
 )
+
+// Error is a JSON-RPC error carrying an explicit spec code and optional
+// data payload. Handlers return it (directly or wrapped) when a failure
+// should not collapse into the generic -32000 server error.
+type Error struct {
+	Code    int
+	Message string
+	Data    interface{}
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Message }
+
+// invalidParams builds a -32602 error.
+func invalidParams(format string, args ...interface{}) error {
+	return &Error{Code: codeInvalidParams, Message: fmt.Sprintf(format, args...)}
+}
 
 // ServeHTTP implements http.Handler (POST with a single request or a
 // batch array).
@@ -74,24 +106,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	trimmed := strings.TrimSpace(string(body))
 	if strings.HasPrefix(trimmed, "[") {
-		var reqs []request
-		if err := json.Unmarshal(body, &reqs); err != nil {
+		// Batch: decode the envelope first so one malformed entry
+		// produces a per-entry error instead of failing the whole array.
+		var raws []json.RawMessage
+		if err := json.Unmarshal(body, &raws); err != nil {
 			json.NewEncoder(w).Encode(errorResponse(nil, codeParse, "parse error"))
 			return
 		}
-		out := make([]response, len(reqs))
-		for i, req := range reqs {
-			out[i] = s.handle(&req)
+		if len(raws) == 0 {
+			json.NewEncoder(w).Encode(errorResponse(nil, codeInvalidRequest, "empty batch"))
+			return
+		}
+		rpcBatchSize.Observe(float64(len(raws)))
+		out := make([]response, len(raws))
+		for i, raw := range raws {
+			out[i] = s.handleRaw(r.Context(), raw)
 		}
 		json.NewEncoder(w).Encode(out)
 		return
 	}
 	var req request
 	if err := json.Unmarshal(body, &req); err != nil {
-		json.NewEncoder(w).Encode(errorResponse(nil, codeParse, "parse error"))
+		if json.Valid(body) {
+			json.NewEncoder(w).Encode(errorResponse(nil, codeInvalidRequest, "invalid request"))
+		} else {
+			json.NewEncoder(w).Encode(errorResponse(nil, codeParse, "parse error"))
+		}
 		return
 	}
-	json.NewEncoder(w).Encode(s.handle(&req))
+	json.NewEncoder(w).Encode(s.handle(r.Context(), &req))
+}
+
+// handleRaw decodes one batch entry into a request; entries that are
+// not request objects get their own invalid-request response per spec.
+func (s *Server) handleRaw(ctx context.Context, raw json.RawMessage) response {
+	var req request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return errorResponse(nil, codeInvalidRequest, "invalid request")
+	}
+	return s.handle(ctx, &req)
 }
 
 func errorResponse(id json.RawMessage, code int, msg string) response {
@@ -102,17 +155,59 @@ func okResponse(id json.RawMessage, result interface{}) response {
 	return response{JSONRPC: "2.0", ID: id, Result: result}
 }
 
-// handle dispatches one request.
-func (s *Server) handle(req *request) response {
-	result, err := s.dispatch(req.Method, req.Params)
-	if err != nil {
-		code := codeServerError
-		if err == errMethodNotFound {
-			code = codeMethodNotFound
-		}
-		return errorResponse(req.ID, code, err.Error())
+// handle dispatches one request, recording per-method metrics and an
+// optional structured log line.
+func (s *Server) handle(ctx context.Context, req *request) response {
+	if req.Method == "" {
+		return errorResponse(req.ID, codeInvalidRequest, "invalid request: missing method")
 	}
-	return okResponse(req.ID, result)
+	label := methodLabel(req.Method)
+	t0 := time.Now()
+	rpcInFlight.Inc()
+	result, err := s.dispatch(req.Method, req.Params)
+	rpcInFlight.Dec()
+	rpcSeconds.With(label).ObserveSince(t0)
+	rpcRequests.With(label).Inc()
+
+	resp := okResponse(req.ID, result)
+	if err != nil {
+		e := toRPCError(err)
+		rpcErrors.With(label, strconv.Itoa(e.Code)).Inc()
+		resp = response{JSONRPC: "2.0", ID: req.ID, Error: e}
+	}
+	if s.log != nil {
+		attrs := []slog.Attr{
+			slog.String("method", req.Method),
+			slog.Duration("duration", time.Since(t0)),
+		}
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			attrs = append(attrs, slog.String("id", id))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		s.log.LogAttrs(ctx, slog.LevelDebug, "rpc_request", attrs...)
+	}
+	return resp
+}
+
+// toRPCError maps a dispatch error onto the wire shape: typed *Error
+// values keep their code and data, reverts become geth's code 3 with
+// the raw return bytes in data, unknown methods -32601, and only the
+// remainder falls back to the generic -32000 server error.
+func toRPCError(err error) *rpcError {
+	var re *chain.RevertError
+	if errors.As(err, &re) {
+		return &rpcError{Code: codeRevert, Message: re.Error(), Data: hexutil.Encode(re.Ret)}
+	}
+	var te *Error
+	if errors.As(err, &te) {
+		return &rpcError{Code: te.Code, Message: te.Message, Data: te.Data}
+	}
+	if errors.Is(err, errMethodNotFound) {
+		return &rpcError{Code: codeMethodNotFound, Message: err.Error()}
+	}
+	return &rpcError{Code: codeServerError, Message: err.Error()}
 }
 
 var errMethodNotFound = fmt.Errorf("method not found")
@@ -170,7 +265,7 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		}
 		raw, err := hexutil.DecodeBig(slotHex)
 		if err != nil {
-			return nil, err
+			return nil, invalidParams("parameter 1: bad storage slot")
 		}
 		var slot ethtypes.Hash
 		raw.FillBytes(slot[:])
@@ -184,11 +279,11 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		}
 		raw, err := hexutil.Decode(rawHex)
 		if err != nil {
-			return nil, err
+			return nil, invalidParams("parameter 0: bad hex")
 		}
 		tx, err := ethtypes.DecodeTransaction(raw)
 		if err != nil {
-			return nil, err
+			return nil, invalidParams("bad transaction: %v", err)
 		}
 		hash, err := s.bc.SendTransaction(tx)
 		if err != nil {
@@ -203,8 +298,8 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		}
 		res := s.bc.Call(msg.from, msg.to, msg.data, msg.value, msg.gas)
 		if res.Err != nil {
-			if res.Reason != "" {
-				return nil, fmt.Errorf("execution reverted: %s", res.Reason)
+			if re := res.Revert(); re != nil {
+				return nil, re
 			}
 			return nil, res.Err
 		}
@@ -448,11 +543,11 @@ func blockJSON(b *ethtypes.Block, fullTx bool, chainID uint64) map[string]interf
 
 func strParam(params []json.RawMessage, i int) (string, error) {
 	if i >= len(params) {
-		return "", fmt.Errorf("missing parameter %d", i)
+		return "", invalidParams("missing parameter %d", i)
 	}
 	var s string
 	if err := json.Unmarshal(params[i], &s); err != nil {
-		return "", fmt.Errorf("parameter %d: %v", i, err)
+		return "", invalidParams("parameter %d: %v", i, err)
 	}
 	return s, nil
 }
@@ -464,7 +559,7 @@ func addrParam(params []json.RawMessage, i int) (ethtypes.Address, error) {
 	}
 	raw, err := hexutil.Decode(s)
 	if err != nil || len(raw) != 20 {
-		return ethtypes.Address{}, fmt.Errorf("parameter %d: bad address", i)
+		return ethtypes.Address{}, invalidParams("parameter %d: bad address", i)
 	}
 	return ethtypes.BytesToAddress(raw), nil
 }
@@ -476,7 +571,7 @@ func hashParam(params []json.RawMessage, i int) (ethtypes.Hash, error) {
 	}
 	raw, err := hexutil.Decode(s)
 	if err != nil || len(raw) != 32 {
-		return ethtypes.Hash{}, fmt.Errorf("parameter %d: bad hash", i)
+		return ethtypes.Hash{}, invalidParams("parameter %d: bad hash", i)
 	}
 	return ethtypes.BytesToHash(raw), nil
 }
@@ -494,7 +589,7 @@ func boolParam(params []json.RawMessage, i int) bool {
 
 func uintParam(params []json.RawMessage, i int) (uint64, error) {
 	if i >= len(params) {
-		return 0, fmt.Errorf("missing parameter %d", i)
+		return 0, invalidParams("missing parameter %d", i)
 	}
 	var n uint64
 	if err := json.Unmarshal(params[i], &n); err == nil {
@@ -504,5 +599,9 @@ func uintParam(params []json.RawMessage, i int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return hexutil.DecodeUint64(s)
+	v, err := hexutil.DecodeUint64(s)
+	if err != nil {
+		return 0, invalidParams("parameter %d: bad quantity", i)
+	}
+	return v, nil
 }

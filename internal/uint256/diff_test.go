@@ -80,18 +80,18 @@ var adversarial = []Int{
 	NewUint64(3),
 	Max,
 	Max.Sub(One),
-	{^uint64(0), 0, 0, 0},                       // 2^64 - 1
-	{0, 1, 0, 0},                                // 2^64
-	{0, 0, 1, 0},                                // 2^128
-	{0, 0, 0, 1},                                // 2^192
-	{0, 0, 0, 1 << 63},                          // 2^255 (most negative signed)
-	{^uint64(0), ^uint64(0), 0, 0},              // 2^128 - 1
-	{0, ^uint64(0), ^uint64(0), 0},              // middle limbs saturated
-	{1, 0, 0, 1 << 63},                          // -2^255 + 1 signed
-	{0, 0, 0, ^uint64(0)},                       // high limb saturated
-	{^uint64(0), 0, ^uint64(0), 1},              // alternating limbs
-	{0, 0, ^uint64(0), 1<<63 - 1},               // dh just below normalised
-	{^uint64(0), ^uint64(0), ^uint64(0), 1},     // forces add-back paths
+	{^uint64(0), 0, 0, 0},                   // 2^64 - 1
+	{0, 1, 0, 0},                            // 2^64
+	{0, 0, 1, 0},                            // 2^128
+	{0, 0, 0, 1},                            // 2^192
+	{0, 0, 0, 1 << 63},                      // 2^255 (most negative signed)
+	{^uint64(0), ^uint64(0), 0, 0},          // 2^128 - 1
+	{0, ^uint64(0), ^uint64(0), 0},          // middle limbs saturated
+	{1, 0, 0, 1 << 63},                      // -2^255 + 1 signed
+	{0, 0, 0, ^uint64(0)},                   // high limb saturated
+	{^uint64(0), 0, ^uint64(0), 1},          // alternating limbs
+	{0, 0, ^uint64(0), 1<<63 - 1},           // dh just below normalised
+	{^uint64(0), ^uint64(0), ^uint64(0), 1}, // forces add-back paths
 	{1, 1, 1, 1},
 	{^uint64(0) - 1, ^uint64(0), ^uint64(0), ^uint64(0) >> 1},
 }

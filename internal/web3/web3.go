@@ -10,7 +10,6 @@ package web3
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"legalchain/internal/abi"
@@ -118,8 +117,9 @@ func (l *LocalBackend) CallContract(msg CallMsg) ([]byte, error) {
 func (l *LocalBackend) EstimateGas(msg CallMsg) (uint64, error) {
 	est, err := l.BC.EstimateGas(msg.From, msg.To, msg.Data, msg.Value)
 	if err != nil {
-		if reason, ok := strings.CutPrefix(err.Error(), "execution reverted: "); ok {
-			return 0, &RevertError{Reason: reason}
+		var re *chain.RevertError
+		if errors.As(err, &re) {
+			return 0, &RevertError{Reason: re.Reason}
 		}
 		return 0, err
 	}
