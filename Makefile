@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race persistence-torture fmt-check obs-check
+.PHONY: build test check ci bench bench-smoke race persistence-torture fmt-check obs-check
 
 build:
 	$(GO) build ./...
@@ -9,14 +9,24 @@ test:
 	$(GO) test ./...
 
 # check is the fast pre-merge gate: vet everything, run the
-# concurrency-sensitive suites (state commit pipeline, chain) under the
-# race detector, then the crash-recovery fault-injection suites.
+# concurrency-sensitive suites (state commit pipeline, chain read/write
+# paths, rpc, app) under the race detector, then the crash-recovery
+# fault-injection suites.
 check:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
-	$(GO) test -race ./internal/state/... ./internal/chain/...
+	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/...
 	$(MAKE) persistence-torture
 	$(MAKE) obs-check
+
+# ci mirrors .github/workflows/ci.yml exactly, so the merge gate is
+# reproducible locally: the build-test matrix job, the check job, and
+# the bench-smoke job. If ci passes here, the workflow passes there.
+ci:
+	$(MAKE) build
+	$(MAKE) test
+	$(MAKE) check
+	$(MAKE) bench-smoke
 
 # fmt-check fails the build if any file is not gofmt-clean.
 fmt-check:
@@ -36,9 +46,17 @@ persistence-torture:
 	$(GO) test -race -run 'Restart|Torture|Genesis|WAL' ./internal/chain/... ./internal/rpc/...
 
 race:
-	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/app/...
+	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 3x .
 	$(GO) test -run xxx -bench 'StateRoot|Copy_COW|EthCall' ./internal/state/ ./internal/chain/
 	$(GO) test -run xxx -bench Recovery -benchtime 3x ./internal/chain/
+	$(GO) test -run xxx -bench 'ParallelEthCall|ReadsDuringSeal' -benchtime 1s ./internal/chain/
+
+# bench-smoke is the CI-sized benchmark run: one iteration of each
+# tracked benchmark, enough to catch panics and pathological
+# regressions without burning runner minutes. Output lands in
+# bench-smoke.txt (uploaded as a CI artifact).
+bench-smoke:
+	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal' -benchtime 1x ./internal/state/ ./internal/chain/ | tee bench-smoke.txt

@@ -8,6 +8,8 @@ import (
 
 	"legalchain/internal/core"
 	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+	"legalchain/internal/web3"
 )
 
 // Versioned REST API for the contract manager, coexisting with the HTML
@@ -45,19 +47,50 @@ func (a *App) apiV1Routes(handle func(pattern string, h http.HandlerFunc)) {
 	handle("/api/v1/contracts/", a.withUser(a.v1Contract))
 }
 
+// v1Head describes the chain head a response was served from, so API
+// consumers can correlate reads across endpoints. Populated when the
+// backend can pin an immutable head view (in-process chains).
+func (a *App) v1Head() map[string]interface{} {
+	hv, ok := a.Manager.Client.Backend().(web3.HeadViewer)
+	if !ok {
+		return nil
+	}
+	v := hv.HeadView()
+	return map[string]interface{}{
+		"number":    v.BlockNumber(),
+		"hash":      v.Head().Hash().Hex(),
+		"stateRoot": v.StateRoot().Hex(),
+	}
+}
+
 func (a *App) v1Me(w http.ResponseWriter, r *http.Request, u *User) {
 	if r.Method != http.MethodGet {
 		writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
 		return
 	}
-	bal, _ := a.Manager.Client.Backend().GetBalance(u.Addr())
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"name":       u.Name,
-		"email":      u.Email,
-		"address":    u.Address,
-		"balanceWei": bal.String(),
-		"balanceEth": ethtypes.FormatEther(bal),
-	})
+	out := map[string]interface{}{
+		"name":    u.Name,
+		"email":   u.Email,
+		"address": u.Address,
+	}
+	// Prefer a pinned head view so the balance and the reported head
+	// describe the same chain snapshot; fall back to the plain backend
+	// read for HTTP backends.
+	var bal uint256.Int
+	if hv, ok := a.Manager.Client.Backend().(web3.HeadViewer); ok {
+		v := hv.HeadView()
+		bal = v.GetBalance(u.Addr())
+		out["head"] = map[string]interface{}{
+			"number":    v.BlockNumber(),
+			"hash":      v.Head().Hash().Hex(),
+			"stateRoot": v.StateRoot().Hex(),
+		}
+	} else {
+		bal, _ = a.Manager.Client.Backend().GetBalance(u.Addr())
+	}
+	out["balanceWei"] = bal.String()
+	out["balanceEth"] = ethtypes.FormatEther(bal)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // v1Terms is the JSON shape of rental terms for deploys and modifies.
@@ -171,6 +204,9 @@ func (a *App) v1ContractDetail(w http.ResponseWriter, u *User, addr ethtypes.Add
 		return
 	}
 	out := map[string]interface{}{"row": row}
+	if head := a.v1Head(); head != nil {
+		out["head"] = head
+	}
 
 	viewer := u.Addr()
 	if bound, err := a.Manager.BindVersion(addr); err == nil {

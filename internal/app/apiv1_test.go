@@ -49,6 +49,18 @@ func TestV1MeAndList(t *testing.T) {
 	if me["name"] != "api_landlord" || me["balanceWei"] == "" {
 		t.Fatalf("me = %v", me)
 	}
+	// In-process backends pin a head view: the response names the chain
+	// snapshot the balance was read from.
+	head, ok := me["head"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("me has no head object: %v", me)
+	}
+	if head["hash"] == "" || head["stateRoot"] == "" {
+		t.Fatalf("head = %v", head)
+	}
+	if _, ok := head["number"].(float64); !ok {
+		t.Fatalf("head.number = %v", head["number"])
+	}
 	var list struct {
 		Contracts []map[string]interface{} `json:"contracts"`
 	}
@@ -80,12 +92,16 @@ func TestV1DeployAndDetail(t *testing.T) {
 
 	var detail struct {
 		Row      map[string]interface{} `json:"row"`
+		Head     map[string]interface{} `json:"head"`
 		Live     map[string]string      `json:"live"`
 		Versions []map[string]interface{}
 		Verified bool `json:"verified"`
 	}
 	if code := getJSON(t, b, "/api/v1/contracts/"+dep.Address, &detail); code != 200 {
 		t.Fatalf("detail: code %d", code)
+	}
+	if detail.Head["hash"] == "" || detail.Head["stateRoot"] == "" {
+		t.Fatalf("detail head = %v", detail.Head)
 	}
 	if detail.Live["house"] != "v1-house" {
 		t.Fatalf("live = %v", detail.Live)

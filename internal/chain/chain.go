@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"legalchain/internal/abi"
@@ -51,23 +52,33 @@ func DefaultGenesis() *Genesis {
 }
 
 // Blockchain is the devnet chain. All methods are safe for concurrent
-// use.
+// use. Reads resolve lock-free against the published head view (see
+// view.go); bc.mu is a writer-only lock serialising the sealing paths
+// (SendTransaction, MineBlock), time adjustment and persistence.
 type Blockchain struct {
-	mu sync.RWMutex
+	mu sync.Mutex // writer-only; reads never take it
 
 	chainID  uint64
 	gasLimit uint64
 	coinbase ethtypes.Address
 
+	// Writer-owned canonical chain. blocks and allLogs are append-only
+	// slices shared with published views (appends never overwrite a
+	// published element); the hash indexes are persistent generation
+	// chains whose published generations are immutable.
 	st       *state.StateDB
 	blocks   []*ethtypes.Block
-	byHash   map[ethtypes.Hash]*ethtypes.Block
-	receipts map[ethtypes.Hash]*ethtypes.Receipt
-	txs      map[ethtypes.Hash]*ethtypes.Transaction
+	byHash   *pindex[*ethtypes.Block]
+	receipts *pindex[*ethtypes.Receipt]
+	txs      *pindex[*ethtypes.Transaction]
 	allLogs  []*ethtypes.Log
 	pending  []*ethtypes.Transaction // batch-mining queue (SubmitTransaction)
 
 	timeOffset uint64 // AdjustTime accumulates here
+
+	// view is the immutable read path: republished by every seal,
+	// recovery and time adjustment.
+	view atomic.Pointer[HeadView]
 
 	// Durable persistence (nil / zero for a memory-only chain); see
 	// persist.go.
@@ -108,10 +119,9 @@ func newMemory(g *Genesis) *Blockchain {
 		coinbase: g.Coinbase,
 		st:       st,
 		blocks:   []*ethtypes.Block{genesisBlock},
-		byHash:   map[ethtypes.Hash]*ethtypes.Block{genesisBlock.Hash(): genesisBlock},
-		receipts: map[ethtypes.Hash]*ethtypes.Receipt{},
-		txs:      map[ethtypes.Hash]*ethtypes.Transaction{},
+		byHash:   (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock),
 	}
+	bc.publishHeadLocked()
 	return bc
 }
 
@@ -121,84 +131,54 @@ func (bc *Blockchain) ChainID() uint64 { return bc.chainID }
 // GasLimit returns the block gas limit.
 func (bc *Blockchain) GasLimit() uint64 { return bc.gasLimit }
 
-// Head returns the latest block.
-func (bc *Blockchain) Head() *ethtypes.Block {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.blocks[len(bc.blocks)-1]
-}
+// Head returns the latest sealed block (lock-free, from the head view).
+func (bc *Blockchain) Head() *ethtypes.Block { return bc.View().Head() }
 
 // BlockNumber returns the current height.
-func (bc *Blockchain) BlockNumber() uint64 { return bc.Head().Number() }
+func (bc *Blockchain) BlockNumber() uint64 { return bc.View().BlockNumber() }
 
 // BlockByNumber returns a block by height.
 func (bc *Blockchain) BlockByNumber(n uint64) (*ethtypes.Block, bool) {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	if n >= uint64(len(bc.blocks)) {
-		return nil, false
-	}
-	return bc.blocks[n], true
+	return bc.View().BlockByNumber(n)
 }
 
 // BlockByHash returns a block by hash.
 func (bc *Blockchain) BlockByHash(h ethtypes.Hash) (*ethtypes.Block, bool) {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	b, ok := bc.byHash[h]
-	return b, ok
+	return bc.View().BlockByHash(h)
 }
 
 // GetBalance returns the current balance of addr.
 func (bc *Blockchain) GetBalance(addr ethtypes.Address) uint256.Int {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.GetBalance(addr)
+	return bc.View().GetBalance(addr)
 }
 
 // GetNonce returns the next expected nonce for addr.
 func (bc *Blockchain) GetNonce(addr ethtypes.Address) uint64 {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.GetNonce(addr)
+	return bc.View().GetNonce(addr)
 }
 
 // GetCode returns the contract code at addr.
 func (bc *Blockchain) GetCode(addr ethtypes.Address) []byte {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.GetCode(addr)
+	return bc.View().GetCode(addr)
 }
 
 // GetStorageAt reads one storage slot.
 func (bc *Blockchain) GetStorageAt(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.GetState(addr, slot)
+	return bc.View().GetStorageAt(addr, slot)
 }
 
 // GetReceipt returns the receipt of a mined transaction.
 func (bc *Blockchain) GetReceipt(txHash ethtypes.Hash) (*ethtypes.Receipt, bool) {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	r, ok := bc.receipts[txHash]
-	return r, ok
+	return bc.View().GetReceipt(txHash)
 }
 
 // GetTransaction returns a mined transaction by hash.
 func (bc *Blockchain) GetTransaction(txHash ethtypes.Hash) (*ethtypes.Transaction, bool) {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	tx, ok := bc.txs[txHash]
-	return tx, ok
+	return bc.View().GetTransaction(txHash)
 }
 
 // StateRoot returns the current world-state root.
-func (bc *Blockchain) StateRoot() ethtypes.Hash {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.Root()
-}
+func (bc *Blockchain) StateRoot() ethtypes.Hash { return bc.View().StateRoot() }
 
 // AdjustTime shifts the next block's timestamp forward by seconds
 // (evm_increaseTime equivalent), letting tests exercise time-dependent
@@ -207,6 +187,8 @@ func (bc *Blockchain) AdjustTime(seconds uint64) {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 	bc.timeOffset += seconds
+	// Republish so lock-free speculative calls see the shifted clock.
+	bc.publishHeadLocked()
 }
 
 // nextHeaderLocked prepares the header for the block being mined.
@@ -221,8 +203,11 @@ func (bc *Blockchain) nextHeaderLocked() *ethtypes.Header {
 	}
 }
 
-// evmContext builds the execution context for a header.
-func (bc *Blockchain) evmContext(h *ethtypes.Header, origin ethtypes.Address, gasPrice uint256.Int) evm.Context {
+// evmContextLocked builds the execution context for the sealing paths.
+// The BLOCKHASH lookup indexes bc.blocks directly — bc.mu is held, and
+// going through the published view would serve a stale height during
+// recovery replay.
+func (bc *Blockchain) evmContextLocked(h *ethtypes.Header, origin ethtypes.Address, gasPrice uint256.Int) evm.Context {
 	return evm.Context{
 		ChainID:     bc.chainID,
 		BlockNumber: h.Number,
@@ -232,8 +217,8 @@ func (bc *Blockchain) evmContext(h *ethtypes.Header, origin ethtypes.Address, ga
 		GasPrice:    gasPrice,
 		Origin:      origin,
 		GetBlockHash: func(n uint64) ethtypes.Hash {
-			if b, ok := bc.BlockByNumber(n); ok {
-				return b.Hash()
+			if n < uint64(len(bc.blocks)) {
+				return bc.blocks[n].Hash()
 			}
 			return ethtypes.Hash{}
 		},
@@ -249,7 +234,7 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 	defer bc.mu.Unlock()
 
 	hash := tx.Hash()
-	if _, known := bc.txs[hash]; known {
+	if _, known := bc.txs.get(hash); known {
 		return hash, ErrKnownTransaction
 	}
 	sender, err := tx.Sender(bc.chainID)
@@ -289,10 +274,11 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 		bc.allLogs = append(bc.allLogs, l)
 	}
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash[block.Hash()] = block
-	bc.receipts[hash] = receipt
-	bc.txs[hash] = tx
+	bc.byHash = bc.byHash.with1(block.Hash(), block)
+	bc.receipts = bc.receipts.with1(hash, receipt)
+	bc.txs = bc.txs.with1(hash, tx)
 	bc.persistBlockLocked(block, []*ethtypes.Receipt{receipt})
+	bc.publishHeadLocked()
 	mSealSeconds.ObserveSince(sealStart)
 	mBlocksSealed.Inc()
 	mTxsExecuted.Inc()
@@ -317,7 +303,7 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 	// Buy gas.
 	bc.st.SubBalance(sender, gasCost)
 
-	machine := evm.New(bc.evmContext(header, sender, tx.GasPrice), bc.st)
+	machine := evm.New(bc.evmContextLocked(header, sender, tx.GasPrice), bc.st)
 	execGas := tx.Gas - intrinsic
 
 	var (
@@ -422,57 +408,17 @@ func (res *CallResult) Revert() *RevertError {
 	return &RevertError{Reason: res.Reason, Ret: res.Return}
 }
 
-// Call executes a read-only message against a copy of the latest state
-// (eth_call semantics).
+// Call executes a read-only message against the published head view
+// (eth_call semantics). Lock-free; see HeadView.Call.
 func (bc *Blockchain) Call(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
-	callStart := time.Now()
-	defer mCallSeconds.ObserveSince(callStart)
-	bc.mu.RLock()
-	stCopy := bc.st.Copy()
-	header := bc.nextHeaderLocked()
-	bc.mu.RUnlock()
-
-	if gas == 0 {
-		gas = bc.gasLimit
-	}
-	// Give the caller a balance so value-bearing eth_calls don't fail
-	// spuriously (ganache behaviour).
-	stCopy.AddBalance(from, ethtypes.Ether(1_000_000_000))
-	machine := evm.New(bc.evmContext(header, from, uint256.Zero), stCopy)
-
-	var ret []byte
-	var left uint64
-	var err error
-	if to == nil {
-		ret, _, left, err = machine.Create(from, data, gas, value)
-	} else {
-		ret, left, err = machine.Call(from, *to, data, gas, value)
-	}
-	res := &CallResult{Return: ret, GasUsed: gas - left, Err: err}
-	if err != nil {
-		if reason, ok := abi.UnpackRevertReason(ret); ok {
-			res.Reason = reason
-		}
-	}
-	return res
+	return bc.View().Call(from, to, data, value, gas)
 }
 
-// EstimateGas executes the message and returns the gas it consumed plus
-// the intrinsic cost, padded slightly the way development nodes do.
+// EstimateGas executes the message against the published head view and
+// returns the gas it consumed plus the intrinsic cost, padded slightly
+// the way development nodes do.
 func (bc *Blockchain) EstimateGas(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int) (uint64, error) {
-	res := bc.Call(from, to, data, value, bc.gasLimit)
-	if res.Err != nil {
-		if re := res.Revert(); re != nil {
-			return 0, re
-		}
-		return 0, res.Err
-	}
-	est := evm.IntrinsicGas(data, to == nil) + res.GasUsed
-	est += est / 5 // 20% headroom, matching common devnet practice
-	if est > bc.gasLimit {
-		est = bc.gasLimit
-	}
-	return est, nil
+	return bc.View().EstimateGas(from, to, data, value)
 }
 
 // FilterQuery selects logs (eth_getLogs semantics; nil fields match
@@ -484,28 +430,11 @@ type FilterQuery struct {
 	Topics    [][]ethtypes.Hash // position-indexed alternatives
 }
 
-// FilterLogs returns all mined logs matching q, in order.
+// FilterLogs returns all mined logs matching q, in order. The result
+// is owned by an immutable head view — a concurrent seal can never be
+// observed mid-append.
 func (bc *Blockchain) FilterLogs(q FilterQuery) []*ethtypes.Log {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	to := bc.blocks[len(bc.blocks)-1].Number()
-	if q.ToBlock != nil {
-		to = *q.ToBlock
-	}
-	var out []*ethtypes.Log
-	for _, l := range bc.allLogs {
-		if l.BlockNumber < q.FromBlock || l.BlockNumber > to {
-			continue
-		}
-		if len(q.Addresses) > 0 && !containsAddr(q.Addresses, l.Address) {
-			continue
-		}
-		if !topicsMatch(q.Topics, l.Topics) {
-			continue
-		}
-		out = append(out, l)
-	}
-	return out
+	return bc.View().FilterLogs(q)
 }
 
 func containsAddr(list []ethtypes.Address, a ethtypes.Address) bool {
@@ -541,8 +470,4 @@ func topicsMatch(query [][]ethtypes.Hash, topics []ethtypes.Hash) bool {
 
 // TotalSupply sums all balances — the ether-conservation observable used
 // by tests (coinbase included).
-func (bc *Blockchain) TotalSupply() uint256.Int {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.TotalBalance()
-}
+func (bc *Blockchain) TotalSupply() uint256.Int { return bc.View().TotalSupply() }

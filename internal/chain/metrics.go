@@ -1,6 +1,9 @@
 package chain
 
 import (
+	"sync/atomic"
+	"time"
+
 	"legalchain/internal/metrics"
 )
 
@@ -26,4 +29,24 @@ var (
 		"Transactions executed into sealed blocks since process start.")
 	mTxsFailed = metrics.Default.Counter("legalchain_chain_txs_failed_total",
 		"Transactions dropped at mining time (bad nonce, insufficient funds, ...).")
+	mViewReads = metrics.Default.Counter("legalchain_chain_view_reads_total",
+		"Lock-free reads resolved against a published head view.")
+	mViewsPublished = metrics.Default.Counter("legalchain_chain_views_published_total",
+		"Head views published (seals, recoveries, time adjustments).")
 )
+
+// lastViewPublishNanos holds the UnixNano timestamp of the most recent
+// head-view publication, feeding the view-age gauge below.
+var lastViewPublishNanos atomic.Int64
+
+func init() {
+	metrics.Default.GaugeFunc("legalchain_chain_head_view_age_seconds",
+		"Seconds since the current head view was published.",
+		func() float64 {
+			ns := lastViewPublishNanos.Load()
+			if ns == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+}

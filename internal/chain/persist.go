@@ -91,8 +91,8 @@ func Open(g *Genesis, opts ...Option) (*Blockchain, error) {
 // RecoveryReport returns the report of the recovery performed by Open,
 // or nil for a memory-only chain.
 func (bc *Blockchain) RecoveryReport() *RecoveryReport {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
 	return bc.recovery
 }
 
@@ -100,8 +100,8 @@ func (bc *Blockchain) RecoveryReport() *RecoveryReport {
 // journal append or snapshot write fails, the chain keeps serving from
 // memory but stops persisting; callers should surface this and restart.
 func (bc *Blockchain) PersistErr() error {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
 	return bc.persistErr
 }
 
@@ -199,6 +199,9 @@ func openPersistent(g *Genesis, p *PersistConfig) (*Blockchain, error) {
 		}
 	}
 	report.Head = bc.blocks[len(bc.blocks)-1].Number()
+	// Recovery mutated the chain without publishing intermediate views
+	// (nobody can read during Open); publish the final recovered head.
+	bc.publishHeadLocked()
 	return bc, nil
 }
 
@@ -213,9 +216,9 @@ func (bc *Blockchain) rebuildTo(g *Genesis, recs []*blockdb.Record, snaps []*blo
 	st, genesisBlock := genesisState(g)
 	bc.st = st
 	bc.blocks = []*ethtypes.Block{genesisBlock}
-	bc.byHash = map[ethtypes.Hash]*ethtypes.Block{genesisBlock.Hash(): genesisBlock}
-	bc.receipts = map[ethtypes.Hash]*ethtypes.Receipt{}
-	bc.txs = map[ethtypes.Hash]*ethtypes.Transaction{}
+	bc.byHash = (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock)
+	bc.receipts = nil
+	bc.txs = nil
 	bc.allLogs = nil
 	bc.timeOffset = 0
 
@@ -269,12 +272,16 @@ func (bc *Blockchain) rebuildTo(g *Genesis, recs []*blockdb.Record, snaps []*blo
 func (bc *Blockchain) installRecord(rec *blockdb.Record) {
 	block := rec.Block()
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash[block.Hash()] = block
+	bc.byHash = bc.byHash.with1(block.Hash(), block)
+	newReceipts := make(map[ethtypes.Hash]*ethtypes.Receipt, len(rec.Receipts))
+	newTxs := make(map[ethtypes.Hash]*ethtypes.Transaction, len(rec.Txs))
 	for i, rcpt := range rec.Receipts {
-		bc.receipts[rcpt.TxHash] = rcpt
-		bc.txs[rec.Txs[i].Hash()] = rec.Txs[i]
+		newReceipts[rcpt.TxHash] = rcpt
+		newTxs[rec.Txs[i].Hash()] = rec.Txs[i]
 		bc.allLogs = append(bc.allLogs, rcpt.Logs...)
 	}
+	bc.receipts = bc.receipts.with(newReceipts)
+	bc.txs = bc.txs.with(newTxs)
 }
 
 // replayBlock re-executes one journaled block against the live state
@@ -317,16 +324,20 @@ func (bc *Blockchain) replayBlock(rec *blockdb.Record) (ok bool) {
 	block := rec.Block()
 	blockHash := block.Hash()
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash[blockHash] = block
+	bc.byHash = bc.byHash.with1(blockHash, block)
+	newReceipts := make(map[ethtypes.Hash]*ethtypes.Receipt, len(receipts))
+	newTxs := make(map[ethtypes.Hash]*ethtypes.Transaction, len(rec.Txs))
 	for i, rcpt := range receipts {
 		rcpt.BlockHash = blockHash
 		for _, l := range rcpt.Logs {
 			l.BlockHash = blockHash
 		}
-		bc.receipts[rcpt.TxHash] = rcpt
-		bc.txs[rec.Txs[i].Hash()] = rec.Txs[i]
+		newReceipts[rcpt.TxHash] = rcpt
+		newTxs[rec.Txs[i].Hash()] = rec.Txs[i]
 		bc.allLogs = append(bc.allLogs, rcpt.Logs...)
 	}
+	bc.receipts = bc.receipts.with(newReceipts)
+	bc.txs = bc.txs.with(newTxs)
 	return true
 }
 

@@ -7,7 +7,6 @@ import (
 
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/evm"
-	"legalchain/internal/uint256"
 )
 
 // Batch mining: by default the devnet seals one block per transaction
@@ -23,7 +22,7 @@ func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 	hash := tx.Hash()
-	if _, known := bc.txs[hash]; known {
+	if _, known := bc.txs.get(hash); known {
 		return hash, ErrKnownTransaction
 	}
 	for _, queued := range bc.pending {
@@ -44,8 +43,8 @@ func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash
 
 // PendingCount returns the queued transaction count.
 func (bc *Blockchain) PendingCount() int {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
 	return len(bc.pending)
 }
 
@@ -122,18 +121,23 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 	header.ReceiptRoot = DeriveReceiptRoot(receipts)
 	block := &ethtypes.Block{Header: header, Transactions: included}
 
+	newReceipts := make(map[ethtypes.Hash]*ethtypes.Receipt, len(receipts))
+	newTxs := make(map[ethtypes.Hash]*ethtypes.Transaction, len(included))
 	for i, rcpt := range receipts {
 		rcpt.BlockHash = block.Hash()
 		for _, l := range rcpt.Logs {
 			l.BlockHash = rcpt.BlockHash
 		}
-		bc.receipts[rcpt.TxHash] = rcpt
-		bc.txs[included[i].Hash()] = included[i]
+		newReceipts[rcpt.TxHash] = rcpt
+		newTxs[included[i].Hash()] = included[i]
 		bc.allLogs = append(bc.allLogs, rcpt.Logs...)
 	}
+	bc.receipts = bc.receipts.with(newReceipts)
+	bc.txs = bc.txs.with(newTxs)
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash[block.Hash()] = block
+	bc.byHash = bc.byHash.with1(block.Hash(), block)
 	bc.persistBlockLocked(block, receipts)
+	bc.publishHeadLocked()
 	mSealSeconds.ObserveSince(sealStart)
 	mBlocksSealed.Inc()
 	mTxsExecuted.Add(uint64(len(included)))
@@ -149,30 +153,9 @@ func nonceErr(have, want uint64) error {
 	return ErrNonceTooHigh
 }
 
-// TraceCall executes a read-only message against a copy of the latest
-// state with a structured tracer attached, returning the call result and
-// the trace — the debug_traceCall facility.
+// TraceCall executes a read-only message against the published head view
+// with a structured tracer attached, returning the call result and the
+// trace — the debug_traceCall facility. Lock-free.
 func (bc *Blockchain) TraceCall(from ethtypes.Address, to *ethtypes.Address, data []byte, gas uint64) (*CallResult, *evm.StructLogger) {
-	bc.mu.RLock()
-	stCopy := bc.st.Copy()
-	header := bc.nextHeaderLocked()
-	bc.mu.RUnlock()
-
-	if gas == 0 {
-		gas = bc.gasLimit
-	}
-	stCopy.AddBalance(from, ethtypes.Ether(1_000_000_000))
-	machine := evm.New(bc.evmContext(header, from, uint256.Zero), stCopy)
-	tracer := evm.NewStructLogger()
-	machine.Tracer = tracer
-
-	var ret []byte
-	var left uint64
-	var err error
-	if to == nil {
-		ret, _, left, err = machine.Create(from, data, gas, uint256.Zero)
-	} else {
-		ret, left, err = machine.Call(from, *to, data, gas, uint256.Zero)
-	}
-	return &CallResult{Return: ret, GasUsed: gas - left, Err: err}, tracer
+	return bc.View().TraceCall(from, to, data, gas)
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package chain
+
+// race reports whether the race detector is compiled in; heavy hammer
+// tests scale their iteration counts down under its ~10× slowdown.
+const race = true

@@ -103,7 +103,11 @@ func (s *Server) filterChanges(id string) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	head := s.bc.BlockNumber()
+	// Pin one head view: the height the cursor advances to and the
+	// blocks/logs served must come from the same chain snapshot, or a
+	// seal racing the poll could skip (or double-report) a block.
+	v := s.bc.View()
+	head := v.BlockNumber()
 	s.filters.mu.Lock()
 	from := f.next
 	if head >= from {
@@ -118,7 +122,7 @@ func (s *Server) filterChanges(id string) (interface{}, error) {
 	case blockFilter:
 		out := []interface{}{}
 		for n := from; n <= head; n++ {
-			if b, ok := s.bc.BlockByNumber(n); ok {
+			if b, ok := v.BlockByNumber(n); ok {
 				out = append(out, b.Hash().Hex())
 			}
 		}
@@ -132,7 +136,7 @@ func (s *Server) filterChanges(id string) (interface{}, error) {
 		}
 		q.ToBlock = &to
 		out := []interface{}{}
-		for _, l := range s.bc.FilterLogs(q) {
+		for _, l := range v.FilterLogs(q) {
 			out = append(out, logJSON(l))
 		}
 		return out, nil

@@ -343,11 +343,14 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		if err != nil {
 			return nil, err
 		}
-		n, err := parseBlockTag(tag, s.bc.BlockNumber())
+		// Pin one view so tag resolution ("latest" → height) and the
+		// lookup can't straddle a concurrent seal.
+		v := s.bc.View()
+		n, err := parseBlockTag(tag, v.BlockNumber())
 		if err != nil {
 			return nil, err
 		}
-		b, ok := s.bc.BlockByNumber(n)
+		b, ok := v.BlockByNumber(n)
 		if !ok {
 			return nil, nil
 		}
@@ -365,11 +368,13 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		return blockJSON(b, boolParam(params, 1), s.bc.ChainID()), nil
 
 	case "eth_getLogs":
-		q, err := filterParam(params, 0, s.bc.BlockNumber())
+		// One view for both the default-block resolution and the scan.
+		v := s.bc.View()
+		q, err := filterParam(params, 0, v.BlockNumber())
 		if err != nil {
 			return nil, err
 		}
-		logs := s.bc.FilterLogs(q)
+		logs := v.FilterLogs(q)
 		out := make([]interface{}, len(logs))
 		for i, l := range logs {
 			out[i] = logJSON(l)

@@ -101,6 +101,10 @@ type StateDB struct {
 	refund  uint64
 	logs    []*ethtypes.Log
 
+	// frozen marks the state immutable (see Freeze). A frozen StateDB is
+	// safe for lock-free concurrent reads and Copy; every mutator panics.
+	frozen bool
+
 	// Incremental commit pipeline: persistent tries, synced from the
 	// dirty set on Root()/StorageRoot().
 	accountTrie  *trie.Secure
@@ -120,6 +124,31 @@ func New() *StateDB {
 		storageTries: make(map[ethtypes.Address]*trie.Secure),
 		rootCache:    make(map[ethtypes.Address]ethtypes.Hash),
 		dirties:      make(map[ethtypes.Address]*dirtyEntry),
+	}
+}
+
+// Freeze marks the state immutable, establishing the invariants the
+// chain's published head views rely on: the journal must be empty (the
+// sealing paths Finalise before freezing), the world root is computed
+// eagerly so frozen Root() is a cached read, and from here on every
+// mutator panics. Reads and Copy remain legal — Copy returns a fresh
+// mutable state layered copy-on-write over the frozen one, which is how
+// eth_call executes speculatively against a frozen view.
+func (s *StateDB) Freeze() {
+	if len(s.journal) > 0 {
+		panic("state: Freeze with pending journal (Finalise first)")
+	}
+	s.Root()
+	s.frozen = true
+}
+
+// Frozen reports whether the state has been frozen.
+func (s *StateDB) Frozen() bool { return s.frozen }
+
+// mustMutable guards every mutator against writes to a frozen state.
+func (s *StateDB) mustMutable(op string) {
+	if s.frozen {
+		panic("state: " + op + " on frozen state")
 	}
 }
 
@@ -188,6 +217,7 @@ func (s *StateDB) Empty(addr ethtypes.Address) bool {
 // CreateAccount explicitly creates an account (used for contract
 // deployment targets).
 func (s *StateDB) CreateAccount(addr ethtypes.Address) {
+	s.mustMutable("CreateAccount")
 	s.getOrNewObject(addr)
 	s.touch(addr)
 }
@@ -202,6 +232,7 @@ func (s *StateDB) GetBalance(addr ethtypes.Address) uint256.Int {
 
 // AddBalance credits addr by amount.
 func (s *StateDB) AddBalance(addr ethtypes.Address, amount uint256.Int) {
+	s.mustMutable("AddBalance")
 	o := s.getOrNewObject(addr)
 	prev := o.balance
 	s.journal = append(s.journal, func() {
@@ -215,6 +246,7 @@ func (s *StateDB) AddBalance(addr ethtypes.Address, amount uint256.Int) {
 // SubBalance debits addr by amount. The caller must have checked funds;
 // it panics on underflow to surface accounting bugs loudly.
 func (s *StateDB) SubBalance(addr ethtypes.Address, amount uint256.Int) {
+	s.mustMutable("SubBalance")
 	o := s.getOrNewObject(addr)
 	next, under := o.balance.SubUnderflow(amount)
 	if under {
@@ -239,6 +271,7 @@ func (s *StateDB) GetNonce(addr ethtypes.Address) uint64 {
 
 // SetNonce sets the account nonce.
 func (s *StateDB) SetNonce(addr ethtypes.Address, nonce uint64) {
+	s.mustMutable("SetNonce")
 	o := s.getOrNewObject(addr)
 	prev := o.nonce
 	s.journal = append(s.journal, func() {
@@ -272,6 +305,7 @@ func (s *StateDB) GetCodeHash(addr ethtypes.Address) ethtypes.Hash {
 
 // SetCode installs contract code at addr.
 func (s *StateDB) SetCode(addr ethtypes.Address, code []byte) {
+	s.mustMutable("SetCode")
 	o := s.getOrNewObject(addr)
 	prevCode, prevHash := o.code, o.codeHash
 	s.journal = append(s.journal, func() {
@@ -306,6 +340,7 @@ func (s *StateDB) GetCommittedState(addr ethtypes.Address, slot ethtypes.Hash) u
 
 // SetState writes a storage slot.
 func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint256.Int) {
+	s.mustMutable("SetState")
 	o := s.getOrNewObject(addr)
 	o.ensureOwned()
 	if _, tracked := o.origin[slot]; !tracked {
@@ -332,6 +367,7 @@ func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint
 // SelfDestruct marks the contract for deletion at transaction finalize
 // and zeroes its balance (the caller moves funds first).
 func (s *StateDB) SelfDestruct(addr ethtypes.Address) {
+	s.mustMutable("SelfDestruct")
 	o := s.getObject(addr)
 	if o == nil {
 		return
@@ -354,6 +390,7 @@ func (s *StateDB) HasSelfDestructed(addr ethtypes.Address) bool {
 
 // AddRefund accumulates the SSTORE refund counter.
 func (s *StateDB) AddRefund(gas uint64) {
+	s.mustMutable("AddRefund")
 	prev := s.refund
 	s.journal = append(s.journal, func() { s.refund = prev })
 	s.refund += gas
@@ -361,6 +398,7 @@ func (s *StateDB) AddRefund(gas uint64) {
 
 // SubRefund decreases the refund counter (EIP-2200 net metering).
 func (s *StateDB) SubRefund(gas uint64) {
+	s.mustMutable("SubRefund")
 	prev := s.refund
 	s.journal = append(s.journal, func() { s.refund = prev })
 	if gas > s.refund {
@@ -374,6 +412,7 @@ func (s *StateDB) GetRefund() uint64 { return s.refund }
 
 // AddLog appends an event log emitted by the current execution.
 func (s *StateDB) AddLog(log *ethtypes.Log) {
+	s.mustMutable("AddLog")
 	s.journal = append(s.journal, func() { s.logs = s.logs[:len(s.logs)-1] })
 	s.logs = append(s.logs, log)
 }
@@ -383,6 +422,7 @@ func (s *StateDB) Logs() []*ethtypes.Log { return s.logs }
 
 // TakeLogs returns and clears the accumulated logs (end of transaction).
 func (s *StateDB) TakeLogs() []*ethtypes.Log {
+	s.mustMutable("TakeLogs")
 	out := s.logs
 	s.logs = nil
 	return out
@@ -395,6 +435,7 @@ func (s *StateDB) Snapshot() int { return len(s.journal) }
 // Each undo re-marks what it restores, so the tries re-sync the reverted
 // values on the next Root() — no wholesale cache invalidation needed.
 func (s *StateDB) RevertToSnapshot(id int) {
+	s.mustMutable("RevertToSnapshot")
 	if id < 0 || id > len(s.journal) {
 		panic(fmt.Sprintf("state: invalid snapshot id %d (journal %d)", id, len(s.journal)))
 	}
@@ -413,6 +454,7 @@ func (s *StateDB) RevertToSnapshot(id int) {
 // semantics). The EIP-161 empty-account sweep applies only to accounts
 // that also have no storage left.
 func (s *StateDB) Finalise() {
+	s.mustMutable("Finalise")
 	for addr, o := range s.objects {
 		if o.selfdestructed || (o.empty() && len(o.storage) == 0) {
 			delete(s.objects, addr)

@@ -49,6 +49,15 @@ type Backend interface {
 	AdjustTime(seconds uint64) error
 }
 
+// HeadViewer is implemented by backends that can pin an immutable head
+// view, letting callers make several reads at one consistent chain
+// height without any locking. In-process backends (LocalBackend)
+// implement it; HTTP backends do not — callers type-assert and fall
+// back to the plain Backend methods.
+type HeadViewer interface {
+	HeadView() *chain.HeadView
+}
+
 // RevertError carries a decoded revert reason through the client API.
 type RevertError struct {
 	Reason string
@@ -69,6 +78,10 @@ type LocalBackend struct {
 
 // NewLocalBackend wraps bc.
 func NewLocalBackend(bc *chain.Blockchain) *LocalBackend { return &LocalBackend{BC: bc} }
+
+// HeadView implements HeadViewer: it pins the current immutable head
+// view for lock-free multi-read consistency.
+func (l *LocalBackend) HeadView() *chain.HeadView { return l.BC.View() }
 
 // ChainID implements Backend.
 func (l *LocalBackend) ChainID() (uint64, error) { return l.BC.ChainID(), nil }
