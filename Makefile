@@ -15,7 +15,7 @@ test:
 check:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
-	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/...
+	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/... ./internal/xtrace/...
 	$(MAKE) persistence-torture
 	$(MAKE) obs-check
 
@@ -34,9 +34,10 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # obs-check is the instrumentation-overhead gate: it fails if the
-# metrics layer slows the EthCall hot path by more than 5%.
+# metrics layer or disabled span tracing slows the EthCall hot path by
+# more than 5% (interleaved best-of-8 comparison per gate).
 obs-check:
-	OBS_CHECK=1 $(GO) test -run TestEthCallInstrumentationOverhead -count 1 ./internal/chain/
+	OBS_CHECK=1 $(GO) test -run 'TestEthCallInstrumentationOverhead|TestEthCallTracingOverhead' -count 1 ./internal/chain/
 
 # persistence-torture runs every fault-injection suite — torn log
 # tails, flipped bytes, deleted/corrupted snapshots, damaged WALs —
@@ -46,7 +47,7 @@ persistence-torture:
 	$(GO) test -race -run 'Restart|Torture|Genesis|WAL' ./internal/chain/... ./internal/rpc/...
 
 race:
-	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/...
+	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/... ./internal/xtrace/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 3x .

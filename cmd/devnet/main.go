@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data] [-metrics-addr :9090] [-pprof] [-log-level info]
+//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data] [-metrics-addr :9090] [-pprof] [-log-level info] [-trace] [-trace-sample 1] [-trace-slow 250ms]
 package main
 
 import (
@@ -36,6 +36,7 @@ import (
 	"legalchain/internal/obs"
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
+	"legalchain/internal/xtrace"
 )
 
 func main() {
@@ -50,8 +51,16 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
 		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceOn  = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
+		traceN   = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
+		slowTr   = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	xtrace.SetEnabled(*traceOn)
+	xtrace.SetSampleEvery(*traceN)
+	xtrace.SetSlowThreshold(*slowTr)
+	xtrace.SetLogger(logger)
 
 	accounts := wallet.DevAccounts(*seed, *nAcc)
 	g := chain.DefaultGenesis()
@@ -98,7 +107,7 @@ func main() {
 	fmt.Printf("\nJSON-RPC listening on %s\n", *addr)
 
 	rpcSrv := rpc.NewServer(bc, ks)
-	rpcSrv.SetLogger(obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)))
+	rpcSrv.SetLogger(logger)
 	srv := &http.Server{Addr: *addr, Handler: rpcSrv}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -109,7 +118,9 @@ func main() {
 	var opsSrv *http.Server
 	if *metrics != "" {
 		health := func() map[string]interface{} {
-			return map[string]interface{}{"head": bc.Head().Header.Number, "chainId": bc.ChainID()}
+			h := obs.ChainHealth(bc)
+			h["chainId"] = bc.ChainID()
+			return h
 		}
 		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health)}
 		go func() {

@@ -11,9 +11,14 @@
 //	legalctl selectors <name>     # method selectors + event topics
 //	legalctl disasm <name>        # runtime disassembly
 //	legalctl demo                 # run the versioning scenario, print evidence line
+//	legalctl trace <name> <meth>  # step-trace a contract method on a fresh local chain
+//	legalctl trace <txhash>       # replay a mined tx via debug_traceTransaction on a node
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -28,7 +33,9 @@ import (
 	"legalchain/internal/docstore"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/evm"
+	"legalchain/internal/hexutil"
 	"legalchain/internal/ipfs"
+	"legalchain/internal/rpc"
 	"legalchain/internal/uint256"
 	"legalchain/internal/wallet"
 	"legalchain/internal/web3"
@@ -52,15 +59,23 @@ func main() {
 	case "demo":
 		runDemo()
 	case "trace":
-		requireArg(4)
-		runTrace(os.Args[2], os.Args[3])
+		requireArg(3)
+		// Two forms: a 0x… transaction hash replays a mined transaction
+		// through debug_traceTransaction on a running node; a contract
+		// name + method traces a fresh local call.
+		if isTxHash(os.Args[2]) {
+			runTxTrace(os.Args[2], os.Args[3:])
+		} else {
+			requireArg(4)
+			runTrace(os.Args[2], os.Args[3])
+		}
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: legalctl stack|contracts|selectors <name>|disasm <name>|demo|trace <name> <method>")
+	fmt.Fprintln(os.Stderr, "usage: legalctl stack|contracts|selectors <name>|disasm <name>|demo|trace <name> <method>|trace <txhash> [-rpc url] [-tracer structLog|callTracer]")
 	os.Exit(2)
 }
 
@@ -213,6 +228,36 @@ func runDemo() {
 
 // runTrace deploys a bundled contract on a scratch devnet and traces one
 // zero-argument method call, printing gas and the opcode histogram.
+// isTxHash reports whether s is a 0x-prefixed 32-byte hex hash.
+func isTxHash(s string) bool {
+	if len(s) != 66 || !strings.HasPrefix(s, "0x") {
+		return false
+	}
+	_, err := hexutil.Decode(s)
+	return err == nil
+}
+
+// runTxTrace replays a mined transaction on a running node through
+// debug_traceTransaction and prints the tracer's JSON verbatim.
+func runTxTrace(hash string, rest []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	rpcURL := fs.String("rpc", "http://localhost:8545", "JSON-RPC endpoint of the node that mined the transaction")
+	tracer := fs.String("tracer", "callTracer", "tracer: structLog (step list) or callTracer (frame tree)")
+	rid := fs.String("request-id", "", "X-Request-Id to send (joins server logs and /debug/traces)")
+	fs.Parse(rest)
+
+	c := rpc.Dial(*rpcURL)
+	if *rid != "" {
+		c.SetRequestID(*rid)
+	}
+	var out json.RawMessage
+	err := c.Call(&out, "debug_traceTransaction", hash, map[string]string{"tracer": *tracer})
+	check(err)
+	var pretty bytes.Buffer
+	check(json.Indent(&pretty, out, "", "  "))
+	fmt.Println(pretty.String())
+}
+
 func runTrace(name, method string) {
 	art, err := contracts.Artifact(name)
 	check(err)

@@ -17,7 +17,7 @@
 //
 // Usage:
 //
-//	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data] [-metrics-addr :9090] [-pprof] [-log-level info]
+//	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data] [-metrics-addr :9090] [-pprof] [-log-level info] [-trace] [-trace-sample 1] [-trace-slow 250ms]
 package main
 
 import (
@@ -43,6 +43,7 @@ import (
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
 	"legalchain/internal/web3"
+	"legalchain/internal/xtrace"
 )
 
 func main() {
@@ -53,9 +54,16 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
 		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceOn  = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
+		traceN   = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
+		slowTr   = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	xtrace.SetEnabled(*traceOn)
+	xtrace.SetSampleEvery(*traceN)
+	xtrace.SetSlowThreshold(*slowTr)
+	xtrace.SetLogger(logger)
 
 	// Blockchain tier with a faucet account.
 	faucet := wallet.DevAccounts(wallet.DefaultDevSeed, 1)[0]
@@ -137,10 +145,9 @@ func main() {
 	var opsSrv *http.Server
 	if *metrics != "" {
 		health := func() map[string]interface{} {
-			return map[string]interface{}{
-				"head":      bc.Head().Header.Number,
-				"contracts": store.Count("contracts"),
-			}
+			h := obs.ChainHealth(bc)
+			h["contracts"] = store.Count("contracts")
+			return h
 		}
 		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health)}
 		go func() {

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"testing"
+
+	"legalchain/internal/obs"
 )
 
 // apiRig registers a landlord+tenant, deploys and modifies a rental
@@ -14,7 +16,9 @@ import (
 func apiRig(t *testing.T) (*browser, *App, string) {
 	t.Helper()
 	a := rig(t)
-	srv := httptest.NewServer(a.Handler())
+	// Mirror production wiring: rentald serves the app behind
+	// obs.LogRequests, which assigns request IDs and opens root spans.
+	srv := httptest.NewServer(obs.LogRequests(nil, a.Handler()))
 	t.Cleanup(srv.Close)
 	landlord := newBrowser(t, srv)
 	landlord.register("api_landlord", "pw")
@@ -122,7 +126,9 @@ func TestAPIChainAndHistory(t *testing.T) {
 
 func TestAPIRequiresAuth(t *testing.T) {
 	a := rig(t)
-	srv := httptest.NewServer(a.Handler())
+	// Mirror production wiring: rentald serves the app behind
+	// obs.LogRequests, which assigns request IDs and opens root spans.
+	srv := httptest.NewServer(obs.LogRequests(nil, a.Handler()))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/api/me")
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"legalchain/internal/core"
 	"legalchain/internal/ethtypes"
+	"legalchain/internal/obs"
 	"legalchain/internal/uint256"
 	"legalchain/internal/web3"
 )
@@ -35,10 +36,19 @@ const (
 	v1Internal     = "internal"
 )
 
-func writeV1Error(w http.ResponseWriter, status int, code, message string) {
-	writeJSON(w, status, map[string]interface{}{
-		"error": map[string]string{"code": code, "message": message},
-	})
+// writeV1Error emits the uniform v1 error envelope. The request ID the
+// obs middleware assigned rides along, so a failing API response can be
+// joined with the server log line and the trace it produced:
+//
+//	{"error":{"code":"bad_request","message":"...","requestId":"..."}}
+func writeV1Error(w http.ResponseWriter, r *http.Request, status int, code, message string) {
+	e := map[string]string{"code": code, "message": message}
+	if r != nil {
+		if rid := obs.RequestIDFrom(r.Context()); rid != "" {
+			e["requestId"] = rid
+		}
+	}
+	writeJSON(w, status, map[string]interface{}{"error": e})
 }
 
 func (a *App) apiV1Routes(handle func(pattern string, h http.HandlerFunc)) {
@@ -65,7 +75,7 @@ func (a *App) v1Head() map[string]interface{} {
 
 func (a *App) v1Me(w http.ResponseWriter, r *http.Request, u *User) {
 	if r.Method != http.MethodGet {
-		writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+		writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
 		return
 	}
 	out := map[string]interface{}{
@@ -111,7 +121,7 @@ func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
 	case http.MethodGet:
 		rows, err := a.Dashboard(u)
 		if err != nil {
-			writeV1Error(w, http.StatusInternalServerError, v1Internal, err.Error())
+			writeV1Error(w, r, http.StatusInternalServerError, v1Internal, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{"contracts": rows})
@@ -122,7 +132,7 @@ func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
 			v1Terms
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeV1Error(w, http.StatusBadRequest, v1BadRequest, "bad JSON body: "+err.Error())
+			writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, "bad JSON body: "+err.Error())
 			return
 		}
 		terms := core.RentalTerms{
@@ -139,7 +149,7 @@ func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
 		if body.Artifact != "" && !strings.EqualFold(body.Artifact, "BaseRental") {
 			art, aerr := a.GetArtifact(body.Artifact)
 			if aerr != nil {
-				writeV1Error(w, http.StatusBadRequest, v1BadRequest, aerr.Error())
+				writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, aerr.Error())
 				return
 			}
 			dep, err = a.Manager.DeployVersion(u.Addr(), art, terms.LegalDoc,
@@ -148,7 +158,7 @@ func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
 			dep, err = a.Rental.DeployRental(u.Addr(), terms)
 		}
 		if err != nil {
-			writeV1Error(w, http.StatusBadRequest, v1BadRequest, err.Error())
+			writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]interface{}{
@@ -158,7 +168,7 @@ func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
 		})
 
 	default:
-		writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET or POST only")
+		writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET or POST only")
 	}
 }
 
@@ -168,7 +178,7 @@ func (a *App) v1Contract(w http.ResponseWriter, r *http.Request, u *User) {
 	parts := strings.SplitN(rest, "/", 2)
 	addrHex := parts[0]
 	if !strings.HasPrefix(addrHex, "0x") || len(addrHex) != 42 {
-		writeV1Error(w, http.StatusBadRequest, v1BadRequest, "bad contract address")
+		writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, "bad contract address")
 		return
 	}
 	addr := ethtypes.HexToAddress(addrHex)
@@ -179,28 +189,28 @@ func (a *App) v1Contract(w http.ResponseWriter, r *http.Request, u *User) {
 	switch sub {
 	case "":
 		if r.Method != http.MethodGet {
-			writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+			writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
 			return
 		}
-		a.v1ContractDetail(w, u, addr)
+		a.v1ContractDetail(w, r, u, addr)
 	case "actions":
 		if r.Method != http.MethodPost {
-			writeV1Error(w, http.StatusMethodNotAllowed, v1NotAllowed, "POST only")
+			writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "POST only")
 			return
 		}
 		a.v1ContractAction(w, r, u, addr)
 	default:
-		writeV1Error(w, http.StatusNotFound, v1NotFound, "unknown endpoint "+sub)
+		writeV1Error(w, r, http.StatusNotFound, v1NotFound, "unknown endpoint "+sub)
 	}
 }
 
 // v1ContractDetail is the one-stop read: registry row, live chain
 // state, the walked version chain with its verification verdict, and
 // the cross-version payment history.
-func (a *App) v1ContractDetail(w http.ResponseWriter, u *User, addr ethtypes.Address) {
+func (a *App) v1ContractDetail(w http.ResponseWriter, r *http.Request, u *User, addr ethtypes.Address) {
 	row, err := a.Manager.GetRow(addr)
 	if err != nil {
-		writeV1Error(w, http.StatusNotFound, v1NotFound, err.Error())
+		writeV1Error(w, r, http.StatusNotFound, v1NotFound, err.Error())
 		return
 	}
 	out := map[string]interface{}{"row": row}
@@ -249,10 +259,21 @@ func (a *App) v1ContractDetail(w http.ResponseWriter, u *User, addr ethtypes.Add
 			Version int    `json:"version"`
 			Month   uint64 `json:"month"`
 			Amount  string `json:"amountWei"`
+			TxHash  string `json:"txHash,omitempty"`
+			// Trace is a ready-to-send JSON-RPC invocation that replays
+			// this payment with the callTracer attached.
+			Trace interface{} `json:"trace,omitempty"`
 		}
 		pays := make([]payJSON, len(hist))
 		for i, p := range hist {
 			pays[i] = payJSON{Version: p.Version, Month: p.Month, Amount: p.Amount.String()}
+			if !p.TxHash.IsZero() {
+				pays[i].TxHash = p.TxHash.Hex()
+				pays[i].Trace = map[string]interface{}{
+					"method": "debug_traceTransaction",
+					"params": []interface{}{p.TxHash.Hex(), map[string]string{"tracer": "callTracer"}},
+				}
+			}
 		}
 		out["payments"] = pays
 	}
@@ -264,7 +285,7 @@ func (a *App) v1ContractDetail(w http.ResponseWriter, u *User, addr ethtypes.Add
 // returns its row.
 func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, addr ethtypes.Address) {
 	if _, err := a.Manager.GetRow(addr); err != nil {
-		writeV1Error(w, http.StatusNotFound, v1NotFound, err.Error())
+		writeV1Error(w, r, http.StatusNotFound, v1NotFound, err.Error())
 		return
 	}
 	var body struct {
@@ -272,7 +293,7 @@ func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, 
 		Terms  *v1Terms `json:"terms"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeV1Error(w, http.StatusBadRequest, v1BadRequest, "bad JSON body: "+err.Error())
+		writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, "bad JSON body: "+err.Error())
 		return
 	}
 	result := map[string]interface{}{"action": body.Action, "status": "ok"}
@@ -281,7 +302,11 @@ func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, 
 	case "confirm":
 		err = a.Rental.Confirm(u.Addr(), addr)
 	case "pay":
-		_, err = a.Rental.PayRent(u.Addr(), addr)
+		var rcpt *ethtypes.Receipt
+		rcpt, err = a.Rental.PayRentCtx(r.Context(), u.Addr(), addr)
+		if err == nil {
+			result["txHash"] = rcpt.TxHash.Hex()
+		}
 	case "maintenance":
 		_, err = a.Rental.PayMaintenance(u.Addr(), addr)
 	case "terminate":
@@ -292,7 +317,7 @@ func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, 
 		err = a.Rental.RejectModification(u.Addr(), addr)
 	case "modify":
 		if body.Terms == nil {
-			writeV1Error(w, http.StatusBadRequest, v1BadRequest, "modify requires terms")
+			writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, "modify requires terms")
 			return
 		}
 		terms := core.ModifiedTerms{
@@ -313,14 +338,14 @@ func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, 
 			result["newVersion"] = dep.Row
 		}
 	case "":
-		writeV1Error(w, http.StatusBadRequest, v1BadRequest, "missing action")
+		writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, "missing action")
 		return
 	default:
-		writeV1Error(w, http.StatusBadRequest, v1BadRequest, fmt.Sprintf("unknown action %q", body.Action))
+		writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, fmt.Sprintf("unknown action %q", body.Action))
 		return
 	}
 	if err != nil {
-		writeV1Error(w, http.StatusBadRequest, v1BadRequest, err.Error())
+		writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, result)

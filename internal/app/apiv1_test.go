@@ -7,7 +7,10 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"net/http/httptest"
+	"strings"
 	"testing"
+
+	"legalchain/internal/xtrace"
 )
 
 // postJSON sends a JSON body through the browser's cookie-carrying
@@ -236,5 +239,123 @@ func TestV1ErrorEnvelope(t *testing.T) {
 				t.Fatal("empty error message")
 			}
 		})
+	}
+}
+
+// TestV1PayTraceHierarchy is the cross-tier acceptance test: a traced
+// POST /api/v1/contracts/{addr}/actions pay produces one trace, keyed
+// by the caller's X-Request-Id, whose spans walk every tier of the
+// stack — http (obs middleware) → rpc (web3 client) → chain
+// (SendTransaction) → evm (call frames) → blockdb (segment append).
+func TestV1PayTraceHierarchy(t *testing.T) {
+	xtrace.SetEnabled(true)
+	xtrace.SetSampleEvery(1)
+	xtrace.Reset()
+	t.Cleanup(func() { xtrace.SetEnabled(false); xtrace.Reset() })
+
+	landlord, _, addr := apiRig(t)
+	jar, _ := cookiejar.New(nil)
+	tenant := &browser{t: t, c: &http.Client{Jar: jar}, url: landlord.url}
+	tenant.register("trace_tenant", "pw")
+	var ok map[string]interface{}
+	if code := postJSON(t, tenant, "/api/v1/contracts/"+addr+"/actions",
+		map[string]interface{}{"action": "confirm"}, &ok); code != 200 {
+		t.Fatalf("confirm: code %d (%v)", code, ok)
+	}
+
+	const rid = "trace-hierarchy-test"
+	body, _ := json.Marshal(map[string]interface{}{"action": "pay"})
+	req, err := http.NewRequest(http.MethodPost,
+		tenant.url+"/api/v1/contracts/"+addr+"/actions", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", rid)
+	resp, err := tenant.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payOut map[string]interface{}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pay: code %d (%s)", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &payOut); err != nil {
+		t.Fatal(err)
+	}
+	// The action result carries the transaction hash for tracing.
+	txh, _ := payOut["txHash"].(string)
+	if len(txh) != 66 {
+		t.Fatalf("pay result txHash = %q", payOut["txHash"])
+	}
+
+	// The obs middleware reused the request ID as the trace ID, so the
+	// caller can look its own trace up.
+	td := xtrace.Lookup(rid)
+	if td == nil {
+		t.Fatalf("no trace recorded under %q", rid)
+	}
+	tiers := map[string]bool{}
+	for _, sp := range td.Spans {
+		tiers[sp.Tier] = true
+	}
+	for _, want := range []string{"http", "rpc", "chain", "evm", "blockdb"} {
+		if !tiers[want] {
+			t.Fatalf("trace %s missing tier %q (have %v)", rid, want, tiers)
+		}
+	}
+	if got := td.Root(); !strings.HasPrefix(got, "http:POST ") {
+		t.Fatalf("root = %q", got)
+	}
+
+	// The payment surfaces in the detail JSON with its hash and a
+	// ready-made debug_traceTransaction invocation.
+	var detail struct {
+		Payments []struct {
+			TxHash string                 `json:"txHash"`
+			Trace  map[string]interface{} `json:"trace"`
+		} `json:"payments"`
+	}
+	if code := getJSON(t, tenant, "/api/v1/contracts/"+addr, &detail); code != 200 {
+		t.Fatal("detail")
+	}
+	if len(detail.Payments) != 1 || detail.Payments[0].TxHash != txh {
+		t.Fatalf("payments = %+v (want txHash %s)", detail.Payments, txh)
+	}
+	if m, _ := detail.Payments[0].Trace["method"].(string); m != "debug_traceTransaction" {
+		t.Fatalf("trace hint = %+v", detail.Payments[0].Trace)
+	}
+}
+
+// TestV1ErrorRequestID: error envelopes echo the request ID assigned
+// (or propagated) by the obs middleware.
+func TestV1ErrorRequestID(t *testing.T) {
+	b, _, _ := apiRig(t)
+	req, err := http.NewRequest(http.MethodGet, b.url+"/api/v1/contracts/short", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "envelope-rid-1")
+	resp, err := b.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			RequestID string `json:"requestId"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 || env.Error.Code != "bad_request" {
+		t.Fatalf("status %d env %+v", resp.StatusCode, env)
+	}
+	if env.Error.RequestID != "envelope-rid-1" {
+		t.Fatalf("requestId = %q", env.Error.RequestID)
 	}
 }

@@ -24,7 +24,15 @@ func rig(t *testing.T) *App {
 	faucet := wallet.DevAccounts("app faucet", 1)[0]
 	g := chain.DefaultGenesis()
 	g.Alloc = wallet.DevAlloc([]wallet.Account{faucet}, ethtypes.Ether(1_000_000))
-	bc := chain.New(g)
+	// Persistence on: the cross-tier trace test expects blockdb spans,
+	// which only a durable chain produces.
+	bc, err := chain.Open(g, chain.WithPersistence(chain.PersistConfig{
+		DataDir: t.TempDir(), NoSync: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bc.Close() })
 	ks := wallet.NewKeystore()
 	ks.Import(faucet.Key)
 	client, err := web3.NewClient(web3.NewLocalBackend(bc), ks)

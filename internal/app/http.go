@@ -45,7 +45,7 @@ func (a *App) withUser(fn func(http.ResponseWriter, *http.Request, *User)) http.
 	return func(w http.ResponseWriter, r *http.Request) {
 		deny := func() {
 			if strings.HasPrefix(r.URL.Path, "/api/v1/") {
-				writeV1Error(w, http.StatusUnauthorized, v1Unauthorized, "not logged in")
+				writeV1Error(w, r, http.StatusUnauthorized, v1Unauthorized, "not logged in")
 				return
 			}
 			if strings.HasPrefix(r.URL.Path, "/api/") {
@@ -212,7 +212,7 @@ func (a *App) doContractAction(u *User, addr ethtypes.Address, action string, r 
 	case "confirm":
 		return a.Rental.Confirm(u.Addr(), addr)
 	case "pay":
-		_, err := a.Rental.PayRent(u.Addr(), addr)
+		_, err := a.Rental.PayRentCtx(r.Context(), u.Addr(), addr)
 		return err
 	case "maintenance":
 		_, err := a.Rental.PayMaintenance(u.Addr(), addr)

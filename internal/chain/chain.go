@@ -6,6 +6,7 @@
 package chain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"legalchain/internal/evm"
 	"legalchain/internal/state"
 	"legalchain/internal/uint256"
+	"legalchain/internal/xtrace"
 )
 
 // Errors returned by transaction admission and execution.
@@ -86,6 +88,12 @@ type Blockchain struct {
 	snapInterval uint64
 	persistErr   error
 	recovery     *RecoveryReport
+
+	// Historical tracing (trace.go): the retained genesis rebuilds
+	// pre-block state from scratch, dataDir locates persisted snapshots
+	// that bound the replay. Both are immutable after construction.
+	genesis *Genesis
+	dataDir string
 }
 
 // New creates a memory-only chain from the genesis. Use Open with
@@ -120,9 +128,21 @@ func newMemory(g *Genesis) *Blockchain {
 		st:       st,
 		blocks:   []*ethtypes.Block{genesisBlock},
 		byHash:   (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock),
+		genesis:  copyGenesis(g),
 	}
 	bc.publishHeadLocked()
 	return bc
+}
+
+// copyGenesis snapshots g so later caller mutations of the Alloc map
+// cannot skew historical replays.
+func copyGenesis(g *Genesis) *Genesis {
+	c := *g
+	c.Alloc = make(map[ethtypes.Address]uint256.Int, len(g.Alloc))
+	for a, b := range g.Alloc {
+		c.Alloc[a] = b
+	}
+	return &c
 }
 
 // ChainID returns the chain identifier used for EIP-155 signing.
@@ -203,20 +223,27 @@ func (bc *Blockchain) nextHeaderLocked() *ethtypes.Header {
 	}
 }
 
-// evmContextLocked builds the execution context for the sealing paths.
-// The BLOCKHASH lookup indexes bc.blocks directly — bc.mu is held, and
-// going through the published view would serve a stale height during
-// recovery replay.
-func (bc *Blockchain) evmContextLocked(h *ethtypes.Header, origin ethtypes.Address, gasPrice uint256.Int) evm.Context {
-	return evm.Context{
-		ChainID:     bc.chainID,
-		BlockNumber: h.Number,
-		Time:        h.Time,
-		Coinbase:    h.Coinbase,
-		GasLimit:    h.GasLimit,
-		GasPrice:    gasPrice,
-		Origin:      origin,
-		GetBlockHash: func(n uint64) ethtypes.Hash {
+// execEnv is everything execTransaction needs to run one transaction:
+// the state it mutates, the chain parameters, the BLOCKHASH source and
+// an optional tracer. The live sealing paths build one over bc.st under
+// bc.mu; historical replay (trace.go) builds one over a scratch state
+// rebuilt from a snapshot, with a tracer attached.
+type execEnv struct {
+	chainID      uint64
+	st           *state.StateDB
+	getBlockHash func(uint64) ethtypes.Hash
+	tracer       evm.Tracer
+}
+
+// execEnvLocked builds the live execution environment for the sealing
+// paths. The BLOCKHASH lookup indexes bc.blocks directly — bc.mu is
+// held, and going through the published view would serve a stale height
+// during recovery replay.
+func (bc *Blockchain) execEnvLocked() *execEnv {
+	return &execEnv{
+		chainID: bc.chainID,
+		st:      bc.st,
+		getBlockHash: func(n uint64) ethtypes.Hash {
 			if n < uint64(len(bc.blocks)) {
 				return bc.blocks[n].Hash()
 			}
@@ -229,6 +256,15 @@ func (bc *Blockchain) evmContextLocked(h *ethtypes.Header, origin ethtypes.Addre
 // block, returning its hash. The transaction must be EIP-155 signed for
 // this chain.
 func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, error) {
+	return bc.SendTransactionCtx(context.Background(), tx)
+}
+
+// SendTransactionCtx is SendTransaction with span propagation: when ctx
+// carries a sampled trace, the seal pipeline (execute, state root,
+// journal append) shows up as child spans.
+func (bc *Blockchain) SendTransactionCtx(ctx context.Context, tx *ethtypes.Transaction) (ethtypes.Hash, error) {
+	ctx, sp := xtrace.Start(ctx, "chain", "sendTransaction")
+	defer sp.End()
 	sealStart := time.Now()
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
@@ -254,8 +290,9 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 
 	header := bc.nextHeaderLocked()
 	bc.timeOffset = 0
-	receipt, err := bc.applyTransaction(header, tx, sender)
+	receipt, err := bc.applyTransaction(ctx, header, tx, sender)
 	if err != nil {
+		sp.SetError(err)
 		return ethtypes.Hash{}, err
 	}
 
@@ -263,7 +300,9 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 	header.GasUsed = receipt.GasUsed
 	header.TxRoot = ethtypes.TxRootOf([]*ethtypes.Transaction{tx})
 	rootStart := time.Now()
+	_, rootSp := xtrace.Start(ctx, "chain", "stateRoot")
 	header.StateRoot = bc.st.Root()
+	rootSp.End()
 	mStateRootSeconds.ObserveSince(rootStart)
 	header.ReceiptRoot = DeriveReceiptRoot([]*ethtypes.Receipt{receipt})
 	block := &ethtypes.Block{Header: header, Transactions: []*ethtypes.Transaction{tx}}
@@ -277,18 +316,28 @@ func (bc *Blockchain) SendTransaction(tx *ethtypes.Transaction) (ethtypes.Hash, 
 	bc.byHash = bc.byHash.with1(block.Hash(), block)
 	bc.receipts = bc.receipts.with1(hash, receipt)
 	bc.txs = bc.txs.with1(hash, tx)
-	bc.persistBlockLocked(block, []*ethtypes.Receipt{receipt})
+	bc.persistBlockLocked(ctx, block, []*ethtypes.Receipt{receipt})
 	bc.publishHeadLocked()
 	mSealSeconds.ObserveSince(sealStart)
 	mBlocksSealed.Inc()
 	mTxsExecuted.Inc()
 	mHeadBlock.Set(int64(header.Number))
+	sp.SetAttr("block", fmt.Sprintf("%d", header.Number))
+	sp.SetAttr("tx", hash.Hex())
 	return hash, nil
 }
 
-// applyTransaction executes tx against the live state, following the
-// yellow-paper gas flow (buy gas, execute, refund, pay coinbase).
-func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Transaction, sender ethtypes.Address) (*ethtypes.Receipt, error) {
+// applyTransaction executes tx against the live state under bc.mu.
+func (bc *Blockchain) applyTransaction(ctx context.Context, header *ethtypes.Header, tx *ethtypes.Transaction, sender ethtypes.Address) (*ethtypes.Receipt, error) {
+	return execTransaction(ctx, bc.execEnvLocked(), header, tx, sender)
+}
+
+// execTransaction executes tx against env.st, following the yellow-paper
+// gas flow (buy gas, execute, refund, pay coinbase). It is the single
+// execution routine shared by live sealing, crash-recovery replay and
+// historical tracing, so a replayed transaction is byte-identical to its
+// original run.
+func execTransaction(ctx context.Context, env *execEnv, header *ethtypes.Header, tx *ethtypes.Transaction, sender ethtypes.Address) (*ethtypes.Receipt, error) {
 	execStart := time.Now()
 	defer mExecSeconds.ObserveSince(execStart)
 	intrinsic := evm.IntrinsicGas(tx.Data, tx.IsCreate())
@@ -297,13 +346,23 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 	}
 	gasCost := tx.GasPrice.Mul(uint256.NewUint64(tx.Gas))
 	total := gasCost.Add(tx.Value)
-	if bc.st.GetBalance(sender).Lt(total) {
+	if env.st.GetBalance(sender).Lt(total) {
 		return nil, ErrInsufficientFunds
 	}
 	// Buy gas.
-	bc.st.SubBalance(sender, gasCost)
+	env.st.SubBalance(sender, gasCost)
 
-	machine := evm.New(bc.evmContextLocked(header, sender, tx.GasPrice), bc.st)
+	machine := evm.New(evm.Context{
+		ChainID:      env.chainID,
+		BlockNumber:  header.Number,
+		Time:         header.Time,
+		Coinbase:     header.Coinbase,
+		GasLimit:     header.GasLimit,
+		GasPrice:     tx.GasPrice,
+		Origin:       sender,
+		GetBlockHash: env.getBlockHash,
+	}, env.st)
+	machine.Tracer = env.tracer
 	execGas := tx.Gas - intrinsic
 
 	var (
@@ -312,6 +371,11 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 		vmErr        error
 		contractAddr *ethtypes.Address
 	)
+	kind := "call"
+	if tx.IsCreate() {
+		kind = "create"
+	}
+	_, evmSp := xtrace.Start(ctx, "evm", kind)
 	if tx.IsCreate() {
 		var addr ethtypes.Address
 		ret, addr, leftGas, vmErr = machine.Create(sender, tx.Data, execGas, tx.Value)
@@ -319,20 +383,23 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 			contractAddr = &addr
 		}
 	} else {
-		bc.st.SetNonce(sender, tx.Nonce+1)
+		env.st.SetNonce(sender, tx.Nonce+1)
 		ret, leftGas, vmErr = machine.Call(sender, *tx.To, tx.Data, execGas, tx.Value)
 	}
+	evmSp.SetError(vmErr)
 
 	gasUsed := tx.Gas - leftGas
 	// Refund counter capped at half the gas used.
-	refund := bc.st.GetRefund()
+	refund := env.st.GetRefund()
 	if refund > gasUsed/2 {
 		refund = gasUsed / 2
 	}
 	gasUsed -= refund
+	evmSp.SetAttr("gasUsed", fmt.Sprintf("%d", gasUsed))
+	evmSp.End()
 	// Return unused gas, pay the coinbase.
-	bc.st.AddBalance(sender, tx.GasPrice.Mul(uint256.NewUint64(tx.Gas-gasUsed)))
-	bc.st.AddBalance(header.Coinbase, tx.GasPrice.Mul(uint256.NewUint64(gasUsed)))
+	env.st.AddBalance(sender, tx.GasPrice.Mul(uint256.NewUint64(tx.Gas-gasUsed)))
+	env.st.AddBalance(header.Coinbase, tx.GasPrice.Mul(uint256.NewUint64(gasUsed)))
 
 	status := ethtypes.ReceiptStatusSuccessful
 	reason := ""
@@ -346,7 +413,7 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 			reason = vmErr.Error()
 		}
 	}
-	logs := bc.st.TakeLogs()
+	logs := env.st.TakeLogs()
 	if vmErr != nil {
 		logs = nil
 	}
@@ -356,7 +423,7 @@ func (bc *Blockchain) applyTransaction(header *ethtypes.Header, tx *ethtypes.Tra
 		l.TxIndex = 0
 		l.Index = uint(i)
 	}
-	bc.st.Finalise()
+	env.st.Finalise()
 
 	return &ethtypes.Receipt{
 		TxHash:            tx.Hash(),
@@ -412,6 +479,11 @@ func (res *CallResult) Revert() *RevertError {
 // (eth_call semantics). Lock-free; see HeadView.Call.
 func (bc *Blockchain) Call(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
 	return bc.View().Call(from, to, data, value, gas)
+}
+
+// CallCtx is Call with span propagation; see HeadView.CallCtx.
+func (bc *Blockchain) CallCtx(ctx context.Context, from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
+	return bc.View().CallCtx(ctx, from, to, data, value, gas)
 }
 
 // EstimateGas executes the message against the published head view and

@@ -1,11 +1,13 @@
 package chain
 
 import (
+	"context"
 	"fmt"
 
 	"legalchain/internal/blockdb"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/state"
+	"legalchain/internal/xtrace"
 )
 
 // Durable persistence: when opened with WithPersistence, the chain
@@ -140,6 +142,7 @@ func openPersistent(g *Genesis, p *PersistConfig) (*Blockchain, error) {
 	bc := newMemory(g)
 	bc.db = db
 	bc.snapInterval = interval
+	bc.dataDir = p.DataDir
 	report := &RecoveryReport{
 		LogDroppedBytes:    logRep.DroppedBytes,
 		LogDroppedSegments: logRep.DroppedSegments,
@@ -303,7 +306,7 @@ func (bc *Blockchain) replayBlock(rec *blockdb.Record) (ok bool) {
 		if err != nil {
 			return false
 		}
-		rcpt, err := bc.applyTransaction(header, tx, sender)
+		rcpt, err := bc.applyTransaction(context.Background(), header, tx, sender)
 		if err != nil {
 			return false
 		}
@@ -345,17 +348,23 @@ func (bc *Blockchain) replayBlock(rec *blockdb.Record) (ok bool) {
 // boundaries, captures the world state. Called with bc.mu held by the
 // sealing paths. A failure latches persistErr: the chain keeps serving
 // from memory but stops persisting rather than journal a gap.
-func (bc *Blockchain) persistBlockLocked(block *ethtypes.Block, receipts []*ethtypes.Receipt) {
+func (bc *Blockchain) persistBlockLocked(ctx context.Context, block *ethtypes.Block, receipts []*ethtypes.Receipt) {
 	if bc.db == nil || bc.persistErr != nil {
 		return
 	}
+	_, sp := xtrace.Start(ctx, "blockdb", "append")
 	rec := &blockdb.Record{Header: block.Header, Txs: block.Transactions, Receipts: receipts}
-	if err := bc.db.Append(rec); err != nil {
+	err := bc.db.Append(rec)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
 		bc.persistErr = err
 		return
 	}
 	if bc.snapInterval > 0 && block.Number()%bc.snapInterval == 0 {
+		_, snapSp := xtrace.Start(ctx, "blockdb", "snapshot")
 		bc.writeSnapshotLocked(block)
+		snapSp.End()
 	}
 }
 

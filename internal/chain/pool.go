@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -97,7 +98,7 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 			failed[m.tx.Hash()] = fmt.Errorf("%w: have %d, want %d", nonceErr(m.tx.Nonce, expected), m.tx.Nonce, expected)
 			continue
 		}
-		rcpt, err := bc.applyTransaction(header, m.tx, m.sender)
+		rcpt, err := bc.applyTransaction(context.Background(), header, m.tx, m.sender)
 		if err != nil {
 			failed[m.tx.Hash()] = err
 			continue
@@ -136,7 +137,7 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 	bc.txs = bc.txs.with(newTxs)
 	bc.blocks = append(bc.blocks, block)
 	bc.byHash = bc.byHash.with1(block.Hash(), block)
-	bc.persistBlockLocked(block, receipts)
+	bc.persistBlockLocked(context.Background(), block, receipts)
 	bc.publishHeadLocked()
 	mSealSeconds.ObserveSince(sealStart)
 	mBlocksSealed.Inc()

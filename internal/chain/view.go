@@ -1,6 +1,8 @@
 package chain
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"legalchain/internal/abi"
@@ -8,6 +10,7 @@ import (
 	"legalchain/internal/evm"
 	"legalchain/internal/state"
 	"legalchain/internal/uint256"
+	"legalchain/internal/xtrace"
 )
 
 // Lock-free read path. On every seal (and on recovery and time
@@ -264,6 +267,14 @@ func (v *HeadView) evmContext(h *ethtypes.Header, origin ethtypes.Address, gasPr
 // Call executes a read-only message against a mutable copy of the
 // view's frozen state (eth_call semantics). Entirely lock-free.
 func (v *HeadView) Call(from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
+	return v.CallCtx(context.Background(), from, to, data, value, gas)
+}
+
+// CallCtx is Call with span propagation: when ctx carries a sampled
+// trace, the call and its EVM execution show up as child spans.
+func (v *HeadView) CallCtx(ctx context.Context, from ethtypes.Address, to *ethtypes.Address, data []byte, value uint256.Int, gas uint64) *CallResult {
+	ctx, sp := xtrace.Start(ctx, "chain", "call")
+	defer sp.End()
 	callStart := time.Now()
 	defer mCallSeconds.ObserveSince(callStart)
 	mViewReads.Inc()
@@ -281,13 +292,18 @@ func (v *HeadView) Call(from ethtypes.Address, to *ethtypes.Address, data []byte
 	var ret []byte
 	var left uint64
 	var err error
+	_, evmSp := xtrace.Start(ctx, "evm", "call")
 	if to == nil {
 		ret, _, left, err = machine.Create(from, data, gas, value)
 	} else {
 		ret, left, err = machine.Call(from, *to, data, gas, value)
 	}
+	evmSp.SetError(err)
+	evmSp.SetAttr("gasUsed", fmt.Sprintf("%d", gas-left))
+	evmSp.End()
 	res := &CallResult{Return: ret, GasUsed: gas - left, Err: err}
 	if err != nil {
+		sp.SetError(err)
 		if reason, ok := abi.UnpackRevertReason(ret); ok {
 			res.Reason = reason
 		}
@@ -337,7 +353,13 @@ func (v *HeadView) TraceCall(from ethtypes.Address, to *ethtypes.Address, data [
 	} else {
 		ret, left, err = machine.Call(from, *to, data, gas, uint256.Zero)
 	}
-	return &CallResult{Return: ret, GasUsed: gas - left, Err: err}, tracer
+	res := &CallResult{Return: ret, GasUsed: gas - left, Err: err}
+	if err != nil {
+		if reason, ok := abi.UnpackRevertReason(ret); ok {
+			res.Reason = reason
+		}
+	}
+	return res, tracer
 }
 
 // View returns the current head view. The returned view is immutable —

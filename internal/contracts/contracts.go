@@ -16,7 +16,10 @@ import (
 // DataStorageSource is the data/logic-separation contract of Fig. 3,
 // extended with owner access control and on-chain key enumeration so a
 // new contract version can discover and import every key of its
-// predecessor without off-chain records.
+// predecessor without off-chain records. It also keeps an on-chain
+// payment ledger: an authorized notary contract (see notary.go) records
+// every rent payment it relays, so the evidence of payment lives in the
+// data tier and survives contract upgrades.
 const DataStorageSource = `
 pragma solidity ^0.5.0;
 
@@ -27,7 +30,13 @@ contract DataStorage {
 	mapping (address => uint) public keyCount;
 	mapping (address => mapping(uint => string)) public keyAt;
 
+	/* Payment ledger, written only by authorized notary contracts. */
+	mapping (address => bool) public authorized;
+	mapping (address => uint) public paymentCount;
+	mapping (address => mapping(uint => uint)) public paymentAmount;
+
 	event valueSet(address indexed contractAddr, string key, string value);
+	event paymentRecorded(address indexed contractAddr, uint index, uint amount);
 
 	constructor() public {
 		owner = msg.sender;
@@ -46,6 +55,18 @@ contract DataStorage {
 
 	function getValue(address contractAddr, string memory key) public view returns (string memory) {
 		return keyValuePairs[contractAddr][key];
+	}
+
+	function authorize(address notary) public {
+		require(msg.sender == owner, "only the manager authorizes");
+		authorized[notary] = true;
+	}
+
+	function recordPayment(address contractAddr, uint amount) public {
+		require(authorized[msg.sender], "caller is not an authorized notary");
+		paymentAmount[contractAddr][paymentCount[contractAddr]] = amount;
+		paymentCount[contractAddr] += 1;
+		emit paymentRecorded(contractAddr, paymentCount[contractAddr], amount);
 	}
 }
 `
@@ -82,6 +103,10 @@ contract BaseRental {
 	address public next;
 	/* Address of the previous contract linked */
 	address public previous;
+	/* Payment notary allowed to relay the tenant's rent (see notary.go);
+	   appended after the original declarations so existing storage
+	   layouts are undisturbed. */
+	address public paymentProxy;
 
 	constructor(uint _rent, uint _deposit, uint _contractTime, string memory _house) public payable {
 		rent = _rent;
@@ -111,12 +136,19 @@ contract BaseRental {
 
 	function payRent() public payable {
 		require(state == State.Started, "contract is not active");
-		require(msg.sender == tenant, "only the tenant pays rent");
+		require(msg.sender == tenant || msg.sender == paymentProxy, "only the tenant pays rent");
 		require(msg.value == rent, "rent amount must match");
 		monthCounter += 1;
 		paidrents.push(PaidRent(monthCounter, msg.value));
 		landlord.transfer(msg.value);
-		emit paidRent(msg.sender, monthCounter, msg.value);
+		emit paidRent(tenant, monthCounter, msg.value);
+	}
+
+	/* Let the landlord designate the payment notary that relays rent on
+	   the tenant's behalf while recording evidence in the data tier. */
+	function setPaymentProxy(address _proxy) public {
+		require(msg.sender == landlord, "only the landlord sets the proxy");
+		paymentProxy = _proxy;
 	}
 
 	/* Terminate: after the agreed period the tenant recovers the full
@@ -178,12 +210,12 @@ contract RentalAgreementV2 is BaseRental {
 	/* Updated pay-rent logic: the discount clause applies. */
 	function payRent() public payable {
 		require(state == State.Started, "contract is not active");
-		require(msg.sender == tenant, "only the tenant pays rent");
+		require(msg.sender == tenant || msg.sender == paymentProxy, "only the tenant pays rent");
 		require(msg.value == rent - discount, "discounted rent must match");
 		monthCounter += 1;
 		paidrents.push(PaidRent(monthCounter, msg.value));
 		landlord.transfer(msg.value);
-		emit paidRent(msg.sender, monthCounter, msg.value);
+		emit paidRent(tenant, monthCounter, msg.value);
 	}
 
 	/* A new function to do something advanced: the maintenance clause. */

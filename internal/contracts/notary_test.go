@@ -1,0 +1,214 @@
+package contracts
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/evm"
+	"legalchain/internal/wallet"
+	"legalchain/internal/web3"
+)
+
+// notaryRig deploys DataStorage (owned by accs[0], the manager), a
+// BaseRental (landlord accs[1], tenant accs[2]) and a notary wired to
+// both: authorized on the DataStorage and set as the rental's payment
+// proxy.
+func notaryRig(t *testing.T) (bc *chain.Blockchain, client *web3.Client, accs []wallet.Account, ds, rental, notary *web3.BoundContract) {
+	t.Helper()
+	accs = wallet.DevAccounts("notary test", 4)
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(1000))
+	bc = chain.New(g)
+	ks := wallet.NewKeystore()
+	for _, a := range accs {
+		ks.Import(a.Key)
+	}
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manager, landlord, tenant := accs[0], accs[1], accs[2]
+
+	dsArt := MustArtifact("DataStorage")
+	ds, _, err = client.Deploy(web3.TxOpts{From: manager.Address}, dsArt.ABI, dsArt.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rArt := MustArtifact("BaseRental")
+	rental, _, err = client.Deploy(web3.TxOpts{From: landlord.Address}, rArt.ABI, rArt.Bytecode,
+		ethtypes.Ether(1), ethtypes.Ether(2), uint64(12), "10115-Berlin-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	notary, _, err = client.Deploy(web3.TxOpts{From: manager.Address, GasLimit: 500_000},
+		NotaryABI(), PackNotaryDeploy(ds.Address))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Transact(web3.TxOpts{From: manager.Address}, "authorize", notary.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rental.Transact(web3.TxOpts{From: landlord.Address}, "setPaymentProxy", notary.Address); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rental.Transact(web3.TxOpts{From: tenant.Address, Value: ethtypes.Ether(2)}, "confirmAgreement"); err != nil {
+		t.Fatal(err)
+	}
+	return bc, client, accs, ds, rental, notary
+}
+
+// TestNotaryPayAndRecord drives a rent payment through the notary and
+// checks both sides of the evidence loop: the rental's own history and
+// the DataStorage payment ledger, written in the same transaction.
+func TestNotaryPayAndRecord(t *testing.T) {
+	_, client, accs, ds, rental, notary := notaryRig(t)
+	landlord, tenant := accs[1], accs[2]
+
+	before, _ := client.Backend().GetBalance(landlord.Address)
+	rcpt, err := notary.Transact(web3.TxOpts{From: tenant.Address, Value: ethtypes.Ether(1), GasLimit: 500_000},
+		"payAndRecord", rental.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := client.Backend().GetBalance(landlord.Address)
+	if after.Sub(before) != ethtypes.Ether(1) {
+		t.Fatalf("landlord received %s", ethtypes.FormatEther(after.Sub(before)))
+	}
+
+	// Rental-side history.
+	n, _ := rental.CallUint(tenant.Address, "monthCounter")
+	if n.Uint64() != 1 {
+		t.Fatalf("monthCounter = %s", n)
+	}
+	// The paidRent event names the tenant, not the notary.
+	events, err := rental.FilterEvents("paidRent", 0)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("paidRent events = %v, %v", events, err)
+	}
+	if got := events[0].Args["tenant"].(ethtypes.Address); got != tenant.Address {
+		t.Fatalf("paidRent tenant = %s", got.Hex())
+	}
+
+	// Data-tier ledger.
+	cnt, _ := ds.CallUint(tenant.Address, "paymentCount", rental.Address)
+	if cnt.Uint64() != 1 {
+		t.Fatalf("paymentCount = %s", cnt)
+	}
+	amt, _ := ds.CallUint(tenant.Address, "paymentAmount", rental.Address, uint64(0))
+	if amt != ethtypes.Ether(1) {
+		t.Fatalf("paymentAmount = %s", ethtypes.FormatEther(amt))
+	}
+	recorded, err := ds.FilterEvents("paymentRecorded", 0)
+	if err != nil || len(recorded) != 1 {
+		t.Fatalf("paymentRecorded events = %v, %v", recorded, err)
+	}
+
+	// Both log entries live in the one payment transaction.
+	if len(rcpt.Logs) != 2 {
+		t.Fatalf("payment tx carries %d logs, want 2", len(rcpt.Logs))
+	}
+
+	// The direct tenant path still works alongside the proxy.
+	if _, err := rental.Transact(web3.TxOpts{From: tenant.Address, Value: ethtypes.Ether(1)}, "payRent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNotaryBubblesRevert checks that a nested payRent failure
+// surfaces its original reason through the notary.
+func TestNotaryBubblesRevert(t *testing.T) {
+	bc, _, accs, _, rental, notary := notaryRig(t)
+	tenant := accs[2]
+
+	// Wrong amount: payRent reverts inside the notary.
+	_, err := notary.Transact(web3.TxOpts{From: tenant.Address, Value: ethtypes.Ether(3), GasLimit: 500_000},
+		"payAndRecord", rental.Address)
+	if err == nil {
+		t.Fatal("wrong rent accepted")
+	}
+	if !strings.Contains(err.Error(), "rent amount must match") {
+		t.Fatalf("revert reason lost: %v", err)
+	}
+	// Nothing was recorded anywhere.
+	if n, _ := rental.CallUint(tenant.Address, "monthCounter"); n.Uint64() != 0 {
+		t.Fatal("failed payment counted")
+	}
+	_ = bc
+}
+
+// TestNotaryRequiresAuthorization checks both access-control edges: an
+// unauthorized notary cannot write the ledger, and the rental rejects a
+// notary that was never set as its payment proxy.
+func TestNotaryRequiresAuthorization(t *testing.T) {
+	_, client, accs, ds, rental, _ := notaryRig(t)
+	manager, tenant := accs[0], accs[2]
+
+	// A rogue notary bound to the same DataStorage but never authorized:
+	// recordPayment reverts, and the revert aborts the whole payment.
+	rogue, _, err := client.Deploy(web3.TxOpts{From: manager.Address, GasLimit: 500_000},
+		NotaryABI(), PackNotaryDeploy(ds.Address))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rogue.Transact(web3.TxOpts{From: tenant.Address, Value: ethtypes.Ether(1), GasLimit: 500_000},
+		"payAndRecord", rental.Address)
+	if err == nil {
+		t.Fatal("unauthorized notary recorded a payment")
+	}
+	if n, _ := rental.CallUint(tenant.Address, "monthCounter"); n.Uint64() != 0 {
+		t.Fatal("aborted payment still counted")
+	}
+	if cnt, _ := ds.CallUint(tenant.Address, "paymentCount", rental.Address); cnt.Uint64() != 0 {
+		t.Fatal("unauthorized record persisted")
+	}
+}
+
+// TestNotaryPaymentCallTracer replays the historical payment with the
+// callTracer attached and checks the nested frame tree: notary -> rental
+// (payRent, carrying the value) and notary -> DataStorage
+// (recordPayment) inside one transaction.
+func TestNotaryPaymentCallTracer(t *testing.T) {
+	bc, _, accs, ds, rental, notary := notaryRig(t)
+	tenant := accs[2]
+
+	rcpt, err := notary.Transact(web3.TxOpts{From: tenant.Address, Value: ethtypes.Ether(1), GasLimit: 500_000},
+		"payAndRecord", rental.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := bc.TraceTransaction(context.Background(), rcpt.TxHash, func() evm.Tracer { return evm.NewCallTracer() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Tracer.(*evm.CallTracer).Result()
+	if root == nil || root.To != notary.Address || root.From != tenant.Address {
+		t.Fatalf("root frame = %+v", root)
+	}
+	payFrame := root.Find(rental.Address)
+	if payFrame == nil {
+		t.Fatal("payRent frame missing from trace")
+	}
+	if payFrame.Value == nil || *payFrame.Value != ethtypes.Ether(1) {
+		t.Fatalf("payRent frame value = %+v", payFrame.Value)
+	}
+	recordFrame := root.Find(ds.Address)
+	if recordFrame == nil {
+		t.Fatal("recordPayment frame missing from trace")
+	}
+	if recordFrame.Value != nil {
+		t.Fatal("recordPayment carries no value")
+	}
+	// recordPayment(address,uint256) calldata: selector + 2 words.
+	if len(recordFrame.Input) != 68 {
+		t.Fatalf("recordPayment input = %d bytes", len(recordFrame.Input))
+	}
+	// The rental's landlord.transfer shows up as a value-bearing subcall
+	// of the payRent frame.
+	if len(payFrame.Calls) == 0 {
+		t.Fatal("landlord transfer frame missing")
+	}
+}

@@ -389,3 +389,80 @@ func TestSnapshotContractRejectsBadKeys(t *testing.T) {
 		t.Fatal("parameterised getter accepted")
 	}
 }
+
+// TestNotaryRoutedPayRent exercises the evidence loop through the
+// manager: once a notary exists, freshly deployed versions get their
+// paymentProxy wired automatically, PayRent routes through the notary,
+// and the DataStorage ledger records the payment in the same tx.
+func TestNotaryRoutedPayRent(t *testing.T) {
+	m, accs := rig(t)
+	landlord, tenant := accs[0].Address, accs[2].Address
+	svc := NewRentalService(m)
+
+	notary, err := m.EnsureNotary(landlord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := m.EnsureNotary(landlord); again.Address != notary.Address {
+		t.Fatal("EnsureNotary is not idempotent")
+	}
+
+	dep := deployRental(t, m, landlord)
+	if err := svc.Confirm(tenant, dep.Contract.Address); err != nil {
+		t.Fatal(err)
+	}
+
+	// DeployVersion wired the proxy on chain.
+	proxy, err := dep.Contract.CallAddress(tenant, "paymentProxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy != notary.Address {
+		t.Fatalf("paymentProxy = %s, want the notary %s", proxy.Hex(), notary.Address.Hex())
+	}
+
+	rcpt, err := svc.PayRent(tenant, dep.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payment went through the notary, not straight to the rental.
+	if rcpt.To == nil || *rcpt.To != notary.Address {
+		t.Fatalf("payment tx to = %v, want the notary", rcpt.To)
+	}
+
+	// Evidence in the data tier, keyed by the rental version.
+	ds := m.Client.Bind(m.DataStorageAddress(), contracts.MustArtifact("DataStorage").ABI)
+	cnt, err := ds.CallUint(tenant, "paymentCount", dep.Contract.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Uint64() != 1 {
+		t.Fatalf("paymentCount = %s", cnt)
+	}
+	amt, _ := ds.CallUint(tenant, "paymentAmount", dep.Contract.Address, uint64(0))
+	if amt != ethtypes.Ether(1) {
+		t.Fatalf("paymentAmount = %s", ethtypes.FormatEther(amt))
+	}
+
+	// And the rental's own history still advanced, naming the tenant.
+	if n, _ := dep.Contract.CallUint(tenant, "monthCounter"); n.Uint64() != 1 {
+		t.Fatalf("monthCounter = %s", n)
+	}
+
+	// The upgraded version inherits the wiring through ModifyContract.
+	dep2, err := svc.Modify(landlord, dep.Contract.Address, ModifiedTerms{
+		Rent: ethtypes.Ether(1), Deposit: ethtypes.Ether(2), Months: 12,
+		House: "10115-Berlin-42", MaintenanceFee: ethtypes.Ether(1),
+		Discount: uint256.NewUint64(100), Fine: ethtypes.Ether(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy2, err := dep2.Contract.CallAddress(tenant, "paymentProxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy2 != notary.Address {
+		t.Fatalf("v2 paymentProxy = %s", proxy2.Hex())
+	}
+}

@@ -77,6 +77,7 @@ type Manager struct {
 
 	mu          sync.Mutex
 	dataStorage *web3.BoundContract
+	notary      *web3.BoundContract
 	abiCache    map[ethtypes.Address]*abi.ABI
 }
 
@@ -131,6 +132,62 @@ func (m *Manager) DataStorageAddress() ethtypes.Address {
 		return ethtypes.Address{}
 	}
 	return m.dataStorage.Address
+}
+
+// EnsureNotary deploys the payment notary on first use (bound to the
+// shared DataStorage, which it deploys too if needed) and authorizes it
+// on the ledger, so rent relayed through it leaves evidence in the data
+// tier. from must be the DataStorage owner.
+func (m *Manager) EnsureNotary(from ethtypes.Address) (*web3.BoundContract, error) {
+	ds, err := m.EnsureDataStorage(from)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.notary != nil {
+		return m.notary, nil
+	}
+	bound, _, err := m.Client.Deploy(web3.TxOpts{From: from, GasLimit: 500_000},
+		contracts.NotaryABI(), contracts.PackNotaryDeploy(ds.Address))
+	if err != nil {
+		return nil, fmt.Errorf("core: deploying payment notary: %w", err)
+	}
+	if _, err := ds.Transact(web3.TxOpts{From: from}, "authorize", bound.Address); err != nil {
+		return nil, fmt.Errorf("core: authorizing notary: %w", err)
+	}
+	m.notary = bound
+	return bound, nil
+}
+
+// NotaryAddress returns the payment notary address (zero if not
+// deployed yet).
+func (m *Manager) NotaryAddress() ethtypes.Address {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.notary == nil {
+		return ethtypes.Address{}
+	}
+	return m.notary.Address
+}
+
+// wireNotary points a freshly deployed version at the payment notary
+// when both sides support it: the version exposes setPaymentProxy and a
+// notary has been deployed. Versions without the method (escrow, user
+// uploads) are skipped silently.
+func (m *Manager) wireNotary(from ethtypes.Address, bound *web3.BoundContract) (uint64, error) {
+	if _, ok := bound.ABI.Methods["setPaymentProxy"]; !ok {
+		return 0, nil
+	}
+	notary := m.NotaryAddress()
+	if notary == (ethtypes.Address{}) {
+		return 0, nil
+	}
+	rcpt, err := bound.Transact(web3.TxOpts{From: from}, "setPaymentProxy", notary)
+	if err != nil {
+		return 0, fmt.Errorf("core: wiring payment notary: %w", err)
+	}
+	return rcpt.GasUsed, nil
 }
 
 // PublishABI pins the ABI JSON in the content store and publishes
@@ -192,6 +249,12 @@ func (m *Manager) DeployVersion(from ethtypes.Address, art *minisol.Artifact, le
 	if err != nil {
 		return nil, fmt.Errorf("core: deploy %s: %w", art.Name, err)
 	}
+	gas := rcpt.GasUsed
+	if wireGas, err := m.wireNotary(from, bound); err != nil {
+		return nil, err
+	} else {
+		gas += wireGas
+	}
 	cid, err := m.PublishABI(bound.Address, art.ABIJSON)
 	if err != nil {
 		return nil, err
@@ -217,7 +280,7 @@ func (m *Manager) DeployVersion(from ethtypes.Address, art *minisol.Artifact, le
 	if err := m.putRow(row); err != nil {
 		return nil, err
 	}
-	return &Deployment{Contract: bound, Row: row, GasUsed: rcpt.GasUsed}, nil
+	return &Deployment{Contract: bound, Row: row, GasUsed: gas}, nil
 }
 
 // ModifyOptions tune ModifyContract.
@@ -273,6 +336,11 @@ func (m *Manager) ModifyContract(from ethtypes.Address, prevAddr ethtypes.Addres
 		return nil, fmt.Errorf("core: linking next.prev: %w", err)
 	} else {
 		gas += r.GasUsed
+	}
+	if wireGas, err := m.wireNotary(from, bound); err != nil {
+		return nil, err
+	} else {
+		gas += wireGas
 	}
 
 	cid, err := m.PublishABI(bound.Address, art.ABIJSON)

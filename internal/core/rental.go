@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"legalchain/internal/contracts"
@@ -80,6 +81,14 @@ func (s *RentalService) RentDue(from, contractAddr ethtypes.Address) (uint256.In
 
 // PayRent pays one month of rent from the tenant.
 func (s *RentalService) PayRent(tenant, contractAddr ethtypes.Address) (*ethtypes.Receipt, error) {
+	return s.PayRentCtx(context.Background(), tenant, contractAddr)
+}
+
+// PayRentCtx is PayRent with span propagation. When the version has a
+// payment notary configured on chain (paymentProxy non-zero), the rent
+// is routed through it so the same transaction records evidence in the
+// DataStorage ledger; versions without a notary are paid directly.
+func (s *RentalService) PayRentCtx(ctx context.Context, tenant, contractAddr ethtypes.Address) (*ethtypes.Receipt, error) {
 	due, err := s.RentDue(tenant, contractAddr)
 	if err != nil {
 		return nil, err
@@ -88,7 +97,24 @@ func (s *RentalService) PayRent(tenant, contractAddr ethtypes.Address) (*ethtype
 	if err != nil {
 		return nil, err
 	}
-	return bound.Transact(web3.TxOpts{From: tenant, Value: due}, "payRent")
+	if proxy := s.paymentProxy(tenant, bound); proxy != (ethtypes.Address{}) {
+		notary := s.M.Client.Bind(proxy, contracts.NotaryABI())
+		return notary.TransactCtx(ctx, web3.TxOpts{From: tenant, Value: due}, "payAndRecord", contractAddr)
+	}
+	return bound.TransactCtx(ctx, web3.TxOpts{From: tenant, Value: due}, "payRent")
+}
+
+// paymentProxy reads the version's configured notary address; zero when
+// the version predates the notary mechanism or has none set.
+func (s *RentalService) paymentProxy(from ethtypes.Address, bound *web3.BoundContract) ethtypes.Address {
+	if _, ok := bound.ABI.Methods["paymentProxy"]; !ok {
+		return ethtypes.Address{}
+	}
+	addr, err := bound.CallAddress(from, "paymentProxy")
+	if err != nil {
+		return ethtypes.Address{}
+	}
+	return addr
 }
 
 // PayMaintenance pays the maintenance fee clause of upgraded versions.
@@ -228,6 +254,10 @@ type PaymentRecord struct {
 	Version int
 	Month   uint64
 	Amount  uint256.Int
+	// TxHash is the transaction that paid this month, joined from the
+	// version's paidRent event log. Zero when the version emits no
+	// usable event — the payment is still real, just not traceable.
+	TxHash ethtypes.Hash
 }
 
 // RentHistory aggregates the paidrents arrays across every version of
@@ -248,15 +278,30 @@ func (s *RentalService) RentHistory(viewer, addr ethtypes.Address) ([]PaymentRec
 		if err != nil {
 			continue // not a rental-shaped version
 		}
+		// Join the stored array against the paidRent logs so each record
+		// carries the hash of the transaction that paid it — the handle
+		// debug_traceTransaction replays.
+		txByMonth := map[uint64]ethtypes.Hash{}
+		if _, ok := bound.ABI.Events["paidRent"]; ok {
+			if evs, err := bound.FilterEvents("paidRent", 0); err == nil {
+				for _, e := range evs {
+					if m, ok := e.Args["month"].(uint256.Int); ok && e.Raw != nil {
+						txByMonth[m.Uint64()] = e.Raw.TxHash
+					}
+				}
+			}
+		}
 		for i := uint64(0); i < count.Uint64(); i++ {
 			vals, err := bound.Call(viewer, "paidrents", i)
 			if err != nil {
 				return nil, err
 			}
+			month := vals[0].(uint256.Int).Uint64()
 			out = append(out, PaymentRecord{
 				Version: node.Version,
-				Month:   vals[0].(uint256.Int).Uint64(),
+				Month:   month,
 				Amount:  vals[1].(uint256.Int),
+				TxHash:  txByMonth[month],
 			})
 		}
 	}

@@ -1,0 +1,172 @@
+package evm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"legalchain/internal/abi"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+)
+
+func TestCallTracerNestedCalls(t *testing.T) {
+	e, st := testEVM()
+	inner, outer := addrOf(0x80), addrOf(0x81)
+	deployRaw(st, inner, (&asm{}).push(7).returnTop())
+	a := &asm{}
+	a.push(0).push(0).push(0).push(0).push(0)
+	a.pushBytes(inner[:])
+	a.push(100_000).op(CALL, POP, STOP)
+	deployRaw(st, outer, a.code)
+
+	tr := NewCallTracer()
+	e.Tracer = tr
+	callIt(t, e, outer, []byte{0xAA, 0xBB}, uint256.Zero)
+
+	root := tr.Result()
+	if root == nil {
+		t.Fatal("no root frame")
+	}
+	if root.Type != "CALL" || root.From != addrOf(0xEE) || root.To != outer {
+		t.Fatalf("root frame = %+v", root)
+	}
+	if len(root.Input) != 2 || root.Input[0] != 0xAA {
+		t.Fatalf("root input = %x", root.Input)
+	}
+	if root.GasUsed == 0 || root.GasUsed > root.Gas {
+		t.Fatalf("root gas accounting: gas=%d used=%d", root.Gas, root.GasUsed)
+	}
+	if len(root.Calls) != 1 {
+		t.Fatalf("got %d child frames, want 1", len(root.Calls))
+	}
+	child := root.Calls[0]
+	if child.Type != "CALL" || child.From != outer || child.To != inner {
+		t.Fatalf("child frame = %+v", child)
+	}
+	if len(child.Output) != 32 || child.Output[31] != 7 {
+		t.Fatalf("child output = %x", child.Output)
+	}
+	if got := root.Find(inner); got != child {
+		t.Fatal("Find(inner) missed the nested frame")
+	}
+}
+
+func TestCallTracerRevertReason(t *testing.T) {
+	tr := NewCallTracer()
+	tr.CaptureEnter(CALL, addrOf(1), addrOf(2), nil, 50_000, uint256.Zero)
+	payload := abi.PackRevertReason("rent amount must match")
+	tr.CaptureExit(payload, 1234, ErrExecutionReverted)
+	root := tr.Result()
+	if root.Error == "" || root.RevertReason != "rent amount must match" {
+		t.Fatalf("frame = %+v", root)
+	}
+	if root.GasUsed != 1234 {
+		t.Fatalf("gasUsed = %d", root.GasUsed)
+	}
+}
+
+func TestCallTracerPlainRevertAndFault(t *testing.T) {
+	e, st := testEVM()
+	c := addrOf(0x82)
+	deployRaw(st, c, (&asm{}).push(0).push(0).op(REVERT).code)
+	tr := NewCallTracer()
+	e.Tracer = tr
+	if _, _, err := e.Call(addrOf(0xEE), c, nil, 100_000, uint256.Zero); err == nil {
+		t.Fatal("expected revert")
+	}
+	root := tr.Result()
+	if !strings.Contains(root.Error, "reverted") || root.RevertReason != "" {
+		t.Fatalf("frame = %+v", root)
+	}
+
+	// A non-revert fault consumes the frame's gas and is recorded too.
+	c2 := addrOf(0x83)
+	deployRaw(st, c2, (&asm{}).push(99).op(JUMP).code)
+	tr = NewCallTracer()
+	e.Tracer = tr
+	e.Call(addrOf(0xEE), c2, nil, 60_000, uint256.Zero)
+	root = tr.Result()
+	if !strings.Contains(root.Error, "invalid jump") || root.GasUsed != 60_000 {
+		t.Fatalf("fault frame = %+v", root)
+	}
+}
+
+func TestCallTracerCreateFrame(t *testing.T) {
+	e, _ := testEVM()
+	// Init code returning a 1-byte runtime (STOP).
+	init := (&asm{}).push(0).push(0).op(MSTORE8).push(1).push(0).op(RETURN).code
+	tr := NewCallTracer()
+	e.Tracer = tr
+	_, addr, _, err := e.Create(addrOf(0xEE), init, 200_000, uint256.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Result()
+	if root.Type != "CREATE" || root.To != addr {
+		t.Fatalf("create frame = %+v", root)
+	}
+	if len(root.Output) != 1 {
+		t.Fatalf("create output (runtime code) = %x", root.Output)
+	}
+}
+
+func TestCallTracerValueTransferAndPrecompile(t *testing.T) {
+	e, st := testEVM()
+	st.AddBalance(addrOf(0xEE), ethtypes.Ether(1))
+	c := addrOf(0x84)
+	// CALL the identity precompile (0x4) with 3 bytes of memory.
+	a := &asm{}
+	a.push(0).push(0).push(3).push(0).push(0)
+	a.pushBytes([]byte{4})
+	a.push(50_000).op(CALL, POP, STOP)
+	deployRaw(st, c, a.code)
+	tr := NewCallTracer()
+	e.Tracer = tr
+	callIt(t, e, c, nil, uint256.NewUint64(5))
+	root := tr.Result()
+	if root.Value == nil || root.Value.Uint64() != 5 {
+		t.Fatalf("root value = %+v", root.Value)
+	}
+	if len(root.Calls) != 1 || root.Calls[0].To != ethtypes.BytesToAddress([]byte{4}) {
+		t.Fatalf("precompile frame missing: %+v", root.Calls)
+	}
+}
+
+func TestCallFrameJSONShape(t *testing.T) {
+	tr := NewCallTracer()
+	v := uint256.NewUint64(42)
+	tr.CaptureEnter(CALL, addrOf(1), addrOf(2), []byte{0xde, 0xad}, 90_000, v)
+	tr.CaptureEnter(STATICCALL, addrOf(2), addrOf(3), nil, 80_000, uint256.Zero)
+	tr.CaptureExit([]byte{0x01}, 100, nil)
+	tr.CaptureExit([]byte{0x02}, 5_000, nil)
+
+	raw, err := json.Marshal(tr.Result())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["type"] != "CALL" || got["value"] != "0x2a" || got["input"] != "0xdead" {
+		t.Fatalf("frame JSON = %s", raw)
+	}
+	if got["gas"] != "0x15f90" || got["gasUsed"] != "0x1388" {
+		t.Fatalf("gas fields = %s", raw)
+	}
+	calls, ok := got["calls"].([]interface{})
+	if !ok || len(calls) != 1 {
+		t.Fatalf("calls = %s", raw)
+	}
+	sub := calls[0].(map[string]interface{})
+	if sub["type"] != "STATICCALL" || sub["output"] != "0x01" {
+		t.Fatalf("nested frame = %s", raw)
+	}
+	if _, present := sub["value"]; present {
+		t.Fatal("zero value must be omitted")
+	}
+	if _, present := sub["error"]; present {
+		t.Fatal("empty error must be omitted")
+	}
+}

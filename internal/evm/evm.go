@@ -116,10 +116,25 @@ func (e *EVM) transfer(from, to ethtypes.Address, amount uint256.Int) {
 	e.State.AddBalance(to, amount)
 }
 
+// frameTracer returns the installed tracer's FrameTracer extension, or
+// nil. The type assertion only runs when a tracer is installed, so the
+// untraced path pays a single nil check.
+func (e *EVM) frameTracer() FrameTracer {
+	if e.Tracer == nil {
+		return nil
+	}
+	ft, _ := e.Tracer.(FrameTracer)
+	return ft
+}
+
 // Call executes the code at `to` with the given input, transferring
 // value from caller. It returns the output, the gas left, and an error
 // (ErrExecutionReverted keeps the output as the revert payload).
-func (e *EVM) Call(caller, to ethtypes.Address, input []byte, gas uint64, value uint256.Int) ([]byte, uint64, error) {
+func (e *EVM) Call(caller, to ethtypes.Address, input []byte, gas uint64, value uint256.Int) (retOut []byte, gasLeft uint64, retErr error) {
+	if ft := e.frameTracer(); ft != nil {
+		ft.CaptureEnter(CALL, caller, to, input, gas, value)
+		defer func() { ft.CaptureExit(retOut, gas-gasLeft, retErr) }()
+	}
 	if e.depth > CallCreateDepth {
 		return nil, gas, ErrMaxDepth
 	}
@@ -166,7 +181,11 @@ func (e *EVM) Call(caller, to ethtypes.Address, input []byte, gas uint64, value 
 }
 
 // StaticCall executes code with state mutation disabled.
-func (e *EVM) StaticCall(caller, to ethtypes.Address, input []byte, gas uint64) ([]byte, uint64, error) {
+func (e *EVM) StaticCall(caller, to ethtypes.Address, input []byte, gas uint64) (retOut []byte, gasLeft uint64, retErr error) {
+	if ft := e.frameTracer(); ft != nil {
+		ft.CaptureEnter(STATICCALL, caller, to, input, gas, uint256.Zero)
+		defer func() { ft.CaptureExit(retOut, gas-gasLeft, retErr) }()
+	}
 	if e.depth > CallCreateDepth {
 		return nil, gas, ErrMaxDepth
 	}
@@ -208,7 +227,11 @@ func (e *EVM) StaticCall(caller, to ethtypes.Address, input []byte, gas uint64) 
 
 // delegateCall runs to's code in the parent's storage context, keeping
 // the parent's caller and value.
-func (e *EVM) delegateCall(parent *frame, to ethtypes.Address, input []byte, gas uint64) ([]byte, uint64, error) {
+func (e *EVM) delegateCall(parent *frame, to ethtypes.Address, input []byte, gas uint64) (retOut []byte, gasLeft uint64, retErr error) {
+	if ft := e.frameTracer(); ft != nil {
+		ft.CaptureEnter(DELEGATECALL, parent.contract, to, input, gas, uint256.Zero)
+		defer func() { ft.CaptureExit(retOut, gas-gasLeft, retErr) }()
+	}
 	if e.depth > CallCreateDepth {
 		return nil, gas, ErrMaxDepth
 	}
@@ -244,7 +267,11 @@ func (e *EVM) delegateCall(parent *frame, to ethtypes.Address, input []byte, gas
 
 // callCode runs to's code with the parent's storage but a fresh
 // caller/value (legacy CALLCODE).
-func (e *EVM) callCode(parent *frame, to ethtypes.Address, input []byte, gas uint64, value uint256.Int) ([]byte, uint64, error) {
+func (e *EVM) callCode(parent *frame, to ethtypes.Address, input []byte, gas uint64, value uint256.Int) (retOut []byte, gasLeft uint64, retErr error) {
+	if ft := e.frameTracer(); ft != nil {
+		ft.CaptureEnter(CALLCODE, parent.contract, to, input, gas, value)
+		defer func() { ft.CaptureExit(retOut, gas-gasLeft, retErr) }()
+	}
 	if e.depth > CallCreateDepth {
 		return nil, gas, ErrMaxDepth
 	}
@@ -279,7 +306,7 @@ func (e *EVM) callCode(parent *frame, to ethtypes.Address, input []byte, gas uin
 func (e *EVM) Create(caller ethtypes.Address, initCode []byte, gas uint64, value uint256.Int) ([]byte, ethtypes.Address, uint64, error) {
 	nonce := e.State.GetNonce(caller)
 	addr := ethtypes.CreateAddress(caller, nonce)
-	return e.create(caller, initCode, gas, value, addr, true)
+	return e.create(CREATE, caller, initCode, gas, value, addr, true)
 }
 
 // Create2 deploys at keccak(0xff ++ caller ++ salt ++ keccak(init))[12:].
@@ -288,10 +315,14 @@ func (e *EVM) Create2(caller ethtypes.Address, initCode []byte, gas uint64, valu
 	saltBytes := salt.Bytes32()
 	h := ethtypes.Keccak256([]byte{0xff}, caller[:], saltBytes[:], codeHash[:])
 	addr := ethtypes.BytesToAddress(h[12:])
-	return e.create(caller, initCode, gas, value, addr, true)
+	return e.create(CREATE2, caller, initCode, gas, value, addr, true)
 }
 
-func (e *EVM) create(caller ethtypes.Address, initCode []byte, gas uint64, value uint256.Int, addr ethtypes.Address, bumpNonce bool) ([]byte, ethtypes.Address, uint64, error) {
+func (e *EVM) create(typ OpCode, caller ethtypes.Address, initCode []byte, gas uint64, value uint256.Int, addr ethtypes.Address, bumpNonce bool) (retOut []byte, retAddr ethtypes.Address, gasLeft uint64, retErr error) {
+	if ft := e.frameTracer(); ft != nil {
+		ft.CaptureEnter(typ, caller, addr, initCode, gas, value)
+		defer func() { ft.CaptureExit(retOut, gas-gasLeft, retErr) }()
+	}
 	if e.depth > CallCreateDepth {
 		return nil, ethtypes.Address{}, gas, ErrMaxDepth
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"legalchain/internal/metrics"
+	"legalchain/internal/xtrace"
 )
 
 // ctxKey carries the request ID through a context.
@@ -133,8 +134,10 @@ func InstrumentHandler(route string, next http.Handler) http.Handler {
 
 // LogRequests assigns each request an ID (reusing an inbound
 // X-Request-Id when present), reflects it in the response headers and
-// context, and emits one structured log line per request. A nil logger
-// still propagates IDs but logs nothing.
+// context, opens the root span of the request's trace (the trace ID is
+// the request ID, so logs, error envelopes and traces join on one key),
+// and emits one structured log line per request. A nil logger still
+// propagates IDs and spans but logs nothing.
 func LogRequests(l *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := r.Header.Get(RequestIDHeader)
@@ -142,14 +145,16 @@ func LogRequests(l *slog.Logger, next http.Handler) http.Handler {
 			rid = NewRequestID()
 		}
 		w.Header().Set(RequestIDHeader, rid)
-		r = r.WithContext(WithRequestID(r.Context(), rid))
-		if l == nil {
-			next.ServeHTTP(w, r)
-			return
-		}
+		ctx, span := xtrace.StartRoot(WithRequestID(r.Context(), rid), "http", r.Method+" "+r.URL.Path, rid)
+		r = r.WithContext(ctx)
 		t0 := time.Now()
 		sw := WrapWriter(w)
 		next.ServeHTTP(sw, r)
+		span.SetAttr("status", strconv.Itoa(sw.Status))
+		span.End()
+		if l == nil {
+			return
+		}
 		l.LogAttrs(r.Context(), slog.LevelInfo, "http_request",
 			slog.String("id", rid),
 			slog.String("method", r.Method),

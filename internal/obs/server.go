@@ -6,6 +6,7 @@ import (
 	"net/http/pprof"
 
 	"legalchain/internal/metrics"
+	"legalchain/internal/xtrace"
 )
 
 // OpsHandler builds the operational sidecar mux served on the
@@ -13,6 +14,7 @@ import (
 //
 //	/metrics        Prometheus text exposition of metrics.Default
 //	/healthz        liveness JSON; health() contributes extra fields
+//	/debug/traces   completed xtrace spans (list, detail, Chrome format)
 //	/debug/pprof/*  Go profiler, only when pprofEnabled
 //
 // The pprof handlers are registered explicitly rather than through
@@ -21,6 +23,8 @@ import (
 func OpsHandler(pprofEnabled bool, health func() map[string]interface{}) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler())
+	mux.Handle("/debug/traces", xtrace.Handler())
+	mux.Handle("/debug/traces/", xtrace.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]interface{}{"status": "ok"}
 		if health != nil {

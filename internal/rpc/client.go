@@ -12,6 +12,7 @@ import (
 	"legalchain/internal/chain"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/hexutil"
+	"legalchain/internal/obs"
 	"legalchain/internal/uint256"
 	"legalchain/internal/web3"
 )
@@ -23,11 +24,24 @@ type Client struct {
 	url  string
 	hc   *http.Client
 	next uint64
+	rid  string
 }
 
 // Dial creates a client for a JSON-RPC endpoint URL.
 func Dial(url string) *Client {
 	return &Client{url: url, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// SetRequestID sets the X-Request-Id header sent with every subsequent
+// call, so a client-side operation joins the server's request log,
+// error envelopes and trace under one ID.
+func (c *Client) SetRequestID(id string) { c.rid = id }
+
+// Call performs one raw JSON-RPC invocation — the escape hatch for
+// methods outside the web3.Backend surface (debug_traceTransaction and
+// friends). Pass a *json.RawMessage as out to keep the result verbatim.
+func (c *Client) Call(out interface{}, method string, params ...interface{}) error {
+	return c.call(out, method, params...)
 }
 
 // call performs one JSON-RPC round trip, decoding the result into out.
@@ -39,7 +53,15 @@ func (c *Client) call(out interface{}, method string, params ...interface{}) err
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.url, "application/json", bytes.NewReader(reqBody))
+	req, err := http.NewRequest(http.MethodPost, c.url, bytes.NewReader(reqBody))
+	if err != nil {
+		return fmt.Errorf("rpc: %s: %w", method, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.rid != "" {
+		req.Header.Set(obs.RequestIDHeader, c.rid)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("rpc: %s: %w", method, err)
 	}
@@ -57,6 +79,10 @@ func (c *Client) call(out interface{}, method string, params ...interface{}) err
 			reason := strings.TrimPrefix(wire.Error.Message, "execution reverted")
 			reason = strings.TrimPrefix(reason, ": ")
 			return &web3.RevertError{Reason: reason}
+		}
+		if wire.Error.RequestID != "" {
+			return fmt.Errorf("rpc: %s: %s (code %d, request %s)",
+				method, wire.Error.Message, wire.Error.Code, wire.Error.RequestID)
 		}
 		return fmt.Errorf("rpc: %s: %s (code %d)", method, wire.Error.Message, wire.Error.Code)
 	}

@@ -22,6 +22,7 @@ import (
 	"legalchain/internal/hexutil"
 	"legalchain/internal/obs"
 	"legalchain/internal/wallet"
+	"legalchain/internal/xtrace"
 )
 
 // Server handles JSON-RPC requests for one Blockchain.
@@ -61,6 +62,10 @@ type rpcError struct {
 	Code    int         `json:"code"`
 	Message string      `json:"message"`
 	Data    interface{} `json:"data,omitempty"`
+	// RequestID echoes the X-Request-Id of the HTTP request that carried
+	// this call, so a failing JSON-RPC response can be joined with the
+	// server's request log and its trace without headers.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // Standard JSON-RPC error codes, plus geth's convention of code 3 for
@@ -97,6 +102,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
+	}
+	// A standalone JSON-RPC listener (devnet) has no obs middleware in
+	// front of it: adopt the caller's X-Request-Id here so error
+	// envelopes, logs and traces still join under one ID.
+	if obs.RequestIDFrom(r.Context()) == "" {
+		if rid := r.Header.Get(obs.RequestIDHeader); rid != "" {
+			r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+		}
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
@@ -155,7 +168,8 @@ func okResponse(id json.RawMessage, result interface{}) response {
 	return response{JSONRPC: "2.0", ID: id, Result: result}
 }
 
-// handle dispatches one request, recording per-method metrics and an
+// handle dispatches one request, recording per-method metrics, a span
+// (each batch element gets its own child of the HTTP root span) and an
 // optional structured log line.
 func (s *Server) handle(ctx context.Context, req *request) response {
 	if req.Method == "" {
@@ -164,7 +178,18 @@ func (s *Server) handle(ctx context.Context, req *request) response {
 	label := methodLabel(req.Method)
 	t0 := time.Now()
 	rpcInFlight.Inc()
-	result, err := s.dispatch(req.Method, req.Params)
+	// Child of the HTTP root span when one exists (rentald's in-process
+	// path); otherwise this method span is itself the trace root, keyed
+	// by the request ID when the caller sent one.
+	var span *xtrace.Span
+	if xtrace.FromContext(ctx) != nil {
+		ctx, span = xtrace.Start(ctx, "rpc", req.Method)
+	} else {
+		ctx, span = xtrace.StartRoot(ctx, "rpc", req.Method, obs.RequestIDFrom(ctx))
+	}
+	result, err := s.dispatch(ctx, req.Method, req.Params)
+	span.SetError(err)
+	span.End()
 	rpcInFlight.Dec()
 	rpcSeconds.With(label).ObserveSince(t0)
 	rpcRequests.With(label).Inc()
@@ -172,6 +197,7 @@ func (s *Server) handle(ctx context.Context, req *request) response {
 	resp := okResponse(req.ID, result)
 	if err != nil {
 		e := toRPCError(err)
+		e.RequestID = obs.RequestIDFrom(ctx)
 		rpcErrors.With(label, strconv.Itoa(e.Code)).Inc()
 		resp = response{JSONRPC: "2.0", ID: req.ID, Error: e}
 	}
@@ -212,7 +238,7 @@ func toRPCError(err error) *rpcError {
 
 var errMethodNotFound = fmt.Errorf("method not found")
 
-func (s *Server) dispatch(method string, params []json.RawMessage) (interface{}, error) {
+func (s *Server) dispatch(ctx context.Context, method string, params []json.RawMessage) (interface{}, error) {
 	switch method {
 	case "web3_clientVersion":
 		return "legalchain/devnet/v1.0.0", nil
@@ -285,7 +311,7 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		if err != nil {
 			return nil, invalidParams("bad transaction: %v", err)
 		}
-		hash, err := s.bc.SendTransaction(tx)
+		hash, err := s.bc.SendTransactionCtx(ctx, tx)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +322,7 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		if err != nil {
 			return nil, err
 		}
-		res := s.bc.Call(msg.from, msg.to, msg.data, msg.value, msg.gas)
+		res := s.bc.CallCtx(ctx, msg.from, msg.to, msg.data, msg.value, msg.gas)
 		if res.Err != nil {
 			if re := res.Revert(); re != nil {
 				return nil, re
@@ -388,16 +414,68 @@ func (s *Server) dispatch(method string, params []json.RawMessage) (interface{},
 		}
 		res, trace := s.bc.TraceCall(msg.from, msg.to, msg.data, msg.gas)
 		out := map[string]interface{}{
-			"gas":      hexutil.EncodeUint64(res.GasUsed),
-			"failed":   res.Err != nil,
-			"steps":    len(trace.Logs),
-			"opCounts": trace.OpCount,
+			"gas":        hexutil.EncodeUint64(res.GasUsed),
+			"failed":     res.Err != nil,
+			"steps":      len(trace.Logs),
+			"opCounts":   trace.OpCount,
+			"structLogs": structLogsJSON(trace),
+		}
+		if trace.Truncated() {
+			out["truncated"] = true
+		}
+		if trace.Fault != nil {
+			out["fault"] = trace.Fault.Error()
 		}
 		if res.Err != nil {
 			out["error"] = res.Err.Error()
 		}
+		if res.Reason != "" {
+			out["revertReason"] = res.Reason
+		}
 		if len(res.Return) > 0 {
 			out["returnValue"] = hexutil.Encode(res.Return)
+		}
+		return out, nil
+
+	case "debug_traceTransaction":
+		h, err := hashParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := traceConfigParam(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := s.bc.TraceTransaction(ctx, h, cfg.factory)
+		if err != nil {
+			return nil, mapTraceErr(err)
+		}
+		return traceResultJSON(tr), nil
+
+	case "debug_traceBlockByNumber":
+		tag, err := strParam(params, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := traceConfigParam(params, 1)
+		if err != nil {
+			return nil, err
+		}
+		v := s.bc.View()
+		n, err := parseBlockTag(tag, v.BlockNumber())
+		if err != nil {
+			return nil, err
+		}
+		traces, err := s.bc.TraceBlockByNumber(ctx, n, cfg.factory)
+		if err != nil {
+			return nil, mapTraceErr(err)
+		}
+		out := make([]interface{}, len(traces))
+		for i, tr := range traces {
+			out[i] = map[string]interface{}{
+				"txHash": tr.TxHash.Hex(),
+				"result": traceResultJSON(tr),
+			}
 		}
 		return out, nil
 

@@ -1,0 +1,289 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"legalchain/internal/abi"
+	"legalchain/internal/minisol"
+	"legalchain/internal/obs"
+	"legalchain/internal/web3"
+)
+
+// rpcCall posts one JSON-RPC request and decodes the wire envelope.
+func rpcCall(t *testing.T, url, body string) (json.RawMessage, *rpcError) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Result json.RawMessage `json:"result"`
+		Error  *rpcError       `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Result, out.Error
+}
+
+// structLogResult is the geth-style step-list output shape.
+type structLogResult struct {
+	Gas        string `json:"gas"`
+	Failed     bool   `json:"failed"`
+	Truncated  bool   `json:"truncated"`
+	Fault      string `json:"fault"`
+	Error      string `json:"error"`
+	Reason     string `json:"revertReason"`
+	StructLogs []struct {
+		PC        *uint64 `json:"pc"`
+		Op        string  `json:"op"`
+		Gas       *uint64 `json:"gas"`
+		Depth     *int    `json:"depth"`
+		StackSize *int    `json:"stackSize"`
+	} `json:"structLogs"`
+}
+
+// TestDebugTraceCallStructLogShape pins the wire field names of the
+// step list: pc, op, gas, depth (geth's names) plus stackSize.
+func TestDebugTraceCallStructLogShape(t *testing.T) {
+	client, accs, srv := rig(t)
+	art, err := minisol.CompileContract(rpcCounterSrc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, _ := art.ABI.Pack("increment")
+	raw, rpcErr := rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":1,"method":"debug_traceCall","params":[{"from":"`+
+			accs[0].Address.Hex()+`","to":"`+bound.Address.Hex()+`","data":"`+hexEncode(input)+`"}]}`)
+	if rpcErr != nil {
+		t.Fatalf("error: %+v", rpcErr)
+	}
+	var res structLogResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || len(res.StructLogs) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	first := res.StructLogs[0]
+	if first.PC == nil || first.Gas == nil || first.Depth == nil || first.StackSize == nil || first.Op == "" {
+		t.Fatalf("structLogs[0] missing fields: %+v", first)
+	}
+	sawSSTORE := false
+	for _, l := range res.StructLogs {
+		if l.Op == "SSTORE" {
+			sawSSTORE = true
+		}
+	}
+	if !sawSSTORE {
+		t.Fatal("no SSTORE step in increment trace")
+	}
+}
+
+// TestDebugTraceCallTruncation runs an infinite loop with enough gas to
+// exceed DefaultMaxSteps: the logger stops recording but the call keeps
+// executing, and the reply says so.
+func TestDebugTraceCallTruncation(t *testing.T) {
+	client, accs, srv := rig(t)
+	// Runtime 5b600056 = JUMPDEST; PUSH1 0; JUMP — loops forever.
+	// Init: PUSH4 <runtime>; PUSH1 0; MSTORE; PUSH1 4; PUSH1 28; RETURN.
+	init := []byte{0x63, 0x5b, 0x60, 0x00, 0x56, 0x60, 0x00, 0x52, 0x60, 0x04, 0x60, 0x1c, 0xf3}
+	loop, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address, GasLimit: 100_000}, &abi.ABI{}, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each iteration is 3 steps / ~12 gas: 2M gas drives well past the
+	// 100k recorded-step cap before running out.
+	raw, rpcErr := rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":1,"method":"debug_traceCall","params":[{"from":"`+
+			accs[0].Address.Hex()+`","to":"`+loop.Address.Hex()+`","gas":"0x1e8480"}]}`)
+	if rpcErr != nil {
+		t.Fatalf("error: %+v", rpcErr)
+	}
+	var res structLogResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatalf("truncated not set (steps=%d)", len(res.StructLogs))
+	}
+	if !res.Failed || res.Fault == "" {
+		t.Fatalf("out-of-gas loop: failed=%v fault=%q", res.Failed, res.Fault)
+	}
+	if len(res.StructLogs) != 100_000 {
+		t.Fatalf("recorded %d steps, want the 100000 cap", len(res.StructLogs))
+	}
+}
+
+// TestDebugTraceCallFault: a require(false) revert surfaces with
+// failed=true and the decoded reason; reverts are deliberate exits, so
+// the fault field (hard aborts like out-of-gas) stays empty.
+func TestDebugTraceCallFault(t *testing.T) {
+	client, accs, srv := rig(t)
+	art, err := minisol.CompileContract(rpcCounterSrc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, _ := art.ABI.Pack("guarded")
+	raw, rpcErr := rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":1,"method":"debug_traceCall","params":[{"from":"`+
+			accs[0].Address.Hex()+`","to":"`+bound.Address.Hex()+`","data":"`+hexEncode(input)+`"}]}`)
+	if rpcErr != nil {
+		t.Fatalf("error: %+v", rpcErr)
+	}
+	var res structLogResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Reason != "nope" || !strings.Contains(res.Error, "reverted") {
+		t.Fatalf("revert not captured: failed=%v error=%q reason=%q", res.Failed, res.Error, res.Reason)
+	}
+	if res.Fault != "" {
+		t.Fatalf("revert misreported as hard fault: %q", res.Fault)
+	}
+}
+
+// TestDebugTraceTransactionOverHTTP replays a mined transaction in both
+// output modes and checks replay fidelity against the stored receipt.
+func TestDebugTraceTransactionOverHTTP(t *testing.T) {
+	client, accs, srv := rig(t)
+	art, err := minisol.CompileContract(rpcCounterSrc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err := bound.Transact(web3.TxOpts{From: accs[0].Address}, "increment")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default tracer: the structLog object, gas matching the receipt.
+	raw, rpcErr := rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":1,"method":"debug_traceTransaction","params":["`+rcpt.TxHash.Hex()+`"]}`)
+	if rpcErr != nil {
+		t.Fatalf("error: %+v", rpcErr)
+	}
+	var res structLogResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || len(res.StructLogs) == 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+
+	// callTracer: the frame tree rooted at the counter contract.
+	raw, rpcErr = rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":2,"method":"debug_traceTransaction","params":["`+
+			rcpt.TxHash.Hex()+`", {"tracer":"callTracer"}]}`)
+	if rpcErr != nil {
+		t.Fatalf("callTracer error: %+v", rpcErr)
+	}
+	var frame struct {
+		Type    string `json:"type"`
+		From    string `json:"from"`
+		To      string `json:"to"`
+		GasUsed string `json:"gasUsed"`
+	}
+	if err := json.Unmarshal(raw, &frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != "CALL" || !strings.EqualFold(frame.To, bound.Address.Hex()) ||
+		!strings.EqualFold(frame.From, accs[0].Address.Hex()) {
+		t.Fatalf("frame = %+v", frame)
+	}
+
+	// Unknown hash: invalid-params error, not a server fault.
+	_, rpcErr = rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":3,"method":"debug_traceTransaction","params":["0x`+
+			strings.Repeat("ab", 32)+`"]}`)
+	if rpcErr == nil || rpcErr.Code != codeInvalidParams {
+		t.Fatalf("unknown hash: %+v", rpcErr)
+	}
+
+	// Unknown tracer name: rejected up front.
+	_, rpcErr = rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":4,"method":"debug_traceTransaction","params":["`+
+			rcpt.TxHash.Hex()+`", {"tracer":"evilTracer"}]}`)
+	if rpcErr == nil || rpcErr.Code != codeInvalidParams {
+		t.Fatalf("unknown tracer: %+v", rpcErr)
+	}
+}
+
+// TestDebugTraceBlockByNumber traces every transaction of a block.
+func TestDebugTraceBlockByNumber(t *testing.T) {
+	client, accs, srv := rig(t)
+	art, err := minisol.CompileContract(rpcCounterSrc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err := bound.Transact(web3.TxOpts{From: accs[0].Address}, "increment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, rpcErr := rpcCall(t, srv.URL,
+		`{"jsonrpc":"2.0","id":1,"method":"debug_traceBlockByNumber","params":["0x2", {"tracer":"callTracer"}]}`)
+	if rpcErr != nil {
+		t.Fatalf("error: %+v", rpcErr)
+	}
+	var list []struct {
+		TxHash string          `json:"txHash"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || !strings.EqualFold(list[0].TxHash, rcpt.TxHash.Hex()) {
+		t.Fatalf("list = %+v", list)
+	}
+	if len(list[0].Result) == 0 || string(list[0].Result) == "null" {
+		t.Fatal("empty per-tx result")
+	}
+}
+
+// TestRPCErrorRequestID: JSON-RPC error replies echo the propagated
+// X-Request-Id so failures join the server log and trace.
+func TestRPCErrorRequestID(t *testing.T) {
+	_, _, srv := rig(t)
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewBufferString(
+		`{"jsonrpc":"2.0","id":1,"method":"debug_traceTransaction","params":["0x`+
+			strings.Repeat("cd", 32)+`"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "rpc-rid-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Error *rpcError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == nil || out.Error.RequestID != "rpc-rid-7" {
+		t.Fatalf("error = %+v", out.Error)
+	}
+}

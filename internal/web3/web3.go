@@ -8,6 +8,7 @@
 package web3
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -191,6 +192,11 @@ type TxOpts struct {
 
 // sendTx builds, signs, submits and waits for a transaction.
 func (c *Client) sendTx(opts TxOpts, to *ethtypes.Address, data []byte) (*ethtypes.Receipt, error) {
+	return c.sendTxCtx(context.Background(), opts, to, data)
+}
+
+// sendTxCtx is sendTx with span propagation into the backend.
+func (c *Client) sendTxCtx(ctx context.Context, opts TxOpts, to *ethtypes.Address, data []byte) (*ethtypes.Receipt, error) {
 	nonce, err := c.backend.GetNonce(opts.From)
 	if err != nil {
 		return nil, err
@@ -215,7 +221,7 @@ func (c *Client) sendTx(opts TxOpts, to *ethtypes.Address, data []byte) (*ethtyp
 	if err := c.ks.SignTx(opts.From, tx, c.chainID); err != nil {
 		return nil, err
 	}
-	hash, err := c.backend.SendRawTransaction(tx.Encode())
+	hash, err := c.sendRaw(ctx, tx.Encode())
 	if err != nil {
 		return nil, err
 	}

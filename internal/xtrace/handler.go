@@ -1,0 +1,137 @@
+package xtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Handler serves the completed-trace ring:
+//
+//	GET /debug/traces          JSON list of trace summaries (newest first)
+//	GET /debug/traces/{id}     one trace in full span detail
+//	GET /debug/traces/chrome   every buffered trace in Chrome trace_event
+//	                           format — load in about:tracing or Perfetto
+//
+// It is mounted by obs.OpsHandler on the metrics sidecar, next to
+// /metrics and /debug/pprof/.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/traces")
+		rest = strings.TrimPrefix(rest, "/")
+		switch rest {
+		case "":
+			serveList(w)
+		case "chrome":
+			serveChrome(w)
+		default:
+			serveDetail(w, rest)
+		}
+	})
+}
+
+type traceSummary struct {
+	ID         string    `json:"id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"durationNs"`
+	Spans      int       `json:"spans"`
+	Errors     int       `json:"errors"`
+}
+
+func serveList(w http.ResponseWriter) {
+	traces := Traces()
+	out := struct {
+		Traces []traceSummary `json:"traces"`
+	}{Traces: make([]traceSummary, 0, len(traces))}
+	for _, td := range traces {
+		s := traceSummary{
+			ID:         td.ID,
+			Root:       td.Root(),
+			Start:      td.Start,
+			DurationNs: int64(td.Duration),
+			Spans:      len(td.Spans),
+		}
+		for _, sp := range td.Spans {
+			if sp.Err != "" {
+				s.Errors++
+			}
+		}
+		out.Traces = append(out.Traces, s)
+	}
+	writeJSON(w, out)
+}
+
+func serveDetail(w http.ResponseWriter, id string) {
+	td := Lookup(id)
+	if td == nil {
+		http.Error(w, `{"error":"unknown trace"}`, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, td)
+}
+
+// chromeEvent is one entry of the Chrome trace_event "JSON array
+// format". ph "X" is a complete event; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+func serveChrome(w http.ResponseWriter) {
+	traces := Traces()
+	events := make([]chromeEvent, 0, 64)
+	// One "process" per trace so Perfetto groups spans by request; all
+	// spans of a trace share one thread lane — they nest in time, so
+	// complete events render as a flame graph.
+	for i := len(traces) - 1; i >= 0; i-- { // oldest first for stable ts order
+		td := traces[i]
+		pid := len(traces) - i
+		events = append(events, chromeEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]interface{}{"name": td.Root() + " [" + td.ID + "]"},
+		})
+		spans := append([]SpanData(nil), td.Spans...)
+		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+		for _, sp := range spans {
+			args := map[string]interface{}{"trace": td.ID, "span": sp.ID}
+			if sp.Parent != 0 {
+				args["parent"] = sp.Parent
+			}
+			if sp.Err != "" {
+				args["error"] = sp.Err
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Cat:  sp.Tier,
+				Ph:   "X",
+				Ts:   float64(sp.Start.UnixNano()) / 1e3,
+				Dur:  float64(sp.Duration.Nanoseconds()) / 1e3,
+				Pid:  pid,
+				Tid:  1,
+				Args: args,
+			})
+		}
+	}
+	writeJSON(w, struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
