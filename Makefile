@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check ci bench bench-smoke race persistence-torture fmt-check obs-check
+.PHONY: build test check ci bench bench-smoke race persistence-torture conflict-torture fmt-check obs-check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/... ./internal/xtrace/...
 	$(MAKE) persistence-torture
+	$(MAKE) conflict-torture
 	$(MAKE) obs-check
 
 # ci mirrors .github/workflows/ci.yml exactly, so the merge gate is
@@ -46,6 +47,13 @@ persistence-torture:
 	$(GO) test -race ./internal/blockdb/... ./internal/docstore/...
 	$(GO) test -race -run 'Restart|Torture|Genesis|WAL' ./internal/chain/... ./internal/rpc/...
 
+# conflict-torture stresses the optimistic-parallel executor and the
+# pipelined seal under the race detector: adversarial all-conflicting
+# batches (nonce chains, shared storage slots), the serial-equivalence
+# property fuzz, and concurrent writers/readers over in-flight tails.
+conflict-torture:
+	$(GO) test -race -count 1 -run 'TestParallel|TestPipelined' ./internal/chain/
+
 race:
 	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/... ./internal/xtrace/...
 
@@ -54,10 +62,11 @@ bench:
 	$(GO) test -run xxx -bench 'StateRoot|Copy_COW|EthCall' ./internal/state/ ./internal/chain/
 	$(GO) test -run xxx -bench Recovery -benchtime 3x ./internal/chain/
 	$(GO) test -run xxx -bench 'ParallelEthCall|ReadsDuringSeal' -benchtime 1s ./internal/chain/
+	$(GO) test -run xxx -bench 'MineBlockParallel|MineLoopPipelined' -benchtime 5x ./internal/chain/
 
 # bench-smoke is the CI-sized benchmark run: one iteration of each
 # tracked benchmark, enough to catch panics and pathological
 # regressions without burning runner minutes. Output lands in
 # bench-smoke.txt (uploaded as a CI artifact).
 bench-smoke:
-	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal' -benchtime 1x ./internal/state/ ./internal/chain/ | tee bench-smoke.txt
+	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal|MineBlockParallel|MineLoopPipelined' -benchtime 1x ./internal/state/ ./internal/chain/ | tee bench-smoke.txt

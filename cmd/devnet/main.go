@@ -54,6 +54,8 @@ func main() {
 		traceOn  = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
 		traceN   = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
 		slowTr   = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
+		workers  = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
+		pipeline = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
@@ -68,7 +70,10 @@ func main() {
 	g.GasLimit = *gasLimit
 	g.Alloc = wallet.DevAlloc(accounts, ethtypes.Ether(*balance))
 
-	var opts []chain.Option
+	opts := []chain.Option{chain.WithExecWorkers(*workers)}
+	if *pipeline {
+		opts = append(opts, chain.WithPipelinedSeal())
+	}
 	if *datadir != "" {
 		opts = append(opts, chain.WithPersistence(chain.PersistConfig{DataDir: *datadir}))
 	}

@@ -57,6 +57,8 @@ func main() {
 		traceOn  = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
 		traceN   = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
 		slowTr   = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
+		workers  = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
+		pipeline = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
@@ -69,7 +71,10 @@ func main() {
 	faucet := wallet.DevAccounts(wallet.DefaultDevSeed, 1)[0]
 	g := chain.DefaultGenesis()
 	g.Alloc = wallet.DevAlloc([]wallet.Account{faucet}, ethtypes.Ether(1_000_000_000))
-	var chainOpts []chain.Option
+	chainOpts := []chain.Option{chain.WithExecWorkers(*workers)}
+	if *pipeline {
+		chainOpts = append(chainOpts, chain.WithPipelinedSeal())
+	}
 	if *datadir != "" {
 		chainOpts = append(chainOpts, chain.WithPersistence(chain.PersistConfig{
 			DataDir: filepath.Join(*datadir, "chain"),

@@ -75,6 +75,19 @@ type Blockchain struct {
 	txs      *pindex[*ethtypes.Transaction]
 	allLogs  []*ethtypes.Log
 	pending  []*ethtypes.Transaction // batch-mining queue (SubmitTransaction)
+	// pendingSet mirrors pending's hashes for O(1) duplicate checks.
+	pendingSet map[ethtypes.Hash]struct{}
+
+	// Pipelined sealing (seal.go): sealPipe is the newest not-yet-
+	// installed tail, inflight the transactions sealed into pending
+	// tails (duplicate admission guard until they reach bc.txs).
+	sealPipe  *sealTail
+	pipeDepth int
+	inflight  map[ethtypes.Hash]struct{}
+
+	// Execution configuration (executor.go / seal.go options).
+	execWorkers int
+	pipelined   bool
 
 	timeOffset uint64 // AdjustTime accumulates here
 
@@ -97,9 +110,14 @@ type Blockchain struct {
 }
 
 // New creates a memory-only chain from the genesis. Use Open with
-// WithPersistence for a chain that survives restarts.
-func New(g *Genesis) *Blockchain {
-	return newMemory(g)
+// WithPersistence for a chain that survives restarts; execution options
+// (WithExecWorkers, WithPipelinedSeal) apply to both.
+func New(g *Genesis, opts ...Option) *Blockchain {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newMemory(g, &cfg)
 }
 
 // genesisState builds the pre-funded world state and the genesis block.
@@ -119,17 +137,21 @@ func genesisState(g *Genesis) (*state.StateDB, *ethtypes.Block) {
 	return st, &ethtypes.Block{Header: genesisHeader}
 }
 
-func newMemory(g *Genesis) *Blockchain {
+func newMemory(g *Genesis, cfg *openConfig) *Blockchain {
 	st, genesisBlock := genesisState(g)
 	bc := &Blockchain{
-		chainID:  g.ChainID,
-		gasLimit: g.GasLimit,
-		coinbase: g.Coinbase,
-		st:       st,
-		blocks:   []*ethtypes.Block{genesisBlock},
-		byHash:   (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock),
-		genesis:  copyGenesis(g),
+		chainID:     g.ChainID,
+		gasLimit:    g.GasLimit,
+		coinbase:    g.Coinbase,
+		st:          st,
+		blocks:      []*ethtypes.Block{genesisBlock},
+		byHash:      (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock),
+		genesis:     copyGenesis(g),
+		inflight:    make(map[ethtypes.Hash]struct{}),
+		execWorkers: cfg.execWorkers,
+		pipelined:   cfg.pipelined,
 	}
+	mExecWorkers.Set(int64(bc.execWorkerCount()))
 	bc.publishHeadLocked()
 	return bc
 }
@@ -211,8 +233,19 @@ func (bc *Blockchain) AdjustTime(seconds uint64) {
 	bc.publishHeadLocked()
 }
 
-// nextHeaderLocked prepares the header for the block being mined.
+// nextHeaderLocked prepares the header for the block being mined. When
+// a pipelined tail is pending, the parent is that tail's block; its
+// hash is not final yet, so ParentHash stays zero and the tail fills
+// it in (stage 1) before the block hash is computed.
 func (bc *Blockchain) nextHeaderLocked() *ethtypes.Header {
+	if t := bc.sealPipe; t != nil {
+		return &ethtypes.Header{
+			Number:   t.header.Number + 1,
+			Time:     t.header.Time + 1 + bc.timeOffset,
+			GasLimit: bc.gasLimit,
+			Coinbase: bc.coinbase,
+		}
+	}
 	parent := bc.blocks[len(bc.blocks)-1]
 	return &ethtypes.Header{
 		ParentHash: parent.Hash(),
@@ -233,22 +266,24 @@ type execEnv struct {
 	st           *state.StateDB
 	getBlockHash func(uint64) ethtypes.Hash
 	tracer       evm.Tracer
+
+	// coinbaseFee, when non-nil, diverts the coinbase's fee credit into
+	// the pointed-to accumulator instead of writing the balance. The
+	// optimistic executor uses this so the one write every transaction
+	// performs — paying the coinbase — does not serialise the batch; the
+	// commit sweep applies the fees as in-order deltas.
+	coinbaseFee *uint256.Int
 }
 
 // execEnvLocked builds the live execution environment for the sealing
-// paths. The BLOCKHASH lookup indexes bc.blocks directly — bc.mu is
-// held, and going through the published view would serve a stale height
-// during recovery replay.
+// paths. The BLOCKHASH lookup resolves against the writer-owned chain
+// (bc.mu is held; the published view would serve a stale height during
+// recovery replay) plus any pending pipelined tails.
 func (bc *Blockchain) execEnvLocked() *execEnv {
 	return &execEnv{
-		chainID: bc.chainID,
-		st:      bc.st,
-		getBlockHash: func(n uint64) ethtypes.Hash {
-			if n < uint64(len(bc.blocks)) {
-				return bc.blocks[n].Hash()
-			}
-			return ethtypes.Hash{}
-		},
+		chainID:      bc.chainID,
+		st:           bc.st,
+		getBlockHash: bc.blockHashFnLocked(),
 	}
 }
 
@@ -267,24 +302,36 @@ func (bc *Blockchain) SendTransactionCtx(ctx context.Context, tx *ethtypes.Trans
 	defer sp.End()
 	sealStart := time.Now()
 	bc.mu.Lock()
-	defer bc.mu.Unlock()
+	bc.waitPipelineSlotLocked()
 
 	hash := tx.Hash()
 	if _, known := bc.txs.get(hash); known {
+		bc.mu.Unlock()
+		return hash, ErrKnownTransaction
+	}
+	if _, pending := bc.inflight[hash]; pending {
+		bc.mu.Unlock()
 		return hash, ErrKnownTransaction
 	}
 	sender, err := tx.Sender(bc.chainID)
 	if err != nil {
+		bc.mu.Unlock()
 		return ethtypes.Hash{}, fmt.Errorf("chain: invalid signature: %w", err)
 	}
 	if tx.Gas > bc.gasLimit {
+		bc.mu.Unlock()
 		return ethtypes.Hash{}, ErrGasLimitExceeded
 	}
+	// bc.st already carries the writes of any pending pipelined tails,
+	// so this admits a sender's next nonce while earlier instant-seal
+	// blocks are still hashing/fsyncing — the pipelining win.
 	expected := bc.st.GetNonce(sender)
 	if tx.Nonce < expected {
+		bc.mu.Unlock()
 		return ethtypes.Hash{}, fmt.Errorf("%w: have %d, want %d", ErrNonceTooLow, tx.Nonce, expected)
 	}
 	if tx.Nonce > expected {
+		bc.mu.Unlock()
 		return ethtypes.Hash{}, fmt.Errorf("%w: have %d, want %d", ErrNonceTooHigh, tx.Nonce, expected)
 	}
 
@@ -293,35 +340,19 @@ func (bc *Blockchain) SendTransactionCtx(ctx context.Context, tx *ethtypes.Trans
 	receipt, err := bc.applyTransaction(ctx, header, tx, sender)
 	if err != nil {
 		sp.SetError(err)
+		bc.mu.Unlock()
 		return ethtypes.Hash{}, err
 	}
 
-	// Seal the block.
+	// Seal the block: inline when pipelining is off, overlapped with
+	// the next admission when it is on.
 	header.GasUsed = receipt.GasUsed
 	header.TxRoot = ethtypes.TxRootOf([]*ethtypes.Transaction{tx})
-	rootStart := time.Now()
-	_, rootSp := xtrace.Start(ctx, "chain", "stateRoot")
-	header.StateRoot = bc.st.Root()
-	rootSp.End()
-	mStateRootSeconds.ObserveSince(rootStart)
-	header.ReceiptRoot = DeriveReceiptRoot([]*ethtypes.Receipt{receipt})
-	block := &ethtypes.Block{Header: header, Transactions: []*ethtypes.Transaction{tx}}
-
-	receipt.BlockHash = block.Hash()
-	for _, l := range receipt.Logs {
-		l.BlockHash = receipt.BlockHash
-		bc.allLogs = append(bc.allLogs, l)
-	}
-	bc.blocks = append(bc.blocks, block)
-	bc.byHash = bc.byHash.with1(block.Hash(), block)
-	bc.receipts = bc.receipts.with1(hash, receipt)
-	bc.txs = bc.txs.with1(hash, tx)
-	bc.persistBlockLocked(ctx, block, []*ethtypes.Receipt{receipt})
-	bc.publishHeadLocked()
-	mSealSeconds.ObserveSince(sealStart)
-	mBlocksSealed.Inc()
-	mTxsExecuted.Inc()
-	mHeadBlock.Set(int64(header.Number))
+	t := bc.sealTailLocked(ctx, header, []*ethtypes.Transaction{tx}, []*ethtypes.Receipt{receipt}, sealStart)
+	bc.mu.Unlock()
+	// Join the tail so the documented contract holds: the receipt is
+	// queryable the moment SendTransaction returns.
+	<-t.done
 	sp.SetAttr("block", fmt.Sprintf("%d", header.Number))
 	sp.SetAttr("tx", hash.Hex())
 	return hash, nil
@@ -397,9 +428,15 @@ func execTransaction(ctx context.Context, env *execEnv, header *ethtypes.Header,
 	gasUsed -= refund
 	evmSp.SetAttr("gasUsed", fmt.Sprintf("%d", gasUsed))
 	evmSp.End()
-	// Return unused gas, pay the coinbase.
+	// Return unused gas, pay the coinbase (or divert the fee for an
+	// in-order commit when the optimistic executor asks).
 	env.st.AddBalance(sender, tx.GasPrice.Mul(uint256.NewUint64(tx.Gas-gasUsed)))
-	env.st.AddBalance(header.Coinbase, tx.GasPrice.Mul(uint256.NewUint64(gasUsed)))
+	fee := tx.GasPrice.Mul(uint256.NewUint64(gasUsed))
+	if env.coinbaseFee != nil {
+		*env.coinbaseFee = env.coinbaseFee.Add(fee)
+	} else {
+		env.st.AddBalance(header.Coinbase, fee)
+	}
 
 	status := ethtypes.ReceiptStatusSuccessful
 	reason := ""

@@ -1,0 +1,315 @@
+package chain
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+	"legalchain/internal/wallet"
+)
+
+// equivPair builds two chains from identical genesis allocations: a
+// single-worker serial oracle and a parallel chain with the given
+// worker count. Every equivalence test drives both with the same
+// transactions and demands byte-identical results.
+func equivPair(t testing.TB, seed string, nAccs, workers int) (serial, par *Blockchain, accs []wallet.Account) {
+	t.Helper()
+	accs = wallet.DevAccounts(seed, nAccs)
+	mk := func(opts ...Option) *Blockchain {
+		g := DefaultGenesis()
+		g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+		return New(g, opts...)
+	}
+	return mk(WithExecWorkers(1)), mk(WithExecWorkers(workers)), accs
+}
+
+// mineEquiv submits the same transactions to both chains, mines one
+// block on each and asserts the outcomes are byte-identical.
+func mineEquiv(t *testing.T, serial, par *Blockchain, txs []*ethtypes.Transaction) {
+	t.Helper()
+	for _, tx := range txs {
+		if _, err := serial.SubmitTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.SubmitTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, sf := serial.MineBlock()
+	pb, pf := par.MineBlock()
+	assertBlocksEquivalent(t, serial, par, sb, pb, sf, pf)
+}
+
+// assertBlocksEquivalent checks serial equivalence in full: header
+// roots, block hash, transaction order, every receipt and log, the
+// dropped-transaction map and the entire world state.
+func assertBlocksEquivalent(t *testing.T, serial, par *Blockchain, sb, pb *ethtypes.Block, sf, pf map[ethtypes.Hash]error) {
+	t.Helper()
+	if sb.Header.StateRoot != pb.Header.StateRoot {
+		t.Fatalf("state root: serial %x parallel %x", sb.Header.StateRoot, pb.Header.StateRoot)
+	}
+	if sb.Header.ReceiptRoot != pb.Header.ReceiptRoot {
+		t.Fatalf("receipt root: serial %x parallel %x", sb.Header.ReceiptRoot, pb.Header.ReceiptRoot)
+	}
+	if sb.Header.TxRoot != pb.Header.TxRoot {
+		t.Fatalf("tx root: serial %x parallel %x", sb.Header.TxRoot, pb.Header.TxRoot)
+	}
+	if sb.Header.GasUsed != pb.Header.GasUsed {
+		t.Fatalf("gas used: serial %d parallel %d", sb.Header.GasUsed, pb.Header.GasUsed)
+	}
+	if sb.Hash() != pb.Hash() {
+		t.Fatalf("block hash: serial %x parallel %x", sb.Hash(), pb.Hash())
+	}
+	if len(sb.Transactions) != len(pb.Transactions) {
+		t.Fatalf("included: serial %d parallel %d", len(sb.Transactions), len(pb.Transactions))
+	}
+	for i := range sb.Transactions {
+		h := sb.Transactions[i].Hash()
+		if h != pb.Transactions[i].Hash() {
+			t.Fatalf("tx %d: serial %x parallel %x", i, h, pb.Transactions[i].Hash())
+		}
+		sr, ok1 := serial.GetReceipt(h)
+		pr, ok2 := par.GetReceipt(h)
+		if !ok1 || !ok2 {
+			t.Fatalf("tx %d receipt lookup: serial %v parallel %v", i, ok1, ok2)
+		}
+		if !reflect.DeepEqual(sr, pr) {
+			t.Fatalf("tx %d receipts differ:\nserial   %+v\nparallel %+v", i, sr, pr)
+		}
+	}
+	if len(sf) != len(pf) {
+		t.Fatalf("failed map size: serial %d (%v) parallel %d (%v)", len(sf), sf, len(pf), pf)
+	}
+	for h, serr := range sf {
+		perr, ok := pf[h]
+		if !ok {
+			t.Fatalf("tx %x dropped by serial only (%v)", h, serr)
+		}
+		if serr.Error() != perr.Error() {
+			t.Fatalf("tx %x drop reason: serial %q parallel %q", h, serr, perr)
+		}
+	}
+	if !bytes.Equal(serial.st.EncodeSnapshot(), par.st.EncodeSnapshot()) {
+		t.Fatal("world-state snapshots differ")
+	}
+}
+
+// rawTx signs a transaction with an explicit nonce (the fuzzer tracks
+// nonces itself so it can deliberately produce invalid ones).
+func rawTx(t testing.TB, bc *Blockchain, acc wallet.Account, nonce uint64, to *ethtypes.Address, value uint256.Int, data []byte, gas uint64) *ethtypes.Transaction {
+	t.Helper()
+	tx := &ethtypes.Transaction{
+		Nonce:    nonce,
+		GasPrice: ethtypes.Gwei(1),
+		Gas:      gas,
+		To:       to,
+		Value:    value,
+		Data:     data,
+	}
+	if err := tx.Sign(acc.Key, bc.ChainID()); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// TestParallelSerialEquivalenceFuzz is the property test behind the
+// executor: randomised batches — transfers with overlapping senders and
+// recipients, shared-slot contract calls, reverts, bad nonces and
+// underfunded transactions — must produce byte-identical blocks,
+// receipts, failure maps and world state on the parallel chain and the
+// serial oracle.
+func TestParallelSerialEquivalenceFuzz(t *testing.T) {
+	serial, par, accs := equivPair(t, "equiv fuzz", 6, 8)
+	// Shared Counter contract at the same address on both chains (same
+	// deployer, same nonce). increment() writes slot 0, so every call
+	// conflicts; fail() reverts but still mines a failed receipt.
+	addr, art := deployCounter(t, serial, accs[0])
+	addr2, _ := deployCounter(t, par, accs[0])
+	if addr != addr2 {
+		t.Fatalf("deploy divergence: %x vs %x", addr, addr2)
+	}
+	incIn, _ := art.ABI.Pack("increment")
+	failIn, _ := art.ABI.Pack("fail")
+
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	rounds, batch := 6, 18
+	if race {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		// Local nonce view, bumped only for transactions expected to be
+		// admissible at their sort position.
+		nonces := make(map[ethtypes.Address]uint64, len(accs))
+		for _, a := range accs {
+			nonces[a.Address] = serial.GetNonce(a.Address)
+		}
+		var txs []*ethtypes.Transaction
+		for i := 0; i < batch; i++ {
+			acc := accs[rng.Intn(len(accs))]
+			var tx *ethtypes.Transaction
+			switch k := rng.Intn(10); {
+			case k < 4: // transfer, overlapping senders/recipients
+				to := accs[rng.Intn(len(accs))].Address
+				val := uint256.NewUint64(1 + rng.Uint64()%1_000_000)
+				tx = rawTx(t, serial, acc, nonces[acc.Address], &to, val, nil, 21000)
+				nonces[acc.Address]++
+			case k < 7: // shared-slot contract write: everyone conflicts
+				tx = rawTx(t, serial, acc, nonces[acc.Address], &addr, uint256.Zero, incIn, 200_000)
+				nonces[acc.Address]++
+			case k < 8: // revert: included with a failed receipt
+				tx = rawTx(t, serial, acc, nonces[acc.Address], &addr, uint256.Zero, failIn, 200_000)
+				nonces[acc.Address]++
+			case k < 9: // nonce gap: usually dropped, occasionally healed
+				// by later same-sender transactions in the same batch —
+				// either way both chains must agree.
+				to := accs[rng.Intn(len(accs))].Address
+				tx = rawTx(t, serial, acc, nonces[acc.Address]+3, &to, uint256.One, nil, 21000)
+			default: // underfunded: dropped at its slot, later same-nonce
+				// transactions from this sender then race it in sort order.
+				to := accs[rng.Intn(len(accs))].Address
+				tx = rawTx(t, serial, acc, nonces[acc.Address], &to, ethtypes.Ether(100_000), nil, 21000)
+			}
+			txs = append(txs, tx)
+		}
+		mineEquiv(t, serial, par, txs)
+	}
+}
+
+// TestParallelConflictTortureSameSender mines a pure nonce chain: every
+// transaction reads the nonce its predecessor wrote, so every
+// speculation past index 0 conflicts and is repaired serially. The
+// worst case for the executor must still be exactly serial.
+func TestParallelConflictTortureSameSender(t *testing.T) {
+	serial, par, accs := equivPair(t, "torture sender", 2, 8)
+	var txs []*ethtypes.Transaction
+	for n := uint64(0); n < 16; n++ {
+		txs = append(txs, rawTx(t, serial, accs[0], n, &accs[1].Address, uint256.NewUint64(n+1), nil, 21000))
+	}
+	mineEquiv(t, serial, par, txs)
+}
+
+// TestParallelConflictTortureSharedSlot has eight senders hammering the
+// same storage slot: disjoint nonces, fully overlapping write sets.
+func TestParallelConflictTortureSharedSlot(t *testing.T) {
+	serial, par, accs := equivPair(t, "torture slot", 8, 8)
+	addr, art := deployCounter(t, serial, accs[0])
+	deployCounter(t, par, accs[0])
+	incIn, _ := art.ABI.Pack("increment")
+	for round := 0; round < 3; round++ {
+		var txs []*ethtypes.Transaction
+		for _, acc := range accs {
+			n := serial.GetNonce(acc.Address)
+			for k := uint64(0); k < 4; k++ {
+				txs = append(txs, rawTx(t, serial, acc, n+k, &addr, uint256.Zero, incIn, 200_000))
+			}
+		}
+		mineEquiv(t, serial, par, txs)
+	}
+	// The counter must have absorbed every increment exactly once.
+	q, _ := art.ABI.Pack("count")
+	res := par.Call(accs[0].Address, &addr, q, uint256.Zero, 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	vals, _ := art.ABI.Unpack("count", res.Return)
+	if got := vals[0].(uint256.Int).Uint64(); got != 3*8*4 {
+		t.Fatalf("count = %d, want %d", got, 3*8*4)
+	}
+}
+
+// TestParallelExecutorRaceHammer runs the parallel executor with
+// concurrent lock-free readers; under -race this is the executor's
+// memory-safety gate. Supply conservation is the cross-check that the
+// concurrent commits never double-apply or drop a diff.
+func TestParallelExecutorRaceHammer(t *testing.T) {
+	accs := wallet.DevAccounts("exec hammer", 8)
+	g := DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+	bc := New(g, WithExecWorkers(8))
+	addr, art := deployCounter(t, bc, accs[0])
+	incIn, _ := art.ABI.Pack("increment")
+	countIn, _ := art.ABI.Pack("count")
+
+	rounds := 10
+	if race {
+		rounds = 4
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := bc.View()
+				v.GetBalance(accs[r].Address)
+				v.Call(accs[r].Address, &addr, countIn, uint256.Zero, 0)
+				v.GetNonce(accs[r+4].Address)
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	for round := 0; round < rounds; round++ {
+		for i, acc := range accs {
+			var tx *ethtypes.Transaction
+			if i%2 == 0 {
+				tx = signedTx(t, bc, acc, &addr, uint256.Zero, incIn, 200_000)
+			} else {
+				tx = signedTx(t, bc, acc, &accs[(i+1)%len(accs)].Address, uint256.NewUint64(uint64(round+1)), nil, 21000)
+			}
+			if _, err := bc.SubmitTransaction(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, failed := bc.MineBlock(); len(failed) != 0 {
+			t.Fatalf("round %d dropped %d txs: %v", round, len(failed), failed)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if bc.TotalSupply() != ethtypes.Ether(800) {
+		t.Fatalf("supply drifted: %s", ethtypes.FormatEther(bc.TotalSupply()))
+	}
+}
+
+// TestExecWorkersOption checks the worker-count plumbing: explicit
+// counts are honoured, zero means auto, one forces the serial loop.
+func TestExecWorkersOption(t *testing.T) {
+	accs := wallet.DevAccounts("workers opt", 2)
+	mk := func(opts ...Option) *Blockchain {
+		g := DefaultGenesis()
+		g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+		return New(g, opts...)
+	}
+	if got := mk(WithExecWorkers(3)).execWorkerCount(); got != 3 {
+		t.Fatalf("explicit workers = %d", got)
+	}
+	if got := mk(WithExecWorkers(1)).execWorkerCount(); got != 1 {
+		t.Fatalf("serial workers = %d", got)
+	}
+	if got := mk().execWorkerCount(); got < 1 || got > maxExecWorkers {
+		t.Fatalf("auto workers = %d", got)
+	}
+	// A single-worker chain still mines large batches correctly.
+	bc := mk(WithExecWorkers(1))
+	for n := uint64(0); n < 8; n++ {
+		tx := rawTx(t, bc, accs[0], n, &accs[1].Address, uint256.One, nil, 21000)
+		if _, err := bc.SubmitTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block, failed := bc.MineBlock()
+	if len(failed) != 0 || len(block.Transactions) != 8 {
+		t.Fatalf("serial batch: included %d failed %v", len(block.Transactions), failed)
+	}
+}

@@ -47,7 +47,9 @@ type PersistConfig struct {
 type Option func(*openConfig)
 
 type openConfig struct {
-	persist *PersistConfig
+	persist     *PersistConfig
+	execWorkers int  // optimistic executor workers (0 = auto, 1 = serial)
+	pipelined   bool // overlap seal tails with the next block's execution
 }
 
 // WithPersistence makes the chain durable under cfg.DataDir.
@@ -85,9 +87,9 @@ func Open(g *Genesis, opts ...Option) (*Blockchain, error) {
 		o(&cfg)
 	}
 	if cfg.persist == nil {
-		return newMemory(g), nil
+		return newMemory(g, &cfg), nil
 	}
-	return openPersistent(g, cfg.persist)
+	return openPersistent(g, &cfg)
 }
 
 // RecoveryReport returns the report of the recovery performed by Open,
@@ -112,6 +114,9 @@ func (bc *Blockchain) PersistErr() error {
 func (bc *Blockchain) Close() error {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
+	// Land every pipelined tail first: they hold references to bc.db,
+	// and the final snapshot must capture the fully-installed state.
+	bc.drainPipelineLocked()
 	if bc.db == nil {
 		return nil
 	}
@@ -126,7 +131,8 @@ func (bc *Blockchain) Close() error {
 	return closeErr
 }
 
-func openPersistent(g *Genesis, p *PersistConfig) (*Blockchain, error) {
+func openPersistent(g *Genesis, cfg *openConfig) (*Blockchain, error) {
+	p := cfg.persist
 	interval := p.SnapshotInterval
 	if interval == 0 {
 		interval = DefaultSnapshotInterval
@@ -139,7 +145,7 @@ func openPersistent(g *Genesis, p *PersistConfig) (*Blockchain, error) {
 		return nil, err
 	}
 
-	bc := newMemory(g)
+	bc := newMemory(g, cfg)
 	bc.db = db
 	bc.snapInterval = interval
 	bc.dataDir = p.DataDir

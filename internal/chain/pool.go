@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sort"
@@ -14,7 +15,8 @@ import (
 // (SendTransaction), matching Ganache's automine. For workloads that
 // want realistic multi-transaction blocks — cumulative gas, transaction
 // indexes, shared timestamps — transactions can instead be queued with
-// SubmitTransaction and sealed together with MineBlock.
+// SubmitTransaction and sealed together with MineBlock, which executes
+// the batch on the optimistic-parallel executor (executor.go).
 
 // SubmitTransaction validates tx statelessly and queues it for the next
 // MineBlock call. Nonce and balance are checked at mining time, in
@@ -26,10 +28,11 @@ func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash
 	if _, known := bc.txs.get(hash); known {
 		return hash, ErrKnownTransaction
 	}
-	for _, queued := range bc.pending {
-		if queued.Hash() == hash {
-			return hash, ErrKnownTransaction
-		}
+	if _, pending := bc.pendingSet[hash]; pending {
+		return hash, ErrKnownTransaction
+	}
+	if _, pending := bc.inflight[hash]; pending {
+		return hash, ErrKnownTransaction
 	}
 	if _, err := tx.Sender(bc.chainID); err != nil {
 		return ethtypes.Hash{}, fmt.Errorf("chain: invalid signature: %w", err)
@@ -38,6 +41,10 @@ func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash
 		return ethtypes.Hash{}, ErrGasLimitExceeded
 	}
 	bc.pending = append(bc.pending, tx)
+	if bc.pendingSet == nil {
+		bc.pendingSet = make(map[ethtypes.Hash]struct{})
+	}
+	bc.pendingSet[hash] = struct{}{}
 	mTxpoolPending.Set(int64(len(bc.pending)))
 	return hash, nil
 }
@@ -55,30 +62,31 @@ func (bc *Blockchain) PendingCount() int {
 // their error recorded in the returned map. Mining an empty pool
 // produces an empty block (useful to advance time).
 func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
+	return bc.MineBlockAsync().Wait()
+}
+
+// MineBlockAsync executes and seals the pending batch, returning as
+// soon as execution finishes. On a pipelined chain the seal tail
+// (state root, fsync, view publication) completes in the background —
+// overlapping with the next batch's submission and execution — and
+// PendingBlock.Wait joins it. On a non-pipelined chain the block is
+// already fully sealed on return.
+func (bc *Blockchain) MineBlockAsync() *PendingBlock {
 	sealStart := time.Now()
 	bc.mu.Lock()
-	defer bc.mu.Unlock()
+	bc.waitPipelineSlotLocked()
 
 	txs := bc.pending
 	bc.pending = nil
+	bc.pendingSet = nil
 	mTxpoolPending.Set(0)
 	// Stable order: by sender then nonce; submission order breaks ties.
-	type withMeta struct {
-		tx     *ethtypes.Transaction
-		sender ethtypes.Address
-		idx    int
-	}
-	metas := make([]withMeta, 0, len(txs))
-	for i, tx := range txs {
-		sender, err := tx.Sender(bc.chainID)
-		if err != nil {
-			continue
-		}
-		metas = append(metas, withMeta{tx: tx, sender: sender, idx: i})
-	}
+	// Sender recovery fans out over the executor's worker pool — it is
+	// the dominant per-transaction admission cost.
+	metas := bc.recoverSenders(txs)
 	sort.SliceStable(metas, func(i, j int) bool {
-		if metas[i].sender != metas[j].sender {
-			return metas[i].sender.Hex() < metas[j].sender.Hex()
+		if c := bytes.Compare(metas[i].sender[:], metas[j].sender[:]); c != 0 {
+			return c < 0
 		}
 		if metas[i].tx.Nonce != metas[j].tx.Nonce {
 			return metas[i].tx.Nonce < metas[j].tx.Nonce
@@ -88,63 +96,14 @@ func (bc *Blockchain) MineBlock() (*ethtypes.Block, map[ethtypes.Hash]error) {
 
 	header := bc.nextHeaderLocked()
 	bc.timeOffset = 0
-	failed := map[ethtypes.Hash]error{}
-	var included []*ethtypes.Transaction
-	var receipts []*ethtypes.Receipt
-	var cumulative uint64
-
-	for _, m := range metas {
-		if expected := bc.st.GetNonce(m.sender); m.tx.Nonce != expected {
-			failed[m.tx.Hash()] = fmt.Errorf("%w: have %d, want %d", nonceErr(m.tx.Nonce, expected), m.tx.Nonce, expected)
-			continue
-		}
-		rcpt, err := bc.applyTransaction(context.Background(), header, m.tx, m.sender)
-		if err != nil {
-			failed[m.tx.Hash()] = err
-			continue
-		}
-		rcpt.TxIndex = uint(len(included))
-		cumulative += rcpt.GasUsed
-		rcpt.CumulativeGasUsed = cumulative
-		for i, l := range rcpt.Logs {
-			l.TxIndex = rcpt.TxIndex
-			l.Index = uint(i)
-		}
-		included = append(included, m.tx)
-		receipts = append(receipts, rcpt)
-	}
+	included, receipts, failed, cumulative := bc.executeBatchLocked(context.Background(), header, metas)
 
 	header.GasUsed = cumulative
 	header.TxRoot = ethtypes.TxRootOf(included)
-	rootStart := time.Now()
-	header.StateRoot = bc.st.Root()
-	mStateRootSeconds.ObserveSince(rootStart)
-	header.ReceiptRoot = DeriveReceiptRoot(receipts)
-	block := &ethtypes.Block{Header: header, Transactions: included}
-
-	newReceipts := make(map[ethtypes.Hash]*ethtypes.Receipt, len(receipts))
-	newTxs := make(map[ethtypes.Hash]*ethtypes.Transaction, len(included))
-	for i, rcpt := range receipts {
-		rcpt.BlockHash = block.Hash()
-		for _, l := range rcpt.Logs {
-			l.BlockHash = rcpt.BlockHash
-		}
-		newReceipts[rcpt.TxHash] = rcpt
-		newTxs[included[i].Hash()] = included[i]
-		bc.allLogs = append(bc.allLogs, rcpt.Logs...)
-	}
-	bc.receipts = bc.receipts.with(newReceipts)
-	bc.txs = bc.txs.with(newTxs)
-	bc.blocks = append(bc.blocks, block)
-	bc.byHash = bc.byHash.with1(block.Hash(), block)
-	bc.persistBlockLocked(context.Background(), block, receipts)
-	bc.publishHeadLocked()
-	mSealSeconds.ObserveSince(sealStart)
-	mBlocksSealed.Inc()
-	mTxsExecuted.Add(uint64(len(included)))
 	mTxsFailed.Add(uint64(len(failed)))
-	mHeadBlock.Set(int64(header.Number))
-	return block, failed
+	t := bc.sealTailLocked(context.Background(), header, included, receipts, sealStart)
+	bc.mu.Unlock()
+	return &PendingBlock{t: t, failed: failed}
 }
 
 func nonceErr(have, want uint64) error {

@@ -1,0 +1,253 @@
+package chain
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+	"legalchain/internal/wallet"
+)
+
+// pipelinePair builds two chains over identical genesis allocations:
+// a plain synchronous-seal chain and one with the pipelined seal tail.
+func pipelinePair(t testing.TB, seed string) (plain, piped *Blockchain, accs []wallet.Account) {
+	t.Helper()
+	accs = wallet.DevAccounts(seed, 3)
+	mk := func(opts ...Option) *Blockchain {
+		g := DefaultGenesis()
+		g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+		return New(g, opts...)
+	}
+	return mk(), mk(WithPipelinedSeal()), accs
+}
+
+// TestPipelinedSealEquivalence drives the standard mixed workload —
+// instant seals, batch mines, contract deploys, log-emitting calls —
+// through a pipelined chain and a synchronous one. The pipeline must be
+// invisible: identical block hashes, roots, receipts, logs and world
+// state.
+func TestPipelinedSealEquivalence(t *testing.T) {
+	plain, piped, accs := pipelinePair(t, "pipeline equiv")
+	workload(t, plain, accs, 9)
+	workload(t, piped, accs, 9)
+	mustMatchFull(t, fingerprint(plain), fingerprint(piped))
+}
+
+// TestPipelinedSealOverlap keeps several seal tails in flight at once:
+// each MineBlockAsync returns as soon as execution finishes, the next
+// batch executes while earlier roots hash and append, and the chain
+// that lands must still be perfectly linked.
+func TestPipelinedSealOverlap(t *testing.T) {
+	accs := wallet.DevAccounts("pipeline overlap", 4)
+	g := DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+	bc := New(g, WithPipelinedSeal())
+
+	// Six batches of four transfers, launched without joining: explicit
+	// nonces, since the published view lags while tails are pending.
+	nonces := make(map[ethtypes.Address]uint64)
+	var last *PendingBlock
+	var pendings []*PendingBlock
+	for round := 0; round < 6; round++ {
+		for _, acc := range accs {
+			to := accs[(int(nonces[acc.Address])+1)%len(accs)].Address
+			tx := rawTx(t, bc, acc, nonces[acc.Address], &to, uint256.NewUint64(1), nil, 21000)
+			nonces[acc.Address]++
+			if _, err := bc.SubmitTransaction(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		last = bc.MineBlockAsync()
+		pendings = append(pendings, last)
+	}
+	block, failed := last.Wait()
+	if len(failed) != 0 {
+		t.Fatalf("drops in pipelined mining: %v", failed)
+	}
+	if block.Number() != 6 {
+		t.Fatalf("head %d, want 6", block.Number())
+	}
+	// Earlier tails install strictly before later ones; by now all six
+	// blocks are queryable and linked.
+	v := bc.View()
+	if v.BlockNumber() != 6 {
+		t.Fatalf("view head %d, want 6", v.BlockNumber())
+	}
+	for n := uint64(1); n <= 6; n++ {
+		b, ok := v.BlockByNumber(n)
+		if !ok {
+			t.Fatalf("block %d missing", n)
+		}
+		parent, _ := v.BlockByNumber(n - 1)
+		if b.Header.ParentHash != parent.Hash() {
+			t.Fatalf("block %d parent hash broken", n)
+		}
+		if len(b.Transactions) != len(accs) {
+			t.Fatalf("block %d has %d txs", n, len(b.Transactions))
+		}
+		for _, tx := range b.Transactions {
+			if _, ok := v.GetReceipt(tx.Hash()); !ok {
+				t.Fatalf("block %d receipt missing", n)
+			}
+		}
+	}
+	for _, p := range pendings {
+		if b, _ := p.Wait(); b == nil {
+			t.Fatal("pending block lost")
+		}
+	}
+	if bc.TotalSupply() != ethtypes.Ether(400) {
+		t.Fatalf("supply drifted: %s", ethtypes.FormatEther(bc.TotalSupply()))
+	}
+}
+
+// TestPipelinedRestartIdentical checks the pipeline's crash-safety
+// contract end to end: a chain mined with pipelined sealing and the
+// parallel executor persists a journal that a plain reopen replays to
+// the identical chain — and a pipelined reopen keeps mining on top.
+func TestPipelinedRestartIdentical(t *testing.T) {
+	accs := wallet.DevAccounts("persist test", 3)
+	dir := t.TempDir()
+	bc, err := Open(persistGenesis(accs), WithPersistence(PersistConfig{
+		DataDir:          dir,
+		SnapshotInterval: 4,
+		SegmentSize:      4096,
+		NoSync:           true,
+	}), WithPipelinedSeal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, bc, accs, 10)
+	want := fingerprint(bc)
+	if err := bc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := openPersist(t, dir, accs, 4)
+	mustMatchFull(t, want, fingerprint(reopened))
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pipelined reopen recovers the same chain and extends it.
+	again, err := Open(persistGenesis(accs), WithPersistence(PersistConfig{
+		DataDir: dir, SnapshotInterval: 4, SegmentSize: 4096, NoSync: true,
+	}), WithPipelinedSeal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	mustMatchFull(t, want, fingerprint(again))
+	tx := signedTx(t, again, accs[0], &accs[1].Address, uint256.NewUint64(7), nil, 21000)
+	if _, err := again.SendTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	if again.BlockNumber() != want.height+1 {
+		t.Fatalf("post-recovery mining: head %d, want %d", again.BlockNumber(), want.height+1)
+	}
+}
+
+// TestPipelinedSealTortureConcurrent hammers a pipelined chain with
+// concurrent instant-seal writers, batch miners and lock-free readers.
+// Under -race this is the pipeline's memory-safety gate; supply
+// conservation and per-account nonces are the semantic cross-check.
+func TestPipelinedSealTortureConcurrent(t *testing.T) {
+	accs := wallet.DevAccounts("pipeline torture", 6)
+	g := DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+	bc := New(g, WithPipelinedSeal())
+
+	perWriter := 12
+	if race {
+		perWriter = 6
+	}
+	var writers, readers sync.WaitGroup
+	errc := make(chan error, 16)
+	// Three instant-seal writers, each owning one account (their own
+	// published nonce is current again by the time SendTransaction
+	// returns, because it joins the tail).
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			acc := accs[w]
+			for i := 0; i < perWriter; i++ {
+				tx := signedTx(t, bc, acc, &accs[3].Address, uint256.NewUint64(uint64(i+1)), nil, 21000)
+				if _, err := bc.SendTransaction(tx); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// One batch miner over the remaining accounts, explicit nonces.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		n4, n5 := uint64(0), uint64(0)
+		for i := 0; i < perWriter; i++ {
+			for k := 0; k < 2; k++ {
+				tx4 := rawTx(t, bc, accs[4], n4, &accs[5].Address, uint256.NewUint64(1), nil, 21000)
+				n4++
+				tx5 := rawTx(t, bc, accs[5], n5, &accs[4].Address, uint256.NewUint64(1), nil, 21000)
+				n5++
+				if _, err := bc.SubmitTransaction(tx4); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := bc.SubmitTransaction(tx5); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if _, failed := bc.MineBlock(); len(failed) != 0 {
+				errc <- fmt.Errorf("batch drops: %v", failed)
+				return
+			}
+		}
+	}()
+	// Lock-free readers riding the published views until writers finish.
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := bc.View()
+				v.GetBalance(accs[r].Address)
+				if n := v.BlockNumber(); n > 0 {
+					if _, ok := v.BlockByNumber(n); !ok {
+						errc <- fmt.Errorf("head block %d not resolvable in its own view", n)
+						return
+					}
+				}
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bc.TotalSupply() != ethtypes.Ether(600) {
+		t.Fatalf("supply drifted: %s", ethtypes.FormatEther(bc.TotalSupply()))
+	}
+	for w := 0; w < 3; w++ {
+		if n := bc.GetNonce(accs[w].Address); n != uint64(perWriter) {
+			t.Fatalf("writer %d nonce %d, want %d", w, n, perWriter)
+		}
+	}
+}

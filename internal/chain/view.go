@@ -278,7 +278,9 @@ func (v *HeadView) CallCtx(ctx context.Context, from ethtypes.Address, to *ethty
 	callStart := time.Now()
 	defer mCallSeconds.ObserveSince(callStart)
 	mViewReads.Inc()
-	stCopy := v.st.Copy()
+	// An overlay materialises only the accounts the call touches —
+	// O(touched) instead of Copy's O(all accounts).
+	stCopy := v.st.Overlay()
 	header := v.nextHeader()
 
 	if gas == 0 {
@@ -334,7 +336,7 @@ func (v *HeadView) EstimateGas(from ethtypes.Address, to *ethtypes.Address, data
 // attached — the debug_traceCall facility, lock-free.
 func (v *HeadView) TraceCall(from ethtypes.Address, to *ethtypes.Address, data []byte, gas uint64) (*CallResult, *evm.StructLogger) {
 	mViewReads.Inc()
-	stCopy := v.st.Copy()
+	stCopy := v.st.Overlay()
 	header := v.nextHeader()
 
 	if gas == 0 {
@@ -383,6 +385,15 @@ func (bc *Blockchain) publishHeadLocked() {
 		frozen = bc.st.Copy()
 		frozen.Freeze()
 	}
+	bc.publishHeadFrozenLocked(frozen)
+}
+
+// publishHeadFrozenLocked publishes a view over an already-frozen state
+// snapshot. The pipelined seal path calls it directly: the tail's
+// handed-off copy is frozen after rooting and doubles as the view's
+// snapshot, so installation costs no extra whole-state Copy.
+func (bc *Blockchain) publishHeadFrozenLocked(frozen *state.StateDB) {
+	head := bc.blocks[len(bc.blocks)-1]
 	now := time.Now()
 	bc.view.Store(&HeadView{
 		chainID:    bc.chainID,

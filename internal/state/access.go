@@ -1,0 +1,270 @@
+package state
+
+import (
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/trie"
+	"legalchain/internal/uint256"
+)
+
+// Optimistic-concurrency support: the chain's parallel block executor
+// runs every transaction of a batch speculatively against the pre-block
+// state, then commits them in order if their recorded read sets are
+// untouched by earlier commits. Three pieces live here:
+//
+//   - AccessRecorder: per-execution read/write-set recording, hooked
+//     into every StateDB getter and mutator (see state.go).
+//   - Overlay: an O(1) copy-on-read view over a base StateDB, so a
+//     speculative execution touches only the accounts it uses instead
+//     of cloning the whole world up front (Copy is O(accounts)).
+//   - Diff: the write set of one execution materialised as final
+//     values, extractable from the overlay and applicable to the
+//     canonical state in commit order.
+//
+// The recorder is deliberately conservative: reads are recorded even
+// when they hit the transaction's own earlier write (a nested-call
+// revert can expose the base value again), and journal undos never
+// un-record. False conflicts only cost a re-execution; missed
+// conflicts would cost correctness.
+
+// AccessKind distinguishes which facet of an account an access touched.
+type AccessKind uint8
+
+const (
+	// AccessExist is account existence (Exist/Empty checks, creation,
+	// self-destruct and empty-account sweeps).
+	AccessExist AccessKind = iota
+	// AccessBalance is the account balance.
+	AccessBalance
+	// AccessNonce is the account nonce.
+	AccessNonce
+	// AccessCode is the contract code (and code hash/size).
+	AccessCode
+	// AccessStorage is one storage slot, identified by AccessKey.Slot.
+	AccessStorage
+)
+
+// AccessKey identifies one read- or written location in the world state.
+type AccessKey struct {
+	Addr ethtypes.Address
+	Kind AccessKind
+	Slot ethtypes.Hash // meaningful only for AccessStorage
+}
+
+// BalanceKey is the access key for addr's balance — exported so the
+// executor can mark the coinbase fee credit as a blind write.
+func BalanceKey(addr ethtypes.Address) AccessKey {
+	return AccessKey{Addr: addr, Kind: AccessBalance}
+}
+
+// AccessRecorder accumulates the read and write sets of one execution.
+type AccessRecorder struct {
+	Reads  map[AccessKey]struct{}
+	Writes map[AccessKey]struct{}
+}
+
+// NewAccessRecorder returns an empty recorder.
+func NewAccessRecorder() *AccessRecorder {
+	return &AccessRecorder{
+		Reads:  make(map[AccessKey]struct{}),
+		Writes: make(map[AccessKey]struct{}),
+	}
+}
+
+// SetRecorder attaches (or, with nil, detaches) an access recorder.
+// While attached, every getter records into Reads and every mutator
+// into Writes. Recording is not carried over by Copy or Overlay.
+func (s *StateDB) SetRecorder(r *AccessRecorder) { s.rec = r }
+
+func (s *StateDB) recRead(kind AccessKind, addr ethtypes.Address) {
+	if s.rec != nil {
+		s.rec.Reads[AccessKey{Addr: addr, Kind: kind}] = struct{}{}
+	}
+}
+
+func (s *StateDB) recReadSlot(addr ethtypes.Address, slot ethtypes.Hash) {
+	if s.rec != nil {
+		s.rec.Reads[AccessKey{Addr: addr, Kind: AccessStorage, Slot: slot}] = struct{}{}
+	}
+}
+
+func (s *StateDB) recWrite(kind AccessKind, addr ethtypes.Address) {
+	if s.rec != nil {
+		s.rec.Writes[AccessKey{Addr: addr, Kind: kind}] = struct{}{}
+	}
+}
+
+func (s *StateDB) recWriteSlot(addr ethtypes.Address, slot ethtypes.Hash) {
+	if s.rec != nil {
+		s.rec.Writes[AccessKey{Addr: addr, Kind: AccessStorage, Slot: slot}] = struct{}{}
+	}
+}
+
+// Overlay returns an O(1) copy-on-read view over s for speculative
+// execution: account objects are cloned lazily on first touch (maps
+// shared copy-on-write exactly as in Copy), so the cost of an overlay
+// is proportional to the accounts the execution actually visits, not
+// to the size of the world state.
+//
+// The overlay supports the full execution surface (getters, mutators,
+// journal/revert, Finalise) but not root computation, snapshot encoding
+// or whole-state walks — it cannot enumerate untouched base accounts.
+// It is meant for a single transaction: after its Finalise sweeps an
+// account, a later read would re-materialise the base object. The base
+// must not be mutated while the overlay is live; concurrent overlays
+// over one quiescent base are safe (materialisation only performs
+// atomic shared-flag stores on base objects).
+func (s *StateDB) Overlay() *StateDB {
+	return &StateDB{
+		objects: make(map[ethtypes.Address]*stateObject),
+		base:    s,
+		dirties: make(map[ethtypes.Address]*dirtyEntry),
+	}
+}
+
+// Diff is the write set of one execution materialised as final values,
+// ready to be replayed onto the canonical state. Zero storage values
+// mean slot deletion; Deleted lists accounts removed by self-destruct
+// or the empty-account sweep.
+type Diff struct {
+	Balances map[ethtypes.Address]uint256.Int
+	Nonces   map[ethtypes.Address]uint64
+	Codes    map[ethtypes.Address]codePatch
+	Storage  map[ethtypes.Address]map[ethtypes.Hash]uint256.Int
+	Deleted  map[ethtypes.Address]struct{}
+}
+
+type codePatch struct {
+	code []byte
+	hash ethtypes.Hash
+}
+
+// ExtractDiff materialises the final value of every written location
+// from s (the post-execution overlay). Write keys whose account no
+// longer exists collapse into a deletion; stale keys from reverted
+// writes simply re-record the base value, which is harmless.
+func (s *StateDB) ExtractDiff(writes map[AccessKey]struct{}) *Diff {
+	d := &Diff{
+		Balances: make(map[ethtypes.Address]uint256.Int),
+		Nonces:   make(map[ethtypes.Address]uint64),
+		Codes:    make(map[ethtypes.Address]codePatch),
+		Storage:  make(map[ethtypes.Address]map[ethtypes.Hash]uint256.Int),
+		Deleted:  make(map[ethtypes.Address]struct{}),
+	}
+	for k := range writes {
+		o := s.objects[k.Addr]
+		if o == nil {
+			// Written, then gone: deleted by self-destruct or swept as
+			// empty (or the key is stale on a never-created account —
+			// deleting an absent account is a no-op downstream).
+			d.Deleted[k.Addr] = struct{}{}
+			continue
+		}
+		switch k.Kind {
+		case AccessBalance:
+			d.Balances[k.Addr] = o.balance
+		case AccessNonce:
+			d.Nonces[k.Addr] = o.nonce
+		case AccessCode:
+			d.Codes[k.Addr] = codePatch{code: o.code, hash: o.codeHash}
+		case AccessStorage:
+			m := d.Storage[k.Addr]
+			if m == nil {
+				m = make(map[ethtypes.Hash]uint256.Int)
+				d.Storage[k.Addr] = m
+			}
+			m[k.Slot] = o.storage[k.Slot]
+		case AccessExist:
+			// Creation carries no value of its own; the field writes
+			// that gave the account substance repopulate it.
+		}
+	}
+	return d
+}
+
+// ApplyDiff replays a committed transaction's write set onto s with
+// full dirty tracking, so the incremental root pipeline picks the
+// changes up. Value writes are applied first and deletions last (a
+// self-destructed account has both balance writes and a deletion).
+// ApplyDiff does not journal: diffs are commits, never reverted.
+func (s *StateDB) ApplyDiff(d *Diff) {
+	s.mustMutable("ApplyDiff")
+	grab := func(addr ethtypes.Address) *stateObject {
+		o := s.objects[addr]
+		if o == nil {
+			o = newStateObject()
+			s.objects[addr] = o
+		}
+		return o
+	}
+	for addr, slots := range d.Storage {
+		if _, gone := d.Deleted[addr]; gone {
+			continue
+		}
+		o := grab(addr)
+		o.ensureOwned()
+		for slot, v := range slots {
+			if v.IsZero() {
+				delete(o.storage, slot)
+			} else {
+				o.storage[slot] = v
+			}
+			s.markSlot(addr, slot)
+		}
+	}
+	for addr, b := range d.Balances {
+		if _, gone := d.Deleted[addr]; gone {
+			continue
+		}
+		o := grab(addr)
+		o.balance = b
+		s.markAccount(addr)
+	}
+	for addr, n := range d.Nonces {
+		if _, gone := d.Deleted[addr]; gone {
+			continue
+		}
+		o := grab(addr)
+		o.nonce = n
+		s.markAccount(addr)
+	}
+	for addr, c := range d.Codes {
+		if _, gone := d.Deleted[addr]; gone {
+			continue
+		}
+		o := grab(addr)
+		o.code, o.codeHash = c.code, c.hash
+		s.markAccount(addr)
+	}
+	for addr := range d.Deleted {
+		delete(s.objects, addr)
+		s.markReset(addr)
+	}
+}
+
+// ResetDirt hands the current dirty set off (the caller took a Copy
+// that cloned it) and starts a fresh one. Until AdoptTries installs
+// tries synced through that dirt, s.Root() must not be called — the
+// pipelined seal path guarantees this by always rooting on the
+// handed-off copy.
+func (s *StateDB) ResetDirt() {
+	s.dirties = make(map[ethtypes.Address]*dirtyEntry)
+	s.rootValid = false
+}
+
+// AdoptTries installs src's freshly synced tries as s's incremental
+// base. src must be a rooted Copy of an earlier revision of s whose
+// dirt was handed off via ResetDirt; dirt accumulated on s since then
+// stays pending against the adopted tries.
+func (s *StateDB) AdoptTries(src *StateDB) {
+	s.accountTrie = src.accountTrie.Snapshot()
+	s.storageTries = make(map[ethtypes.Address]*trie.Secure, len(src.storageTries))
+	for addr, tr := range src.storageTries {
+		s.storageTries[addr] = tr.Snapshot()
+	}
+	s.rootCache = make(map[ethtypes.Address]ethtypes.Hash, len(src.rootCache))
+	for addr, h := range src.rootCache {
+		s.rootCache[addr] = h
+	}
+	s.worldRoot = src.worldRoot
+	s.rootValid = len(s.dirties) == 0
+}

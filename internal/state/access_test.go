@@ -1,0 +1,263 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+
+	"legalchain/internal/uint256"
+)
+
+// base builds a small world with funded accounts, a contract and a
+// populated storage slot — the substrate for overlay and diff tests.
+func accessBase() *StateDB {
+	s := New()
+	s.AddBalance(addr(1), uint256.NewUint64(1000))
+	s.SetNonce(addr(1), 5)
+	s.AddBalance(addr(2), uint256.NewUint64(2000))
+	s.SetCode(addr(3), []byte{0x60, 0x00})
+	s.SetState(addr(3), slot(1), uint256.NewUint64(42))
+	s.Finalise()
+	return s
+}
+
+func TestOverlayCopyOnRead(t *testing.T) {
+	s := accessBase()
+	ov := s.Overlay()
+	// Reads come through from the base.
+	if ov.GetBalance(addr(1)).Uint64() != 1000 {
+		t.Fatal("overlay read missed base balance")
+	}
+	if ov.GetState(addr(3), slot(1)).Uint64() != 42 {
+		t.Fatal("overlay read missed base storage")
+	}
+	// Writes stay in the overlay.
+	ov.AddBalance(addr(1), uint256.NewUint64(500))
+	ov.SetState(addr(3), slot(1), uint256.NewUint64(7))
+	ov.SetNonce(addr(1), 6)
+	ov.SetCode(addr(4), []byte{0x01})
+	if s.GetBalance(addr(1)).Uint64() != 1000 {
+		t.Fatal("overlay write leaked into base balance")
+	}
+	if s.GetState(addr(3), slot(1)).Uint64() != 42 {
+		t.Fatal("overlay write leaked into base storage")
+	}
+	if s.GetNonce(addr(1)) != 5 {
+		t.Fatal("overlay write leaked into base nonce")
+	}
+	if s.Exist(addr(4)) {
+		t.Fatal("overlay creation leaked into base")
+	}
+	// Untouched accounts are never materialised in the overlay.
+	if _, ok := ov.objects[addr(2)]; ok {
+		t.Fatal("overlay materialised an untouched account")
+	}
+}
+
+func TestOverlayJournalRevert(t *testing.T) {
+	s := accessBase()
+	ov := s.Overlay()
+	snap := ov.Snapshot()
+	ov.AddBalance(addr(1), uint256.NewUint64(500))
+	ov.SetState(addr(3), slot(1), uint256.NewUint64(7))
+	ov.RevertToSnapshot(snap)
+	if ov.GetBalance(addr(1)).Uint64() != 1000 {
+		t.Fatal("overlay revert lost base balance")
+	}
+	if ov.GetState(addr(3), slot(1)).Uint64() != 42 {
+		t.Fatal("overlay revert lost base storage value")
+	}
+}
+
+func TestOverlayRootPanics(t *testing.T) {
+	s := accessBase()
+	ov := s.Overlay()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Root on an overlay did not panic")
+		}
+	}()
+	ov.Root()
+}
+
+func TestRecorderCapturesReadsAndWrites(t *testing.T) {
+	s := accessBase()
+	ov := s.Overlay()
+	rec := NewAccessRecorder()
+	ov.SetRecorder(rec)
+
+	ov.GetBalance(addr(1))
+	ov.GetNonce(addr(1))
+	ov.GetState(addr(3), slot(1))
+	ov.AddBalance(addr(2), uint256.NewUint64(1))
+	ov.SetState(addr(3), slot(2), uint256.NewUint64(9))
+
+	wantReads := []AccessKey{
+		{Addr: addr(1), Kind: AccessBalance},
+		{Addr: addr(1), Kind: AccessNonce},
+		{Addr: addr(3), Kind: AccessStorage, Slot: slot(1)},
+		// AddBalance is a read-modify-write.
+		{Addr: addr(2), Kind: AccessBalance},
+	}
+	for _, k := range wantReads {
+		if _, ok := rec.Reads[k]; !ok {
+			t.Fatalf("read %+v not recorded (reads: %v)", k, rec.Reads)
+		}
+	}
+	wantWrites := []AccessKey{
+		{Addr: addr(2), Kind: AccessBalance},
+		{Addr: addr(3), Kind: AccessStorage, Slot: slot(2)},
+	}
+	for _, k := range wantWrites {
+		if _, ok := rec.Writes[k]; !ok {
+			t.Fatalf("write %+v not recorded (writes: %v)", k, rec.Writes)
+		}
+	}
+	// Pure reads must not pollute the write set.
+	if _, ok := rec.Writes[AccessKey{Addr: addr(1), Kind: AccessBalance}]; ok {
+		t.Fatal("read recorded as write")
+	}
+}
+
+// TestRecorderSurvivesRevert pins the conservative-recording contract:
+// a journal revert must not un-record reads or writes — the recorded
+// sets describe everything the execution might have observed.
+func TestRecorderSurvivesRevert(t *testing.T) {
+	s := accessBase()
+	ov := s.Overlay()
+	rec := NewAccessRecorder()
+	ov.SetRecorder(rec)
+
+	snap := ov.Snapshot()
+	ov.SetState(addr(3), slot(2), uint256.NewUint64(9))
+	ov.AddBalance(addr(2), uint256.NewUint64(1))
+	ov.RevertToSnapshot(snap)
+
+	if _, ok := rec.Writes[AccessKey{Addr: addr(3), Kind: AccessStorage, Slot: slot(2)}]; !ok {
+		t.Fatal("revert un-recorded a storage write")
+	}
+	if _, ok := rec.Writes[AccessKey{Addr: addr(2), Kind: AccessBalance}]; !ok {
+		t.Fatal("revert un-recorded a balance write")
+	}
+	// A read over the transaction's own write is still a read: a revert
+	// can re-expose the base value.
+	ov.SetState(addr(3), slot(1), uint256.NewUint64(1))
+	ov.GetState(addr(3), slot(1))
+	if _, ok := rec.Reads[AccessKey{Addr: addr(3), Kind: AccessStorage, Slot: slot(1)}]; !ok {
+		t.Fatal("read over own write not recorded")
+	}
+}
+
+// TestExtractApplyDiffRoundTrip mutates an overlay the way a
+// transaction would, extracts the diff and replays it onto a copy of
+// the base; the result must match mutating the base directly.
+func TestExtractApplyDiffRoundTrip(t *testing.T) {
+	mutate := func(s *StateDB) {
+		s.SubBalance(addr(1), uint256.NewUint64(100))
+		s.SetNonce(addr(1), 6)
+		s.AddBalance(addr(2), uint256.NewUint64(100))
+		s.SetState(addr(3), slot(1), uint256.Zero) // slot deletion
+		s.SetState(addr(3), slot(2), uint256.NewUint64(9))
+		s.SetCode(addr(4), []byte{0xfe})
+		s.AddBalance(addr(4), uint256.NewUint64(3))
+		s.Finalise()
+	}
+
+	// Reference: serial mutation of the base.
+	ref := accessBase()
+	mutate(ref)
+
+	// Speculative: record on an overlay, extract, apply to a twin base.
+	base := accessBase()
+	ov := base.Overlay()
+	rec := NewAccessRecorder()
+	ov.SetRecorder(rec)
+	mutate(ov)
+	ov.SetRecorder(nil)
+	diff := ov.ExtractDiff(rec.Writes)
+
+	base.ApplyDiff(diff)
+	base.Finalise()
+
+	if got, want := base.Root(), ref.Root(); got != want {
+		t.Fatalf("diff replay root %x, want %x", got, want)
+	}
+	if !bytes.Equal(base.EncodeSnapshot(), ref.EncodeSnapshot()) {
+		t.Fatal("diff replay snapshot diverged from serial mutation")
+	}
+}
+
+// TestExtractDiffSelfDestruct covers the written-then-gone path: the
+// destructed account collapses into a deletion that ApplyDiff performs
+// last.
+func TestExtractDiffSelfDestruct(t *testing.T) {
+	mutate := func(s *StateDB) {
+		s.AddBalance(addr(2), s.GetBalance(addr(3)))
+		s.SelfDestruct(addr(3))
+		s.Finalise()
+	}
+	ref := accessBase()
+	ref.AddBalance(addr(3), uint256.NewUint64(50)) // give the victim a balance
+	ref.Finalise()
+
+	base := accessBase()
+	base.AddBalance(addr(3), uint256.NewUint64(50))
+	base.Finalise()
+
+	mutate(ref)
+
+	ov := base.Overlay()
+	rec := NewAccessRecorder()
+	ov.SetRecorder(rec)
+	mutate(ov)
+	ov.SetRecorder(nil)
+	diff := ov.ExtractDiff(rec.Writes)
+	if _, ok := diff.Deleted[addr(3)]; !ok {
+		t.Fatalf("self-destructed account not in Deleted: %+v", diff)
+	}
+	base.ApplyDiff(diff)
+	base.Finalise()
+
+	if base.Exist(addr(3)) {
+		t.Fatal("destructed account survived diff replay")
+	}
+	if got, want := base.Root(), ref.Root(); got != want {
+		t.Fatalf("diff replay root %x, want %x", got, want)
+	}
+}
+
+// TestResetDirtAdoptTries exercises the pipelined-seal trie handoff:
+// dirt accumulated after ResetDirt stays pending until the handed-off
+// copy is rooted and its tries adopted, after which the live root picks
+// up both revisions incrementally.
+func TestResetDirtAdoptTries(t *testing.T) {
+	live := accessBase()
+	live.Root() // sync tries
+
+	// Block N executes on the live state.
+	live.AddBalance(addr(1), uint256.NewUint64(111))
+	live.SetState(addr(3), slot(2), uint256.NewUint64(5))
+	live.Finalise()
+
+	// Seal: hand the dirt to a copy, keep executing on the live state.
+	cp := live.Copy()
+	live.ResetDirt()
+	live.AddBalance(addr(2), uint256.NewUint64(222)) // block N+1
+	live.Finalise()
+
+	rootN := cp.Root()
+	live.AdoptTries(cp)
+
+	// Reference: the same two blocks applied serially.
+	ref := accessBase()
+	ref.AddBalance(addr(1), uint256.NewUint64(111))
+	ref.SetState(addr(3), slot(2), uint256.NewUint64(5))
+	ref.Finalise()
+	if got := ref.Root(); got != rootN {
+		t.Fatalf("handed-off root %x, want %x", rootN, got)
+	}
+	ref.AddBalance(addr(2), uint256.NewUint64(222))
+	ref.Finalise()
+	if got, want := live.Root(), ref.Root(); got != want {
+		t.Fatalf("post-adopt root %x, want %x", got, want)
+	}
+}

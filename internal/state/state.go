@@ -78,6 +78,25 @@ func (o *stateObject) ensureOwned() {
 	o.shared.Store(false)
 }
 
+// cloneShared duplicates an account header for a copy-on-write view
+// (Copy and Overlay), marking both sides' maps shared so the first
+// writer on either side clones via ensureOwned. Code slices are shared
+// outright: SetCode replaces, never mutates.
+func cloneShared(o *stateObject) *stateObject {
+	o.shared.Store(true)
+	no := &stateObject{
+		nonce:          o.nonce,
+		balance:        o.balance,
+		code:           o.code,
+		codeHash:       o.codeHash,
+		storage:        o.storage,
+		origin:         o.origin,
+		selfdestructed: o.selfdestructed,
+	}
+	no.shared.Store(true)
+	return no
+}
+
 // empty reports whether the account is empty per EIP-161
 // (nonce == 0, balance == 0, no code).
 func (o *stateObject) empty() bool {
@@ -114,6 +133,15 @@ type StateDB struct {
 	dirties   map[ethtypes.Address]*dirtyEntry
 	worldRoot ethtypes.Hash
 	rootValid bool
+
+	// base, when non-nil, makes this state an Overlay: getObject
+	// materialises copy-on-write clones of base accounts on first touch
+	// instead of requiring an up-front whole-world Copy. See access.go.
+	base *StateDB
+
+	// rec, when non-nil, records every read and write for optimistic
+	// concurrency validation. See access.go.
+	rec *AccessRecorder
 }
 
 // New returns an empty world state.
@@ -153,13 +181,29 @@ func (s *StateDB) mustMutable(op string) {
 }
 
 func (s *StateDB) getObject(addr ethtypes.Address) *stateObject {
-	return s.objects[addr]
-}
-
-func (s *StateDB) getOrNewObject(addr ethtypes.Address) *stateObject {
 	if o := s.objects[addr]; o != nil {
 		return o
 	}
+	if s.base != nil {
+		// Overlay copy-on-read: materialise a private clone of the base
+		// account. Cloning even for pure reads keeps every caller that
+		// mutates the returned object (SelfDestruct, SetState after a
+		// getObject hit) isolated from the base. No journal entry: the
+		// clone is indistinguishable from having copied up front.
+		if bo := s.base.objects[addr]; bo != nil {
+			no := cloneShared(bo)
+			s.objects[addr] = no
+			return no
+		}
+	}
+	return nil
+}
+
+func (s *StateDB) getOrNewObject(addr ethtypes.Address) *stateObject {
+	if o := s.getObject(addr); o != nil {
+		return o
+	}
+	s.recWrite(AccessExist, addr)
 	o := newStateObject()
 	s.objects[addr] = o
 	s.journal = append(s.journal, func() {
@@ -205,11 +249,16 @@ func (s *StateDB) markReset(addr ethtypes.Address) {
 
 // Exist reports whether the account exists in state.
 func (s *StateDB) Exist(addr ethtypes.Address) bool {
+	s.recRead(AccessExist, addr)
 	return s.getObject(addr) != nil
 }
 
 // Empty reports whether the account is absent or empty (EIP-161).
 func (s *StateDB) Empty(addr ethtypes.Address) bool {
+	s.recRead(AccessExist, addr)
+	s.recRead(AccessBalance, addr)
+	s.recRead(AccessNonce, addr)
+	s.recRead(AccessCode, addr)
 	o := s.getObject(addr)
 	return o == nil || o.empty()
 }
@@ -224,6 +273,7 @@ func (s *StateDB) CreateAccount(addr ethtypes.Address) {
 
 // GetBalance returns the account balance (zero for absent accounts).
 func (s *StateDB) GetBalance(addr ethtypes.Address) uint256.Int {
+	s.recRead(AccessBalance, addr)
 	if o := s.getObject(addr); o != nil {
 		return o.balance
 	}
@@ -233,6 +283,9 @@ func (s *StateDB) GetBalance(addr ethtypes.Address) uint256.Int {
 // AddBalance credits addr by amount.
 func (s *StateDB) AddBalance(addr ethtypes.Address, amount uint256.Int) {
 	s.mustMutable("AddBalance")
+	// The result depends on the prior balance, so this is a read too.
+	s.recRead(AccessBalance, addr)
+	s.recWrite(AccessBalance, addr)
 	o := s.getOrNewObject(addr)
 	prev := o.balance
 	s.journal = append(s.journal, func() {
@@ -247,6 +300,8 @@ func (s *StateDB) AddBalance(addr ethtypes.Address, amount uint256.Int) {
 // it panics on underflow to surface accounting bugs loudly.
 func (s *StateDB) SubBalance(addr ethtypes.Address, amount uint256.Int) {
 	s.mustMutable("SubBalance")
+	s.recRead(AccessBalance, addr)
+	s.recWrite(AccessBalance, addr)
 	o := s.getOrNewObject(addr)
 	next, under := o.balance.SubUnderflow(amount)
 	if under {
@@ -263,6 +318,7 @@ func (s *StateDB) SubBalance(addr ethtypes.Address, amount uint256.Int) {
 
 // GetNonce returns the account nonce.
 func (s *StateDB) GetNonce(addr ethtypes.Address) uint64 {
+	s.recRead(AccessNonce, addr)
 	if o := s.getObject(addr); o != nil {
 		return o.nonce
 	}
@@ -272,6 +328,7 @@ func (s *StateDB) GetNonce(addr ethtypes.Address) uint64 {
 // SetNonce sets the account nonce.
 func (s *StateDB) SetNonce(addr ethtypes.Address, nonce uint64) {
 	s.mustMutable("SetNonce")
+	s.recWrite(AccessNonce, addr)
 	o := s.getOrNewObject(addr)
 	prev := o.nonce
 	s.journal = append(s.journal, func() {
@@ -284,6 +341,7 @@ func (s *StateDB) SetNonce(addr ethtypes.Address, nonce uint64) {
 
 // GetCode returns the contract code at addr.
 func (s *StateDB) GetCode(addr ethtypes.Address) []byte {
+	s.recRead(AccessCode, addr)
 	if o := s.getObject(addr); o != nil {
 		return o.code
 	}
@@ -297,6 +355,10 @@ func (s *StateDB) GetCodeSize(addr ethtypes.Address) int {
 
 // GetCodeHash returns keccak(code), the zero hash for absent accounts.
 func (s *StateDB) GetCodeHash(addr ethtypes.Address) ethtypes.Hash {
+	// Distinguishes absent (zero hash) from existing code-less accounts
+	// (empty-code hash), so existence is part of the observed value.
+	s.recRead(AccessCode, addr)
+	s.recRead(AccessExist, addr)
 	if o := s.getObject(addr); o != nil {
 		return o.codeHash
 	}
@@ -306,6 +368,7 @@ func (s *StateDB) GetCodeHash(addr ethtypes.Address) ethtypes.Hash {
 // SetCode installs contract code at addr.
 func (s *StateDB) SetCode(addr ethtypes.Address, code []byte) {
 	s.mustMutable("SetCode")
+	s.recWrite(AccessCode, addr)
 	o := s.getOrNewObject(addr)
 	prevCode, prevHash := o.code, o.codeHash
 	s.journal = append(s.journal, func() {
@@ -319,6 +382,7 @@ func (s *StateDB) SetCode(addr ethtypes.Address, code []byte) {
 
 // GetState reads a storage slot.
 func (s *StateDB) GetState(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
+	s.recReadSlot(addr, slot)
 	if o := s.getObject(addr); o != nil {
 		return o.storage[slot]
 	}
@@ -328,6 +392,7 @@ func (s *StateDB) GetState(addr ethtypes.Address, slot ethtypes.Hash) uint256.In
 // GetCommittedState reads the value the slot had at the start of the
 // current transaction (for SSTORE gas metering).
 func (s *StateDB) GetCommittedState(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
+	s.recReadSlot(addr, slot)
 	o := s.getObject(addr)
 	if o == nil {
 		return uint256.Zero
@@ -341,6 +406,7 @@ func (s *StateDB) GetCommittedState(addr ethtypes.Address, slot ethtypes.Hash) u
 // SetState writes a storage slot.
 func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint256.Int) {
 	s.mustMutable("SetState")
+	s.recWriteSlot(addr, slot)
 	o := s.getOrNewObject(addr)
 	o.ensureOwned()
 	if _, tracked := o.origin[slot]; !tracked {
@@ -368,6 +434,11 @@ func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint
 // and zeroes its balance (the caller moves funds first).
 func (s *StateDB) SelfDestruct(addr ethtypes.Address) {
 	s.mustMutable("SelfDestruct")
+	// Whether anything happens depends on existence; the effect zeroes
+	// the balance now and deletes the account at Finalise.
+	s.recRead(AccessExist, addr)
+	s.recWrite(AccessBalance, addr)
+	s.recWrite(AccessExist, addr)
 	o := s.getObject(addr)
 	if o == nil {
 		return
@@ -384,6 +455,7 @@ func (s *StateDB) SelfDestruct(addr ethtypes.Address) {
 
 // HasSelfDestructed reports the destruct flag.
 func (s *StateDB) HasSelfDestructed(addr ethtypes.Address) bool {
+	s.recRead(AccessExist, addr)
 	o := s.getObject(addr)
 	return o != nil && o.selfdestructed
 }
@@ -457,6 +529,7 @@ func (s *StateDB) Finalise() {
 	s.mustMutable("Finalise")
 	for addr, o := range s.objects {
 		if o.selfdestructed || (o.empty() && len(o.storage) == 0) {
+			s.recWrite(AccessExist, addr)
 			delete(s.objects, addr)
 			s.markReset(addr)
 			continue
@@ -565,6 +638,9 @@ func (j *storageJob) run() {
 // accounts in parallel, then their account-trie leaves, then one
 // incremental hash of the account trie.
 func (s *StateDB) Root() ethtypes.Hash {
+	if s.base != nil {
+		panic("state: Root on overlay (cannot see untouched base accounts)")
+	}
 	if s.rootValid {
 		return s.worldRoot
 	}
@@ -740,18 +816,7 @@ func (s *StateDB) Copy() *StateDB {
 		rootValid:    s.rootValid,
 	}
 	for addr, o := range s.objects {
-		o.shared.Store(true)
-		no := &stateObject{
-			nonce:          o.nonce,
-			balance:        o.balance,
-			code:           o.code, // immutable: SetCode replaces, never mutates
-			codeHash:       o.codeHash,
-			storage:        o.storage,
-			origin:         o.origin,
-			selfdestructed: o.selfdestructed,
-		}
-		no.shared.Store(true)
-		cp.objects[addr] = no
+		cp.objects[addr] = cloneShared(o)
 	}
 	for addr, tr := range s.storageTries {
 		cp.storageTries[addr] = tr.Snapshot()
