@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check ci bench bench-smoke race persistence-torture conflict-torture fmt-check obs-check
+.PHONY: build test check ci bench bench-smoke race persistence-torture conflict-torture fmt-check obs-check soak
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ ci:
 	$(MAKE) test
 	$(MAKE) check
 	$(MAKE) bench-smoke
+	$(MAKE) soak
 
 # fmt-check fails the build if any file is not gofmt-clean.
 fmt-check:
@@ -57,7 +58,15 @@ conflict-torture:
 race:
 	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/... ./internal/xtrace/...
 
+# bench-host prints the parallelism the numbers were taken at — the §P6
+# scaling table is meaningless without it (benchmark name suffixes also
+# carry GOMAXPROCS, but only implicitly).
+define BENCH_HOST
+echo "bench host: $$(nproc) cores, GOMAXPROCS=$${GOMAXPROCS:-$$(nproc)} ($$(uname -s)/$$(uname -m))"
+endef
+
 bench:
+	@$(BENCH_HOST)
 	$(GO) test -run xxx -bench . -benchtime 3x .
 	$(GO) test -run xxx -bench 'StateRoot|Copy_COW|EthCall' ./internal/state/ ./internal/chain/
 	$(GO) test -run xxx -bench Recovery -benchtime 3x ./internal/chain/
@@ -69,4 +78,17 @@ bench:
 # regressions without burning runner minutes. Output lands in
 # bench-smoke.txt (uploaded as a CI artifact).
 bench-smoke:
-	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal|MineBlockParallel|MineLoopPipelined' -benchtime 1x ./internal/state/ ./internal/chain/ | tee bench-smoke.txt
+	@{ $(BENCH_HOST); \
+	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal|MineBlockParallel|MineLoopPipelined' -benchtime 1x ./internal/state/ ./internal/chain/; } | tee bench-smoke.txt
+
+# soak is the bounded-memory gate for the disk-backed state store: it
+# grows the world to SOAK_ACCOUNTS accounts (default 100k; the paper
+# experiment in EXPERIMENTS.md §P7 uses 1M) through per-block
+# commit/evict cycles and fails if the process RSS ever exceeds
+# SOAK_RSS_MB. Per-interval samples land in soak-rss.csv (uploaded as
+# a CI artifact).
+SOAK_ACCOUNTS ?= 100000
+SOAK_RSS_MB ?= 512
+soak:
+	SOAK=1 SOAK_ACCOUNTS=$(SOAK_ACCOUNTS) SOAK_RSS_MB=$(SOAK_RSS_MB) SOAK_CSV=$(CURDIR)/soak-rss.csv \
+		$(GO) test -run TestSoakDiskStateRSS -count 1 -timeout 60m -v ./internal/state/

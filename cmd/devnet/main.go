@@ -41,23 +41,36 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8545", "listen address for JSON-RPC")
-		nAcc     = flag.Int("accounts", 10, "number of pre-funded accounts")
-		seed     = flag.String("seed", wallet.DefaultDevSeed, "deterministic account seed")
-		balance  = flag.Int64("balance", 1000, "initial balance per account (ether)")
-		chainID  = flag.Uint64("chainid", 1337, "chain id")
-		gasLimit = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
-		datadir  = flag.String("datadir", "", "directory for the durable block log (empty = in-memory)")
-		metrics  = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
-		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		traceOn  = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
-		traceN   = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
-		slowTr   = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
-		workers  = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
-		pipeline = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
+		addr       = flag.String("addr", ":8545", "listen address for JSON-RPC")
+		nAcc       = flag.Int("accounts", 10, "number of pre-funded accounts")
+		seed       = flag.String("seed", wallet.DefaultDevSeed, "deterministic account seed")
+		balance    = flag.Int64("balance", 1000, "initial balance per account (ether)")
+		chainID    = flag.Uint64("chainid", 1337, "chain id")
+		gasLimit   = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
+		datadir    = flag.String("datadir", "", "directory for the durable block log (empty = in-memory)")
+		metrics    = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
+		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceOn    = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
+		traceN     = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
+		slowTr     = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
+		workers    = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
+		pipeline   = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
+		stateStore = flag.Bool("state-store", false, "disk-backed state: bounded-memory accounts under <datadir>/state (requires -datadir)")
+		stateCache = flag.Int("state-cache", 32, "state-store read cache budget in MiB")
+		snapKeep   = flag.Int("snapshots-keep", 2, "periodic state snapshots to retain on disk (>= 1; ignored with -state-store)")
+		retain     = flag.Uint64("retain-blocks", 0, "block bodies kept in memory; older ones read back from the log (0 = all, requires -datadir)")
 	)
 	flag.Parse()
+	if *snapKeep < 1 {
+		log.Fatal("devnet: -snapshots-keep must be >= 1")
+	}
+	if *stateCache < 1 {
+		log.Fatal("devnet: -state-cache must be >= 1 (MiB)")
+	}
+	if (*stateStore || *retain > 0) && *datadir == "" {
+		log.Fatal("devnet: -state-store and -retain-blocks require -datadir")
+	}
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
 	xtrace.SetEnabled(*traceOn)
 	xtrace.SetSampleEvery(*traceN)
@@ -75,7 +88,13 @@ func main() {
 		opts = append(opts, chain.WithPipelinedSeal())
 	}
 	if *datadir != "" {
-		opts = append(opts, chain.WithPersistence(chain.PersistConfig{DataDir: *datadir}))
+		opts = append(opts, chain.WithPersistence(chain.PersistConfig{
+			DataDir:       *datadir,
+			SnapshotsKeep: *snapKeep,
+			StateStore:    *stateStore,
+			StateCacheMB:  *stateCache,
+			RetainBlocks:  *retain,
+		}))
 	}
 	bc, err := chain.Open(g, opts...)
 	if err != nil {

@@ -14,7 +14,9 @@
 package blockdb
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -302,6 +304,49 @@ func (l *Log) openActiveLocked() error {
 	}
 	l.f = f
 	return nil
+}
+
+// ReadRecord re-reads record n from disk and decodes it — the
+// read-through path for block bodies that have been evicted from
+// memory. It opens the owning segment read-only, so it is safe
+// against the appender (frames are immutable once written; Rewind
+// only ever truncates records the caller no longer references).
+func (l *Log) ReadRecord(n uint64) (*Record, error) {
+	l.mu.Lock()
+	if int(n) >= len(l.locs) {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("blockdb: record %d out of range (have %d)", n, len(l.locs))
+	}
+	loc := l.locs[n]
+	path := l.segs[loc.seg].path
+	l.mu.Unlock()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("blockdb: read record: %w", err)
+	}
+	defer f.Close()
+	var hdr [frameHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], loc.off); err != nil {
+		return nil, fmt.Errorf("blockdb: read record header: %w", err)
+	}
+	size := int(binary.BigEndian.Uint32(hdr[0:4]))
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if size > maxFramePayload {
+		return nil, fmt.Errorf("blockdb: record %d frame length %d exceeds limit", n, size)
+	}
+	payload := make([]byte, size)
+	if _, err := f.ReadAt(payload, loc.off+frameHeaderSize); err != nil {
+		return nil, fmt.Errorf("blockdb: read record payload: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("blockdb: record %d CRC mismatch", n)
+	}
+	rec, err := DecodeRecord(payload)
+	if err != nil {
+		return nil, fmt.Errorf("blockdb: record %d: %w", n, err)
+	}
+	return rec, nil
 }
 
 // Len returns the number of records in the log.

@@ -32,6 +32,22 @@ func appendFrame(dst, payload []byte) []byte {
 // frameSize returns the on-disk size of a frame carrying n payload bytes.
 func frameSize(n int) int64 { return int64(frameHeaderSize + n) }
 
+// AppendFrame appends one CRC-framed payload to dst. Exported so
+// sibling stores (statestore's KV segments) reuse the exact frame
+// format — and therefore the same torn-write/bit-rot detection — as
+// the block log.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// FrameSize returns the on-disk size of a frame carrying n payload
+// bytes.
+func FrameSize(n int) int64 { return frameSize(n) }
+
+// ScanFrames walks the frames in data, calling fn with each payload;
+// see scanFrames for the return convention.
+func ScanFrames(data []byte, fn func(payload []byte) error) (valid int64, err error) {
+	return scanFrames(data, fn)
+}
+
 // scanFrames walks the frames in data, calling fn with each payload.
 // It returns the byte offset just past the last whole valid frame and,
 // when scanning stopped before the end of data, a description of why

@@ -34,9 +34,20 @@ func snapPath(dir string, number uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%010d%s", snapPrefix, number, snapSuffix))
 }
 
-// WriteSnapshot atomically writes a snapshot file (tmp + rename, CRC
-// framed) and prunes old generations beyond snapshotsKept.
+// DefaultSnapshotsKept is the retention used when a caller does not
+// configure one (see WriteSnapshotKeep).
+const DefaultSnapshotsKept = snapshotsKept
+
+// WriteSnapshot atomically writes a snapshot file and prunes old
+// generations beyond the default retention of snapshotsKept.
 func WriteSnapshot(dir string, s *Snapshot) error {
+	return WriteSnapshotKeep(dir, s, snapshotsKept)
+}
+
+// WriteSnapshotKeep atomically writes a snapshot file (tmp + rename,
+// CRC framed) and prunes old generations beyond keep (values < 1 fall
+// back to the default retention).
+func WriteSnapshotKeep(dir string, s *Snapshot, keep int) error {
 	payload := rlp.Encode(rlp.List(
 		rlp.Uint(s.Number),
 		rlp.Bytes(s.BlockHash[:]),
@@ -67,7 +78,7 @@ func WriteSnapshot(dir string, s *Snapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("blockdb: snapshot rename: %w", err)
 	}
-	pruneSnapshots(dir)
+	pruneSnapshots(dir, keep)
 	return nil
 }
 
@@ -94,16 +105,36 @@ func listSnapshotFiles(dir string) []uint64 {
 	return nums
 }
 
-func pruneSnapshots(dir string) {
+func pruneSnapshots(dir string, keep int) {
+	if keep < 1 {
+		keep = snapshotsKept
+	}
 	nums := listSnapshotFiles(dir)
-	for _, n := range nums[min(len(nums), snapshotsKept):] {
+	for _, n := range nums[min(len(nums), keep):] {
 		os.Remove(snapPath(dir, n))
 	}
 }
 
-// LoadSnapshots reads the snapshots in dir, newest first, silently
-// skipping any that fail CRC or decode — a damaged snapshot must never
-// block recovery, it just costs more replay.
+// SnapshotNumbers returns the block numbers of the snapshot files
+// present in dir, newest first, without reading any of them. Recovery
+// walks this list and loads snapshots one at a time (LoadSnapshot),
+// stopping at the first one that verifies — so a directory full of
+// old generations costs directory-listing time, not decode time.
+func SnapshotNumbers(dir string) []uint64 { return listSnapshotFiles(dir) }
+
+// LoadSnapshot reads and verifies the single snapshot for block n. A
+// CRC or decode failure returns an error; callers fall back to the
+// next-older snapshot (a damaged snapshot must never block recovery,
+// it just costs more replay).
+func LoadSnapshot(dir string, n uint64) (*Snapshot, error) {
+	return readSnapshot(snapPath(dir, n))
+}
+
+// LoadSnapshots reads every snapshot in dir, newest first, silently
+// skipping any that fail CRC or decode.
+//
+// Deprecated: this decodes every generation up front; use
+// SnapshotNumbers + LoadSnapshot to stop at the first usable one.
 func LoadSnapshots(dir string) []*Snapshot {
 	var out []*Snapshot
 	for _, n := range listSnapshotFiles(dir) {

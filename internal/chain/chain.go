@@ -18,6 +18,7 @@ import (
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/evm"
 	"legalchain/internal/state"
+	"legalchain/internal/statestore"
 	"legalchain/internal/uint256"
 	"legalchain/internal/xtrace"
 )
@@ -64,13 +65,16 @@ type Blockchain struct {
 	gasLimit uint64
 	coinbase ethtypes.Address
 
-	// Writer-owned canonical chain. blocks and allLogs are append-only
-	// slices shared with published views (appends never overwrite a
-	// published element); the hash indexes are persistent generation
-	// chains whose published generations are immutable.
+	// Writer-owned canonical chain. blocks and allLogs are shared with
+	// published views: appends never overwrite a published element, and
+	// cold-data eviction replaces the slice headers with reallocated
+	// suffixes (never truncating in place), so a published view's slices
+	// stay intact. The hash indexes are persistent generation chains
+	// whose published generations are immutable; byHash maps to block
+	// numbers (not bodies) so evicted blocks don't stay pinned.
 	st       *state.StateDB
-	blocks   []*ethtypes.Block
-	byHash   *pindex[*ethtypes.Block]
+	blocks   []*ethtypes.Block // blocks[i] is block number blocksBase+i
+	byHash   *pindex[uint64]
 	receipts *pindex[*ethtypes.Receipt]
 	txs      *pindex[*ethtypes.Transaction]
 	allLogs  []*ethtypes.Log
@@ -99,8 +103,21 @@ type Blockchain struct {
 	// persist.go.
 	db           *blockdb.Log
 	snapInterval uint64
+	snapKeep     int
 	persistErr   error
 	recovery     *RecoveryReport
+
+	// Disk-backed state and cold-data eviction (nil / zero unless
+	// PersistConfig.StateStore): every block commits its state batch to
+	// stateStore under a monotonic generation, the live state keeps at
+	// most maxResident clean account objects between blocks, and block
+	// bodies older than retainBlocks evict to the block log (blocksBase
+	// is the number of the first resident block).
+	stateStore   *statestore.Store
+	stateGen     atomic.Uint64
+	maxResident  int
+	retainBlocks uint64
+	blocksBase   uint64
 
 	// Historical tracing (trace.go): the retained genesis rebuilds
 	// pre-block state from scratch, dataDir locates persisted snapshots
@@ -145,7 +162,7 @@ func newMemory(g *Genesis, cfg *openConfig) *Blockchain {
 		coinbase:    g.Coinbase,
 		st:          st,
 		blocks:      []*ethtypes.Block{genesisBlock},
-		byHash:      (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock),
+		byHash:      (*pindex[uint64])(nil).with1(genesisBlock.Hash(), 0),
 		genesis:     copyGenesis(g),
 		inflight:    make(map[ethtypes.Hash]struct{}),
 		execWorkers: cfg.execWorkers,

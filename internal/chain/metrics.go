@@ -41,6 +41,10 @@ var (
 		"Serial re-executions performed to repair conflicting transactions.")
 	mSealTailSeconds = metrics.Default.Histogram("legalchain_chain_seal_tail_seconds",
 		"Wall time of the pipelined seal tail (state root, journal fsync, install).", nil)
+	mBlocksEvicted = metrics.Default.Counter("legalchain_chain_blocks_evicted_total",
+		"Cold block bodies evicted from memory to the block log.")
+	mBlockReadThrough = metrics.Default.Counter("legalchain_chain_block_read_through_total",
+		"Reads of evicted blocks or logs served from the block log.")
 )
 
 // lastViewPublishNanos holds the UnixNano timestamp of the most recent

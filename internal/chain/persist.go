@@ -3,10 +3,12 @@ package chain
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"legalchain/internal/blockdb"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/state"
+	"legalchain/internal/statestore"
 	"legalchain/internal/xtrace"
 )
 
@@ -41,7 +43,33 @@ type PersistConfig struct {
 	SegmentSize int64
 	// NoSync skips per-block fsync. Tests and benchmarks only.
 	NoSync bool
+	// SnapshotsKeep is how many periodic state snapshots to retain on
+	// disk (0 = blockdb.DefaultSnapshotsKept). Ignored with StateStore,
+	// which replaces whole-world snapshots entirely.
+	SnapshotsKeep int
+	// StateStore enables the disk-backed state store under
+	// DataDir/state: accounts, storage slots and trie nodes live in
+	// append-only segments, the live state keeps only a bounded
+	// resident set, and recovery resumes from the store's anchor
+	// instead of decoding a whole-world snapshot.
+	StateStore bool
+	// StateCacheMB is the state store's read-cache budget in MiB
+	// (0 = statestore default, 32 MiB). Only meaningful with StateStore.
+	StateCacheMB int
+	// MaxResidentAccounts bounds how many account objects stay resident
+	// in the live state between blocks (0 = DefaultMaxResidentAccounts).
+	// Only meaningful with StateStore.
+	MaxResidentAccounts int
+	// RetainBlocks bounds how many recent block bodies (and their logs)
+	// stay resident; older blocks evict to the block log and read back
+	// through on demand (0 = keep everything resident).
+	RetainBlocks uint64
 }
+
+// DefaultMaxResidentAccounts is the resident-account ceiling applied
+// between blocks when StateStore is on and the config leaves
+// MaxResidentAccounts at zero.
+const DefaultMaxResidentAccounts = 4096
 
 // Option configures Open.
 type Option func(*openConfig)
@@ -120,11 +148,19 @@ func (bc *Blockchain) Close() error {
 	if bc.db == nil {
 		return nil
 	}
-	if bc.persistErr == nil {
+	// With the state store every block already committed its batch and
+	// anchor; there is no whole-world snapshot to flush.
+	if bc.persistErr == nil && bc.stateStore == nil {
 		bc.writeSnapshotLocked(bc.blocks[len(bc.blocks)-1])
 	}
 	closeErr := bc.db.Close()
 	bc.db = nil
+	if bc.stateStore != nil {
+		if err := bc.stateStore.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+		bc.stateStore = nil
+	}
 	if bc.persistErr != nil {
 		return bc.persistErr
 	}
@@ -149,6 +185,24 @@ func openPersistent(g *Genesis, cfg *openConfig) (*Blockchain, error) {
 	bc.db = db
 	bc.snapInterval = interval
 	bc.dataDir = p.DataDir
+	bc.snapKeep = p.SnapshotsKeep
+	bc.retainBlocks = p.RetainBlocks
+	if p.StateStore {
+		st, err := statestore.Open(filepath.Join(p.DataDir, "state"), statestore.Options{
+			SegmentSize: p.SegmentSize,
+			CacheBytes:  int64(p.StateCacheMB) << 20,
+			NoSync:      p.NoSync,
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		bc.stateStore = st
+		bc.maxResident = p.MaxResidentAccounts
+		if bc.maxResident == 0 {
+			bc.maxResident = DefaultMaxResidentAccounts
+		}
+	}
 	report := &RecoveryReport{
 		LogDroppedBytes:    logRep.DroppedBytes,
 		LogDroppedSegments: logRep.DroppedSegments,
@@ -156,17 +210,30 @@ func openPersistent(g *Genesis, cfg *openConfig) (*Blockchain, error) {
 	}
 	bc.recovery = report
 
+	closeAll := func() {
+		db.Close()
+		if bc.stateStore != nil {
+			bc.stateStore.Close()
+		}
+	}
+
 	if len(recs) == 0 {
 		// Fresh (or fully damaged) datadir: journal the genesis record so
 		// future recoveries can verify the chain identity.
+		if bc.stateStore != nil {
+			if err := bc.initDiskGenesis(g); err != nil {
+				closeAll()
+				return nil, err
+			}
+		}
 		if err := db.Append(&blockdb.Record{Header: bc.blocks[0].Header}); err != nil {
-			db.Close()
+			closeAll()
 			return nil, err
 		}
 		return bc, nil
 	}
 	if recs[0].Header.Hash() != bc.blocks[0].Hash() {
-		db.Close()
+		closeAll()
 		return nil, fmt.Errorf("chain: datadir %s was created with a different genesis", p.DataDir)
 	}
 
@@ -186,14 +253,16 @@ func openPersistent(g *Genesis, cfg *openConfig) (*Blockchain, error) {
 		valid++
 	}
 
-	snaps := blockdb.LoadSnapshots(p.DataDir)
-
 	// Rebuild, retrying with a shorter prefix whenever a block's
 	// re-execution diverges from its stored state root. limit strictly
 	// decreases, so this terminates; limit == 1 replays nothing.
 	limit := valid
 	for {
-		ok, failAt := bc.rebuildTo(g, recs, snaps, limit, report)
+		ok, failAt, err := bc.rebuildTo(g, recs, limit, report)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
 		if ok {
 			break
 		}
@@ -203,7 +272,7 @@ func openPersistent(g *Genesis, cfg *openConfig) (*Blockchain, error) {
 	if limit < len(recs) {
 		report.BlocksDropped = len(recs) - limit
 		if err := db.Rewind(limit); err != nil {
-			db.Close()
+			closeAll()
 			return nil, err
 		}
 	}
@@ -214,66 +283,146 @@ func openPersistent(g *Genesis, cfg *openConfig) (*Blockchain, error) {
 	return bc, nil
 }
 
+// initDiskGenesis replaces the fresh in-memory genesis state with a
+// disk-backed one and commits the allocation as the store's first
+// anchor. Any stale store contents (a damaged block log with a
+// surviving state dir) are discarded first — the block log is the
+// source of truth for chain identity.
+func (bc *Blockchain) initDiskGenesis(g *Genesis) error {
+	if err := bc.stateStore.Reset(); err != nil {
+		return err
+	}
+	st := state.NewWithDisk(bc.stateStore, ethtypes.Hash{})
+	for addr, bal := range g.Alloc {
+		st.AddBalance(addr, bal)
+	}
+	st.Finalise()
+	root := st.Root()
+	genesisBlock := bc.blocks[0]
+	if root != genesisBlock.Header.StateRoot {
+		return fmt.Errorf("chain: disk-backed genesis root %s, want %s", root, genesisBlock.Header.StateRoot)
+	}
+	if err := bc.stateStore.Commit(st.TakePending(), statestore.Anchor{
+		Gen:       0,
+		Number:    0,
+		BlockHash: genesisBlock.Hash(),
+		Root:      root,
+	}); err != nil {
+		return err
+	}
+	bc.st = st
+	bc.stateGen.Store(1)
+	bc.publishHeadLocked()
+	return nil
+}
+
 // rebuildTo reconstructs the in-memory chain from records [0, limit):
-// indexes of pre-snapshot blocks are restored from their journaled
-// receipts, the world state starts at the newest usable snapshot, and
-// every block after it is re-executed and verified against its header.
-// On a verification failure it returns (false, failedBlock) and the
-// caller retries with the shorter prefix.
-func (bc *Blockchain) rebuildTo(g *Genesis, recs []*blockdb.Record, snaps []*blockdb.Snapshot, limit int, report *RecoveryReport) (ok bool, failAt int) {
+// indexes of pre-base blocks are restored from their journaled
+// receipts, the world state starts at the newest usable base (a
+// verified snapshot, or the state store's anchor), and every block
+// after it is re-executed and verified against its header. On a
+// verification failure it returns (false, failedBlock, nil) and the
+// caller retries with the shorter prefix; a non-nil error is an
+// unrecoverable I/O failure.
+func (bc *Blockchain) rebuildTo(g *Genesis, recs []*blockdb.Record, limit int, report *RecoveryReport) (ok bool, failAt int, err error) {
 	// Reset to genesis.
 	st, genesisBlock := genesisState(g)
 	bc.st = st
 	bc.blocks = []*ethtypes.Block{genesisBlock}
-	bc.byHash = (*pindex[*ethtypes.Block])(nil).with1(genesisBlock.Hash(), genesisBlock)
+	bc.blocksBase = 0
+	bc.byHash = (*pindex[uint64])(nil).with1(genesisBlock.Hash(), 0)
 	bc.receipts = nil
 	bc.txs = nil
 	bc.allLogs = nil
 	bc.timeOffset = 0
 
-	// Newest usable snapshot: captured inside the prefix, bound to the
-	// block we actually have, and decoding to the exact committed root.
 	base := 0
 	report.SnapshotUsed = false
 	report.SnapshotBlock = 0
-	for _, sn := range snaps {
-		if sn.Number >= uint64(limit) || sn.Number == 0 {
-			continue
+	anchorGen := uint64(0)
+
+	if bc.stateStore != nil {
+		// The store's anchor is the state base: it must point inside the
+		// usable prefix and reproduce the committed header exactly.
+		// Otherwise (damage, or a rewind past the anchor on retry) the
+		// store is discarded and the chain re-executes from genesis,
+		// repopulating it.
+		if a, ok := bc.stateStore.Anchor(); ok &&
+			a.Number < uint64(limit) &&
+			recs[a.Number].Header.Hash() == a.BlockHash &&
+			recs[a.Number].Header.StateRoot == a.Root {
+			bc.st = state.NewWithDisk(bc.stateStore, a.Root)
+			base = int(a.Number)
+			anchorGen = a.Gen
+			report.SnapshotUsed = base > 0
+			report.SnapshotBlock = a.Number
+		} else {
+			if err := bc.initDiskGenesis(g); err != nil {
+				return false, 0, err
+			}
 		}
-		if sn.BlockHash != recs[sn.Number].Header.Hash() {
-			continue
+	} else if bc.dataDir != "" {
+		// Newest usable snapshot, loaded lazily newest-first: stop at the
+		// first one captured inside the prefix, bound to the block we
+		// actually have, and decoding to the exact committed root.
+		for _, n := range blockdb.SnapshotNumbers(bc.dataDir) {
+			if n >= uint64(limit) || n == 0 {
+				continue
+			}
+			sn, err := blockdb.LoadSnapshot(bc.dataDir, n)
+			if err != nil || sn.BlockHash != recs[n].Header.Hash() {
+				continue
+			}
+			snapSt, err := state.DecodeSnapshot(sn.State)
+			if err != nil || snapSt.Root() != recs[n].Header.StateRoot {
+				continue
+			}
+			bc.st = snapSt
+			base = int(n)
+			report.SnapshotUsed = true
+			report.SnapshotBlock = n
+			break
 		}
-		snapSt, err := state.DecodeSnapshot(sn.State)
-		if err != nil {
-			continue
-		}
-		if snapSt.Root() != recs[sn.Number].Header.StateRoot {
-			continue
-		}
-		bc.st = snapSt
-		base = int(sn.Number)
-		report.SnapshotUsed = true
-		report.SnapshotBlock = sn.Number
-		break
 	}
 
-	// Install blocks up to the snapshot from their journaled records —
-	// no re-execution, the snapshot vouches for the state and the
+	// Install blocks up to the base from their journaled records — no
+	// re-execution, the base state vouches for the world and the
 	// structural checks vouched for the commitments.
 	for i := 1; i <= base; i++ {
 		bc.installRecord(recs[i])
 	}
 
-	// Re-execute and verify everything after the snapshot.
+	// Re-execute and verify everything after the base.
 	replayed := 0
 	for i := base + 1; i < limit; i++ {
 		if !bc.replayBlock(recs[i]) {
-			return false, i
+			return false, i, nil
 		}
 		replayed++
 	}
 	report.BlocksReplayed = replayed
-	return true, 0
+
+	if bc.stateStore != nil {
+		// Land the replay's accumulated state under a head anchor. On a
+		// failed attempt nothing was committed, so the retry re-anchors
+		// off the untouched store.
+		if replayed > 0 {
+			head := bc.blocks[len(bc.blocks)-1]
+			if err := bc.stateStore.Commit(bc.st.TakePending(), statestore.Anchor{
+				Gen:       anchorGen + 1,
+				Number:    head.Number(),
+				BlockHash: head.Hash(),
+				Root:      head.Header.StateRoot,
+			}); err != nil {
+				return false, 0, err
+			}
+			bc.stateGen.Store(anchorGen + 2)
+		} else {
+			bc.stateGen.Store(anchorGen + 1)
+		}
+		bc.st.EvictCold(bc.maxResident)
+	}
+	return true, 0, nil
 }
 
 // installRecord appends a journaled block and its stored receipts to
@@ -281,7 +430,7 @@ func (bc *Blockchain) rebuildTo(g *Genesis, recs []*blockdb.Record, snaps []*blo
 func (bc *Blockchain) installRecord(rec *blockdb.Record) {
 	block := rec.Block()
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash = bc.byHash.with1(block.Hash(), block)
+	bc.byHash = bc.byHash.with1(block.Hash(), block.Number())
 	newReceipts := make(map[ethtypes.Hash]*ethtypes.Receipt, len(rec.Receipts))
 	newTxs := make(map[ethtypes.Hash]*ethtypes.Transaction, len(rec.Txs))
 	for i, rcpt := range rec.Receipts {
@@ -333,7 +482,7 @@ func (bc *Blockchain) replayBlock(rec *blockdb.Record) (ok bool) {
 	block := rec.Block()
 	blockHash := block.Hash()
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash = bc.byHash.with1(blockHash, block)
+	bc.byHash = bc.byHash.with1(blockHash, block.Number())
 	newReceipts := make(map[ethtypes.Hash]*ethtypes.Receipt, len(receipts))
 	newTxs := make(map[ethtypes.Hash]*ethtypes.Transaction, len(rec.Txs))
 	for i, rcpt := range receipts {
@@ -367,6 +516,27 @@ func (bc *Blockchain) persistBlockLocked(ctx context.Context, block *ethtypes.Bl
 		bc.persistErr = err
 		return
 	}
+	if bc.stateStore != nil {
+		// The state store replaces whole-world snapshots: every block
+		// commits its pending batch under a fresh generation anchor, so
+		// recovery resumes from the head instead of replaying an interval.
+		_, commitSp := xtrace.Start(ctx, "statestore", "commit")
+		gen := bc.stateGen.Add(1) - 1
+		err := bc.stateStore.Commit(bc.st.TakePending(), statestore.Anchor{
+			Gen:       gen,
+			Number:    block.Number(),
+			BlockHash: block.Hash(),
+			Root:      block.Header.StateRoot,
+		})
+		commitSp.SetError(err)
+		commitSp.End()
+		if err != nil {
+			bc.persistErr = err
+		} else if _, err := bc.stateStore.MaybeCompact(); err != nil {
+			bc.persistErr = err
+		}
+		return
+	}
 	if bc.snapInterval > 0 && block.Number()%bc.snapInterval == 0 {
 		_, snapSp := xtrace.Start(ctx, "blockdb", "snapshot")
 		bc.writeSnapshotLocked(block)
@@ -375,7 +545,7 @@ func (bc *Blockchain) persistBlockLocked(ctx context.Context, block *ethtypes.Bl
 }
 
 func (bc *Blockchain) writeSnapshotLocked(head *ethtypes.Block) {
-	if bc.db == nil {
+	if bc.db == nil || bc.stateStore != nil {
 		return
 	}
 	snap := &blockdb.Snapshot{
@@ -383,7 +553,11 @@ func (bc *Blockchain) writeSnapshotLocked(head *ethtypes.Block) {
 		BlockHash: head.Hash(),
 		State:     bc.st.EncodeSnapshot(),
 	}
-	if err := blockdb.WriteSnapshot(bc.db.Dir(), snap); err != nil {
+	keep := bc.snapKeep
+	if keep <= 0 {
+		keep = blockdb.DefaultSnapshotsKept
+	}
+	if err := blockdb.WriteSnapshotKeep(bc.db.Dir(), snap, keep); err != nil {
 		bc.persistErr = err
 	}
 }

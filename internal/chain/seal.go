@@ -7,6 +7,7 @@ import (
 	"legalchain/internal/blockdb"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/state"
+	"legalchain/internal/statestore"
 	"legalchain/internal/xtrace"
 )
 
@@ -121,6 +122,7 @@ func (t *sealTail) runSync() {
 	t.blockHash = t.block.Hash()
 	bc.installBlockLocked(t.block, t.blockHash, t.included, t.receipts)
 	bc.persistBlockLocked(t.ctx, t.block, t.receipts)
+	bc.evictColdLocked()
 	bc.publishHeadLocked()
 	t.observeSealMetrics()
 	close(t.rootReady)
@@ -198,6 +200,29 @@ func (t *sealTail) persist() {
 		t.persistErr = err
 		return
 	}
+	if bc.stateStore != nil {
+		// Commit the block's state batch under a fresh generation. The
+		// logDone chain serialises persist() across tails, so generations
+		// and commits land in block order; by the time this tail's view
+		// publishes (stage 3), read-through on its frozen copy sees a
+		// store that already contains the block's records.
+		_, commitSp := xtrace.Start(t.ctx, "statestore", "commit")
+		gen := bc.stateGen.Add(1) - 1
+		err := bc.stateStore.Commit(t.cp.TakePending(), statestore.Anchor{
+			Gen:       gen,
+			Number:    t.block.Number(),
+			BlockHash: t.blockHash,
+			Root:      t.header.StateRoot,
+		})
+		commitSp.SetError(err)
+		commitSp.End()
+		if err != nil {
+			t.persistErr = err
+		} else if _, err := bc.stateStore.MaybeCompact(); err != nil {
+			t.persistErr = err
+		}
+		return
+	}
 	if bc.snapInterval > 0 && t.block.Number()%bc.snapInterval == 0 {
 		_, snapSp := xtrace.Start(t.ctx, "blockdb", "snapshot")
 		snap := &blockdb.Snapshot{
@@ -205,7 +230,11 @@ func (t *sealTail) persist() {
 			BlockHash: t.blockHash,
 			State:     t.cp.EncodeSnapshot(),
 		}
-		if err := blockdb.WriteSnapshot(bc.db.Dir(), snap); err != nil {
+		keep := bc.snapKeep
+		if keep <= 0 {
+			keep = blockdb.DefaultSnapshotsKept
+		}
+		if err := blockdb.WriteSnapshotKeep(bc.db.Dir(), snap, keep); err != nil {
 			t.persistErr = err
 		}
 		snapSp.End()
@@ -233,7 +262,48 @@ func (bc *Blockchain) installTailLocked(t *sealTail) {
 	// Drop the chain reference under bc.mu: blockHashFnLocked walks
 	// prev links while holding the lock.
 	t.prev = nil
+	bc.evictColdLocked()
 	bc.publishHeadFrozenLocked(t.cp)
+}
+
+// evictColdLocked bounds resident memory after a block lands: clean
+// account objects beyond maxResident drop out of the live state (they
+// read back through the state store's cache), and block bodies older
+// than retainBlocks evict to the block log together with their logs.
+// Both evictions require the evicted data to be durably committed, so
+// a latched persist error freezes eviction. Slices are reallocated,
+// never truncated in place — published views keep their own headers
+// over the old backing array.
+func (bc *Blockchain) evictColdLocked() {
+	if bc.persistErr != nil {
+		return
+	}
+	if bc.stateStore != nil {
+		bc.st.EvictCold(bc.maxResident)
+	}
+	if bc.retainBlocks == 0 || bc.db == nil || uint64(len(bc.blocks)) <= bc.retainBlocks {
+		return
+	}
+	head := bc.blocks[len(bc.blocks)-1].Number()
+	newBase := head - bc.retainBlocks + 1
+	cut := int(newBase - bc.blocksBase)
+	if cut <= 0 {
+		return
+	}
+	nb := make([]*ethtypes.Block, len(bc.blocks)-cut)
+	copy(nb, bc.blocks[cut:])
+	bc.blocks = nb
+	bc.blocksBase = newBase
+	mBlocksEvicted.Add(uint64(cut))
+	keep := 0
+	for keep < len(bc.allLogs) && bc.allLogs[keep].BlockNumber < newBase {
+		keep++
+	}
+	if keep > 0 {
+		nl := make([]*ethtypes.Log, len(bc.allLogs)-keep)
+		copy(nl, bc.allLogs[keep:])
+		bc.allLogs = nl
+	}
 }
 
 // installBlockLocked appends a sealed block and its receipts to the
@@ -255,7 +325,7 @@ func (bc *Blockchain) installBlockLocked(block *ethtypes.Block, blockHash ethtyp
 	bc.receipts = bc.receipts.with(newReceipts)
 	bc.txs = bc.txs.with(newTxs)
 	bc.blocks = append(bc.blocks, block)
-	bc.byHash = bc.byHash.with1(blockHash, block)
+	bc.byHash = bc.byHash.with1(blockHash, block.Number())
 }
 
 // observeSealMetrics records the per-seal instruments once the block
@@ -301,6 +371,8 @@ func (bc *Blockchain) drainPipelineLocked() {
 // holding nothing can wait while the sealing path holds the lock).
 func (bc *Blockchain) blockHashFnLocked() func(uint64) ethtypes.Hash {
 	blocks := bc.blocks
+	base := bc.blocksBase
+	db := bc.db
 	var tails map[uint64]*sealTail
 	for t := bc.sealPipe; t != nil; t = t.prev {
 		if tails == nil {
@@ -313,8 +385,14 @@ func (bc *Blockchain) blockHashFnLocked() func(uint64) ethtypes.Hash {
 			<-t.rootReady
 			return t.blockHash
 		}
-		if n < uint64(len(blocks)) {
-			return blocks[n].Hash()
+		if n >= base && n-base < uint64(len(blocks)) {
+			return blocks[n-base].Hash()
+		}
+		if n < base && db != nil {
+			// Evicted to the block log; reads are lock-free (pread).
+			if rec, err := db.ReadRecord(n); err == nil {
+				return rec.Block().Hash()
+			}
 		}
 		return ethtypes.Hash{}
 	}

@@ -147,16 +147,24 @@ func (bc *Blockchain) stateBefore(ctx context.Context, view *HeadView, n uint64)
 	// Base: genesis, unless a persisted snapshot at or below target
 	// passes the same validity checks recovery applies (bound to a block
 	// this view actually has, decodes, and reproduces the committed
-	// state root).
+	// state root). Snapshots are loaded lazily newest-first, stopping at
+	// the first that verifies. (A state-store chain writes no snapshots —
+	// its anchor sits at the head, which is no use as a pre-state — so
+	// there it always replays from genesis, reading evicted blocks back
+	// through the view.)
 	st, _ := genesisState(bc.genesis)
 	base := uint64(0)
 	if bc.dataDir != "" {
-		for _, sn := range blockdb.LoadSnapshots(bc.dataDir) {
-			if sn.Number > target || sn.Number == 0 {
+		for _, n := range blockdb.SnapshotNumbers(bc.dataDir) {
+			if n > target || n == 0 {
 				continue
 			}
-			b, ok := view.BlockByNumber(sn.Number)
-			if !ok || b.Hash() != sn.BlockHash {
+			b, ok := view.BlockByNumber(n)
+			if !ok {
+				continue
+			}
+			sn, err := blockdb.LoadSnapshot(bc.dataDir, n)
+			if err != nil || sn.BlockHash != b.Hash() {
 				continue
 			}
 			snapSt, err := state.DecodeSnapshot(sn.State)
@@ -164,7 +172,7 @@ func (bc *Blockchain) stateBefore(ctx context.Context, view *HeadView, n uint64)
 				continue
 			}
 			st = snapSt
-			base = sn.Number
+			base = n
 			break
 		}
 	}

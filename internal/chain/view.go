@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"legalchain/internal/abi"
+	"legalchain/internal/blockdb"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/evm"
 	"legalchain/internal/state"
@@ -115,12 +116,18 @@ type HeadView struct {
 	coinbase ethtypes.Address
 
 	head     *ethtypes.Block
-	blocks   []*ethtypes.Block // blocks[0..len) is frozen; writer appends past len
+	blocks   []*ethtypes.Block // blocks[i] is block blocksBase+i; frozen, writer appends past len
 	st       *state.StateDB    // frozen (state.Freeze) snapshot at head
-	byHash   *pindex[*ethtypes.Block]
+	byHash   *pindex[uint64]   // block hash → number (resident or evicted)
 	receipts *pindex[*ethtypes.Receipt]
 	txs      *pindex[*ethtypes.Transaction]
-	logs     []*ethtypes.Log // same append-only sharing as blocks
+	logs     []*ethtypes.Log // same sharing as blocks; logs of evicted blocks live in db
+
+	// Cold-data read-through: blocks (and their logs) older than
+	// blocksBase were evicted from memory and are served from the block
+	// log. db reads are lock-free (positional pread on sealed segments).
+	db         *blockdb.Log
+	blocksBase uint64
 
 	timeOffset uint64 // pending AdjustTime offset for speculative headers
 	published  time.Time
@@ -149,19 +156,35 @@ func (v *HeadView) State() *state.StateDB { return v.st }
 // PublishedAt returns when the view was published.
 func (v *HeadView) PublishedAt() time.Time { return v.published }
 
-// BlockByNumber returns a block by height.
+// BlockByNumber returns a block by height. Blocks evicted from memory
+// read back through the block log.
 func (v *HeadView) BlockByNumber(n uint64) (*ethtypes.Block, bool) {
 	mViewReads.Inc()
-	if n >= uint64(len(v.blocks)) {
+	if n >= v.blocksBase+uint64(len(v.blocks)) {
 		return nil, false
 	}
-	return v.blocks[n], true
+	if n >= v.blocksBase {
+		return v.blocks[n-v.blocksBase], true
+	}
+	if v.db == nil {
+		return nil, false
+	}
+	rec, err := v.db.ReadRecord(n)
+	if err != nil {
+		return nil, false
+	}
+	mBlockReadThrough.Inc()
+	return rec.Block(), true
 }
 
 // BlockByHash returns a block by hash.
 func (v *HeadView) BlockByHash(h ethtypes.Hash) (*ethtypes.Block, bool) {
 	mViewReads.Inc()
-	return v.byHash.get(h)
+	n, ok := v.byHash.get(h)
+	if !ok {
+		return nil, false
+	}
+	return v.BlockByNumber(n)
 }
 
 // GetBalance returns the balance of addr at the view's head.
@@ -217,19 +240,42 @@ func (v *HeadView) FilterLogs(q FilterQuery) []*ethtypes.Log {
 		to = *q.ToBlock
 	}
 	var out []*ethtypes.Log
+	// Evicted range first (log order is block order): logs of blocks
+	// below blocksBase read back through their journaled receipts.
+	if v.db != nil && v.blocksBase > 0 && q.FromBlock < v.blocksBase {
+		for n := max(q.FromBlock, 1); n < v.blocksBase && n <= to; n++ {
+			rec, err := v.db.ReadRecord(n)
+			if err != nil {
+				continue
+			}
+			mBlockReadThrough.Inc()
+			for _, rcpt := range rec.Receipts {
+				for _, l := range rcpt.Logs {
+					if logMatches(q, l, to) {
+						out = append(out, l)
+					}
+				}
+			}
+		}
+	}
 	for _, l := range v.logs {
-		if l.BlockNumber < q.FromBlock || l.BlockNumber > to {
-			continue
+		if logMatches(q, l, to) {
+			out = append(out, l)
 		}
-		if len(q.Addresses) > 0 && !containsAddr(q.Addresses, l.Address) {
-			continue
-		}
-		if !topicsMatch(q.Topics, l.Topics) {
-			continue
-		}
-		out = append(out, l)
 	}
 	return out
+}
+
+// logMatches reports whether l satisfies q's range, address and topic
+// constraints (to is the resolved upper block bound).
+func logMatches(q FilterQuery, l *ethtypes.Log, to uint64) bool {
+	if l.BlockNumber < q.FromBlock || l.BlockNumber > to {
+		return false
+	}
+	if len(q.Addresses) > 0 && !containsAddr(q.Addresses, l.Address) {
+		return false
+	}
+	return topicsMatch(q.Topics, l.Topics)
 }
 
 // nextHeader prepares the speculative header for a call executed on top
@@ -406,6 +452,8 @@ func (bc *Blockchain) publishHeadFrozenLocked(frozen *state.StateDB) {
 		receipts:   bc.receipts,
 		txs:        bc.txs,
 		logs:       bc.allLogs,
+		db:         bc.db,
+		blocksBase: bc.blocksBase,
 		timeOffset: bc.timeOffset,
 		published:  now,
 	})

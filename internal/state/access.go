@@ -189,10 +189,14 @@ func (s *StateDB) ExtractDiff(writes map[AccessKey]struct{}) *Diff {
 func (s *StateDB) ApplyDiff(d *Diff) {
 	s.mustMutable("ApplyDiff")
 	grab := func(addr ethtypes.Address) *stateObject {
-		o := s.objects[addr]
+		// getObject first: on a disk-backed state the account may be
+		// cold — a fresh empty object would shadow its committed
+		// nonce, code hash and storage root.
+		o := s.getObject(addr)
 		if o == nil {
 			o = newStateObject()
 			s.objects[addr] = o
+			delete(s.deleted, addr) // diffs are commits: recreation is final
 		}
 		return o
 	}
@@ -203,9 +207,10 @@ func (s *StateDB) ApplyDiff(d *Diff) {
 		o := grab(addr)
 		o.ensureOwned()
 		for slot, v := range slots {
-			if v.IsZero() {
+			if v.IsZero() && !o.partial {
 				delete(o.storage, slot)
 			} else {
+				// Partial objects keep resident zero tombstones.
 				o.storage[slot] = v
 			}
 			s.markSlot(addr, slot)
@@ -235,9 +240,13 @@ func (s *StateDB) ApplyDiff(d *Diff) {
 		o.code, o.codeHash = c.code, c.hash
 		s.markAccount(addr)
 	}
+	diskBacked := s.diskStore() != nil
 	for addr := range d.Deleted {
 		delete(s.objects, addr)
 		s.markReset(addr)
+		if diskBacked {
+			s.markDeleted(addr)
+		}
 	}
 }
 

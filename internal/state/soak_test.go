@@ -1,0 +1,205 @@
+package state
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/statestore"
+	"legalchain/internal/uint256"
+)
+
+// The bounded-memory soak: grow the world to SOAK_ACCOUNTS accounts
+// through per-block commit/evict cycles against the disk store and
+// assert the process RSS stays under SOAK_RSS_MB. Skipped unless
+// SOAK=1 — it is a capacity test, not a correctness test, and runs for
+// minutes at the 1M-account setting.
+//
+//	SOAK=1 SOAK_ACCOUNTS=100000 SOAK_RSS_MB=512 go test -run TestSoakDiskStateRSS -timeout 60m ./internal/state/
+//
+// SOAK_CSV=path additionally writes one sample line per report
+// interval (block, accounts, rss_kb, heap_kb, resident, disk_mb) for
+// the EXPERIMENTS.md plots and the CI artifact.
+//
+// SOAK_BASELINE=1 runs the identical workload on the all-in-RAM
+// StateDB instead (no store, no eviction, no ceiling assert) — the
+// linear-growth curve the disk store exists to beat.
+
+func soakEnvInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			panic(fmt.Sprintf("%s=%q: want a positive integer", name, v))
+		}
+		return n
+	}
+	return def
+}
+
+// rssKB reads the process resident set size from /proc (Linux). On
+// other platforms it returns 0 and the ceiling assert is skipped —
+// the heap numbers still land in the CSV.
+func rssKB() int {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			kb, _ := strconv.Atoi(f[1])
+			return kb
+		}
+	}
+	return 0
+}
+
+func soakAddr(i uint64) ethtypes.Address {
+	var a ethtypes.Address
+	binary.BigEndian.PutUint64(a[12:], i)
+	a[0] = 0x50 // keep clear of the test fixtures' address space
+	return a
+}
+
+func TestSoakDiskStateRSS(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("set SOAK=1 to run the bounded-memory soak")
+	}
+	var (
+		nAccounts = soakEnvInt("SOAK_ACCOUNTS", 100_000)
+		rssCeilMB = soakEnvInt("SOAK_RSS_MB", 512)
+		perBlock  = soakEnvInt("SOAK_PER_BLOCK", 1000)
+		keep      = soakEnvInt("SOAK_KEEP", 4096)
+		cacheMB   = soakEnvInt("SOAK_CACHE_MB", 32)
+		csvPath   = os.Getenv("SOAK_CSV")
+	)
+
+	baseline := os.Getenv("SOAK_BASELINE") != ""
+	// Run the way a memory-bounded node deploys: give the runtime a
+	// soft memory limit under the RSS ceiling so GC churn high-water
+	// (transient trie nodes, batch encodes) can't balloon the process
+	// past it. The assert below is still on the OS-reported RSS. The
+	// baseline mode measures unbounded growth, so no limit there.
+	if !baseline {
+		old := debug.SetMemoryLimit(int64(rssCeilMB) << 20 * 3 / 4)
+		defer debug.SetMemoryLimit(old)
+	}
+
+	var csv *bufio.Writer
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		csv = bufio.NewWriter(f)
+		defer csv.Flush()
+		fmt.Fprintf(csv, "block,accounts,rss_kb,heap_kb,resident_accounts,disk_mb\n")
+	}
+
+	var store *statestore.Store
+	var s *StateDB
+	if baseline {
+		s = New()
+	} else {
+		var err error
+		store, err = statestore.Open(t.TempDir(), statestore.Options{
+			CacheBytes: int64(cacheMB) << 20,
+			NoSync:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		s = NewWithDisk(store, ethtypes.Hash{})
+	}
+	diskMB := func() int64 {
+		if store == nil {
+			return 0
+		}
+		return store.DiskBytes() >> 20
+	}
+
+	report := max(nAccounts/perBlock/50, 1) // ~50 samples over the run
+	peakKB, gen := 0, uint64(0)
+	sample := func(block int, created uint64) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		kb := rssKB()
+		if kb > peakKB {
+			peakKB = kb
+		}
+		if csv != nil {
+			fmt.Fprintf(csv, "%d,%d,%d,%d,%d,%d\n", block, created, kb,
+				ms.HeapAlloc>>10, s.ResidentAccounts(), diskMB())
+		}
+		t.Logf("block %d: %d accounts, rss %d MB, heap %d MB, %d resident, disk %d MB",
+			block, created, kb>>10, ms.HeapAlloc>>20, s.ResidentAccounts(), diskMB())
+	}
+
+	created, block := uint64(0), 0
+	for created < uint64(nAccounts) {
+		// A block's worth of fresh accounts, plus rewrites of a small
+		// hot set so eviction always has both clean and dirty residents.
+		for i := 0; i < perBlock && created < uint64(nAccounts); i++ {
+			addr := soakAddr(created)
+			s.AddBalance(addr, uint256.NewUint64(created+1))
+			s.SetNonce(addr, 1)
+			if created%64 == 0 { // sparse contract storage
+				s.SetState(addr, ethtypes.Hash{31: 1}, uint256.NewUint64(created))
+			}
+			created++
+		}
+		for h := uint64(0); h < 8 && h < created; h++ {
+			s.AddBalance(soakAddr(h), uint256.NewUint64(1))
+		}
+		s.Finalise()
+		root := s.Root()
+		if !baseline {
+			if err := store.Commit(s.TakePending(), statestore.Anchor{Gen: gen, Number: gen, Root: root}); err != nil {
+				t.Fatal(err)
+			}
+			gen++
+			s.EvictCold(keep)
+			if _, err := store.MaybeCompact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if block%report == 0 {
+			sample(block, created)
+		}
+		block++
+	}
+	sample(block, created)
+
+	if baseline {
+		t.Logf("baseline (all-in-RAM): peak RSS %d MB over %d accounts — no ceiling asserted", peakKB>>10, created)
+		return
+	}
+	if got := s.ResidentAccounts(); got > keep {
+		t.Fatalf("resident accounts %d exceed the eviction ceiling %d", got, keep)
+	}
+	if n := store.AccountCount(); n != int(created) {
+		t.Fatalf("store holds %d accounts, want %d", n, created)
+	}
+	if peakKB == 0 {
+		t.Log("no /proc RSS on this platform; ceiling assert skipped")
+		return
+	}
+	t.Logf("peak RSS %d MB over %d accounts / %d blocks (ceiling %d MB)",
+		peakKB>>10, created, block, rssCeilMB)
+	if peakKB > rssCeilMB<<10 {
+		t.Fatalf("peak RSS %d MB exceeds the %d MB ceiling", peakKB>>10, rssCeilMB)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/rlp"
+	"legalchain/internal/statestore"
 	"legalchain/internal/trie"
 	"legalchain/internal/uint256"
 )
@@ -41,6 +42,14 @@ type stateObject struct {
 	// metering and refunds.
 	storage map[ethtypes.Hash]uint256.Int
 	origin  map[ethtypes.Hash]uint256.Int
+
+	// partial marks a disk-backed object: storage holds only the
+	// resident subset of the account's slots (including zero-valued
+	// tombstones), the rest reads through the store; storageRoot is the
+	// committed storage root anchoring the account's lazy trie. See
+	// disk.go for the invariants.
+	partial     bool
+	storageRoot ethtypes.Hash
 
 	selfdestructed bool
 
@@ -91,6 +100,8 @@ func cloneShared(o *stateObject) *stateObject {
 		codeHash:       o.codeHash,
 		storage:        o.storage,
 		origin:         o.origin,
+		partial:        o.partial,
+		storageRoot:    o.storageRoot,
 		selfdestructed: o.selfdestructed,
 	}
 	no.shared.Store(true)
@@ -98,9 +109,11 @@ func cloneShared(o *stateObject) *stateObject {
 }
 
 // empty reports whether the account is empty per EIP-161
-// (nonce == 0, balance == 0, no code).
+// (nonce == 0, balance == 0, no code). Code presence is judged by the
+// hash: partial objects may hold real code on disk without it being
+// resident.
 func (o *stateObject) empty() bool {
-	return o.nonce == 0 && o.balance.IsZero() && len(o.code) == 0
+	return o.nonce == 0 && o.balance.IsZero() && o.codeHash == EmptyCodeHash
 }
 
 // dirtyEntry records what changed for one account since the tries were
@@ -133,6 +146,19 @@ type StateDB struct {
 	dirties   map[ethtypes.Address]*dirtyEntry
 	worldRoot ethtypes.Hash
 	rootValid bool
+
+	// disk, when non-nil, makes this state disk-backed: accounts and
+	// slots absent from objects read through the store, and Root()
+	// streams changes into pending for the chain to commit. See disk.go.
+	disk    DiskStore
+	pending *statestore.Batch
+
+	// deleted marks accounts removed since the last store commit, so a
+	// read cannot resurrect them from not-yet-updated disk records.
+	// Markers are cleared on explicit recreation and pruned (against
+	// the store) during EvictCold; a stale marker for a truly absent
+	// account is harmless. Only populated in disk mode.
+	deleted map[ethtypes.Address]struct{}
 
 	// base, when non-nil, makes this state an Overlay: getObject
 	// materialises copy-on-write clones of base accounts on first touch
@@ -195,8 +221,41 @@ func (s *StateDB) getObject(addr ethtypes.Address) *stateObject {
 			s.objects[addr] = no
 			return no
 		}
+		if s.base.disk != nil && !s.isDeleted(addr) && !s.base.isDeleted(addr) {
+			if o := loadDiskObject(s.base.disk, addr); o != nil {
+				s.objects[addr] = o
+				return o
+			}
+		}
+		return nil
+	}
+	if s.disk != nil && !s.isDeleted(addr) {
+		o := loadDiskObject(s.disk, addr)
+		if o == nil {
+			return nil
+		}
+		if s.frozen {
+			// Frozen states are read lock-free by many goroutines:
+			// never cache, hand out a transient object. The store's
+			// LRU absorbs the repeats.
+			return o
+		}
+		s.objects[addr] = o
+		return o
 	}
 	return nil
+}
+
+func (s *StateDB) isDeleted(addr ethtypes.Address) bool {
+	_, ok := s.deleted[addr]
+	return ok
+}
+
+func (s *StateDB) markDeleted(addr ethtypes.Address) {
+	if s.deleted == nil {
+		s.deleted = make(map[ethtypes.Address]struct{})
+	}
+	s.deleted[addr] = struct{}{}
 }
 
 func (s *StateDB) getOrNewObject(addr ethtypes.Address) *stateObject {
@@ -206,8 +265,18 @@ func (s *StateDB) getOrNewObject(addr ethtypes.Address) *stateObject {
 	s.recWrite(AccessExist, addr)
 	o := newStateObject()
 	s.objects[addr] = o
+	// Recreation clears the deleted-since-commit marker; the journal
+	// restores it so a reverted recreation cannot resurrect the old
+	// disk record through a later read.
+	wasDeleted := s.isDeleted(addr)
+	if wasDeleted {
+		delete(s.deleted, addr)
+	}
 	s.journal = append(s.journal, func() {
 		delete(s.objects, addr)
+		if wasDeleted {
+			s.markDeleted(addr)
+		}
 		// The account (and any storage it accumulated) must fall out of
 		// the tries on the next sync.
 		s.markReset(addr)
@@ -343,7 +412,7 @@ func (s *StateDB) SetNonce(addr ethtypes.Address, nonce uint64) {
 func (s *StateDB) GetCode(addr ethtypes.Address) []byte {
 	s.recRead(AccessCode, addr)
 	if o := s.getObject(addr); o != nil {
-		return o.code
+		return s.codeOf(o)
 	}
 	return nil
 }
@@ -384,7 +453,10 @@ func (s *StateDB) SetCode(addr ethtypes.Address, code []byte) {
 func (s *StateDB) GetState(addr ethtypes.Address, slot ethtypes.Hash) uint256.Int {
 	s.recReadSlot(addr, slot)
 	if o := s.getObject(addr); o != nil {
-		return o.storage[slot]
+		if v, ok := o.storage[slot]; ok || !o.partial {
+			return v
+		}
+		return s.diskSlot(addr, slot)
 	}
 	return uint256.Zero
 }
@@ -400,7 +472,10 @@ func (s *StateDB) GetCommittedState(addr ethtypes.Address, slot ethtypes.Hash) u
 	if v, ok := o.origin[slot]; ok {
 		return v
 	}
-	return o.storage[slot]
+	if v, ok := o.storage[slot]; ok || !o.partial {
+		return v
+	}
+	return s.diskSlot(addr, slot)
 }
 
 // SetState writes a storage slot.
@@ -409,6 +484,10 @@ func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint
 	s.recWriteSlot(addr, slot)
 	o := s.getOrNewObject(addr)
 	o.ensureOwned()
+	// Partial objects fault the committed value in before the first
+	// write, so origin tracking, journal undo and diff extraction all
+	// see the true previous value rather than a spurious zero.
+	s.materialiseSlot(o, addr, slot)
 	if _, tracked := o.origin[slot]; !tracked {
 		o.origin[slot] = o.storage[slot]
 	}
@@ -422,9 +501,11 @@ func (s *StateDB) SetState(addr ethtypes.Address, slot ethtypes.Hash, value uint
 		}
 		s.markSlot(addr, slot)
 	})
-	if value.IsZero() {
+	if value.IsZero() && !o.partial {
 		delete(o.storage, slot)
 	} else {
+		// Partial objects keep resident zeros: the tombstone shadows
+		// whatever the disk still holds for this slot.
 		o.storage[slot] = value
 	}
 	s.markSlot(addr, slot)
@@ -527,11 +608,15 @@ func (s *StateDB) RevertToSnapshot(id int) {
 // that also have no storage left.
 func (s *StateDB) Finalise() {
 	s.mustMutable("Finalise")
+	diskBacked := s.diskStore() != nil
 	for addr, o := range s.objects {
-		if o.selfdestructed || (o.empty() && len(o.storage) == 0) {
+		if o.deletable() {
 			s.recWrite(AccessExist, addr)
 			delete(s.objects, addr)
 			s.markReset(addr)
+			if diskBacked {
+				s.markDeleted(addr)
+			}
 			continue
 		}
 		if len(o.origin) > 0 {
@@ -546,16 +631,21 @@ func (s *StateDB) Finalise() {
 
 // applyStorageDirt brings tr up to date for the given object: either a
 // full rebuild from every live slot, or a per-slot refresh of just the
-// dirty ones.
+// given ones. Zero values delete — partial objects keep resident zero
+// tombstones that must fall out of the trie, and in-memory objects
+// never store zeros, so the paths coincide.
 func applyStorageDirt(tr *trie.Secure, o *stateObject, slots []ethtypes.Hash, full bool) {
 	if full {
 		for slot, val := range o.storage {
+			if val.IsZero() {
+				continue
+			}
 			tr.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
 		}
 		return
 	}
 	for _, slot := range slots {
-		if val, ok := o.storage[slot]; ok {
+		if val, ok := o.storage[slot]; ok && !val.IsZero() {
 			tr.Put(slot[:], rlp.Encode(rlp.Bytes(val.Bytes())))
 		} else {
 			tr.Delete(slot[:])
@@ -563,12 +653,36 @@ func applyStorageDirt(tr *trie.Secure, o *stateObject, slots []ethtypes.Hash, fu
 	}
 }
 
+// residentSlots lists every resident slot key of o (the sync list for
+// a partial object's freshly anchored lazy trie).
+func residentSlots(o *stateObject) []ethtypes.Hash {
+	out := make([]ethtypes.Hash, 0, len(o.storage))
+	for slot := range o.storage {
+		out = append(out, slot)
+	}
+	return out
+}
+
 // StorageRoot computes the Merkle root of one account's storage trie,
 // syncing any pending dirty slots for that account first.
 func (s *StateDB) StorageRoot(addr ethtypes.Address) ethtypes.Hash {
+	if s.disk != nil {
+		// Disk mode: every hash computation must route through
+		// HashCollect so fresh nodes land in the pending batch — a
+		// plain Hash here would cache them as already-emitted and they
+		// would never reach the store. Delegate to the full sync.
+		s.Root()
+		if h, ok := s.rootCache[addr]; ok {
+			return h
+		}
+		if o := s.getObject(addr); o != nil && o.partial {
+			return o.storageRoot
+		}
+		return trie.EmptyRoot
+	}
 	o := s.getObject(addr)
 	e := s.dirties[addr]
-	if o == nil || len(o.storage) == 0 {
+	if o == nil || (!o.partial && len(o.storage) == 0) {
 		if e != nil {
 			delete(s.storageTries, addr)
 			delete(s.rootCache, addr)
@@ -579,13 +693,22 @@ func (s *StateDB) StorageRoot(addr ethtypes.Address) ethtypes.Hash {
 	if e != nil && (e.reset || len(e.slots) > 0) {
 		tr := s.storageTries[addr]
 		full := false
-		if tr == nil || e.reset {
-			tr = trie.NewSecure()
+		var slots []ethtypes.Hash
+		switch {
+		case e.reset || (tr == nil && !o.partial):
+			tr = s.newStorageTrie()
 			full = true
-		}
-		slots := make([]ethtypes.Hash, 0, len(e.slots))
-		for slot := range e.slots {
-			slots = append(slots, slot)
+		case tr == nil:
+			// Partial object without a materialised trie: anchor a lazy
+			// trie at the committed root and sync every resident slot
+			// (an overlay trie is never collected, so Hash is fine).
+			tr = trie.NewSecureFromRoot(o.storageRoot, s.diskStore())
+			slots = residentSlots(o)
+		default:
+			slots = make([]ethtypes.Hash, 0, len(e.slots))
+			for slot := range e.slots {
+				slots = append(slots, slot)
+			}
 		}
 		applyStorageDirt(tr, o, slots, full)
 		s.storageTries[addr] = tr
@@ -596,9 +719,16 @@ func (s *StateDB) StorageRoot(addr ethtypes.Address) ethtypes.Hash {
 		return h
 	}
 	// Cold path: storage present but never synced (e.g. a Copy taken
-	// before any root computation). Full rebuild.
-	tr := trie.NewSecure()
-	applyStorageDirt(tr, o, nil, true)
+	// before any root computation). Full rebuild — or, for a partial
+	// object, resident slots over the committed anchor.
+	var tr *trie.Secure
+	if o.partial {
+		tr = trie.NewSecureFromRoot(o.storageRoot, s.diskStore())
+		applyStorageDirt(tr, o, residentSlots(o), false)
+	} else {
+		tr = s.newStorageTrie()
+		applyStorageDirt(tr, o, nil, true)
+	}
 	s.storageTries[addr] = tr
 	h := tr.Hash(nil)
 	s.rootCache[addr] = h
@@ -615,6 +745,15 @@ type storageJob struct {
 	full  bool
 	drop  bool // storage gone (or account deleted): drop the trie
 	root  ethtypes.Hash
+
+	// Disk mode: collect routes hashing through HashCollect so fresh
+	// trie nodes accumulate in nodes for the pending batch; dirt is the
+	// slot list whose flat records must be (re)staged — distinct from
+	// slots, which for a freshly anchored partial trie also carries
+	// clean resident slots that need syncing but not re-staging.
+	collect bool
+	nodes   []statestore.NodeBlob
+	dirt    []ethtypes.Hash
 }
 
 // maxStorageHashWorkers bounds the worker pool for parallel storage-root
@@ -630,6 +769,12 @@ func (j *storageJob) run() {
 		return
 	}
 	applyStorageDirt(j.tr, j.obj, j.slots, j.full)
+	if j.collect {
+		j.root = j.tr.HashCollect(func(h ethtypes.Hash, enc []byte) {
+			j.nodes = append(j.nodes, statestore.NodeBlob{Hash: h, Enc: append([]byte(nil), enc...)})
+		})
+		return
+	}
 	j.root = j.tr.Hash(nil)
 }
 
@@ -649,25 +794,34 @@ func (s *StateDB) Root() ethtypes.Hash {
 	hashWork := 0
 	for addr, e := range s.dirties {
 		o := s.objects[addr]
-		j := storageJob{addr: addr, obj: o}
+		j := storageJob{addr: addr, obj: o, collect: s.disk != nil}
 		switch {
-		case o == nil || len(o.storage) == 0:
+		case o == nil || (!o.partial && len(o.storage) == 0):
 			j.drop = true
 		case e.reset:
-			j.tr = trie.NewSecure()
+			j.tr = s.newStorageTrie()
 			j.full = true
 			hashWork++
 		case len(e.slots) > 0:
-			tr := s.storageTries[addr]
-			if tr == nil {
-				tr = trie.NewSecure()
-				j.full = true
-			} else {
-				j.slots = make([]ethtypes.Hash, 0, len(e.slots))
-				for slot := range e.slots {
-					j.slots = append(j.slots, slot)
-				}
+			dirt := make([]ethtypes.Hash, 0, len(e.slots))
+			for slot := range e.slots {
+				dirt = append(dirt, slot)
 			}
+			tr := s.storageTries[addr]
+			switch {
+			case tr == nil && o.partial:
+				// Anchor a lazy trie at the committed root; sync every
+				// resident slot (clean residents are no-op rewrites),
+				// but only the dirty ones need re-staging to disk.
+				tr = trie.NewSecureFromRoot(o.storageRoot, s.disk)
+				j.slots = residentSlots(o)
+			case tr == nil:
+				tr = s.newStorageTrie()
+				j.full = true
+			default:
+				j.slots = dirt
+			}
+			j.dirt = dirt
 			j.tr = tr
 			hashWork++
 		default:
@@ -705,25 +859,65 @@ func (s *StateDB) Root() ethtypes.Hash {
 	}
 
 	// Phase 2: merge results and refresh account-trie leaves (serial:
-	// the account trie is shared).
+	// the account trie and the pending batch are shared).
+	var p *statestore.Batch
+	if s.disk != nil {
+		p = s.pendingBatch()
+	}
 	for i := range jobs {
 		j := &jobs[i]
 		switch {
 		case j.drop:
 			delete(s.storageTries, j.addr)
 			delete(s.rootCache, j.addr)
+			if p != nil {
+				// Storage is gone (account deleted, or every slot
+				// cleared): wipe the flat slot records too, or a later
+				// read-through would resurrect stale values.
+				s.stageClear(j.addr)
+			}
 		case j.tr != nil:
 			s.storageTries[j.addr] = j.tr
 			s.rootCache[j.addr] = j.root
+			if p != nil {
+				for _, nb := range j.nodes {
+					p.PutNode(nb.Hash, nb.Enc)
+				}
+				if j.full {
+					// Fresh trie from scratch: the flat records must
+					// match exactly, so wipe and re-dump.
+					s.stageClear(j.addr)
+					for slot, val := range j.obj.storage {
+						if !val.IsZero() {
+							p.PutSlot(j.addr, slot, val.Bytes())
+						}
+					}
+				} else {
+					for _, slot := range j.dirt {
+						if val, ok := j.obj.storage[slot]; ok && !val.IsZero() {
+							p.PutSlot(j.addr, slot, val.Bytes())
+						} else {
+							p.PutSlot(j.addr, slot, nil)
+						}
+					}
+				}
+			}
 		}
 		o := j.obj
-		if o == nil || (o.empty() && len(o.storage) == 0) {
-			s.accountTrie.Delete(j.addr[:])
-			continue
-		}
 		storageRoot, ok := s.rootCache[j.addr]
 		if !ok {
-			storageRoot = trie.EmptyRoot
+			if o != nil && o.partial {
+				storageRoot = o.storageRoot
+			} else {
+				storageRoot = trie.EmptyRoot
+			}
+		}
+		if o == nil || (o.empty() && storageRoot == trie.EmptyRoot) {
+			s.accountTrie.Delete(j.addr[:])
+			if p != nil {
+				p.PutAccount(j.addr, nil)
+			}
+			continue
 		}
 		enc := rlp.Encode(rlp.List(
 			rlp.Uint(o.nonce),
@@ -732,10 +926,28 @@ func (s *StateDB) Root() ethtypes.Hash {
 			rlp.Bytes(o.codeHash[:]),
 		))
 		s.accountTrie.Put(j.addr[:], enc)
+		if p != nil {
+			p.PutAccount(j.addr, &statestore.AccountRecord{
+				Nonce:       o.nonce,
+				Balance:     o.balance.Bytes(),
+				StorageRoot: storageRoot,
+				CodeHash:    o.codeHash,
+			})
+			if o.code != nil && o.codeHash != EmptyCodeHash {
+				// Deduplicated against already-stored codes at commit.
+				p.PutCode(o.codeHash, o.code)
+			}
+		}
 	}
 
 	s.dirties = make(map[ethtypes.Address]*dirtyEntry)
-	s.worldRoot = s.accountTrie.Hash(nil)
+	if p != nil {
+		s.worldRoot = s.accountTrie.HashCollect(func(h ethtypes.Hash, enc []byte) {
+			p.PutNode(h, append([]byte(nil), enc...))
+		})
+	} else {
+		s.worldRoot = s.accountTrie.Hash(nil)
+	}
 	s.rootValid = true
 	return s.worldRoot
 }
@@ -767,11 +979,21 @@ func (s *StateDB) RebuildRoot() ethtypes.Hash {
 }
 
 // Accounts returns the addresses present in state, sorted, for
-// inspection tools and tests.
+// inspection tools and tests. In disk mode this merges the store's
+// account set with the resident objects (resident wins; accounts
+// deleted since the last commit are excluded).
 func (s *StateDB) Accounts() []ethtypes.Address {
 	out := make([]ethtypes.Address, 0, len(s.objects))
 	for a := range s.objects {
 		out = append(out, a)
+	}
+	if s.disk != nil {
+		s.disk.ForEachAccount(func(addr ethtypes.Address, _ *statestore.AccountRecord) bool {
+			if _, resident := s.objects[addr]; !resident && !s.isDeleted(addr) {
+				out = append(out, addr)
+			}
+			return true
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		for k := 0; k < ethtypes.AddressLength; k++ {
@@ -814,6 +1036,16 @@ func (s *StateDB) Copy() *StateDB {
 		dirties:      make(map[ethtypes.Address]*dirtyEntry, len(s.dirties)),
 		worldRoot:    s.worldRoot,
 		rootValid:    s.rootValid,
+		// The disk handle is shared; the pending batch is not — it
+		// belongs to whichever state Root()s the dirt (the sealing
+		// pipeline always roots on the copy).
+		disk: s.disk,
+	}
+	if len(s.deleted) > 0 {
+		cp.deleted = make(map[ethtypes.Address]struct{}, len(s.deleted))
+		for addr := range s.deleted {
+			cp.deleted[addr] = struct{}{}
+		}
 	}
 	for addr, o := range s.objects {
 		cp.objects[addr] = cloneShared(o)
@@ -838,9 +1070,19 @@ func (s *StateDB) Copy() *StateDB {
 }
 
 // TotalBalance sums all account balances — a conservation-law hook for
-// property tests.
+// property tests. In disk mode, non-resident accounts are summed from
+// their committed records (resident objects override; uncommitted
+// changes are always resident, so the sum is exact).
 func (s *StateDB) TotalBalance() uint256.Int {
 	total := uint256.Zero
+	if s.disk != nil {
+		s.disk.ForEachAccount(func(addr ethtypes.Address, rec *statestore.AccountRecord) bool {
+			if _, resident := s.objects[addr]; !resident && !s.isDeleted(addr) {
+				total = total.Add(uint256.SetBytes(rec.Balance))
+			}
+			return true
+		})
+	}
 	for _, o := range s.objects {
 		total = total.Add(o.balance)
 	}
@@ -864,18 +1106,28 @@ func (s *StateDB) Dump() []AccountDump {
 	out := make([]AccountDump, 0, len(addrs))
 	for _, addr := range addrs {
 		o := s.objects[addr]
-		if o == nil || (o.empty() && len(o.storage) == 0) {
+		if o == nil && s.disk != nil {
+			// Non-resident disk account: render the flat record. Slot
+			// keys are keccak-hashed in the storage trie and the dump
+			// is resident-oriented, so storage is omitted here.
+			o = loadDiskObject(s.disk, addr)
+		}
+		if o == nil || (o.empty() && len(o.storage) == 0 &&
+			(o.storageRoot == (ethtypes.Hash{}) || o.storageRoot == trie.EmptyRoot)) {
 			continue
 		}
 		d := AccountDump{
 			Address:  addr.Hex(),
 			Nonce:    o.nonce,
 			Balance:  o.balance.String(),
-			CodeSize: len(o.code),
+			CodeSize: len(s.codeOf(o)),
 		}
 		if len(o.storage) > 0 {
 			d.Storage = make(map[string]string, len(o.storage))
 			for k, v := range o.storage {
+				if v.IsZero() {
+					continue // partial-object tombstone
+				}
 				d.Storage[k.Hex()] = v.Hex()
 			}
 		}

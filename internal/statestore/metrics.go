@@ -1,0 +1,30 @@
+package statestore
+
+import (
+	"sync/atomic"
+
+	"legalchain/internal/metrics"
+)
+
+// Observability for the disk-backed state store: cache effectiveness
+// (hits/misses/evictions tell you whether -state-cache is sized
+// right), on-disk footprint and how many trie nodes are resident in
+// the cache at any moment.
+var (
+	mCacheHits = metrics.Default.Counter("legalchain_statestore_cache_hits_total",
+		"Read-cache hits across account, slot, code and trie-node lookups.")
+	mCacheMisses = metrics.Default.Counter("legalchain_statestore_cache_misses_total",
+		"Read-cache misses that went to disk (or found nothing).")
+	mCacheEvictions = metrics.Default.Counter("legalchain_statestore_cache_evictions_total",
+		"Entries evicted from the read cache to stay inside the byte budget.")
+	mDiskBytes = metrics.Default.Gauge("legalchain_statestore_disk_bytes",
+		"Total bytes across the state store's on-disk segments.")
+
+	residentNodes atomic.Int64
+)
+
+func init() {
+	metrics.Default.GaugeFunc("legalchain_statestore_resident_nodes",
+		"Trie nodes currently resident in the read cache.",
+		func() float64 { return float64(residentNodes.Load()) })
+}

@@ -1,0 +1,963 @@
+// Package statestore is a disk-backed store for world state: flat
+// account and storage-slot records for O(1) reads, contract code, and
+// hash-keyed trie nodes for lazy (on-demand) trie resolution. It
+// bounds resident memory — the chain keeps only hot accounts and trie
+// nodes in RAM, faulting the rest in through a byte-budgeted LRU —
+// while preserving the incremental-root and lock-free-read invariants
+// of the in-memory state.
+//
+// Layout: append-only segments of CRC32-C framed records (the exact
+// frame format of the block journal, via blockdb.AppendFrame), so the
+// store inherits the journal's torn-write and bit-rot detection. Each
+// Commit appends one batch of records followed by an anchor record
+// naming the committed (generation, block, state root); the anchor is
+// the atomic commit marker. Recovery truncates everything after the
+// last anchor, so a crash mid-commit rolls back to the previous
+// anchored state — mirroring the block journal's verified-prefix
+// guarantee.
+//
+// The full record index (key → segment/offset) lives in memory; the
+// values live on disk. For 1M accounts that is tens of MB of index
+// against hundreds of MB of state — the bounded-memory target is the
+// values, which dominate.
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"legalchain/internal/blockdb"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/rlp"
+)
+
+// Record kinds, the first element of every framed payload.
+const (
+	kindAccount = 1 // (kind, addr, enc)       enc = "" deletes the account
+	kindSlot    = 2 // (kind, addr, slot, val) val = "" deletes the slot
+	kindCode    = 3 // (kind, codeHash, code)
+	kindNode    = 4 // (kind, nodeHash, enc)   trie node, keyed by keccak(enc)
+	kindClear   = 5 // (kind, addr)            drops every slot of addr
+	kindAnchor  = 6 // (kind, gen, number, blockHash, root) commit marker
+)
+
+const (
+	segPrefix = "kv-"
+	segSuffix = ".seg"
+	// defaultSegmentSize rotates segments at 64 MiB, keeping compaction
+	// and truncation units manageable.
+	defaultSegmentSize = 64 << 20
+	// defaultCacheBytes is the read-cache budget when Options leaves it
+	// zero: 32 MiB, small enough for constrained soak targets.
+	defaultCacheBytes = 32 << 20
+)
+
+// ErrNotFound is returned when a key has no record in the store. It is
+// a definitive answer — the in-memory index is complete — so callers
+// can treat it as "the account/slot/node does not exist on disk".
+var ErrNotFound = errors.New("statestore: not found")
+
+// Anchor names a committed state generation: the monotonically
+// increasing commit counter, the block it belongs to and the world
+// root it produced. Recovery rolls the store back to the newest intact
+// anchor and the chain layer verifies it against the block journal.
+type Anchor struct {
+	Gen       uint64
+	Number    uint64
+	BlockHash ethtypes.Hash
+	Root      ethtypes.Hash
+}
+
+// AccountRecord is the flat per-account record. Its encoding is the
+// account-trie leaf encoding — rlp(nonce, balance, storageRoot,
+// codeHash) — so the flat record, the trie leaf and the snapshot
+// wire format all agree byte-for-byte.
+type AccountRecord struct {
+	Nonce       uint64
+	Balance     []byte // minimal big-endian, as uint256 Bytes()
+	StorageRoot ethtypes.Hash
+	CodeHash    ethtypes.Hash
+}
+
+// Encode renders the record as the canonical account-trie leaf value.
+func (a *AccountRecord) Encode() []byte {
+	return rlp.Encode(rlp.List(
+		rlp.Uint(a.Nonce),
+		rlp.Bytes(a.Balance),
+		rlp.Bytes(a.StorageRoot[:]),
+		rlp.Bytes(a.CodeHash[:]),
+	))
+}
+
+// DecodeAccountRecord parses a canonical account leaf encoding.
+func DecodeAccountRecord(enc []byte) (*AccountRecord, error) {
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	if it.Kind() != rlp.KindList || it.Len() != 4 {
+		return nil, errors.New("statestore: account record must be a 4-item list")
+	}
+	a := &AccountRecord{}
+	if a.Nonce, err = it.At(0).AsUint64(); err != nil {
+		return nil, err
+	}
+	a.Balance = append([]byte(nil), it.At(1).Str()...)
+	if a.StorageRoot, err = asHash(it.At(2)); err != nil {
+		return nil, err
+	}
+	if a.CodeHash, err = asHash(it.At(3)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func asHash(it *rlp.Item) (ethtypes.Hash, error) {
+	var h ethtypes.Hash
+	if it.Kind() != rlp.KindString || len(it.Str()) != len(h) {
+		return h, errors.New("statestore: expected 32-byte hash")
+	}
+	copy(h[:], it.Str())
+	return h, nil
+}
+
+// Batch accumulates one commit's worth of state changes. The zero
+// value is ready to use; fields are lazily allocated by the adders.
+type Batch struct {
+	Accounts map[ethtypes.Address]*AccountRecord // nil record = delete
+	Slots    map[ethtypes.Address]map[ethtypes.Hash][]byte
+	Clears   []ethtypes.Address // full storage wipes, applied first
+	Codes    map[ethtypes.Hash][]byte
+	Nodes    []NodeBlob
+}
+
+// NodeBlob is one freshly hashed trie node: Hash = keccak(Enc).
+type NodeBlob struct {
+	Hash ethtypes.Hash
+	Enc  []byte
+}
+
+// PutAccount stages an account record (nil deletes).
+func (b *Batch) PutAccount(addr ethtypes.Address, a *AccountRecord) {
+	if b.Accounts == nil {
+		b.Accounts = make(map[ethtypes.Address]*AccountRecord)
+	}
+	b.Accounts[addr] = a
+}
+
+// PutSlot stages one storage slot; empty val deletes it.
+func (b *Batch) PutSlot(addr ethtypes.Address, slot ethtypes.Hash, val []byte) {
+	if b.Slots == nil {
+		b.Slots = make(map[ethtypes.Address]map[ethtypes.Hash][]byte)
+	}
+	m := b.Slots[addr]
+	if m == nil {
+		m = make(map[ethtypes.Hash][]byte)
+		b.Slots[addr] = m
+	}
+	m[slot] = val
+}
+
+// PutCode stages contract code keyed by its hash.
+func (b *Batch) PutCode(h ethtypes.Hash, code []byte) {
+	if b.Codes == nil {
+		b.Codes = make(map[ethtypes.Hash][]byte)
+	}
+	b.Codes[h] = code
+}
+
+// PutNode stages a trie node.
+func (b *Batch) PutNode(h ethtypes.Hash, enc []byte) {
+	b.Nodes = append(b.Nodes, NodeBlob{Hash: h, Enc: enc})
+}
+
+// Clear stages a full storage wipe for addr, applied before the
+// batch's slot writes.
+func (b *Batch) Clear(addr ethtypes.Address) {
+	b.Clears = append(b.Clears, addr)
+}
+
+// Empty reports whether the batch stages nothing.
+func (b *Batch) Empty() bool {
+	return b == nil || (len(b.Accounts) == 0 && len(b.Slots) == 0 &&
+		len(b.Clears) == 0 && len(b.Codes) == 0 && len(b.Nodes) == 0)
+}
+
+// Options configures Open.
+type Options struct {
+	// SegmentSize overrides segment rotation (0 = 64 MiB).
+	SegmentSize int64
+	// CacheBytes is the read-cache budget (0 = 32 MiB).
+	CacheBytes int64
+	// NoSync skips the per-commit fsync. Tests and benchmarks only.
+	NoSync bool
+}
+
+// loc addresses a record payload on disk: segment number, payload
+// byte offset within the segment, payload length.
+type loc struct {
+	seg uint32
+	off int64
+	n   uint32
+}
+
+type slotKey struct {
+	addr ethtypes.Address
+	slot ethtypes.Hash
+}
+
+// Store is the disk-backed state store. All methods are safe for
+// concurrent use; reads take the mutex only to resolve the index and
+// then pread without it.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segs    []uint32            // segment numbers, ascending
+	readers map[uint32]*os.File // lazily opened read handles
+	w       *os.File            // write handle for segs[len-1]
+	wsize   int64               // current size of the write segment
+
+	accounts map[ethtypes.Address]loc
+	slots    map[slotKey]loc
+	codes    map[ethtypes.Hash]loc
+	nodes    map[ethtypes.Hash]loc
+
+	anchor    Anchor
+	hasAnchor bool
+
+	totalBytes int64 // bytes across all segments
+	liveBytes  int64 // frame bytes still referenced by the index
+
+	cache *lruCache
+}
+
+func segPath(dir string, n uint32) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%010d%s", segPrefix, n, segSuffix))
+}
+
+// Open opens (creating if needed) the store in dir, rebuilding the
+// in-memory index from the segments and rolling back any un-anchored
+// tail left by a crash mid-commit.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegmentSize
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = defaultCacheBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		readers:  make(map[uint32]*os.File),
+		accounts: make(map[ethtypes.Address]loc),
+		slots:    make(map[slotKey]loc),
+		codes:    make(map[ethtypes.Hash]loc),
+		nodes:    make(map[ethtypes.Hash]loc),
+		cache:    newLRUCache(opts.CacheBytes),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	if err := s.openWriter(); err != nil {
+		return nil, err
+	}
+	mDiskBytes.Set(s.totalBytes)
+	return s, nil
+}
+
+func listSegments(dir string) ([]uint32, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint32
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var n uint32
+		if _, err := fmt.Sscanf(name, segPrefix+"%010d"+segSuffix, &n); err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// load scans the segments twice: pass one finds the newest intact
+// anchor (scanning stops at the first damaged frame — nothing after
+// damage is trusted), pass two rebuilds the index from the prefix up
+// to that anchor. Segments past the anchor are deleted and the anchor
+// segment is truncated to the anchor's end, so the on-disk store and
+// the index agree exactly.
+func (s *Store) load() error {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+
+	// Pass 1: locate the last anchor.
+	type anchorPos struct {
+		segIdx int
+		end    int64
+	}
+	var last *anchorPos
+	damaged := false
+	for i, seg := range segs {
+		if damaged {
+			break
+		}
+		data, err := os.ReadFile(segPath(s.dir, seg))
+		if err != nil {
+			return fmt.Errorf("statestore: %w", err)
+		}
+		var off int64
+		valid, scanErr := blockdb.ScanFrames(data, func(payload []byte) error {
+			off += blockdb.FrameSize(len(payload))
+			if len(payload) > 0 {
+				if it, err := rlp.Decode(payload); err == nil && it.Kind() == rlp.KindList && it.Len() > 0 {
+					if k, err := it.At(0).AsUint64(); err == nil && k == kindAnchor {
+						last = &anchorPos{segIdx: i, end: off}
+					}
+				}
+			}
+			return nil
+		})
+		if scanErr != nil || valid != int64(len(data)) {
+			damaged = true
+		}
+	}
+
+	if last == nil {
+		// No intact anchor anywhere: the store never completed a commit
+		// (or lost its prefix). Start fresh; the chain layer rebuilds
+		// from the genesis and the block journal.
+		for _, seg := range segs {
+			os.Remove(segPath(s.dir, seg))
+		}
+		return nil
+	}
+
+	// Roll back past the anchor: drop whole later segments, truncate
+	// the anchor segment.
+	for _, seg := range segs[last.segIdx+1:] {
+		os.Remove(segPath(s.dir, seg))
+	}
+	segs = segs[:last.segIdx+1]
+	if err := os.Truncate(segPath(s.dir, segs[last.segIdx]), last.end); err != nil {
+		return fmt.Errorf("statestore: truncate: %w", err)
+	}
+
+	// Pass 2: rebuild the index from the intact prefix.
+	for _, seg := range segs {
+		data, err := os.ReadFile(segPath(s.dir, seg))
+		if err != nil {
+			return fmt.Errorf("statestore: %w", err)
+		}
+		var off int64
+		_, scanErr := blockdb.ScanFrames(data, func(payload []byte) error {
+			payloadOff := off + frameHeader
+			off += blockdb.FrameSize(len(payload))
+			return s.applyRecord(seg, payloadOff, payload)
+		})
+		if scanErr != nil {
+			return fmt.Errorf("statestore: segment %d: %w", seg, scanErr)
+		}
+		s.totalBytes += int64(len(data))
+	}
+	s.segs = segs
+	return nil
+}
+
+// frameHeader is the size of the blockdb frame header preceding each
+// payload (length + CRC).
+var frameHeader = blockdb.FrameSize(0)
+
+// applyRecord indexes one scanned record during load.
+func (s *Store) applyRecord(seg uint32, off int64, payload []byte) error {
+	it, err := rlp.Decode(payload)
+	if err != nil {
+		return err
+	}
+	if it.Kind() != rlp.KindList || it.Len() < 1 {
+		return errors.New("statestore: record must be a list")
+	}
+	kind, err := it.At(0).AsUint64()
+	if err != nil {
+		return err
+	}
+	l := loc{seg: seg, off: off, n: uint32(len(payload))}
+	switch kind {
+	case kindAccount:
+		addr, err := asAddress(it.At(1))
+		if err != nil {
+			return err
+		}
+		if it.Len() < 3 || len(it.At(2).Str()) == 0 {
+			s.dropAccount(addr)
+		} else {
+			setLocMap(s, s.accounts, addr, l)
+		}
+	case kindSlot:
+		addr, err := asAddress(it.At(1))
+		if err != nil {
+			return err
+		}
+		slot, err := asHash(it.At(2))
+		if err != nil {
+			return err
+		}
+		k := slotKey{addr: addr, slot: slot}
+		if it.Len() < 4 || len(it.At(3).Str()) == 0 {
+			if old, ok := s.slots[k]; ok {
+				s.liveBytes -= blockdb.FrameSize(int(old.n))
+				delete(s.slots, k)
+			}
+		} else {
+			setLocMap(s, s.slots, k, l)
+		}
+	case kindCode:
+		h, err := asHash(it.At(1))
+		if err != nil {
+			return err
+		}
+		setLocMap(s, s.codes, h, l)
+	case kindNode:
+		h, err := asHash(it.At(1))
+		if err != nil {
+			return err
+		}
+		setLocMap(s, s.nodes, h, l)
+	case kindClear:
+		addr, err := asAddress(it.At(1))
+		if err != nil {
+			return err
+		}
+		s.clearSlots(addr)
+	case kindAnchor:
+		if it.Len() != 5 {
+			return errors.New("statestore: malformed anchor")
+		}
+		var a Anchor
+		if a.Gen, err = it.At(1).AsUint64(); err != nil {
+			return err
+		}
+		if a.Number, err = it.At(2).AsUint64(); err != nil {
+			return err
+		}
+		if a.BlockHash, err = asHash(it.At(3)); err != nil {
+			return err
+		}
+		if a.Root, err = asHash(it.At(4)); err != nil {
+			return err
+		}
+		s.anchor = a
+		s.hasAnchor = true
+	default:
+		return fmt.Errorf("statestore: unknown record kind %d", kind)
+	}
+	return nil
+}
+
+func asAddress(it *rlp.Item) (ethtypes.Address, error) {
+	var a ethtypes.Address
+	if it == nil || it.Kind() != rlp.KindString || len(it.Str()) != len(a) {
+		return a, errors.New("statestore: expected 20-byte address")
+	}
+	copy(a[:], it.Str())
+	return a, nil
+}
+
+// setLoc updates an index map entry, maintaining liveBytes.
+func setLocMap[K comparable](s *Store, m map[K]loc, k K, l loc) {
+	if old, ok := m[k]; ok {
+		s.liveBytes -= blockdb.FrameSize(int(old.n))
+	}
+	m[k] = l
+	s.liveBytes += blockdb.FrameSize(int(l.n))
+}
+
+func (s *Store) dropAccount(addr ethtypes.Address) {
+	if old, ok := s.accounts[addr]; ok {
+		s.liveBytes -= blockdb.FrameSize(int(old.n))
+		delete(s.accounts, addr)
+	}
+}
+
+func (s *Store) clearSlots(addr ethtypes.Address) {
+	for k, l := range s.slots {
+		if k.addr == addr {
+			s.liveBytes -= blockdb.FrameSize(int(l.n))
+			delete(s.slots, k)
+		}
+	}
+}
+
+// openWriter opens (or creates) the newest segment for appending.
+func (s *Store) openWriter() error {
+	if len(s.segs) == 0 {
+		s.segs = []uint32{0}
+		f, err := os.OpenFile(segPath(s.dir, 0), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("statestore: %w", err)
+		}
+		s.w = f
+		s.wsize = 0
+		return nil
+	}
+	seg := s.segs[len(s.segs)-1]
+	f, err := os.OpenFile(segPath(s.dir, seg), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("statestore: %w", err)
+	}
+	s.w = f
+	s.wsize = st.Size()
+	return nil
+}
+
+// rotateLocked closes the current write segment and starts the next.
+func (s *Store) rotateLocked() error {
+	seg := s.segs[len(s.segs)-1]
+	// The old write handle becomes a read handle; don't close it.
+	s.readers[seg] = s.w
+	next := seg + 1
+	f, err := os.OpenFile(segPath(s.dir, next), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	s.segs = append(s.segs, next)
+	s.w = f
+	s.wsize = 0
+	return nil
+}
+
+// Anchor returns the newest committed anchor, if any.
+func (s *Store) Anchor() (Anchor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.anchor, s.hasAnchor
+}
+
+// Commit durably applies one batch and advances the anchor to a: all
+// records are framed and appended, the anchor record lands last, and
+// a single fsync makes the commit atomic (recovery rolls back to the
+// previous anchor if the tail is torn). The in-memory index and the
+// read cache are updated only after the write succeeds.
+func (s *Store) Commit(b *Batch, a Anchor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return errors.New("statestore: closed")
+	}
+	if s.wsize >= s.opts.SegmentSize {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	seg := s.segs[len(s.segs)-1]
+
+	// Build the commit buffer, remembering each record's payload loc.
+	type staged struct {
+		apply func(l loc)
+		cache func(l loc)
+		n     int
+	}
+	var buf []byte
+	var stages []staged
+	add := func(payload []byte, apply, cache func(l loc)) {
+		buf = blockdb.AppendFrame(buf, payload)
+		stages = append(stages, staged{apply: apply, cache: cache, n: len(payload)})
+	}
+	if b != nil {
+		for _, addr := range b.Clears {
+			addr := addr
+			add(rlp.Encode(rlp.List(rlp.Uint(kindClear), rlp.Bytes(addr[:]))),
+				func(loc) { s.clearSlots(addr); s.cache.dropSlots(addr) }, nil)
+		}
+		for addr, rec := range b.Accounts {
+			addr, rec := addr, rec
+			var enc []byte
+			if rec != nil {
+				enc = rec.Encode()
+			}
+			add(rlp.Encode(rlp.List(rlp.Uint(kindAccount), rlp.Bytes(addr[:]), rlp.Bytes(enc))),
+				func(l loc) {
+					if rec == nil {
+						s.dropAccount(addr)
+					} else {
+						setLocMap(s, s.accounts, addr, l)
+					}
+				},
+				func(loc) {
+					if rec == nil {
+						s.cache.remove(accountKey(addr))
+					} else {
+						s.cache.put(accountKey(addr), enc)
+					}
+				})
+		}
+		for addr, slots := range b.Slots {
+			for slot, val := range slots {
+				addr, slot, val := addr, slot, val
+				add(rlp.Encode(rlp.List(rlp.Uint(kindSlot), rlp.Bytes(addr[:]), rlp.Bytes(slot[:]), rlp.Bytes(val))),
+					func(l loc) {
+						k := slotKey{addr: addr, slot: slot}
+						if len(val) == 0 {
+							if old, ok := s.slots[k]; ok {
+								s.liveBytes -= blockdb.FrameSize(int(old.n))
+								delete(s.slots, k)
+							}
+						} else {
+							setLocMap(s, s.slots, k, l)
+						}
+					},
+					func(loc) {
+						if len(val) == 0 {
+							s.cache.remove(storageKey(addr, slot))
+						} else {
+							s.cache.put(storageKey(addr, slot), val)
+						}
+					})
+			}
+		}
+		for h, code := range b.Codes {
+			h, code := h, code
+			if _, dup := s.codes[h]; dup {
+				continue // code is content-addressed; first write wins
+			}
+			add(rlp.Encode(rlp.List(rlp.Uint(kindCode), rlp.Bytes(h[:]), rlp.Bytes(code))),
+				func(l loc) { setLocMap(s, s.codes, h, l) },
+				func(loc) { s.cache.put(codeKey(h), code) })
+		}
+		for _, nb := range b.Nodes {
+			nb := nb
+			if _, dup := s.nodes[nb.Hash]; dup {
+				continue // nodes are content-addressed too
+			}
+			add(rlp.Encode(rlp.List(rlp.Uint(kindNode), rlp.Bytes(nb.Hash[:]), rlp.Bytes(nb.Enc))),
+				func(l loc) { setLocMap(s, s.nodes, nb.Hash, l) },
+				func(loc) { s.cache.put(nodeKey(nb.Hash), nb.Enc) })
+		}
+	}
+	add(rlp.Encode(rlp.List(
+		rlp.Uint(kindAnchor), rlp.Uint(a.Gen), rlp.Uint(a.Number),
+		rlp.Bytes(a.BlockHash[:]), rlp.Bytes(a.Root[:]),
+	)), nil, nil)
+
+	if _, err := s.w.WriteAt(buf, s.wsize); err != nil {
+		return fmt.Errorf("statestore: commit write: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.w.Sync(); err != nil {
+			return fmt.Errorf("statestore: commit sync: %w", err)
+		}
+	}
+
+	// Index and cache updates, now that the bytes are durable.
+	off := s.wsize
+	for _, st := range stages {
+		payloadOff := off + frameHeader
+		if st.apply != nil {
+			st.apply(loc{seg: seg, off: payloadOff, n: uint32(st.n)})
+		}
+		if st.cache != nil {
+			st.cache(loc{})
+		}
+		off += blockdb.FrameSize(st.n)
+	}
+	s.wsize += int64(len(buf))
+	s.totalBytes += int64(len(buf))
+	s.anchor = a
+	s.hasAnchor = true
+	mDiskBytes.Set(s.totalBytes)
+	return nil
+}
+
+// fileForLocked returns a read handle for l's segment. Caller holds
+// s.mu; the returned handle stays valid after the lock is released
+// (handles are only closed by Close, Reset and Compact, which never
+// race a read of the same generation's index).
+func (s *Store) fileForLocked(l loc) (*os.File, error) {
+	if len(s.segs) > 0 && l.seg == s.segs[len(s.segs)-1] {
+		return s.w, nil
+	}
+	if r, ok := s.readers[l.seg]; ok {
+		return r, nil
+	}
+	r, err := os.Open(segPath(s.dir, l.seg))
+	if err != nil {
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	s.readers[l.seg] = r
+	return r, nil
+}
+
+// readLoc preads one record payload.
+func (s *Store) readLoc(l loc) ([]byte, error) {
+	s.mu.Lock()
+	f, err := s.fileForLocked(l)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return preadPayload(f, l)
+}
+
+func preadPayload(f *os.File, l loc) ([]byte, error) {
+	buf := make([]byte, l.n)
+	if _, err := f.ReadAt(buf, l.off); err != nil {
+		return nil, fmt.Errorf("statestore: read: %w", err)
+	}
+	return buf, nil
+}
+
+// recordValue preads a record payload and returns the value item at
+// index vi (records store their value as the last list element).
+func (s *Store) recordValue(l loc, vi int) ([]byte, error) {
+	payload, err := s.readLoc(l)
+	if err != nil {
+		return nil, err
+	}
+	return extractValue(payload, vi)
+}
+
+// recordValueLocked is recordValue with s.mu already held (compaction).
+func (s *Store) recordValueLocked(l loc, vi int) ([]byte, error) {
+	f, err := s.fileForLocked(l)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := preadPayload(f, l)
+	if err != nil {
+		return nil, err
+	}
+	return extractValue(payload, vi)
+}
+
+func extractValue(payload []byte, vi int) ([]byte, error) {
+	it, err := rlp.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: corrupt record: %w", err)
+	}
+	if it.Kind() != rlp.KindList || it.Len() <= vi {
+		return nil, errors.New("statestore: corrupt record shape")
+	}
+	return append([]byte(nil), it.At(vi).Str()...), nil
+}
+
+// Account returns the flat record for addr, or ErrNotFound.
+func (s *Store) Account(addr ethtypes.Address) (*AccountRecord, error) {
+	key := accountKey(addr)
+	if v, ok := s.cache.get(key); ok {
+		return DecodeAccountRecord(v)
+	}
+	s.mu.Lock()
+	l, ok := s.accounts[addr]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	enc, err := s.recordValue(l, 2)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, enc)
+	return DecodeAccountRecord(enc)
+}
+
+// Slot returns the committed value bytes (minimal big-endian) for one
+// storage slot, or ErrNotFound for an absent (zero) slot.
+func (s *Store) Slot(addr ethtypes.Address, slot ethtypes.Hash) ([]byte, error) {
+	key := storageKey(addr, slot)
+	if v, ok := s.cache.get(key); ok {
+		return v, nil
+	}
+	s.mu.Lock()
+	l, ok := s.slots[slotKey{addr: addr, slot: slot}]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	val, err := s.recordValue(l, 3)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, val)
+	return val, nil
+}
+
+// Code returns contract code by hash, or ErrNotFound.
+func (s *Store) Code(h ethtypes.Hash) ([]byte, error) {
+	key := codeKey(h)
+	if v, ok := s.cache.get(key); ok {
+		return v, nil
+	}
+	s.mu.Lock()
+	l, ok := s.codes[h]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	code, err := s.recordValue(l, 2)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, code)
+	return code, nil
+}
+
+// ResolveNode returns the RLP encoding of the trie node with the given
+// hash, or ErrNotFound. This is the trie.Resolver implementation that
+// lazy tries fault through.
+func (s *Store) ResolveNode(h ethtypes.Hash) ([]byte, error) {
+	key := nodeKey(h)
+	if v, ok := s.cache.get(key); ok {
+		return v, nil
+	}
+	s.mu.Lock()
+	l, ok := s.nodes[h]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	enc, err := s.recordValue(l, 2)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, enc)
+	return enc, nil
+}
+
+// HasAccount reports index membership without a disk read.
+func (s *Store) HasAccount(addr ethtypes.Address) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.accounts[addr]
+	return ok
+}
+
+// ForEachAccount calls fn for every account in the store (index
+// order, unspecified). fn returning false stops the walk. Each call
+// costs a disk read for cold accounts; this is for dumps, audits and
+// supply sums, not hot paths.
+func (s *Store) ForEachAccount(fn func(addr ethtypes.Address, rec *AccountRecord) bool) error {
+	s.mu.Lock()
+	addrs := make([]ethtypes.Address, 0, len(s.accounts))
+	for a := range s.accounts {
+		addrs = append(addrs, a)
+	}
+	s.mu.Unlock()
+	for _, addr := range addrs {
+		rec, err := s.Account(addr)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted since the index walk started
+			}
+			return err
+		}
+		if !fn(addr, rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// AccountCount returns the number of accounts in the index.
+func (s *Store) AccountCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.accounts)
+}
+
+// DiskBytes returns the total on-disk size of the store's segments.
+func (s *Store) DiskBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalBytes
+}
+
+// CacheStats returns (hits, misses, evictions) for observability and
+// tests.
+func (s *Store) CacheStats() (hits, misses, evictions uint64) {
+	return s.cache.stats()
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Reset discards everything: segments, index, cache, anchor. Used
+// when recovery determines the anchored state is unusable (e.g. the
+// block journal lost the anchor's block) and the chain must rebuild
+// from the genesis.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.readers {
+		r.Close()
+	}
+	s.readers = make(map[uint32]*os.File)
+	if s.w != nil {
+		s.w.Close()
+		s.w = nil
+	}
+	for _, seg := range s.segs {
+		os.Remove(segPath(s.dir, seg))
+	}
+	s.segs = nil
+	s.accounts = make(map[ethtypes.Address]loc)
+	s.slots = make(map[slotKey]loc)
+	s.codes = make(map[ethtypes.Hash]loc)
+	s.nodes = make(map[ethtypes.Hash]loc)
+	s.anchor = Anchor{}
+	s.hasAnchor = false
+	s.totalBytes = 0
+	s.liveBytes = 0
+	s.cache.reset()
+	mDiskBytes.Set(0)
+	return s.openWriter()
+}
+
+// Close syncs and closes every handle. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, r := range s.readers {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.readers = make(map[uint32]*os.File)
+	if s.w != nil {
+		if !s.opts.NoSync {
+			if err := s.w.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := s.w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.w = nil
+	}
+	return firstErr
+}

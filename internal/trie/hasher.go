@@ -54,10 +54,23 @@ func fastHash(n node) ethtypes.Hash {
 	return ethtypes.Keccak256(c.ref)
 }
 
+// hashRefCache builds the (trivial) cache entry for an unresolved
+// reference: the hash is known by construction, the reference form is
+// rlp(hash). hashNodes only ever stand in for >=32-byte encodings, so
+// the hash reference form is always correct.
+func hashRefCache(h hashNode) *encCache {
+	ref := make([]byte, 33)
+	ref[0] = 0x80 + 32
+	copy(ref[1:], h[:])
+	return &encCache{ref: ref, hash: ethtypes.Hash(h), hashed: true}
+}
+
 // cachedRef returns the memoised reference of a shortNode or fullNode,
 // computing and publishing it on first use.
 func cachedRef(n node) *encCache {
 	switch cur := n.(type) {
+	case hashNode:
+		return hashRefCache(cur)
 	case *shortNode:
 		if c := cur.cache.Load(); c != nil {
 			return c
@@ -169,4 +182,130 @@ func putListHeader(dst []byte, n int) int {
 	dst[0] = 0xf7 + byte(8-i)
 	copy(dst[1:], lenBytes[i:])
 	return 1 + (8 - i)
+}
+
+// HashCollect computes the root like Hash(nil) while emitting every
+// *freshly hashed* node — a node whose encoding is >= 32 bytes and
+// whose cache was empty when visited — to sink as (hash, encoding).
+// Because mutations path-copy and caches persist, repeated
+// HashCollect calls after k updates emit only the O(k·depth) new
+// nodes: exactly the set a disk store needs to persist to keep the
+// trie resolvable from its root. Already-cached nodes are assumed
+// persisted by the HashCollect (or store load) that cached them, so a
+// disk-backed trie must be hashed exclusively through HashCollect.
+//
+// The encoding passed to sink is freshly allocated and never reused.
+// A sub-32-byte root is also emitted (it is still referenced by hash
+// at the top level); this may re-emit on every call, which stores
+// treat as an idempotent overwrite.
+func (t *Trie) HashCollect(sink func(h ethtypes.Hash, enc []byte)) ethtypes.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	if hn, ok := t.root.(hashNode); ok {
+		return ethtypes.Hash(hn)
+	}
+	if v, ok := t.root.(valueNode); ok {
+		enc := appendRLPString(nil, v)
+		h := ethtypes.Keccak256(enc)
+		sink(h, enc)
+		return h
+	}
+	c := cachedRefCollect(t.root, sink)
+	if c.hashed {
+		return c.hash
+	}
+	enc := append([]byte(nil), c.ref...)
+	h := ethtypes.Keccak256(enc)
+	sink(h, enc)
+	return h
+}
+
+// cachedRefCollect is cachedRef with fresh-node emission.
+func cachedRefCollect(n node, sink func(ethtypes.Hash, []byte)) *encCache {
+	switch cur := n.(type) {
+	case hashNode:
+		return hashRefCache(cur)
+	case *shortNode:
+		if c := cur.cache.Load(); c != nil {
+			return c
+		}
+		c, enc := buildCacheCollect(func(payload []byte) []byte {
+			payload = appendRLPString(payload, hexPrefix(cur.Key))
+			return appendChildRefCollect(payload, cur.Val, sink)
+		})
+		if c.hashed {
+			sink(c.hash, enc)
+		}
+		cur.cache.Store(c)
+		return c
+	case *fullNode:
+		if c := cur.cache.Load(); c != nil {
+			return c
+		}
+		c, enc := buildCacheCollect(func(payload []byte) []byte {
+			for i := 0; i < 16; i++ {
+				payload = appendChildRefCollect(payload, cur.Children[i], sink)
+			}
+			if v, ok := cur.Children[16].(valueNode); ok {
+				payload = appendRLPString(payload, v)
+			} else {
+				payload = appendRLPString(payload, nil)
+			}
+			return payload
+		})
+		if c.hashed {
+			sink(c.hash, enc)
+		}
+		cur.cache.Store(c)
+		return c
+	default:
+		panic("trie: cachedRefCollect on non-cacheable node")
+	}
+}
+
+// buildCacheCollect is buildCache, additionally returning the full
+// encoding (header+payload, freshly allocated) when the node is
+// hash-referenced, so the caller can persist it.
+func buildCacheCollect(fill func([]byte) []byte) (*encCache, []byte) {
+	bufp := encBufPool.Get().(*[]byte)
+	payload := fill((*bufp)[:0])
+
+	var header [9]byte
+	hn := putListHeader(header[:], len(payload))
+
+	c := &encCache{}
+	var full []byte
+	if hn+len(payload) < 32 {
+		c.ref = make([]byte, 0, hn+len(payload))
+		c.ref = append(c.ref, header[:hn]...)
+		c.ref = append(c.ref, payload...)
+	} else {
+		full = make([]byte, 0, hn+len(payload))
+		full = append(full, header[:hn]...)
+		full = append(full, payload...)
+		c.hash = ethtypes.Keccak256(full)
+		ref := make([]byte, 33)
+		ref[0] = 0x80 + 32
+		copy(ref[1:], c.hash[:])
+		c.ref = ref
+		c.hashed = true
+	}
+
+	*bufp = payload[:0]
+	encBufPool.Put(bufp)
+	return c, full
+}
+
+// appendChildRefCollect mirrors appendChildRef through the collecting
+// path.
+func appendChildRefCollect(dst []byte, n node, sink func(ethtypes.Hash, []byte)) []byte {
+	switch cur := n.(type) {
+	case nil:
+		return append(dst, 0x80)
+	case valueNode:
+		return appendRLPString(dst, cur)
+	default:
+		return append(dst, cachedRefCollect(n, sink).ref...)
+	}
 }

@@ -11,40 +11,19 @@ type Entry struct {
 }
 
 // Walk visits every key/value pair in lexicographic key order. fn
-// returning false stops the walk early.
+// returning false stops the walk early. On a lazy trie, subtrees are
+// resolved on demand and a resolution failure panics with
+// *MissingNodeError; use NewIterator directly to receive it as an
+// error instead.
 func (t *Trie) Walk(fn func(key, value []byte) bool) {
-	walkNode(t.root, nil, fn)
-}
-
-// walkNode traverses in order, accumulating the nibble path.
-func walkNode(n node, path []byte, fn func(key, value []byte) bool) bool {
-	switch cur := n.(type) {
-	case nil:
-		return true
-	case valueNode:
-		return fn(nibblesToKey(path), cur)
-	case *shortNode:
-		return walkNode(cur.Val, append(path, cur.Key...), fn)
-	case *fullNode:
-		// Value terminating at this branch comes first (shorter key).
-		if cur.Children[16] != nil {
-			if v, ok := cur.Children[16].(valueNode); ok {
-				if !fn(nibblesToKey(path), v) {
-					return false
-				}
-			}
+	it := t.NewIterator()
+	for it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
 		}
-		for i := 0; i < 16; i++ {
-			if cur.Children[i] == nil {
-				continue
-			}
-			if !walkNode(cur.Children[i], append(path, byte(i)), fn) {
-				return false
-			}
-		}
-		return true
-	default:
-		return true
+	}
+	if err := it.Err(); err != nil {
+		panic(err)
 	}
 }
 

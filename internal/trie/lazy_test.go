@@ -1,0 +1,312 @@
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+)
+
+// mapResolver backs a lazy trie with an in-memory node map — the
+// minimal Resolver, with knobs for simulating a corrupt store.
+type mapResolver map[ethtypes.Hash][]byte
+
+var errNodeGone = errors.New("node not in store")
+
+func (m mapResolver) ResolveNode(h ethtypes.Hash) ([]byte, error) {
+	enc, ok := m[h]
+	if !ok {
+		return nil, errNodeGone
+	}
+	return enc, nil
+}
+
+// buildLazyFixture hashes a populated trie into a node store and
+// returns a fresh lazy trie over it plus the expected key set. Every
+// key maps to "v:<key>".
+func buildLazyFixture(t *testing.T, keys []string) (*Trie, mapResolver, ethtypes.Hash) {
+	t.Helper()
+	src := New()
+	for _, k := range keys {
+		src.Put([]byte(k), []byte("v:"+k))
+	}
+	store := mapResolver{}
+	root := src.HashCollect(func(h ethtypes.Hash, enc []byte) {
+		store[h] = append([]byte(nil), enc...)
+	})
+	return NewFromRoot(root, store), store, root
+}
+
+var lazyKeys = []string{
+	"do", "dog", "doge", "dogs", "doom", "horse", "house",
+	"a", "ab", "abc", "abd", "b", "key-0", "key-1", "key-42",
+}
+
+func TestLazyIteratorResolvesUnloadedNodes(t *testing.T) {
+	lazy, _, _ := buildLazyFixture(t, lazyKeys)
+
+	want := append([]string(nil), lazyKeys...)
+	sort.Strings(want)
+
+	it := lazy.NewIterator()
+	var got []string
+	for it.Next() {
+		got = append(got, string(it.Key()))
+		if want := "v:" + string(it.Key()); string(it.Value()) != want {
+			t.Fatalf("key %q: value %q, want %q", it.Key(), it.Value(), want)
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iteration over intact store failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key %d = %q, want %q (order broken)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLazyIteratorAfterPartialMutation(t *testing.T) {
+	// Mutating a lazy trie materialises only the touched path; the
+	// iterator must still see old (still-unloaded) and new entries.
+	lazy, _, _ := buildLazyFixture(t, lazyKeys)
+	lazy.Put([]byte("zebra"), []byte("v:zebra"))
+	lazy.Delete([]byte("doom"))
+
+	seen := map[string]bool{}
+	it := lazy.NewIterator()
+	for it.Next() {
+		seen[string(it.Key())] = true
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !seen["zebra"] || seen["doom"] {
+		t.Fatalf("mutations not reflected: %v", seen)
+	}
+	if !seen["horse"] || !seen["key-42"] {
+		t.Fatal("untouched lazy subtrees lost")
+	}
+}
+
+func TestLazyIteratorMissingNodeTypedError(t *testing.T) {
+	lazy, store, root := buildLazyFixture(t, lazyKeys)
+
+	// Drop a non-root node so iteration starts fine and fails mid-walk.
+	for h := range store {
+		if h != root {
+			delete(store, h)
+			break
+		}
+	}
+	it := lazy.NewIterator()
+	for it.Next() {
+	}
+	var miss *MissingNodeError
+	if err := it.Err(); !errors.As(err, &miss) {
+		t.Fatalf("iterator over corrupt store: err = %v, want *MissingNodeError", err)
+	}
+	if miss.Hash == (ethtypes.Hash{}) {
+		t.Fatal("MissingNodeError carries no hash")
+	}
+	// The error latches: further Next calls stay false with the same error.
+	if it.Next() {
+		t.Fatal("Next advanced past a resolution error")
+	}
+	if !errors.As(it.Err(), &miss) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestLazyIteratorCorruptEncodingTypedError(t *testing.T) {
+	lazy, store, root := buildLazyFixture(t, lazyKeys)
+
+	// Flip a byte: content-hash verification must reject the node with
+	// a typed error, not decode garbage.
+	for h, enc := range store {
+		if h == root {
+			continue
+		}
+		bad := append([]byte(nil), enc...)
+		bad[len(bad)/2] ^= 0x01
+		store[h] = bad
+		break
+	}
+	it := lazy.NewIterator()
+	for it.Next() {
+	}
+	var miss *MissingNodeError
+	if err := it.Err(); !errors.As(err, &miss) {
+		t.Fatalf("tampered node: err = %v, want *MissingNodeError", err)
+	}
+}
+
+func TestLazyProveVerifyRoundTrip(t *testing.T) {
+	lazy, _, root := buildLazyFixture(t, lazyKeys)
+
+	for _, k := range lazyKeys {
+		gotRoot, proof, err := lazy.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%q) over lazy trie: %v", k, err)
+		}
+		if gotRoot != root {
+			t.Fatalf("Prove(%q) root %s, want %s", k, gotRoot, root)
+		}
+		val, ok, err := VerifyProof(root, []byte(k), proof)
+		if err != nil || !ok {
+			t.Fatalf("VerifyProof(%q): ok=%v err=%v", k, ok, err)
+		}
+		if want := "v:" + k; string(val) != want {
+			t.Fatalf("proof value %q, want %q", val, want)
+		}
+	}
+	// Proof of absence still works through unloaded subtrees.
+	_, proof, err := lazy.Prove([]byte("doing"))
+	if err != nil {
+		t.Fatalf("absence proof: %v", err)
+	}
+	if _, ok, err := VerifyProof(root, []byte("doing"), proof); ok || err != nil {
+		t.Fatalf("absence proof verified as present: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLazyProveMissingNodeTypedError(t *testing.T) {
+	lazy, store, root := buildLazyFixture(t, lazyKeys)
+	for h := range store {
+		if h != root {
+			delete(store, h)
+		}
+	}
+	var miss *MissingNodeError
+	failed := false
+	for _, k := range lazyKeys {
+		if _, _, err := lazy.Prove([]byte(k)); err != nil {
+			if !errors.As(err, &miss) {
+				t.Fatalf("Prove(%q): err = %v, want *MissingNodeError", k, err)
+			}
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("no proof touched the gutted store")
+	}
+}
+
+func TestLazyTryGetMissingNodeTypedError(t *testing.T) {
+	lazy, store, root := buildLazyFixture(t, lazyKeys)
+	for h := range store {
+		if h != root {
+			delete(store, h)
+		}
+	}
+	failed := false
+	for _, k := range lazyKeys {
+		_, _, err := lazy.TryGet([]byte(k))
+		if err == nil {
+			continue
+		}
+		var miss *MissingNodeError
+		if !errors.As(err, &miss) {
+			t.Fatalf("TryGet(%q): err = %v, want *MissingNodeError", k, err)
+		}
+		if !errors.Is(err, errNodeGone) {
+			t.Fatalf("TryGet(%q) lost the cause: %v", k, err)
+		}
+		failed = true
+	}
+	if !failed {
+		t.Fatal("no read touched the gutted store")
+	}
+}
+
+func TestLazyNoResolverTypedError(t *testing.T) {
+	// A lazy root with no resolver must fail typed, not panic or
+	// misreport absence.
+	_, _, root := buildLazyFixture(t, lazyKeys)
+	orphan := NewFromRoot(root, nil)
+	_, _, err := orphan.TryGet([]byte("dog"))
+	var miss *MissingNodeError
+	if !errors.As(err, &miss) {
+		t.Fatalf("resolver-less TryGet: err = %v, want *MissingNodeError", err)
+	}
+	it := orphan.NewIterator()
+	if it.Next() {
+		t.Fatal("resolver-less iteration yielded a key")
+	}
+	if !errors.As(it.Err(), &miss) {
+		t.Fatalf("resolver-less iterator: err = %v, want *MissingNodeError", it.Err())
+	}
+}
+
+func TestLazyMutationPanicsTyped(t *testing.T) {
+	// Put/Delete have no error returns; on a corrupt store they must
+	// panic with the typed *MissingNodeError (so chain-level recovery
+	// can classify it), never with a decode panic or nil deref.
+	lazy, store, root := buildLazyFixture(t, lazyKeys)
+	for h := range store {
+		if h != root {
+			delete(store, h)
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Put over gutted store did not panic")
+		}
+		err, ok := r.(error)
+		var miss *MissingNodeError
+		if !ok || !errors.As(err, &miss) {
+			t.Fatalf("panic value %v (%T), want *MissingNodeError", r, r)
+		}
+	}()
+	lazy.Put([]byte("dog"), []byte("other"))
+}
+
+func TestLazyUnloadRoundTrip(t *testing.T) {
+	// Build in memory with a resolver attached, persist, Unload, and
+	// keep using the same trie object: reads fault nodes back in and
+	// the root is unchanged.
+	store := mapResolver{}
+	tr := New()
+	tr.SetResolver(store)
+	var keys []string
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("account-%02d", i)
+		keys = append(keys, k)
+		tr.Put([]byte(k), []byte("v:"+k))
+	}
+	root := tr.HashCollect(func(h ethtypes.Hash, enc []byte) {
+		store[h] = append([]byte(nil), enc...)
+	})
+	tr.Unload()
+	if tr.Len() != -1 {
+		t.Fatalf("Len after Unload = %d, want -1", tr.Len())
+	}
+	if got := tr.Hash(nil); got != root {
+		t.Fatalf("root after Unload = %s, want %s", got, root)
+	}
+	for _, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || !bytes.Equal(v, []byte("v:"+k)) {
+			t.Fatalf("Get(%q) after Unload = %q, %v", k, v, ok)
+		}
+	}
+	// Mutate the unloaded trie (exercises mustResolve through the
+	// resolver), then verify against a from-scratch oracle.
+	tr.Put([]byte("account-99"), []byte("v:account-99"))
+	tr.Delete([]byte("account-00"))
+	oracle := New()
+	for _, k := range keys[1:] {
+		oracle.Put([]byte(k), []byte("v:"+k))
+	}
+	oracle.Put([]byte("account-99"), []byte("v:account-99"))
+	if got, want := tr.Hash(nil), oracle.Hash(nil); got != want {
+		t.Fatalf("mutated unloaded trie root %s, oracle %s", got, want)
+	}
+}

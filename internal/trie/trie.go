@@ -50,16 +50,20 @@ type (
 
 const terminator = 16
 
-// Trie is a mutable in-memory Merkle Patricia Trie.
+// Trie is a mutable Merkle Patricia Trie. It is fully in-memory when
+// built with New; tries built with NewFromRoot resolve hash-referenced
+// subtrees lazily through their Resolver (see lazy.go).
 type Trie struct {
-	root node
-	size int
+	root     node
+	size     int
+	resolver Resolver
 }
 
 // New returns an empty trie.
 func New() *Trie { return &Trie{} }
 
-// Len returns the number of keys stored.
+// Len returns the number of keys stored, or -1 when unknown (lazy
+// tries never enumerate cold subtrees just to count them).
 func (t *Trie) Len() int { return t.size }
 
 // keyNibbles converts a byte key to its nibble expansion plus terminator.
@@ -79,31 +83,49 @@ func prefixLen(a, b []byte) int {
 	return i
 }
 
-// Get returns the value for key and whether it exists.
+// Get returns the value for key and whether it exists. On a lazy trie
+// a resolution failure panics with *MissingNodeError; use TryGet to
+// receive it as an error instead.
 func (t *Trie) Get(key []byte) ([]byte, bool) {
+	v, ok, err := t.TryGet(key)
+	if err != nil {
+		panic(err)
+	}
+	return v, ok
+}
+
+// TryGet returns the value for key and whether it exists, surfacing
+// lazy-resolution failures as *MissingNodeError.
+func (t *Trie) TryGet(key []byte) ([]byte, bool, error) {
 	n := t.root
 	k := keyNibbles(key)
 	for {
 		switch cur := n.(type) {
 		case nil:
-			return nil, false
+			return nil, false, nil
 		case valueNode:
 			if len(k) == 0 {
-				return cur, true
+				return cur, true, nil
 			}
-			return nil, false
+			return nil, false, nil
 		case *shortNode:
 			if len(k) < len(cur.Key) || !bytes.Equal(cur.Key, k[:len(cur.Key)]) {
-				return nil, false
+				return nil, false, nil
 			}
 			k = k[len(cur.Key):]
 			n = cur.Val
 		case *fullNode:
 			if len(k) == 0 {
-				return nil, false
+				return nil, false, nil
 			}
 			n = cur.Children[k[0]]
 			k = k[1:]
+		case hashNode:
+			dec, err := t.resolve(cur)
+			if err != nil {
+				return nil, false, err
+			}
+			n = dec
 		default:
 			panic(fmt.Sprintf("trie: unknown node %T", n))
 		}
@@ -113,24 +135,28 @@ func (t *Trie) Get(key []byte) ([]byte, bool) {
 // Put inserts or updates key with value. Empty values are legal and
 // distinct from absence (use Delete to remove).
 func (t *Trie) Put(key, value []byte) {
-	if _, exists := t.Get(key); !exists {
-		t.size++
+	if t.size >= 0 {
+		if _, exists := t.Get(key); !exists {
+			t.size++
+		}
 	}
 	v := valueNode(append([]byte(nil), value...))
-	t.root = insert(t.root, keyNibbles(key), v)
+	t.root = t.insert(t.root, keyNibbles(key), v)
 }
 
-func insert(n node, key []byte, value node) node {
+func (t *Trie) insert(n node, key []byte, value node) node {
 	if len(key) == 0 {
 		return value
 	}
 	switch cur := n.(type) {
 	case nil:
 		return &shortNode{Key: key, Val: value}
+	case hashNode:
+		return t.insert(t.mustResolve(cur), key, value)
 	case *shortNode:
 		match := prefixLen(key, cur.Key)
 		if match == len(cur.Key) {
-			return &shortNode{Key: cur.Key, Val: insert(cur.Val, key[match:], value)}
+			return &shortNode{Key: cur.Key, Val: t.insert(cur.Val, key[match:], value)}
 		}
 		// Paths diverge inside cur.Key: split into a branch.
 		branch := &fullNode{}
@@ -144,7 +170,7 @@ func insert(n node, key []byte, value node) node {
 		// Path-copy: a fresh node (with an empty encoding cache) so that
 		// prior snapshots sharing cur stay valid.
 		out := &fullNode{Children: cur.Children}
-		out.Children[key[0]] = insert(cur.Children[key[0]], key[1:], value)
+		out.Children[key[0]] = t.insert(cur.Children[key[0]], key[1:], value)
 		return out
 	case valueNode:
 		// Existing value terminates here but the new key continues —
@@ -164,18 +190,22 @@ func shortOrVal(key []byte, val node) node {
 
 // Delete removes key; it reports whether the key was present.
 func (t *Trie) Delete(key []byte) bool {
-	newRoot, deleted := del(t.root, keyNibbles(key))
+	newRoot, deleted := t.del(t.root, keyNibbles(key))
 	if deleted {
 		t.root = newRoot
-		t.size--
+		if t.size > 0 {
+			t.size--
+		}
 	}
 	return deleted
 }
 
-func del(n node, key []byte) (node, bool) {
+func (t *Trie) del(n node, key []byte) (node, bool) {
 	switch cur := n.(type) {
 	case nil:
 		return nil, false
+	case hashNode:
+		return t.del(t.mustResolve(cur), key)
 	case valueNode:
 		if len(key) == 0 {
 			return nil, true
@@ -186,7 +216,7 @@ func del(n node, key []byte) (node, bool) {
 		if match < len(cur.Key) {
 			return n, false
 		}
-		child, ok := del(cur.Val, key[match:])
+		child, ok := t.del(cur.Val, key[match:])
 		if !ok {
 			return n, false
 		}
@@ -204,7 +234,7 @@ func del(n node, key []byte) (node, bool) {
 		if len(key) == 0 {
 			return n, false
 		}
-		child, ok := del(cur.Children[key[0]], key[1:])
+		child, ok := t.del(cur.Children[key[0]], key[1:])
 		if !ok {
 			return n, false
 		}
@@ -226,11 +256,18 @@ func del(n node, key []byte) (node, bool) {
 		if pos == terminator {
 			return &shortNode{Key: []byte{terminator}, Val: out.Children[terminator]}, true
 		}
-		if sn, isShort := out.Children[pos].(*shortNode); isShort {
+		// The surviving sibling may be an unresolved reference; its
+		// shape decides how the branch collapses (short-node keys must
+		// merge), so it has to be materialised here.
+		survivor := out.Children[pos]
+		if hn, isHash := survivor.(hashNode); isHash {
+			survivor = t.mustResolve(hn)
+		}
+		if sn, isShort := survivor.(*shortNode); isShort {
 			merged := append([]byte{byte(pos)}, sn.Key...)
 			return &shortNode{Key: merged, Val: sn.Val}, true
 		}
-		return &shortNode{Key: []byte{byte(pos)}, Val: out.Children[pos]}, true
+		return &shortNode{Key: []byte{byte(pos)}, Val: survivor}, true
 	default:
 		panic(fmt.Sprintf("trie: unknown node %T", n))
 	}
@@ -298,6 +335,10 @@ func (t *Trie) Hash(store NodeStore) ethtypes.Hash {
 	if t.root == nil {
 		return EmptyRoot
 	}
+	if hn, ok := t.root.(hashNode); ok {
+		// Fully unloaded trie: the root hash is the reference itself.
+		return ethtypes.Hash(hn)
+	}
 	if store == nil {
 		return fastHash(t.root)
 	}
@@ -313,7 +354,12 @@ func (t *Trie) Hash(store NodeStore) ethtypes.Hash {
 // once linked in (Put/Delete path-copy), so the snapshot and the parent
 // can both be read, mutated and hashed independently — including from
 // different goroutines (the encoding caches are updated atomically).
-func (t *Trie) Snapshot() *Trie { return &Trie{root: t.root, size: t.size} }
+func (t *Trie) Snapshot() *Trie { return &Trie{root: t.root, size: t.size, resolver: t.resolver} }
+
+// SetResolver attaches r for lazy hash-reference resolution, making the
+// trie safe to Unload: a fully in-memory trie whose nodes are also
+// persisted elsewhere becomes collapsible to its root hash.
+func (t *Trie) SetResolver(r Resolver) { t.resolver = r }
 
 // encodeNode renders a node as its RLP item, replacing large children by
 // hash references.
@@ -321,6 +367,8 @@ func encodeNode(n node, store NodeStore) *rlp.Item {
 	switch cur := n.(type) {
 	case nil:
 		return rlp.Bytes(nil)
+	case hashNode:
+		panic("trie: encodeNode on an unresolved reference")
 	case valueNode:
 		return rlp.Bytes(cur)
 	case *shortNode:
@@ -350,6 +398,12 @@ func refItem(n node, store NodeStore) *rlp.Item {
 	if v, ok := n.(valueNode); ok {
 		return rlp.Bytes(v)
 	}
+	if h, ok := n.(hashNode); ok {
+		// Unresolved subtree: the reference is already the hash. Its
+		// nodes are not recorded in store — proof walks fall back to
+		// the trie's resolver (see Prove).
+		return rlp.Bytes(h[:])
+	}
 	item := encodeNode(n, store)
 	enc := rlp.Encode(item)
 	if len(enc) < 32 {
@@ -364,7 +418,9 @@ func refItem(n node, store NodeStore) *rlp.Item {
 
 // Prove returns the ordered list of RLP node encodings from the root to
 // the node proving key (inclusive), suitable for VerifyProof. The trie
-// is hashed as a side effect.
+// is hashed as a side effect. On a lazy trie, nodes of unloaded
+// subtrees are fetched through the resolver; a node that cannot be
+// fetched yields a *MissingNodeError.
 func (t *Trie) Prove(key []byte) (ethtypes.Hash, [][]byte, error) {
 	store := NodeStore{}
 	root := t.Hash(store)
@@ -374,8 +430,18 @@ func (t *Trie) Prove(key []byte) (ethtypes.Hash, [][]byte, error) {
 	k := keyNibbles(key)
 	for {
 		enc, ok := store[h]
+		if !ok && t.resolver != nil {
+			loaded, err := t.resolver.ResolveNode(h)
+			if err != nil {
+				return root, nil, &MissingNodeError{Hash: h, Err: err}
+			}
+			if got := ethtypes.Keccak256(loaded); got != h {
+				return root, nil, &MissingNodeError{Hash: h, Err: fmt.Errorf("content hash mismatch (got %s)", got)}
+			}
+			enc, ok = loaded, true
+		}
 		if !ok {
-			return root, nil, errors.New("trie: missing node during prove")
+			return root, nil, &MissingNodeError{Hash: h, Err: errNoResolver}
 		}
 		proof = append(proof, enc)
 		item, err := rlp.Decode(enc)
@@ -609,6 +675,28 @@ func (s *Secure) Delete(key []byte) bool {
 
 // Hash computes the root, recording nodes in store when non-nil.
 func (s *Secure) Hash(store NodeStore) ethtypes.Hash { return s.t.Hash(store) }
+
+// HashCollect computes the root, emitting freshly hashed nodes to
+// sink (see Trie.HashCollect).
+func (s *Secure) HashCollect(sink func(h ethtypes.Hash, enc []byte)) ethtypes.Hash {
+	return s.t.HashCollect(sink)
+}
+
+// Unload collapses the trie to its root hash (see Trie.Unload).
+func (s *Secure) Unload() { s.t.Unload() }
+
+// SetResolver attaches r for lazy resolution (see Trie.SetResolver).
+func (s *Secure) SetResolver(r Resolver) { s.t.SetResolver(r) }
+
+// TryGet is Get with lazy-resolution failures surfaced as an error.
+func (s *Secure) TryGet(key []byte) ([]byte, bool, error) {
+	h := ethtypes.Keccak256(key)
+	return s.t.TryGet(h[:])
+}
+
+// NewIterator iterates the underlying trie; keys yielded are the
+// keccak-hashed forms of the inserted keys.
+func (s *Secure) NewIterator() *Iterator { return s.t.NewIterator() }
 
 // Snapshot returns an O(1) logical copy (see Trie.Snapshot).
 func (s *Secure) Snapshot() *Secure { return &Secure{t: s.t.Snapshot()} }
