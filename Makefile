@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check ci bench bench-smoke race persistence-torture conflict-torture fmt-check obs-check soak
+.PHONY: build test check ci bench bench-smoke race persistence-torture conflict-torture fmt-check obs-check soak slo-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ ci:
 	$(MAKE) test
 	$(MAKE) check
 	$(MAKE) bench-smoke
+	$(MAKE) slo-smoke
 	$(MAKE) soak
 
 # fmt-check fails the build if any file is not gofmt-clean.
@@ -72,6 +73,7 @@ bench:
 	$(GO) test -run xxx -bench Recovery -benchtime 3x ./internal/chain/
 	$(GO) test -run xxx -bench 'ParallelEthCall|ReadsDuringSeal' -benchtime 1s ./internal/chain/
 	$(GO) test -run xxx -bench 'MineBlockParallel|MineLoopPipelined' -benchtime 5x ./internal/chain/
+	$(GO) test -run xxx -bench MineLoopSubscribers -benchtime 20x ./internal/chain/
 
 # bench-smoke is the CI-sized benchmark run: one iteration of each
 # tracked benchmark, enough to catch panics and pathological
@@ -79,7 +81,7 @@ bench:
 # bench-smoke.txt (uploaded as a CI artifact).
 bench-smoke:
 	@{ $(BENCH_HOST); \
-	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal|MineBlockParallel|MineLoopPipelined' -benchtime 1x ./internal/state/ ./internal/chain/; } | tee bench-smoke.txt
+	$(GO) test -run xxx -bench 'StateRoot|EthCall|Recovery|ParallelEthCall|ReadsDuringSeal|MineBlockParallel|MineLoopPipelined|MineLoopSubscribers' -benchtime 1x ./internal/state/ ./internal/chain/; } | tee bench-smoke.txt
 
 # soak is the bounded-memory gate for the disk-backed state store: it
 # grows the world to SOAK_ACCOUNTS accounts (default 100k; the paper
@@ -87,6 +89,25 @@ bench-smoke:
 # commit/evict cycles and fails if the process RSS ever exceeds
 # SOAK_RSS_MB. Per-interval samples land in soak-rss.csv (uploaded as
 # a CI artifact).
+# slo-smoke is the latency/SLO gate for the serving tier: the loadgen
+# drives SLO_USERS simulated read-only users, SLO_PAIRS full rental
+# lifecycles and SLO_SUBS WebSocket newHeads subscribers against an
+# in-process node for SLO_SECONDS, then fails unless read p99 stays
+# under SLO_P99_READ with zero lifecycle errors, zero subscription
+# gaps and zero out-of-order heads. Per-op percentiles land in
+# loadgen.csv / loadgen.json (uploaded as a CI artifact).
+SLO_USERS ?= 10000
+SLO_PAIRS ?= 8
+SLO_SUBS ?= 128
+SLO_SECONDS ?= 30
+SLO_P99_READ ?= 50ms
+slo-smoke:
+	$(GO) run ./cmd/loadgen -users $(SLO_USERS) -pairs $(SLO_PAIRS) \
+		-subscribers $(SLO_SUBS) -duration $(SLO_SECONDS)s -think 2s \
+		-gate-p99-read $(SLO_P99_READ) -gate-zero-drops \
+		-out loadgen.json -csv loadgen.csv
+	@cat loadgen.csv
+
 SOAK_ACCOUNTS ?= 100000
 SOAK_RSS_MB ?= 512
 soak:

@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	devnet [-addr :8545] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data] [-metrics-addr :9090] [-pprof] [-log-level info] [-trace] [-trace-sample 1] [-trace-slow 250ms]
+//	devnet [-addr :8545] [-ws-addr :8546] [-accounts 10] [-seed "legalchain devnet"] [-balance 1000] [-datadir ./devnet-data] [-metrics-addr :9090] [-pprof] [-log-level info] [-trace] [-trace-sample 1] [-trace-slow 250ms]
 package main
 
 import (
@@ -42,6 +42,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8545", "listen address for JSON-RPC")
+		wsAddr     = flag.String("ws-addr", "", "listen address for WebSocket JSON-RPC + eth_subscribe (empty = disabled)")
 		nAcc       = flag.Int("accounts", 10, "number of pre-funded accounts")
 		seed       = flag.String("seed", wallet.DefaultDevSeed, "deterministic account seed")
 		balance    = flag.Int64("balance", 1000, "initial balance per account (ether)")
@@ -139,6 +140,17 @@ func main() {
 		}
 	}()
 
+	var wsSrv *http.Server
+	if *wsAddr != "" {
+		wsSrv = &http.Server{Addr: *wsAddr, Handler: http.HandlerFunc(rpcSrv.ServeWS)}
+		go func() {
+			fmt.Printf("WebSocket JSON-RPC listening on %s\n", *wsAddr)
+			if err := wsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
+
 	var opsSrv *http.Server
 	if *metrics != "" {
 		health := func() map[string]interface{} {
@@ -164,6 +176,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
+	if wsSrv != nil {
+		// Hijacked WebSocket connections are invisible to Shutdown; the
+		// hub close below (bc.Close) ends their subscription loops.
+		wsSrv.Shutdown(ctx)
+	}
 	if opsSrv != nil {
 		opsSrv.Shutdown(ctx)
 	}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// opStats aggregates latency samples and errors for one operation
+// class. Samples are kept raw and sorted at report time — a 30-second
+// run at 10k users produces a few hundred thousand samples, well
+// within memory.
+type opStats struct {
+	samples []time.Duration
+	errors  int
+}
+
+// recorder collects samples across every worker goroutine.
+type recorder struct {
+	mu  sync.Mutex
+	ops map[string]*opStats
+}
+
+func newRecorder() *recorder {
+	return &recorder{ops: map[string]*opStats{}}
+}
+
+// observe records one timed operation; a non-nil err counts against
+// the class's error budget instead of its latency distribution.
+func (r *recorder) observe(op string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.ops[op]
+	if s == nil {
+		s = &opStats{}
+		r.ops[op] = s
+	}
+	if err != nil {
+		s.errors++
+		return
+	}
+	s.samples = append(s.samples, d)
+}
+
+// timed runs fn and records its latency under op.
+func (r *recorder) timed(op string, fn func() error) error {
+	t0 := time.Now()
+	err := fn()
+	r.observe(op, time.Since(t0), err)
+	return err
+}
+
+// opReport is the per-class summary serialised into the JSON/CSV
+// output.
+type opReport struct {
+	Op     string  `json:"op"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// report sorts each class's samples and extracts the percentiles.
+func (r *recorder) report() []opReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ops))
+	for op := range r.ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	out := make([]opReport, 0, len(names))
+	for _, op := range names {
+		s := r.ops[op]
+		rep := opReport{Op: op, Count: len(s.samples), Errors: s.errors}
+		if n := len(s.samples); n > 0 {
+			sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+			rep.P50Ms = ms(percentile(s.samples, 0.50))
+			rep.P95Ms = ms(percentile(s.samples, 0.95))
+			rep.P99Ms = ms(percentile(s.samples, 0.99))
+			rep.MaxMs = ms(s.samples[n-1])
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// percentile indexes into sorted samples at fraction p of the range.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

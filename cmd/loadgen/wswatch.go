@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legalchain/internal/hexutil"
+	"legalchain/internal/ws"
+)
+
+// headClock is the reference clock subscription lag is measured
+// against: the first observer of a block (the in-process chain
+// subscription when self-hosted, otherwise the fastest WS subscriber)
+// stamps it, every later arrival of the same block is lag.
+type headClock struct {
+	mu    sync.Mutex
+	birth map[uint64]time.Time
+}
+
+func newHeadClock() *headClock {
+	return &headClock{birth: map[uint64]time.Time{}}
+}
+
+// stamp records t as block n's birth if none is known yet and returns
+// the birth time.
+func (c *headClock) stamp(n uint64, t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.birth[n]; ok {
+		return b
+	}
+	c.birth[n] = t
+	return t
+}
+
+// wsWatcher is one eth_subscribe("newHeads") client. It records the
+// notify latency of every head against the shared clock, verifies
+// in-order delivery, and counts gap notices (events the server had to
+// drop for this slow consumer).
+type wsWatcher struct {
+	clock   *headClock
+	rec     *recorder
+	gaps    *atomic.Int64
+	heads   *atomic.Int64
+	ooo     *atomic.Int64 // out-of-order deliveries (must stay 0)
+	lastNum uint64
+}
+
+// watch subscribes on an open connection and consumes notifications
+// until the connection dies (the run winds down by closing it).
+func (w *wsWatcher) watch(conn *ws.Conn) error {
+	sub, err := wsSubscribe(conn, "newHeads")
+	if err != nil {
+		return err
+	}
+	for {
+		_, payload, err := conn.ReadMessage()
+		if err != nil {
+			return nil // shutdown close or torn connection ends the watch
+		}
+		now := time.Now()
+		var notif struct {
+			Method string `json:"method"`
+			Params struct {
+				Subscription string          `json:"subscription"`
+				Result       json.RawMessage `json:"result"`
+			} `json:"params"`
+		}
+		if json.Unmarshal(payload, &notif) != nil || notif.Method != "eth_subscription" ||
+			notif.Params.Subscription != sub {
+			continue
+		}
+		var head struct {
+			Number string `json:"number"`
+			Gap    *struct {
+				Missed string `json:"missed"`
+			} `json:"gap"`
+		}
+		if json.Unmarshal(notif.Params.Result, &head) != nil {
+			continue
+		}
+		if head.Gap != nil {
+			if n, err := hexutil.DecodeUint64(head.Gap.Missed); err == nil {
+				w.gaps.Add(int64(n))
+			} else {
+				w.gaps.Add(1)
+			}
+			continue
+		}
+		n, err := hexutil.DecodeUint64(head.Number)
+		if err != nil {
+			continue
+		}
+		if w.lastNum != 0 && n != w.lastNum+1 {
+			w.ooo.Add(1)
+		}
+		w.lastNum = n
+		w.heads.Add(1)
+		birth := w.clock.stamp(n, now)
+		w.rec.observe("ws_notify", now.Sub(birth), nil)
+	}
+}
+
+// wsSubscribe issues eth_subscribe over an open connection and returns
+// the subscription ID.
+func wsSubscribe(conn *ws.Conn, kind string) (string, error) {
+	req, _ := json.Marshal(map[string]interface{}{
+		"jsonrpc": "2.0", "id": 1, "method": "eth_subscribe", "params": []string{kind},
+	})
+	if err := conn.WriteMessage(ws.OpText, req); err != nil {
+		return "", fmt.Errorf("subscribe write: %w", err)
+	}
+	// The response may interleave with early notifications; skip those.
+	for {
+		_, payload, err := conn.ReadMessage()
+		if err != nil {
+			return "", fmt.Errorf("subscribe read: %w", err)
+		}
+		var resp struct {
+			ID     json.RawMessage `json:"id"`
+			Result string          `json:"result"`
+			Error  *struct {
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(payload, &resp) != nil || len(resp.ID) == 0 {
+			continue
+		}
+		if resp.Error != nil {
+			return "", fmt.Errorf("eth_subscribe: %s", resp.Error.Message)
+		}
+		return resp.Result, nil
+	}
+}

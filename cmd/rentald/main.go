@@ -17,7 +17,7 @@
 //
 // Usage:
 //
-//	rentald [-addr :8080] [-rpc :8545] [-datadir ./rentald-data] [-metrics-addr :9090] [-pprof] [-log-level info] [-trace] [-trace-sample 1] [-trace-slow 250ms]
+//	rentald [-addr :8080] [-rpc :8545] [-ws-addr :8546] [-datadir ./rentald-data] [-metrics-addr :9090] [-pprof] [-log-level info] [-trace] [-trace-sample 1] [-trace-slow 250ms]
 package main
 
 import (
@@ -50,6 +50,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "web application listen address")
 		rpcAddr    = flag.String("rpc", ":8545", "JSON-RPC listen address (empty to disable)")
+		wsAddr     = flag.String("ws-addr", "", "WebSocket JSON-RPC + eth_subscribe listen address (empty = disabled)")
 		datadir    = flag.String("datadir", "", "directory for durable data (empty = in-memory)")
 		metrics    = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
@@ -138,17 +139,28 @@ func main() {
 	webApp := app.New(manager)
 	webApp.Faucet = faucet.Address
 
-	var rpcSrv *http.Server
-	if *rpcAddr != "" {
+	var rpcSrv, wsSrv *http.Server
+	if *rpcAddr != "" || *wsAddr != "" {
 		rpcHandler := rpc.NewServer(bc, ks)
 		rpcHandler.SetLogger(logger)
-		rpcSrv = &http.Server{Addr: *rpcAddr, Handler: rpcHandler}
-		go func() {
-			log.Printf("JSON-RPC on %s", *rpcAddr)
-			if err := rpcSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Fatal(err)
-			}
-		}()
+		if *rpcAddr != "" {
+			rpcSrv = &http.Server{Addr: *rpcAddr, Handler: rpcHandler}
+			go func() {
+				log.Printf("JSON-RPC on %s", *rpcAddr)
+				if err := rpcSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					log.Fatal(err)
+				}
+			}()
+		}
+		if *wsAddr != "" {
+			wsSrv = &http.Server{Addr: *wsAddr, Handler: http.HandlerFunc(rpcHandler.ServeWS)}
+			go func() {
+				log.Printf("WebSocket JSON-RPC on %s", *wsAddr)
+				if err := wsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					log.Fatal(err)
+				}
+			}()
+		}
 	}
 
 	fmt.Printf("Evolving Rental Agreement Manager\n")
@@ -191,6 +203,10 @@ func main() {
 	webSrv.Shutdown(ctx)
 	if rpcSrv != nil {
 		rpcSrv.Shutdown(ctx)
+	}
+	if wsSrv != nil {
+		// Hijacked WebSocket connections end when bc.Close shuts the hub.
+		wsSrv.Shutdown(ctx)
 	}
 	if opsSrv != nil {
 		opsSrv.Shutdown(ctx)

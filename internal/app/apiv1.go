@@ -55,6 +55,7 @@ func (a *App) apiV1Routes(handle func(pattern string, h http.HandlerFunc)) {
 	handle("/api/v1/me", a.withUser(a.v1Me))
 	handle("/api/v1/contracts", a.withUser(a.v1Contracts))
 	handle("/api/v1/contracts/", a.withUser(a.v1Contract))
+	handle("/api/v1/heads", a.withUser(a.v1Heads))
 }
 
 // v1Head describes the chain head a response was served from, so API
@@ -119,12 +120,32 @@ type v1Terms struct {
 func (a *App) v1Contracts(w http.ResponseWriter, r *http.Request, u *User) {
 	switch r.Method {
 	case http.MethodGet:
+		limit, cursor, perr := pageParams(r)
+		if perr != nil {
+			writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, perr.Error())
+			return
+		}
+		since, perr := sinceParam(r)
+		if perr != nil {
+			writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, perr.Error())
+			return
+		}
 		rows, err := a.Dashboard(u)
 		if err != nil {
 			writeV1Error(w, r, http.StatusInternalServerError, v1Internal, err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"contracts": rows})
+		rows, err = a.filterRowsSince(rows, since)
+		if err != nil {
+			writeV1Error(w, r, http.StatusInternalServerError, v1Internal, err.Error())
+			return
+		}
+		page, next := pageContracts(rows, limit, cursor)
+		out := map[string]interface{}{"contracts": page}
+		if next != "" {
+			out["nextCursor"] = next
+		}
+		writeJSON(w, http.StatusOK, out)
 
 	case http.MethodPost:
 		var body struct {
@@ -199,6 +220,14 @@ func (a *App) v1Contract(w http.ResponseWriter, r *http.Request, u *User) {
 			return
 		}
 		a.v1ContractAction(w, r, u, addr)
+	case "events":
+		a.v1ContractEvents(w, r, u, addr)
+	case "payments":
+		if r.Method != http.MethodGet {
+			writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+			return
+		}
+		a.v1ContractPayments(w, r, u, addr)
 	default:
 		writeV1Error(w, r, http.StatusNotFound, v1NotFound, "unknown endpoint "+sub)
 	}

@@ -1,0 +1,227 @@
+package app
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deployRental posts one BaseRental deploy from the browser's user.
+func deployRental(t *testing.T, b *browser, house string) {
+	t.Helper()
+	resp, body := b.post("/deploy", url.Values{
+		"artifact": {"BaseRental"},
+		"rent":     {"1"}, "deposit": {"2"}, "months": {"12"},
+		"house":    {house},
+		"document": {"%PDF-1.4 agreement for " + house},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy %s: %d %s", house, resp.StatusCode, body)
+	}
+}
+
+type contractsPage struct {
+	Contracts []struct {
+		Address string `json:"address"`
+	} `json:"contracts"`
+	NextCursor string `json:"nextCursor"`
+}
+
+func getContracts(t *testing.T, b *browser, query string) contractsPage {
+	t.Helper()
+	resp, body := b.get("/api/v1/contracts" + query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET contracts%s: %d %s", query, resp.StatusCode, body)
+	}
+	var page contractsPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	return page
+}
+
+func TestContractsPagination(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	b := newBrowser(t, srv)
+	b.register("paging_landlord", "pw")
+
+	for _, house := range []string{"A-1", "B-2", "C-3"} {
+		deployRental(t, b, house)
+	}
+
+	// No limit, no cursor: the pre-pagination full listing.
+	full := getContracts(t, b, "")
+	if len(full.Contracts) != 3 || full.NextCursor != "" {
+		t.Fatalf("full listing: %d rows, cursor %q", len(full.Contracts), full.NextCursor)
+	}
+
+	// Cursor walk covers every row exactly once, two per page.
+	seen := map[string]bool{}
+	page := getContracts(t, b, "?limit=2")
+	if len(page.Contracts) != 2 || page.NextCursor == "" {
+		t.Fatalf("page 1: %d rows, cursor %q", len(page.Contracts), page.NextCursor)
+	}
+	for page.NextCursor != "" || len(page.Contracts) > 0 {
+		for _, c := range page.Contracts {
+			if seen[strings.ToLower(c.Address)] {
+				t.Fatalf("address %s served twice", c.Address)
+			}
+			seen[strings.ToLower(c.Address)] = true
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		page = getContracts(t, b, "?limit=2&cursor="+page.NextCursor)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("cursor walk covered %d of 3 rows", len(seen))
+	}
+
+	// Bad limit is a 400 envelope.
+	resp, body := b.get("/api/v1/contracts?limit=zero")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, `"bad_request"`) {
+		t.Fatalf("bad limit: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestContractsSinceFilter(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	landlord := newBrowser(t, srv)
+	landlord.register("since_landlord", "pw1")
+	tenant := newBrowser(t, srv)
+	tenant.register("since_tenant", "pw2")
+
+	deployRental(t, landlord, "D-4")
+	deployRental(t, landlord, "E-5")
+
+	_, dash := tenant.get("/dashboard")
+	addr := extractAddr(t, dash)
+	cut := appChain(t, a).View().BlockNumber() + 1
+
+	// Nothing has logged past the cut yet.
+	if page := getContracts(t, landlord, "?since="+uitoa(cut)); len(page.Contracts) != 0 {
+		t.Fatalf("since=%d before activity: %d rows", cut, len(page.Contracts))
+	}
+
+	// Confirming one contract logs on-chain; only it passes the filter.
+	if resp, body := tenant.post("/contract/"+addr+"/confirm", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("confirm: %d %s", resp.StatusCode, body)
+	}
+	page := getContracts(t, landlord, "?since="+uitoa(cut))
+	if len(page.Contracts) != 1 || !strings.EqualFold(page.Contracts[0].Address, addr) {
+		t.Fatalf("since filter: %+v, want only %s", page.Contracts, addr)
+	}
+
+	// Hex heights accepted too.
+	if got := getContracts(t, landlord, "?since=0x1"); len(got.Contracts) == 0 {
+		t.Fatal("hex since rejected everything")
+	}
+	// Malformed since is a 400 envelope.
+	resp, body := landlord.get("/api/v1/contracts?since=banana")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, `"bad_request"`) {
+		t.Fatalf("bad since: %d %s", resp.StatusCode, body)
+	}
+}
+
+type paymentsPage struct {
+	Payments []struct {
+		Month       uint64 `json:"month"`
+		BlockNumber uint64 `json:"blockNumber"`
+	} `json:"payments"`
+	Total      int    `json:"total"`
+	NextCursor string `json:"nextCursor"`
+}
+
+func getPayments(t *testing.T, b *browser, addr, query string) paymentsPage {
+	t.Helper()
+	resp, body := b.get("/api/v1/contracts/" + addr + "/payments" + query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET payments%s: %d %s", query, resp.StatusCode, body)
+	}
+	var page paymentsPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	return page
+}
+
+func TestPaymentsPagination(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	landlord := newBrowser(t, srv)
+	landlord.register("pay_landlord", "pw1")
+	tenant := newBrowser(t, srv)
+	tenant.register("pay_tenant", "pw2")
+
+	deployRental(t, landlord, "F-6")
+	_, dash := tenant.get("/dashboard")
+	addr := extractAddr(t, dash)
+	if resp, body := tenant.post("/contract/"+addr+"/confirm", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("confirm: %d %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 2; i++ {
+		if resp, body := tenant.post("/contract/"+addr+"/pay", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pay %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	full := getPayments(t, tenant, addr, "")
+	if full.Total < 2 || len(full.Payments) != full.Total || full.NextCursor != "" {
+		t.Fatalf("full history: total=%d rows=%d cursor=%q", full.Total, len(full.Payments), full.NextCursor)
+	}
+
+	// Page with limit=1 and walk the offset cursor to the end.
+	collected := 0
+	query := "?limit=1"
+	for {
+		page := getPayments(t, tenant, addr, query)
+		collected += len(page.Payments)
+		if page.NextCursor == "" {
+			break
+		}
+		if len(page.Payments) != 1 {
+			t.Fatalf("page size %d with limit=1", len(page.Payments))
+		}
+		query = "?limit=1&cursor=" + page.NextCursor
+	}
+	if collected != full.Total {
+		t.Fatalf("cursor walk got %d of %d payments", collected, full.Total)
+	}
+
+	// since above the head filters everything out.
+	head := appChain(t, a).View().BlockNumber()
+	if page := getPayments(t, tenant, addr, "?since="+uitoa(head+1)); page.Total != 0 {
+		t.Fatalf("since past head: total=%d", page.Total)
+	}
+	// since at the last pay block keeps at least one traceable payment.
+	kept := getPayments(t, tenant, addr, "?since=1")
+	if kept.Total == 0 {
+		t.Fatal("since=1 dropped every payment")
+	}
+	for _, p := range kept.Payments {
+		if p.BlockNumber == 0 {
+			t.Fatalf("untraceable payment passed since filter: %+v", p)
+		}
+	}
+
+	// Bad cursor is a 400 envelope; unknown contract a 404.
+	resp, body := tenant.get("/api/v1/contracts/" + addr + "/payments?cursor=minusone&limit=1")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, `"bad_request"`) {
+		t.Fatalf("bad cursor: %d %s", resp.StatusCode, body)
+	}
+	resp, body = tenant.get("/api/v1/contracts/0x0000000000000000000000000000000000000002/payments")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, `"not_found"`) {
+		t.Fatalf("unknown contract: %d %s", resp.StatusCode, body)
+	}
+}
+
+func uitoa(n uint64) string { return strconv.FormatUint(n, 10) }

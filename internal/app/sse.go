@@ -1,0 +1,372 @@
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/obs"
+	"legalchain/internal/web3"
+	"legalchain/internal/xtrace"
+)
+
+// Server-Sent Events streams: the presentation tier's push channel.
+// Where the JSON-RPC endpoint offers eth_subscribe over WebSocket, the
+// REST API offers the same head and contract-event feeds as
+// text/event-stream — consumable from a browser EventSource or
+// `curl -N` with no protocol implementation at all.
+//
+//	GET /api/v1/heads                        event: head, one per sealed block
+//	GET /api/v1/contracts/{addr}/events      event: log, one per contract log
+//
+// Frames carry an `id:` (the block number, or "block:logIndex" for
+// logs), so a dropped connection resumes from the Last-Event-ID header
+// the browser replays automatically; `?since=<block>` forces an
+// explicit starting height. Resume replays whole blocks: a log stream
+// resumed mid-block delivers that block's earlier logs again
+// (at-least-once, never a hole).
+//
+// Errors inside an established stream use the same envelope as v1 JSON
+// responses, as an `event: error` frame; heads a subscriber was too
+// slow to receive and the chain has evicted arrive as `event: gap`.
+// Every stream is fed from the chain's subscription hub, so a stalled
+// consumer never delays the sealer.
+
+// sseHeartbeat is how often an idle stream emits a comment frame so
+// intermediaries don't reap the connection.
+const sseHeartbeat = 15 * time.Second
+
+// sseStream wraps one established event-stream response.
+type sseStream struct {
+	w http.ResponseWriter
+	f *http.ResponseController
+	r *http.Request
+}
+
+// startSSE negotiates the stream or replies with a v1 error envelope.
+// The ResponseController reaches Flush through instrumentation
+// wrappers (obs.StatusWriter unwraps).
+func startSSE(w http.ResponseWriter, r *http.Request) *sseStream {
+	if r.Method != http.MethodGet {
+		writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+		return nil
+	}
+	f := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // common reverse proxies: do not buffer
+	w.WriteHeader(http.StatusOK)
+	if err := f.Flush(); err != nil {
+		return nil // writer cannot stream; headers already gone
+	}
+	return &sseStream{w: w, f: f, r: r}
+}
+
+// send writes one event frame. data must already be JSON (writeJSON's
+// encoder is not reused: SSE data lines cannot contain raw newlines).
+func (s *sseStream) send(event, id string, data []byte) error {
+	if _, err := fmt.Fprintf(s.w, "event: %s\n", event); err != nil {
+		return err
+	}
+	if id != "" {
+		if _, err := fmt.Fprintf(s.w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(s.w, "data: %s\n\n", data); err != nil {
+		return err
+	}
+	return s.f.Flush()
+}
+
+// comment writes a heartbeat comment frame.
+func (s *sseStream) comment() error {
+	if _, err := fmt.Fprint(s.w, ": heartbeat\n\n"); err != nil {
+		return err
+	}
+	return s.f.Flush()
+}
+
+// sendError emits the v1 error envelope as an error event — the same
+// {code,message,requestId} taxonomy JSON responses use.
+func (s *sseStream) sendError(code, message string) {
+	e := map[string]string{"code": code, "message": message}
+	if rid := obs.RequestIDFrom(s.r.Context()); rid != "" {
+		e["requestId"] = rid
+	}
+	buf, _ := json.Marshal(map[string]interface{}{"error": e})
+	s.send("error", "", buf)
+}
+
+// sendGap reports heads dropped beyond recovery: missed blocks are
+// gone, the stream resumes at block resume.
+func (s *sseStream) sendGap(missed, resume uint64) error {
+	buf, _ := json.Marshal(map[string]uint64{"missed": missed, "resume": resume})
+	return s.send("gap", "", buf)
+}
+
+// sseSince resolves the resume height: ?since=<block> (decimal or hex)
+// wins over the Last-Event-ID header ("<block>" or "<block>:<idx>").
+// Returns (height, true) when the client asked to resume.
+func sseSince(r *http.Request) (uint64, bool) {
+	if s := r.URL.Query().Get("since"); s != "" {
+		if n, err := parseBlockParam(s); err == nil {
+			return n, true
+		}
+	}
+	if s := r.Header.Get("Last-Event-ID"); s != "" {
+		if block, _, found := strings.Cut(s, ":"); found {
+			s = block
+		}
+		if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// parseBlockParam accepts a decimal or 0x-hex block number.
+func parseBlockParam(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return hexutil.DecodeUint64(s)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// sseBackend asserts the push-capable backend pair. HTTP backends
+// cannot stream; the caller reports that in-band.
+func (a *App) sseBackend() (web3.HeadViewer, web3.HeadSubscriber, bool) {
+	hv, ok1 := a.Manager.Client.Backend().(web3.HeadViewer)
+	hs, ok2 := a.Manager.Client.Backend().(web3.HeadSubscriber)
+	return hv, hs, ok1 && ok2
+}
+
+// v1Heads streams every sealed head: GET /api/v1/heads.
+func (a *App) v1Heads(w http.ResponseWriter, r *http.Request, u *User) {
+	stream := startSSE(w, r)
+	if stream == nil {
+		return
+	}
+	hv, hs, ok := a.sseBackend()
+	if !ok {
+		stream.sendError(v1Internal, "backend cannot stream (remote JSON-RPC; use eth_subscribe over WebSocket)")
+		return
+	}
+	_, sp := xtrace.StartRoot(r.Context(), "web", "sseHeads", obs.RequestIDFrom(r.Context()))
+	defer sp.End()
+	sub := hs.SubscribeHeads(0)
+	defer sub.Close()
+
+	v := hv.HeadView()
+	last, resumed := sseSince(r)
+	if !resumed {
+		// Fresh stream: deliver the current head immediately so the
+		// consumer renders without waiting for the next seal.
+		if v.BlockNumber() > 0 {
+			last = v.BlockNumber() - 1
+		}
+	}
+	var err error
+	if last, err = a.sseDeliverHeads(stream, v, last); err != nil {
+		return
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if stream.comment() != nil {
+				return
+			}
+		case <-sub.Wait():
+			for {
+				events, gap, alive := sub.Drain()
+				v = nil
+				if len(events) > 0 {
+					v = events[len(events)-1].View
+				} else if gap > 0 {
+					v = hv.HeadView()
+				}
+				if v != nil {
+					if last, err = a.sseDeliverHeads(stream, v, last); err != nil {
+						return
+					}
+				}
+				if !alive {
+					stream.sendError(v1Internal, "node shutting down")
+					return
+				}
+				if len(events) == 0 && gap == 0 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// sseDeliverHeads walks (last, head] on v, emitting one head frame per
+// block and a gap frame for evicted ones. Returns the new high-water
+// mark.
+func (a *App) sseDeliverHeads(s *sseStream, v *chain.HeadView, last uint64) (uint64, error) {
+	head := v.BlockNumber()
+	missed := uint64(0)
+	for n := last + 1; n <= head; n++ {
+		b, ok := v.BlockByNumber(n)
+		if !ok {
+			missed++
+			continue
+		}
+		buf, err := json.Marshal(map[string]interface{}{
+			"number":     b.Number(),
+			"hash":       b.Hash().Hex(),
+			"parentHash": b.Header.ParentHash.Hex(),
+			"stateRoot":  b.Header.StateRoot.Hex(),
+			"timestamp":  b.Header.Time,
+			"gasUsed":    b.Header.GasUsed,
+			"txCount":    len(b.Transactions),
+		})
+		if err != nil {
+			return last, err
+		}
+		if err := s.send("head", strconv.FormatUint(n, 10), buf); err != nil {
+			return last, err
+		}
+	}
+	if missed > 0 {
+		if err := s.sendGap(missed, head); err != nil {
+			return last, err
+		}
+	}
+	if head > last {
+		last = head
+	}
+	return last, nil
+}
+
+// v1ContractEvents streams a contract's logs:
+// GET /api/v1/contracts/{addr}/events. Logs are emitted raw (address,
+// topics, data) plus a decoded form when the registry knows the ABI.
+func (a *App) v1ContractEvents(w http.ResponseWriter, r *http.Request, u *User, addr ethtypes.Address) {
+	if _, err := a.Manager.GetRow(addr); err != nil {
+		writeV1Error(w, r, http.StatusNotFound, v1NotFound, err.Error())
+		return
+	}
+	stream := startSSE(w, r)
+	if stream == nil {
+		return
+	}
+	hv, hs, ok := a.sseBackend()
+	if !ok {
+		stream.sendError(v1Internal, "backend cannot stream (remote JSON-RPC; use eth_subscribe over WebSocket)")
+		return
+	}
+	_, sp := xtrace.StartRoot(r.Context(), "web", "sseContractEvents", obs.RequestIDFrom(r.Context()))
+	defer sp.End()
+	// Best-effort decoder: the bound version's ABI names the events.
+	var dec *web3.BoundContract
+	if bound, err := a.Manager.BindVersion(addr); err == nil {
+		dec = bound
+	}
+	sub := hs.SubscribeHeads(0)
+	defer sub.Close()
+
+	v := hv.HeadView()
+	last, resumed := sseSince(r)
+	if !resumed {
+		last = v.BlockNumber() // live stream: only future logs
+	}
+	var err error
+	if last, err = a.sseDeliverLogs(stream, v, addr, dec, last); err != nil {
+		return
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if stream.comment() != nil {
+				return
+			}
+		case <-sub.Wait():
+			for {
+				events, gap, alive := sub.Drain()
+				v = nil
+				if len(events) > 0 {
+					v = events[len(events)-1].View
+				} else if gap > 0 {
+					v = hv.HeadView()
+				}
+				if v != nil {
+					if last, err = a.sseDeliverLogs(stream, v, addr, dec, last); err != nil {
+						return
+					}
+				}
+				if !alive {
+					stream.sendError(v1Internal, "node shutting down")
+					return
+				}
+				if len(events) == 0 && gap == 0 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// sseDeliverLogs emits every log of addr in blocks (last, head].
+func (a *App) sseDeliverLogs(s *sseStream, v *chain.HeadView, addr ethtypes.Address, dec *web3.BoundContract, last uint64) (uint64, error) {
+	head := v.BlockNumber()
+	if head <= last {
+		return last, nil
+	}
+	q := chain.FilterQuery{
+		FromBlock: last + 1,
+		ToBlock:   &head,
+		Addresses: []ethtypes.Address{addr},
+	}
+	for _, l := range v.FilterLogs(q) {
+		topics := make([]string, len(l.Topics))
+		for i, t := range l.Topics {
+			topics[i] = t.Hex()
+		}
+		out := map[string]interface{}{
+			"address":     l.Address.Hex(),
+			"topics":      topics,
+			"data":        hexutil.Encode(l.Data),
+			"blockNumber": l.BlockNumber,
+			"txHash":      l.TxHash.Hex(),
+			"logIndex":    l.Index,
+		}
+		if dec != nil {
+			if d, err := dec.ABI.DecodeLog(l); err == nil {
+				args := map[string]string{}
+				for k, val := range d.Args {
+					args[k] = fmt.Sprintf("%v", val)
+				}
+				out["event"] = d.Name
+				out["args"] = args
+			}
+		}
+		buf, err := json.Marshal(out)
+		if err != nil {
+			return last, err
+		}
+		id := fmt.Sprintf("%d:%d", l.BlockNumber, l.Index)
+		if err := s.send("log", id, buf); err != nil {
+			return last, err
+		}
+	}
+	return head, nil
+}

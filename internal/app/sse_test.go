@@ -1,0 +1,304 @@
+package app
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/web3"
+)
+
+// sseFrame is one parsed text/event-stream frame.
+type sseFrame struct {
+	event string
+	id    string
+	data  string
+}
+
+// sseReader parses frames off a live stream in a goroutine so tests
+// can wait with a timeout.
+type sseReader struct {
+	t      *testing.T
+	resp   *http.Response
+	frames chan sseFrame
+}
+
+// openStream issues a streaming GET with the browser's session cookie
+// and asserts the event-stream handshake.
+func openStream(t *testing.T, b *browser, path string, hdr map[string]string) *sseReader {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, b.url+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := b.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("stream %s: content-type %q", path, ct)
+	}
+	r := &sseReader{t: t, resp: resp, frames: make(chan sseFrame, 64)}
+	go r.run()
+	t.Cleanup(r.close)
+	return r
+}
+
+func (r *sseReader) close() { r.resp.Body.Close() }
+
+// run parses frames until the body closes. Comments (heartbeats) are
+// skipped.
+func (r *sseReader) run() {
+	defer close(r.frames)
+	sc := bufio.NewScanner(r.resp.Body)
+	var f sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if f.event != "" || f.data != "" {
+				r.frames <- f
+			}
+			f = sseFrame{}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			f.id = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[len("data: "):]
+		}
+	}
+}
+
+// next waits for the next frame.
+func (r *sseReader) next(timeout time.Duration) sseFrame {
+	r.t.Helper()
+	select {
+	case f, ok := <-r.frames:
+		if !ok {
+			r.t.Fatal("stream closed while waiting for frame")
+		}
+		return f
+	case <-time.After(timeout):
+		r.t.Fatal("timed out waiting for SSE frame")
+	}
+	return sseFrame{}
+}
+
+// none asserts no frame arrives within d.
+func (r *sseReader) none(d time.Duration) {
+	r.t.Helper()
+	select {
+	case f, ok := <-r.frames:
+		if ok {
+			r.t.Fatalf("unexpected frame %q %s", f.event, f.data)
+		}
+	case <-time.After(d):
+	}
+}
+
+// appChain digs the in-process chain out of the app for direct seals.
+func appChain(t *testing.T, a *App) *chain.Blockchain {
+	t.Helper()
+	lb, ok := a.Manager.Client.Backend().(*web3.LocalBackend)
+	if !ok {
+		t.Fatal("test rig is not a local backend")
+	}
+	return lb.BC
+}
+
+func TestSSEHeadsStream(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	b := newBrowser(t, srv)
+	b.register("watcher", "pw")
+	bc := appChain(t, a)
+
+	stream := openStream(t, b, "/api/v1/heads", nil)
+
+	// A fresh stream replays the current head immediately.
+	first := stream.next(5 * time.Second)
+	if first.event != "head" {
+		t.Fatalf("first frame: %q", first.event)
+	}
+	var head struct {
+		Number uint64 `json:"number"`
+		Hash   string `json:"hash"`
+	}
+	if err := json.Unmarshal([]byte(first.data), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Number != bc.View().BlockNumber() {
+		t.Fatalf("first head = %d, chain head = %d", head.Number, bc.View().BlockNumber())
+	}
+	if first.id != strconv.FormatUint(head.Number, 10) {
+		t.Fatalf("id %q for block %d", first.id, head.Number)
+	}
+
+	// Every subsequent seal arrives, in order, with linked hashes.
+	prev := head.Number
+	for i := 0; i < 3; i++ {
+		bc.MineBlock()
+		f := stream.next(5 * time.Second)
+		if f.event != "head" {
+			t.Fatalf("frame %d: event %q", i, f.event)
+		}
+		if err := json.Unmarshal([]byte(f.data), &head); err != nil {
+			t.Fatal(err)
+		}
+		if head.Number != prev+1 {
+			t.Fatalf("out of order: got block %d after %d", head.Number, prev)
+		}
+		prev = head.Number
+	}
+}
+
+func TestSSEHeadsResume(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	b := newBrowser(t, srv)
+	b.register("resumer", "pw")
+	bc := appChain(t, a)
+	for i := 0; i < 3; i++ {
+		bc.MineBlock()
+	}
+	headNow := bc.View().BlockNumber()
+
+	// ?since replays everything after the given height.
+	stream := openStream(t, b, "/api/v1/heads?since=0", nil)
+	for n := uint64(1); n <= headNow; n++ {
+		f := stream.next(5 * time.Second)
+		if f.event != "head" || f.id != strconv.FormatUint(n, 10) {
+			t.Fatalf("resume: want head %d, got %q id %q", n, f.event, f.id)
+		}
+	}
+
+	// Last-Event-ID does the same (browser auto-reconnect path).
+	stream2 := openStream(t, b, "/api/v1/heads", map[string]string{
+		"Last-Event-ID": strconv.FormatUint(headNow-1, 10),
+	})
+	f := stream2.next(5 * time.Second)
+	if f.id != strconv.FormatUint(headNow, 10) {
+		t.Fatalf("Last-Event-ID resume: got id %q, want %d", f.id, headNow)
+	}
+}
+
+func TestSSEContractEventsStream(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+
+	landlord := newBrowser(t, srv)
+	landlord.register("lessor", "pw1")
+	tenant := newBrowser(t, srv)
+	tenant.register("lessee", "pw2")
+
+	if resp, body := landlord.post("/deploy", url.Values{
+		"artifact": {"BaseRental"},
+		"rent":     {"1"}, "deposit": {"2"}, "months": {"12"},
+		"house":    {"10115-Berlin-42"},
+		"document": {"%PDF-1.4 agreement"},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy: %d %s", resp.StatusCode, body)
+	}
+	_, dash := tenant.get("/dashboard")
+	addr := extractAddr(t, dash)
+
+	// Live stream opened before the tenant acts: only future logs.
+	stream := openStream(t, tenant, "/api/v1/contracts/"+addr+"/events", nil)
+
+	if resp, body := tenant.post("/contract/"+addr+"/confirm", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("confirm: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := tenant.post("/contract/"+addr+"/pay", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pay: %d %s", resp.StatusCode, body)
+	}
+
+	sawDecoded := false
+	for i := 0; i < 2; i++ {
+		f := stream.next(5 * time.Second)
+		if f.event != "log" {
+			t.Fatalf("frame %d: event %q data %s", i, f.event, f.data)
+		}
+		var log struct {
+			Address     string            `json:"address"`
+			BlockNumber uint64            `json:"blockNumber"`
+			LogIndex    uint64            `json:"logIndex"`
+			Event       string            `json:"event"`
+			Args        map[string]string `json:"args"`
+		}
+		if err := json.Unmarshal([]byte(f.data), &log); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.EqualFold(log.Address, addr) {
+			t.Fatalf("log from %s, want %s", log.Address, addr)
+		}
+		if want := fmt.Sprintf("%d:%d", log.BlockNumber, log.LogIndex); f.id != want {
+			t.Fatalf("id %q, want %q", f.id, want)
+		}
+		if log.Event != "" {
+			sawDecoded = true
+		}
+	}
+	if !sawDecoded {
+		t.Fatal("no frame carried a decoded event name")
+	}
+
+	// Resuming from genesis replays the history (at-least-once).
+	replay := openStream(t, tenant, "/api/v1/contracts/"+addr+"/events?since=0", nil)
+	if f := replay.next(5 * time.Second); f.event != "log" {
+		t.Fatalf("replay frame: %q", f.event)
+	}
+
+	// Unknown contract is a 404 envelope before any stream starts.
+	resp, body := tenant.get("/api/v1/contracts/0x0000000000000000000000000000000000000001/events")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, `"not_found"`) {
+		t.Fatalf("unknown contract: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestSSEUnauthorizedEnvelope(t *testing.T) {
+	a := rig(t)
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/api/v1/heads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error.Code != "unauthorized" {
+		t.Fatalf("code %q", out.Error.Code)
+	}
+}

@@ -99,6 +99,11 @@ type Blockchain struct {
 	// recovery and time adjustment.
 	view atomic.Pointer[HeadView]
 
+	// hub is the push tier (hub.go): each published view and admitted
+	// transaction is enqueued O(1) and fanned out to subscribers off the
+	// seal path.
+	hub *hub
+
 	// Durable persistence (nil / zero for a memory-only chain); see
 	// persist.go.
 	db           *blockdb.Log
@@ -167,6 +172,7 @@ func newMemory(g *Genesis, cfg *openConfig) *Blockchain {
 		inflight:    make(map[ethtypes.Hash]struct{}),
 		execWorkers: cfg.execWorkers,
 		pipelined:   cfg.pipelined,
+		hub:         newHub(),
 	}
 	mExecWorkers.Set(int64(bc.execWorkerCount()))
 	bc.publishHeadLocked()
@@ -351,6 +357,10 @@ func (bc *Blockchain) SendTransactionCtx(ctx context.Context, tx *ethtypes.Trans
 		bc.mu.Unlock()
 		return ethtypes.Hash{}, fmt.Errorf("%w: have %d, want %d", ErrNonceTooHigh, tx.Nonce, expected)
 	}
+
+	// The transaction is admitted: let newPendingTransactions watchers
+	// know before it seals (O(1), never blocks).
+	bc.hub.enqueue(Event{TxHash: hash})
 
 	header := bc.nextHeaderLocked()
 	bc.timeOffset = 0

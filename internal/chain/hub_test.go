@@ -1,0 +1,305 @@
+package chain
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+	"legalchain/internal/wallet"
+)
+
+// hubRig builds a funded in-memory chain for subscription tests.
+func hubRig(t testing.TB, nAccounts int) (*Blockchain, []wallet.Account) {
+	t.Helper()
+	accs := wallet.DevAccounts("hub test", nAccounts)
+	g := DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(1000))
+	bc := New(g)
+	t.Cleanup(func() { bc.Close() })
+	return bc, accs
+}
+
+// drainAll waits for the subscription to wake and drains everything
+// buffered, accumulating the gap count.
+func drainAll(t *testing.T, sub *Subscription, timeout time.Duration) ([]Event, uint64) {
+	t.Helper()
+	var events []Event
+	var gap uint64
+	deadline := time.After(timeout)
+	for {
+		select {
+		case <-sub.Wait():
+			for {
+				evs, g, _ := sub.Drain()
+				events = append(events, evs...)
+				gap += g
+				if len(evs) == 0 && g == 0 {
+					break
+				}
+			}
+			return events, gap
+		case <-deadline:
+			t.Fatal("subscription never woke")
+		}
+	}
+}
+
+// TestHubHeadsInOrder: every seal reaches the subscriber, in order,
+// each event carrying a view at least as new as the sealed block.
+func TestHubHeadsInOrder(t *testing.T) {
+	bc, _ := hubRig(t, 1)
+	sub := bc.SubscribeHeads(0)
+	defer sub.Close()
+
+	const blocks = 20
+	for i := 0; i < blocks; i++ {
+		bc.MineBlock()
+	}
+
+	var got []Event
+	for len(got) < blocks {
+		evs, gap := drainAll(t, sub, 5*time.Second)
+		if gap != 0 {
+			t.Fatalf("gap %d with a keeping-up subscriber", gap)
+		}
+		got = append(got, evs...)
+	}
+	last := uint64(0)
+	for i, ev := range got {
+		if ev.View == nil {
+			t.Fatalf("event %d has no view", i)
+		}
+		n := ev.View.BlockNumber()
+		if n < last {
+			t.Fatalf("view went backwards: %d after %d", n, last)
+		}
+		last = n
+	}
+	if last != blocks {
+		t.Fatalf("newest view at block %d, want %d", last, blocks)
+	}
+}
+
+// TestHubSlowSubscriberGap: a subscriber with a tiny ring that never
+// drains loses the oldest events and learns the exact count, while the
+// cumulative view in the newest event still recovers every block.
+func TestHubSlowSubscriberGap(t *testing.T) {
+	bc, _ := hubRig(t, 1)
+	sub := bc.SubscribeHeads(2)
+	defer sub.Close()
+
+	const blocks = 10
+	for i := 0; i < blocks; i++ {
+		bc.MineBlock()
+	}
+	// Let the pump push everything before the first drain.
+	waitForEvents(t, sub, blocks)
+
+	events, gap, alive := sub.Drain()
+	if !alive {
+		t.Fatal("subscription died")
+	}
+	if len(events) != 2 {
+		t.Fatalf("ring of 2 held %d events", len(events))
+	}
+	if gap != blocks-2 {
+		t.Fatalf("gap = %d, want %d", gap, blocks-2)
+	}
+	// Recovery: the newest view serves every missed block.
+	v := events[len(events)-1].View
+	if v.BlockNumber() != blocks {
+		t.Fatalf("newest view at %d", v.BlockNumber())
+	}
+	for n := uint64(1); n <= blocks; n++ {
+		if _, ok := v.BlockByNumber(n); !ok {
+			t.Fatalf("block %d not recoverable from the view", n)
+		}
+	}
+}
+
+// waitForEvents spins until the pump has pushed total events into the
+// subscription (buffered + dropped).
+func waitForEvents(t *testing.T, sub *Subscription, total int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sub.mu.Lock()
+		n := sub.n + int(sub.dropped)
+		sub.mu.Unlock()
+		if n >= total {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pump delivered %d of %d events", n, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHubFrozenSubscriberDoesNotBlockSealing is the backpressure
+// guarantee: one live consumer and one frozen one (never drains, ring
+// of 1), sealing at full speed. The seal loop must finish promptly and
+// the live consumer must still observe every block in order.
+func TestHubFrozenSubscriberDoesNotBlockSealing(t *testing.T) {
+	bc, _ := hubRig(t, 1)
+	live := bc.SubscribeHeads(0)
+	defer live.Close()
+	frozen := bc.SubscribeHeads(1)
+	defer frozen.Close()
+
+	const blocks = 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < blocks; i++ {
+			bc.MineBlock()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sealing stalled behind a frozen subscriber")
+	}
+
+	// The live subscriber can reconstruct every head in order.
+	var newest *HeadView
+	seen := 0
+	for seen < blocks {
+		evs, _ := drainAll(t, live, 5*time.Second)
+		for _, ev := range evs {
+			if ev.View != nil {
+				newest = ev.View
+				seen++
+			}
+		}
+	}
+	if newest.BlockNumber() != blocks {
+		t.Fatalf("live subscriber's newest view at %d, want %d", newest.BlockNumber(), blocks)
+	}
+	for n := uint64(1); n <= blocks; n++ {
+		if _, ok := newest.BlockByNumber(n); !ok {
+			t.Fatalf("block %d missing from final view", n)
+		}
+	}
+
+	// The frozen ring dropped all but one event and knows it.
+	frozen.mu.Lock()
+	dropped := frozen.dropped
+	frozen.mu.Unlock()
+	if dropped == 0 {
+		t.Fatal("frozen subscriber reported no drops")
+	}
+}
+
+// TestHubUnsubscribeDuringSeal races Close against concurrent seals:
+// no deadlock, no panic, and the hub forgets the subscription.
+func TestHubUnsubscribeDuringSeal(t *testing.T) {
+	bc, _ := hubRig(t, 1)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				bc.MineBlock()
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		sub := bc.SubscribeHeads(4)
+		if i%2 == 0 {
+			// Half the subscribers drain once mid-flight.
+			select {
+			case <-sub.Wait():
+				sub.Drain()
+			default:
+			}
+		}
+		sub.Close()
+		// Close is idempotent, also under concurrency.
+		go sub.Close()
+	}
+	close(stop)
+	wg.Wait()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for bc.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscriptions leaked", bc.Subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHubPendingTxStream: admitted transactions reach pending-tx
+// subscribers by hash, separate from the heads stream.
+func TestHubPendingTxStream(t *testing.T) {
+	bc, accs := hubRig(t, 2)
+	pend := bc.SubscribePendingTxs(0)
+	defer pend.Close()
+	heads := bc.SubscribeHeads(0)
+	defer heads.Close()
+
+	tx := rawTx(t, bc, accs[0], 0, &accs[1].Address, uint256.NewUint64(1), nil, 21000)
+	hash, err := bc.SubmitTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, gap := drainAll(t, pend, 5*time.Second)
+	if gap != 0 || len(evs) != 1 {
+		t.Fatalf("pending events = %d, gap = %d", len(evs), gap)
+	}
+	if evs[0].TxHash != hash || evs[0].View != nil {
+		t.Fatalf("pending event = %+v, want hash %s", evs[0], hash.Hex())
+	}
+
+	// Heads stream saw nothing until the seal.
+	if _, _, alive := heads.Drain(); !alive {
+		t.Fatal("heads sub died")
+	}
+	bc.MineBlock()
+	hevs, _ := drainAll(t, heads, 5*time.Second)
+	if len(hevs) == 0 || hevs[0].View == nil {
+		t.Fatalf("heads events = %+v", hevs)
+	}
+}
+
+// TestHubCloseWakesSubscribers: closing the chain ends every
+// subscription with alive == false (the node-shutdown signal WS and
+// SSE handlers translate into close/error frames).
+func TestHubCloseWakesSubscribers(t *testing.T) {
+	bc, _ := hubRig(t, 1)
+	sub := bc.SubscribeHeads(0)
+	bc.MineBlock()
+
+	bc.Close()
+	select {
+	case <-sub.Wait():
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not wake the subscriber")
+	}
+	// Drain until the subscription reports dead.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, alive := sub.Drain()
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription still alive after chain close")
+		}
+	}
+	// Subscribing after close yields an immediately dead subscription.
+	late := bc.SubscribeHeads(0)
+	if _, _, alive := late.Drain(); alive {
+		t.Fatal("subscription on a closed chain is alive")
+	}
+}

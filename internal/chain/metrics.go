@@ -45,6 +45,12 @@ var (
 		"Cold block bodies evicted from memory to the block log.")
 	mBlockReadThrough = metrics.Default.Counter("legalchain_chain_block_read_through_total",
 		"Reads of evicted blocks or logs served from the block log.")
+	mSubscribers = metrics.Default.Gauge("legalchain_chain_subscribers",
+		"Live hub subscriptions (WS + SSE + in-process).")
+	mSubEvents = metrics.Default.Counter("legalchain_chain_sub_events_total",
+		"Events fanned out into subscriber rings.")
+	mSubDropped = metrics.Default.Counter("legalchain_chain_sub_dropped_total",
+		"Events dropped because a subscriber ring (or the hub queue) was full.")
 )
 
 // lastViewPublishNanos holds the UnixNano timestamp of the most recent

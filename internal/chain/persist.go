@@ -140,6 +140,10 @@ func (bc *Blockchain) PersistErr() error {
 // Close flushes a final state snapshot (making the next startup replay
 // empty), syncs and closes the block log. Memory-only chains return nil.
 func (bc *Blockchain) Close() error {
+	// Shut the subscription hub down first (outside bc.mu: subscriber
+	// teardown takes hub and subscription locks, never bc.mu): the pump
+	// exits and every subscriber wakes to an alive == false Drain.
+	bc.hub.close()
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 	// Land every pipelined tail first: they hold references to bc.db,

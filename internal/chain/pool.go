@@ -45,6 +45,7 @@ func (bc *Blockchain) SubmitTransaction(tx *ethtypes.Transaction) (ethtypes.Hash
 		bc.pendingSet = make(map[ethtypes.Hash]struct{})
 	}
 	bc.pendingSet[hash] = struct{}{}
+	bc.hub.enqueue(Event{TxHash: hash})
 	mTxpoolPending.Set(int64(len(bc.pending)))
 	return hash, nil
 }

@@ -441,7 +441,7 @@ func (bc *Blockchain) publishHeadLocked() {
 func (bc *Blockchain) publishHeadFrozenLocked(frozen *state.StateDB) {
 	head := bc.blocks[len(bc.blocks)-1]
 	now := time.Now()
-	bc.view.Store(&HeadView{
+	v := &HeadView{
 		chainID:    bc.chainID,
 		gasLimit:   bc.gasLimit,
 		coinbase:   bc.coinbase,
@@ -456,7 +456,11 @@ func (bc *Blockchain) publishHeadFrozenLocked(frozen *state.StateDB) {
 		blocksBase: bc.blocksBase,
 		timeOffset: bc.timeOffset,
 		published:  now,
-	})
+	}
+	bc.view.Store(v)
+	// Hand the view to the subscription hub: one O(1) enqueue, fanned
+	// out to subscriber rings off the seal path (hub.go).
+	bc.hub.enqueue(Event{View: v})
 	mViewsPublished.Inc()
 	lastViewPublishNanos.Store(now.UnixNano())
 }

@@ -173,6 +173,36 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*Gauge
+	order    []string
+}
+
+// With returns (creating if needed) the gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: want %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	g := v.children[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[key]; g == nil {
+		g = &Gauge{}
+		v.children[key] = g
+		v.order = append(v.order, key)
+	}
+	return g
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct {
 	labels   []string
@@ -272,6 +302,20 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		fmt.Fprintf(w, "%s %s\n", name, formatFloat(float64(g.Value())))
 	}})
 	return g
+}
+
+// GaugeVec registers and returns a new labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels, children: map[string]*Gauge{}}
+	r.register(&family{name: name, help: help, typ: "gauge", write: func(w io.Writer) {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		for _, key := range v.order {
+			fmt.Fprintf(w, "%s{%s} %s\n", name, formatLabels(labels, strings.Split(key, "\xff")),
+				formatFloat(float64(v.children[key].Value())))
+		}
+	}})
+	return v
 }
 
 // GaugeFunc registers a gauge computed at scrape time.

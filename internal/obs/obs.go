@@ -116,6 +116,10 @@ func (sw *StatusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the wrapped writer so http.ResponseController can
+// reach Flush/Hijack through the instrumentation (SSE, WebSocket).
+func (sw *StatusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
 // InstrumentHandler records in-flight, latency and status-code metrics
 // for one route pattern. Use the mux pattern, never the raw request
 // path, to keep label cardinality bounded.

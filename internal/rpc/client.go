@@ -37,6 +37,11 @@ func Dial(url string) *Client {
 // error envelopes and trace under one ID.
 func (c *Client) SetRequestID(id string) { c.rid = id }
 
+// SetHTTPClient replaces the transport. Load generators route calls
+// through an in-process handler to simulate more users than the OS
+// grants file descriptors; tests inject failing transports.
+func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
 // Call performs one raw JSON-RPC invocation — the escape hatch for
 // methods outside the web3.Backend surface (debug_traceTransaction and
 // friends). Pass a *json.RawMessage as out to keep the result verbatim.

@@ -20,6 +20,11 @@ import (
 // stop polling (crashed DApps) would otherwise leak registry entries.
 const filterTimeout = 5 * time.Minute
 
+// maxFilters caps the registry. Installing past the cap evicts the
+// stalest filter, so a client minting filters in a loop degrades its
+// own oldest handles instead of growing server memory without bound.
+const maxFilters = 4096
+
 type filterKind int
 
 const (
@@ -40,7 +45,21 @@ type filterRegistry struct {
 	filters map[string]*filter
 }
 
-// install registers f and returns its ID, pruning expired entries.
+// reapLocked prunes every filter that outlived its TTL. Called with
+// r.mu held, on every registry operation — before this ran only on
+// install, so a client that created filters once and then merely kept
+// polling a dead ID never triggered a sweep and the map grew without
+// bound.
+func (r *filterRegistry) reapLocked(now time.Time) {
+	for id, old := range r.filters {
+		if now.Sub(old.lastUsed) > filterTimeout {
+			delete(r.filters, id)
+		}
+	}
+}
+
+// install registers f and returns its ID, pruning expired entries and
+// enforcing the registry cap.
 func (r *filterRegistry) install(f *filter) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -48,35 +67,52 @@ func (r *filterRegistry) install(f *filter) string {
 		r.filters = map[string]*filter{}
 	}
 	now := time.Now()
-	for id, old := range r.filters {
-		if now.Sub(old.lastUsed) > filterTimeout {
-			delete(r.filters, id)
+	r.reapLocked(now)
+	if len(r.filters) >= maxFilters {
+		// Still full after the TTL sweep: evict the stalest live filter.
+		var oldestID string
+		var oldest time.Time
+		for id, old := range r.filters {
+			if oldestID == "" || old.lastUsed.Before(oldest) {
+				oldestID, oldest = id, old.lastUsed
+			}
 		}
+		delete(r.filters, oldestID)
 	}
 	r.nextID++
 	id := hexutil.EncodeUint64(r.nextID)
 	f.lastUsed = now
 	r.filters[id] = f
+	rpcFiltersLive.Set(int64(len(r.filters)))
 	return id
 }
 
-// get looks up id and refreshes its expiry clock.
+// get looks up id and refreshes its expiry clock. An expired entry is
+// gone — polling a filter less often than filterTimeout loses it.
 func (r *filterRegistry) get(id string) (*filter, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	now := time.Now()
+	r.reapLocked(now)
+	rpcFiltersLive.Set(int64(len(r.filters)))
 	f, ok := r.filters[id]
 	if !ok {
 		return nil, fmt.Errorf("filter not found")
 	}
-	f.lastUsed = time.Now()
+	f.lastUsed = now
 	return f, nil
 }
 
+// uninstall removes id, reporting whether it existed. Unknown, expired
+// or already-removed IDs return false — never an error — so clients
+// can uninstall idempotently (eth_uninstallFilter's contract).
 func (r *filterRegistry) uninstall(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.reapLocked(time.Now())
 	_, ok := r.filters[id]
 	delete(r.filters, id)
+	rpcFiltersLive.Set(int64(len(r.filters)))
 	return ok
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"legalchain/internal/chain"
 	"legalchain/internal/ethtypes"
@@ -273,5 +274,104 @@ func TestLogsSurviveRestart(t *testing.T) {
 		if h, _ := before[i]["blockHash"].(string); len(h) != 66 || h == (ethtypes.Hash{}).Hex() {
 			t.Fatalf("log %d blockHash malformed: %v", i, before[i]["blockHash"])
 		}
+	}
+}
+
+// TestUninstallFilterIdempotent covers eth_uninstallFilter's contract:
+// removing an unknown, expired or already-removed ID answers false —
+// never an error — so clients can uninstall without racing the reaper.
+func TestUninstallFilterIdempotent(t *testing.T) {
+	_, _, srv := rig(t)
+
+	var id string
+	call(t, srv.URL, "eth_newBlockFilter", `[]`, &id)
+
+	var removed bool
+	call(t, srv.URL, "eth_uninstallFilter", `["`+id+`"]`, &removed)
+	if !removed {
+		t.Fatal("first uninstall reported false")
+	}
+	// Removing it again: false result, not an error envelope.
+	call(t, srv.URL, "eth_uninstallFilter", `["`+id+`"]`, &removed)
+	if removed {
+		t.Fatal("repeat uninstall reported true")
+	}
+	// Never-installed ID: same.
+	call(t, srv.URL, "eth_uninstallFilter", `["0xdeadbeef"]`, &removed)
+	if removed {
+		t.Fatal("unknown uninstall reported true")
+	}
+}
+
+// TestFilterTTLReap verifies expired filters are swept on every
+// registry operation — get, uninstall and install — not only install,
+// and that polling refreshes a filter's expiry clock.
+func TestFilterTTLReap(t *testing.T) {
+	var r filterRegistry
+	stale := r.install(&filter{kind: blockFilter})
+	fresh := r.install(&filter{kind: blockFilter})
+
+	// Age the first filter past its TTL.
+	r.mu.Lock()
+	r.filters[stale].lastUsed = time.Now().Add(-filterTimeout - time.Minute)
+	r.mu.Unlock()
+
+	// Polling a different filter reaps the stale one.
+	if _, err := r.get(fresh); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	_, alive := r.filters[stale]
+	n := len(r.filters)
+	r.mu.Unlock()
+	if alive || n != 1 {
+		t.Fatalf("stale filter survived poll of another ID (len=%d)", n)
+	}
+	// Uninstalling the reaped ID is the idempotent false, not an error.
+	if r.uninstall(stale) {
+		t.Fatal("uninstall of reaped filter returned true")
+	}
+
+	// A poll refreshes lastUsed, keeping a near-expiry filter alive.
+	r.mu.Lock()
+	r.filters[fresh].lastUsed = time.Now().Add(-filterTimeout + time.Second)
+	r.mu.Unlock()
+	if _, err := r.get(fresh); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	age := time.Since(r.filters[fresh].lastUsed)
+	r.mu.Unlock()
+	if age > time.Minute {
+		t.Fatalf("poll did not refresh lastUsed (age %v)", age)
+	}
+}
+
+// TestFilterRegistryCap verifies the registry never grows past
+// maxFilters: installing at the cap evicts the stalest live entry.
+func TestFilterRegistryCap(t *testing.T) {
+	var r filterRegistry
+	first := r.install(&filter{kind: blockFilter})
+	for i := 1; i < maxFilters; i++ {
+		r.install(&filter{kind: logFilter})
+	}
+	r.mu.Lock()
+	n := len(r.filters)
+	r.mu.Unlock()
+	if n != maxFilters {
+		t.Fatalf("registry at %d, want %d", n, maxFilters)
+	}
+
+	// One more: the oldest handle is evicted, the size holds.
+	r.install(&filter{kind: blockFilter})
+	r.mu.Lock()
+	_, alive := r.filters[first]
+	n = len(r.filters)
+	r.mu.Unlock()
+	if n != maxFilters {
+		t.Fatalf("registry grew past cap: %d", n)
+	}
+	if alive {
+		t.Fatal("stalest filter not evicted at cap")
 	}
 }

@@ -19,6 +19,12 @@ var (
 	rpcBatchSize = metrics.Default.Histogram("legalchain_rpc_batch_size",
 		"Number of entries per JSON-RPC batch request.",
 		[]float64{1, 2, 5, 10, 20, 50, 100})
+	rpcWsSessions = metrics.Default.Gauge("legalchain_rpc_ws_sessions",
+		"Open WebSocket JSON-RPC sessions.")
+	rpcSubscriptions = metrics.Default.GaugeVec("legalchain_rpc_subscriptions",
+		"Live eth_subscribe registrations, by channel kind.", "kind")
+	rpcFiltersLive = metrics.Default.Gauge("legalchain_rpc_filters_live",
+		"Installed polling filters (eth_newFilter / eth_newBlockFilter).")
 )
 
 // knownMethods mirrors the dispatch switch in server.go.
@@ -47,6 +53,10 @@ var knownMethods = map[string]bool{
 	"eth_getFilterChanges":      true,
 	"eth_getFilterLogs":         true,
 	"eth_uninstallFilter":       true,
+	"eth_subscribe":             true,
+	"eth_unsubscribe":           true,
+	"debug_traceTransaction":    true,
+	"debug_traceBlockByNumber":  true,
 	"evm_increaseTime":          true,
 }
 

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"legalchain/internal/chain"
@@ -31,6 +32,7 @@ type Server struct {
 	ks      *wallet.Keystore // for eth_accounts; may be nil
 	log     *slog.Logger
 	filters filterRegistry
+	subSeq  atomic.Uint64 // eth_subscribe ID allocator (ws.go)
 }
 
 // NewServer builds a server. ks may be nil.

@@ -1,0 +1,433 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/obs"
+	"legalchain/internal/ws"
+)
+
+// WebSocket transport: the same JSON-RPC dispatch as ServeHTTP plus the
+// push methods polling cannot express — eth_subscribe / eth_unsubscribe
+// with the newHeads, logs and newPendingTransactions channels. Events
+// come from the chain's subscription hub, which never lets a slow
+// socket touch the sealer: when this session falls behind, the hub
+// drops events from its ring and the session recovers by walking the
+// cumulative head view, emitting a gap notice only for blocks that are
+// genuinely gone.
+//
+// Subscription IDs are hex quantities ("0x1a"), unique per server
+// process, and shared between the subscribe result, every notification
+// envelope and eth_unsubscribe.
+
+// wsSubKind names the subscription channels eth_subscribe accepts.
+const (
+	wsKindHeads   = "newHeads"
+	wsKindLogs    = "logs"
+	wsKindPending = "newPendingTransactions"
+)
+
+// subNotification is the JSON-RPC notification wrapper for one
+// subscription event.
+type subNotification struct {
+	JSONRPC string    `json:"jsonrpc"`
+	Method  string    `json:"method"`
+	Params  subParams `json:"params"`
+}
+
+type subParams struct {
+	Subscription string      `json:"subscription"`
+	Result       interface{} `json:"result"`
+}
+
+// gapNotice is delivered in place of events a subscriber was too slow
+// to receive and the view could no longer replay: missed events were
+// dropped, and delivery resumes at block resume. Both are hex
+// quantities.
+type gapNotice struct {
+	Missed string `json:"missed"`
+	Resume string `json:"resume"`
+}
+
+// wsSub is one eth_subscribe registration on a session.
+type wsSub struct {
+	id    string
+	kind  string
+	query chain.FilterQuery // logs only: address/topic criteria
+	last  uint64            // highest block already delivered
+}
+
+// wsSession is one upgraded connection: a read loop dispatching
+// JSON-RPC, plus (lazily) one goroutine per hub channel fanning events
+// into notifications.
+type wsSession struct {
+	srv  *Server
+	conn *ws.Conn
+	ctx  context.Context
+
+	mu       sync.Mutex
+	subs     map[string]*wsSub
+	headsSub *chain.Subscription // shared by newHeads and logs subs
+	pendSub  *chain.Subscription
+}
+
+// ServeWS upgrades r to a WebSocket and serves JSON-RPC over it until
+// the peer disconnects. Mount it on the dedicated -ws-addr listener or
+// any mux path.
+func (s *Server) ServeWS(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if obs.RequestIDFrom(ctx) == "" {
+		if rid := r.Header.Get(obs.RequestIDHeader); rid != "" {
+			ctx = obs.WithRequestID(ctx, rid)
+		}
+	}
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		return // Upgrade already wrote the HTTP error
+	}
+	rpcWsSessions.Inc()
+	defer rpcWsSessions.Dec()
+	sess := &wsSession{srv: s, conn: conn, ctx: ctx, subs: map[string]*wsSub{}}
+	defer sess.teardown()
+	sess.readLoop()
+}
+
+// teardown closes the connection first — unblocking any notifier stuck
+// in a write to a dead peer — and only then the hub subscriptions.
+func (sess *wsSession) teardown() {
+	sess.conn.Close(ws.CloseGoingAway, "")
+	sess.mu.Lock()
+	heads, pend := sess.headsSub, sess.pendSub
+	sess.headsSub, sess.pendSub = nil, nil
+	sess.subs = map[string]*wsSub{}
+	sess.mu.Unlock()
+	if heads != nil {
+		heads.Close()
+	}
+	if pend != nil {
+		pend.Close()
+	}
+}
+
+// closeWith ends the session with a close frame whose reason is the
+// same error envelope HTTP responses carry, truncated to the RFC's
+// 123-byte reason budget.
+func (sess *wsSession) closeWith(wsCode, rpcCode int, msg string) {
+	reason, _ := json.Marshal(&rpcError{
+		Code:      rpcCode,
+		Message:   msg,
+		RequestID: obs.RequestIDFrom(sess.ctx),
+	})
+	if len(reason) > ws.MaxCloseReason {
+		// Retry without the request ID before hard truncation.
+		reason, _ = json.Marshal(&rpcError{Code: rpcCode, Message: msg})
+	}
+	sess.conn.Close(wsCode, string(reason))
+}
+
+// readLoop decodes frames as JSON-RPC (single request or batch) and
+// writes the responses. Notifications from subscriptions interleave on
+// the same connection; ws.Conn serialises the frames.
+func (sess *wsSession) readLoop() {
+	for {
+		_, payload, err := sess.conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		trimmed := strings.TrimSpace(string(payload))
+		if strings.HasPrefix(trimmed, "[") {
+			var raws []json.RawMessage
+			if err := json.Unmarshal(payload, &raws); err != nil {
+				sess.write(errorResponse(nil, codeParse, "parse error"))
+				continue
+			}
+			if len(raws) == 0 {
+				sess.write(errorResponse(nil, codeInvalidRequest, "empty batch"))
+				continue
+			}
+			out := make([]response, len(raws))
+			for i, raw := range raws {
+				out[i] = sess.handleRaw(raw)
+			}
+			sess.write(out)
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			if json.Valid(payload) {
+				sess.write(errorResponse(nil, codeInvalidRequest, "invalid request"))
+			} else {
+				sess.write(errorResponse(nil, codeParse, "parse error"))
+			}
+			continue
+		}
+		sess.write(sess.handleReq(&req))
+	}
+}
+
+func (sess *wsSession) handleRaw(raw json.RawMessage) response {
+	var req request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return errorResponse(nil, codeInvalidRequest, "invalid request")
+	}
+	return sess.handleReq(&req)
+}
+
+// handleReq routes the two session-scoped methods and defers the rest
+// to the shared dispatch table.
+func (sess *wsSession) handleReq(req *request) response {
+	switch req.Method {
+	case "eth_subscribe":
+		id, err := sess.subscribe(req.Params)
+		if err != nil {
+			e := toRPCError(err)
+			e.RequestID = obs.RequestIDFrom(sess.ctx)
+			return response{JSONRPC: "2.0", ID: req.ID, Error: e}
+		}
+		return okResponse(req.ID, id)
+	case "eth_unsubscribe":
+		id, err := strParam(req.Params, 0)
+		if err != nil {
+			e := toRPCError(err)
+			return response{JSONRPC: "2.0", ID: req.ID, Error: e}
+		}
+		return okResponse(req.ID, sess.unsubscribe(id))
+	default:
+		return sess.srv.handle(sess.ctx, req)
+	}
+}
+
+func (sess *wsSession) write(v interface{}) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return sess.conn.WriteMessage(ws.OpText, buf)
+}
+
+// subscribe registers one channel and lazily starts the notifier
+// goroutine feeding it.
+func (sess *wsSession) subscribe(params []json.RawMessage) (string, error) {
+	kind, err := strParam(params, 0)
+	if err != nil {
+		return "", err
+	}
+	sub := &wsSub{
+		id:   hexutil.EncodeUint64(sess.srv.subSeq.Add(1)),
+		kind: kind,
+		last: sess.srv.bc.BlockNumber(),
+	}
+	switch kind {
+	case wsKindHeads:
+	case wsKindLogs:
+		q, err := filterParam(params, 1, sess.srv.bc.BlockNumber())
+		if err != nil {
+			return "", err
+		}
+		// A live subscription only streams forward; range fields of the
+		// criteria object are ignored, matching geth.
+		q.FromBlock, q.ToBlock = 0, nil
+		sub.query = q
+	case wsKindPending:
+	default:
+		return "", invalidParams("unknown subscription type %q", kind)
+	}
+
+	sess.mu.Lock()
+	sess.subs[sub.id] = sub
+	var startHeads, startPending bool
+	if kind == wsKindPending {
+		if sess.pendSub == nil {
+			sess.pendSub = sess.srv.bc.SubscribePendingTxs(0)
+			startPending = true
+		}
+	} else {
+		if sess.headsSub == nil {
+			sess.headsSub = sess.srv.bc.SubscribeHeads(0)
+			startHeads = true
+		}
+	}
+	sess.mu.Unlock()
+	rpcSubscriptions.With(kind).Inc()
+	if startHeads {
+		go sess.headsLoop(sess.headsSub)
+	}
+	if startPending {
+		go sess.pendingLoop(sess.pendSub)
+	}
+	return sub.id, nil
+}
+
+// unsubscribe removes id; unknown IDs return false, mirroring
+// eth_uninstallFilter.
+func (sess *wsSession) unsubscribe(id string) bool {
+	sess.mu.Lock()
+	sub, ok := sess.subs[id]
+	if ok {
+		delete(sess.subs, id)
+	}
+	sess.mu.Unlock()
+	if ok {
+		rpcSubscriptions.With(sub.kind).Dec()
+	}
+	return ok
+}
+
+// headsLoop drains the hub and delivers newHeads and logs
+// notifications. Delivery always walks blocks (sub.last, head] on the
+// freshest view, so hub-ring drops cost nothing as long as the view
+// still holds the blocks; only eviction turns a drop into a gap notice.
+func (sess *wsSession) headsLoop(hubSub *chain.Subscription) {
+	for range hubSub.Wait() {
+		for {
+			events, gap, alive := hubSub.Drain()
+			var v *chain.HeadView
+			if len(events) > 0 {
+				v = events[len(events)-1].View
+			} else if gap > 0 {
+				// Gap-only wake (hub queue overflow shed our events):
+				// recover from the freshest view directly.
+				v = sess.srv.bc.View()
+			}
+			if v != nil && !sess.deliverBlocks(v) {
+				hubSub.Close()
+				return
+			}
+			if !alive {
+				// The hub closed under us — the node is shutting down.
+				sess.closeWith(ws.CloseGoingAway, codeServerError, "node shutting down")
+				return
+			}
+			if len(events) == 0 && gap == 0 {
+				break
+			}
+		}
+	}
+}
+
+// deliverBlocks pushes every undelivered block on v to each heads/logs
+// subscription, in order. Returns false when the connection is gone.
+func (sess *wsSession) deliverBlocks(v *chain.HeadView) bool {
+	head := v.BlockNumber()
+	// Snapshot the registrations, then write without holding the lock:
+	// a stalled peer must not block eth_subscribe calls forever.
+	sess.mu.Lock()
+	subs := make([]*wsSub, 0, len(sess.subs))
+	for _, sub := range sess.subs {
+		if sub.kind == wsKindHeads || sub.kind == wsKindLogs {
+			subs = append(subs, sub)
+		}
+	}
+	sess.mu.Unlock()
+	for _, sub := range subs {
+		if sub.last >= head {
+			continue
+		}
+		from := sub.last + 1
+		switch sub.kind {
+		case wsKindHeads:
+			missed := uint64(0)
+			for n := from; n <= head; n++ {
+				b, ok := v.BlockByNumber(n)
+				if !ok {
+					missed++
+					continue
+				}
+				if !sess.notify(sub.id, headerJSON(b)) {
+					return false
+				}
+			}
+			if missed > 0 {
+				if !sess.notify(sub.id, map[string]interface{}{"gap": gapNotice{
+					Missed: hexutil.EncodeUint64(missed),
+					Resume: hexutil.EncodeUint64(head),
+				}}) {
+					return false
+				}
+			}
+		case wsKindLogs:
+			q := sub.query
+			q.FromBlock, q.ToBlock = from, &head
+			for _, l := range v.FilterLogs(q) {
+				if !sess.notify(sub.id, logJSON(l)) {
+					return false
+				}
+			}
+		}
+		sub.last = head
+	}
+	return true
+}
+
+// pendingLoop streams admitted transaction hashes. Pending hashes have
+// no replayable view behind them, so here a hub drop is a real loss and
+// becomes a gap notice immediately.
+func (sess *wsSession) pendingLoop(hubSub *chain.Subscription) {
+	for range hubSub.Wait() {
+		for {
+			events, gap, alive := hubSub.Drain()
+			sess.mu.Lock()
+			subs := make([]*wsSub, 0, len(sess.subs))
+			for _, sub := range sess.subs {
+				if sub.kind == wsKindPending {
+					subs = append(subs, sub)
+				}
+			}
+			sess.mu.Unlock()
+			for _, sub := range subs {
+				for _, ev := range events {
+					if !sess.notify(sub.id, ev.TxHash.Hex()) {
+						hubSub.Close()
+						return
+					}
+				}
+				if gap > 0 {
+					if !sess.notify(sub.id, map[string]interface{}{"gap": gapNotice{
+						Missed: hexutil.EncodeUint64(gap),
+					}}) {
+						hubSub.Close()
+						return
+					}
+				}
+			}
+			if !alive {
+				sess.closeWith(ws.CloseGoingAway, codeServerError, "node shutting down")
+				return
+			}
+			if len(events) == 0 && gap == 0 {
+				break
+			}
+		}
+	}
+}
+
+func (sess *wsSession) notify(id string, result interface{}) bool {
+	err := sess.write(subNotification{
+		JSONRPC: "2.0",
+		Method:  "eth_subscription",
+		Params:  subParams{Subscription: id, Result: result},
+	})
+	return err == nil
+}
+
+// headerJSON is the newHeads notification payload — the header fields
+// of blockJSON without the transaction list.
+func headerJSON(b *ethtypes.Block) map[string]interface{} {
+	return map[string]interface{}{
+		"number":     hexutil.EncodeUint64(b.Number()),
+		"hash":       b.Hash().Hex(),
+		"parentHash": b.Header.ParentHash.Hex(),
+		"timestamp":  hexutil.EncodeUint64(b.Header.Time),
+		"gasLimit":   hexutil.EncodeUint64(b.Header.GasLimit),
+		"gasUsed":    hexutil.EncodeUint64(b.Header.GasUsed),
+		"miner":      b.Header.Coinbase.Hex(),
+		"stateRoot":  b.Header.StateRoot.Hex(),
+	}
+}

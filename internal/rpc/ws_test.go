@@ -1,0 +1,352 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/minisol"
+	"legalchain/internal/wallet"
+	"legalchain/internal/web3"
+	"legalchain/internal/ws"
+)
+
+// wsRig starts a chain, mounts ServeWS behind httptest and dials it.
+func wsRig(t *testing.T) (*chain.Blockchain, []wallet.Account, *wsTestClient) {
+	t.Helper()
+	accs := wallet.DevAccounts("ws test", 3)
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+	bc := chain.New(g)
+	t.Cleanup(func() { bc.Close() })
+	ks := wallet.NewKeystore()
+	for _, a := range accs {
+		ks.Import(a.Key)
+	}
+	srv := NewServer(bc, ks)
+	hs := httptest.NewServer(http.HandlerFunc(srv.ServeWS))
+	t.Cleanup(hs.Close)
+	return bc, accs, dialWS(t, hs.URL)
+}
+
+func dialWS(t *testing.T, httpURL string) *wsTestClient {
+	t.Helper()
+	conn, err := ws.Dial("ws"+strings.TrimPrefix(httpURL, "http"), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close(ws.CloseNormal, "") })
+	return &wsTestClient{t: t, conn: conn}
+}
+
+// wsTestClient speaks JSON-RPC over one WebSocket, buffering
+// eth_subscription notifications that arrive interleaved with call
+// responses.
+type wsTestClient struct {
+	t      *testing.T
+	conn   *ws.Conn
+	nextID int
+	notifs []wsNotif
+}
+
+type wsNotif struct {
+	Subscription string
+	Result       json.RawMessage
+}
+
+type wsWireMsg struct {
+	ID     json.RawMessage `json:"id"`
+	Result json.RawMessage `json:"result"`
+	Error  *struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+	Method string `json:"method"`
+	Params struct {
+		Subscription string          `json:"subscription"`
+		Result       json.RawMessage `json:"result"`
+	} `json:"params"`
+}
+
+// call issues one request and returns its result, queueing any
+// notifications read along the way. Errors fail the test unless
+// wantErr.
+func (c *wsTestClient) call(method string, params ...interface{}) json.RawMessage {
+	res, errMsg := c.rawCall(method, params...)
+	if errMsg != "" {
+		c.t.Fatalf("%s: %s", method, errMsg)
+	}
+	return res
+}
+
+func (c *wsTestClient) rawCall(method string, params ...interface{}) (json.RawMessage, string) {
+	c.t.Helper()
+	c.nextID++
+	if params == nil {
+		params = []interface{}{}
+	}
+	buf, err := json.Marshal(map[string]interface{}{
+		"jsonrpc": "2.0", "id": c.nextID, "method": method, "params": params,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.conn.WriteMessage(ws.OpText, buf); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+	want := fmt.Sprintf("%d", c.nextID)
+	for {
+		msg := c.readMsg(5 * time.Second)
+		if msg.Method == "eth_subscription" {
+			c.notifs = append(c.notifs, wsNotif{msg.Params.Subscription, msg.Params.Result})
+			continue
+		}
+		if string(msg.ID) != want {
+			c.t.Fatalf("response id %s, want %s", msg.ID, want)
+		}
+		if msg.Error != nil {
+			return nil, msg.Error.Message
+		}
+		return msg.Result, ""
+	}
+}
+
+func (c *wsTestClient) readMsg(timeout time.Duration) *wsWireMsg {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(timeout))
+	_, payload, err := c.conn.ReadMessage()
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	var msg wsWireMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		c.t.Fatalf("bad frame %q: %v", payload, err)
+	}
+	return &msg
+}
+
+// nextNotif returns the next notification for subID, in arrival order.
+func (c *wsTestClient) nextNotif(subID string, timeout time.Duration) json.RawMessage {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for i, n := range c.notifs {
+			if n.Subscription == subID {
+				c.notifs = append(c.notifs[:i], c.notifs[i+1:]...)
+				return n.Result
+			}
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("no notification for %s within %v", subID, timeout)
+		}
+		msg := c.readMsg(time.Until(deadline))
+		if msg.Method == "eth_subscription" {
+			c.notifs = append(c.notifs, wsNotif{msg.Params.Subscription, msg.Params.Result})
+		}
+	}
+}
+
+// noNotif asserts nothing arrives for subID within d.
+func (c *wsTestClient) noNotif(subID string, d time.Duration) {
+	c.t.Helper()
+	for _, n := range c.notifs {
+		if n.Subscription == subID {
+			c.t.Fatalf("unexpected notification for %s: %s", subID, n.Result)
+		}
+	}
+	c.conn.SetReadDeadline(time.Now().Add(d))
+	_, payload, err := c.conn.ReadMessage()
+	if err == nil {
+		var msg wsWireMsg
+		json.Unmarshal(payload, &msg)
+		if msg.Method == "eth_subscription" && msg.Params.Subscription == subID {
+			c.t.Fatalf("unexpected notification: %s", payload)
+		}
+	}
+}
+
+func TestWSRegularRPC(t *testing.T) {
+	bc, accs, c := wsRig(t)
+	var chainID string
+	json.Unmarshal(c.call("eth_chainId"), &chainID)
+	if chainID != "0x539" {
+		t.Fatalf("chainId %s", chainID)
+	}
+	var bal string
+	json.Unmarshal(c.call("eth_getBalance", accs[0].Address.Hex()), &bal)
+	if bal == "" || bal == "0x0" {
+		t.Fatalf("balance %q", bal)
+	}
+	bc.MineBlock()
+	var bn string
+	json.Unmarshal(c.call("eth_blockNumber"), &bn)
+	if bn != "0x1" {
+		t.Fatalf("blockNumber %s", bn)
+	}
+}
+
+func TestWSSubscribeNewHeadsInOrder(t *testing.T) {
+	bc, _, c := wsRig(t)
+	var subID string
+	json.Unmarshal(c.call("eth_subscribe", "newHeads"), &subID)
+	if !strings.HasPrefix(subID, "0x") {
+		t.Fatalf("subscription id %q is not a hex quantity", subID)
+	}
+	const blocks = 5
+	for i := 0; i < blocks; i++ {
+		bc.MineBlock()
+	}
+	for i := 1; i <= blocks; i++ {
+		var head struct {
+			Number string `json:"number"`
+			Hash   string `json:"hash"`
+		}
+		json.Unmarshal(c.nextNotif(subID, 5*time.Second), &head)
+		if want := fmt.Sprintf("0x%x", i); head.Number != want {
+			t.Fatalf("head %d: number %s, want %s", i, head.Number, want)
+		}
+		b, _ := bc.View().BlockByNumber(uint64(i))
+		if head.Hash != b.Hash().Hex() {
+			t.Fatalf("head %d: hash mismatch", i)
+		}
+	}
+}
+
+func TestWSSubscribeLogsWithAddressFilter(t *testing.T) {
+	bc, accs, c := wsRig(t)
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), walletFromAccounts(accs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := minisol.CompileContract(rpcCounterSrc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subID string
+	json.Unmarshal(c.call("eth_subscribe", "logs",
+		map[string]interface{}{"address": bound.Address.Hex()}), &subID)
+
+	for i := 0; i < 2; i++ {
+		if _, err := bound.Transact(web3.TxOpts{From: accs[0].Address}, "increment"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A log from another address must not match the filter.
+	if _, err := client.Transfer(web3.TxOpts{From: accs[0].Address, Value: ethtypes.Ether(1)}, accs[1].Address); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i := 0; i < 2; i++ {
+		var lg struct {
+			Address     string `json:"address"`
+			BlockNumber string `json:"blockNumber"`
+		}
+		json.Unmarshal(c.nextNotif(subID, 5*time.Second), &lg)
+		if !strings.EqualFold(lg.Address, bound.Address.Hex()) {
+			t.Fatalf("log %d from %s, want %s", i, lg.Address, bound.Address.Hex())
+		}
+		var n uint64
+		fmt.Sscanf(lg.BlockNumber, "0x%x", &n)
+		if n <= prev {
+			t.Fatalf("logs out of order: %d after %d", n, prev)
+		}
+		prev = n
+	}
+	c.noNotif(subID, 300*time.Millisecond)
+}
+
+func TestWSSubscribePendingTransactions(t *testing.T) {
+	bc, accs, c := wsRig(t)
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), walletFromAccounts(accs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subID string
+	json.Unmarshal(c.call("eth_subscribe", "newPendingTransactions"), &subID)
+	rcpt, err := client.Transfer(web3.TxOpts{From: accs[0].Address, Value: ethtypes.Ether(1)}, accs[1].Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hash string
+	json.Unmarshal(c.nextNotif(subID, 5*time.Second), &hash)
+	if hash != rcpt.TxHash.Hex() {
+		t.Fatalf("pending hash %s, want %s", hash, rcpt.TxHash.Hex())
+	}
+}
+
+func TestWSUnsubscribe(t *testing.T) {
+	bc, _, c := wsRig(t)
+	var subID string
+	json.Unmarshal(c.call("eth_subscribe", "newHeads"), &subID)
+	var ok bool
+	json.Unmarshal(c.call("eth_unsubscribe", subID), &ok)
+	if !ok {
+		t.Fatal("unsubscribe returned false for a live subscription")
+	}
+	json.Unmarshal(c.call("eth_unsubscribe", subID), &ok)
+	if ok {
+		t.Fatal("second unsubscribe returned true")
+	}
+	bc.MineBlock()
+	c.noNotif(subID, 300*time.Millisecond)
+}
+
+func TestWSSubscribeUnknownKind(t *testing.T) {
+	_, _, c := wsRig(t)
+	if _, errMsg := c.rawCall("eth_subscribe", "syncing"); errMsg == "" {
+		t.Fatal("unknown subscription kind accepted")
+	}
+}
+
+// TestWSManySubscribersInOrder is the K-concurrent-subscriber
+// acceptance path: every client sees every sealed head, in order.
+func TestWSManySubscribersInOrder(t *testing.T) {
+	accs := wallet.DevAccounts("ws fanout", 1)
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+	bc := chain.New(g)
+	defer bc.Close()
+	srv := NewServer(bc, nil)
+	hs := httptest.NewServer(http.HandlerFunc(srv.ServeWS))
+	defer hs.Close()
+
+	const K, blocks = 8, 10
+	clients := make([]*wsTestClient, K)
+	subIDs := make([]string, K)
+	for i := range clients {
+		clients[i] = dialWS(t, hs.URL)
+		json.Unmarshal(clients[i].call("eth_subscribe", "newHeads"), &subIDs[i])
+	}
+	for i := 0; i < blocks; i++ {
+		bc.MineBlock()
+	}
+	for ci, c := range clients {
+		for n := 1; n <= blocks; n++ {
+			var head struct {
+				Number string `json:"number"`
+			}
+			json.Unmarshal(c.nextNotif(subIDs[ci], 5*time.Second), &head)
+			if want := fmt.Sprintf("0x%x", n); head.Number != want {
+				t.Fatalf("client %d head %d: number %s, want %s", ci, n, head.Number, want)
+			}
+		}
+	}
+}
+
+func walletFromAccounts(accs []wallet.Account) *wallet.Keystore {
+	ks := wallet.NewKeystore()
+	for _, a := range accs {
+		ks.Import(a.Key)
+	}
+	return ks
+}

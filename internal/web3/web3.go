@@ -59,6 +59,16 @@ type HeadViewer interface {
 	HeadView() *chain.HeadView
 }
 
+// HeadSubscriber is implemented by backends that can push head events
+// instead of being polled. In-process backends expose the chain's
+// subscription hub directly; consumers (the SSE tier) type-assert and
+// fall back to polling when the backend is remote.
+type HeadSubscriber interface {
+	// SubscribeHeads returns a hub subscription delivering one event per
+	// sealed head, with a ring of buf events (<= 0 picks the default).
+	SubscribeHeads(buf int) *chain.Subscription
+}
+
 // RevertError carries a decoded revert reason through the client API.
 type RevertError struct {
 	Reason string
@@ -83,6 +93,11 @@ func NewLocalBackend(bc *chain.Blockchain) *LocalBackend { return &LocalBackend{
 // HeadView implements HeadViewer: it pins the current immutable head
 // view for lock-free multi-read consistency.
 func (l *LocalBackend) HeadView() *chain.HeadView { return l.BC.View() }
+
+// SubscribeHeads implements HeadSubscriber via the chain's hub.
+func (l *LocalBackend) SubscribeHeads(buf int) *chain.Subscription {
+	return l.BC.SubscribeHeads(buf)
+}
 
 // ChainID implements Backend.
 func (l *LocalBackend) ChainID() (uint64, error) { return l.BC.ChainID(), nil }
