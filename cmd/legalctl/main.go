@@ -11,6 +11,7 @@
 //	legalctl selectors <name>     # method selectors + event topics
 //	legalctl disasm <name>        # runtime disassembly
 //	legalctl demo                 # run the versioning scenario, print evidence line
+//	legalctl audit [-json]        # build a 3-version chain, diff code/ABI/layout/behaviour
 //	legalctl trace <name> <meth>  # step-trace a contract method on a fresh local chain
 //	legalctl trace <txhash>       # replay a mined tx via debug_traceTransaction on a node
 package main
@@ -58,6 +59,8 @@ func main() {
 		printDisasm(os.Args[2])
 	case "demo":
 		runDemo()
+	case "audit":
+		runAudit(os.Args[2:])
 	case "trace":
 		requireArg(3)
 		// Two forms: a 0x… transaction hash replays a mined transaction
@@ -75,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: legalctl stack|contracts|selectors <name>|disasm <name>|demo|trace <name> <method>|trace <txhash> [-rpc url] [-tracer structLog|callTracer]")
+	fmt.Fprintln(os.Stderr, "usage: legalctl stack|contracts|selectors <name>|disasm <name>|demo|audit [-json]|trace <name> <method>|trace <txhash> [-rpc url] [-tracer structLog|callTracer]")
 	os.Exit(2)
 }
 

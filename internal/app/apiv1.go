@@ -2,6 +2,7 @@ package app
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/obs"
 	"legalchain/internal/uint256"
+	"legalchain/internal/upgrade"
 	"legalchain/internal/web3"
 )
 
@@ -25,15 +27,17 @@ import (
 //	GET  /api/v1/contracts                 dashboard rows for the user
 //	POST /api/v1/contracts                 deploy a rental agreement
 //	GET  /api/v1/contracts/{addr}          row + live state + version chain + payments
+//	GET  /api/v1/contracts/{addr}/audit    full chain audit (code/ABI/layout/behaviour diffs)
 //	POST /api/v1/contracts/{addr}/actions  lifecycle action (confirm, pay, ...)
 
 // Machine-readable error codes of the v1 envelope.
 const (
-	v1Unauthorized = "unauthorized"
-	v1NotFound     = "not_found"
-	v1BadRequest   = "bad_request"
-	v1NotAllowed   = "method_not_allowed"
-	v1Internal     = "internal"
+	v1Unauthorized    = "unauthorized"
+	v1NotFound        = "not_found"
+	v1BadRequest      = "bad_request"
+	v1NotAllowed      = "method_not_allowed"
+	v1Internal        = "internal"
+	v1UpgradeRejected = "upgrade_rejected"
 )
 
 // writeV1Error emits the uniform v1 error envelope. The request ID the
@@ -42,11 +46,22 @@ const (
 //
 //	{"error":{"code":"bad_request","message":"...","requestId":"..."}}
 func writeV1Error(w http.ResponseWriter, r *http.Request, status int, code, message string) {
-	e := map[string]string{"code": code, "message": message}
+	writeV1ErrorData(w, r, status, code, message, nil)
+}
+
+// writeV1ErrorData is writeV1Error with a structured data payload — the
+// upgrade-rejection envelope carries the full verification report:
+//
+//	{"error":{"code":"upgrade_rejected","message":"...","data":{"report":{...}}}}
+func writeV1ErrorData(w http.ResponseWriter, r *http.Request, status int, code, message string, data interface{}) {
+	e := map[string]interface{}{"code": code, "message": message}
 	if r != nil {
 		if rid := obs.RequestIDFrom(r.Context()); rid != "" {
 			e["requestId"] = rid
 		}
+	}
+	if data != nil {
+		e["data"] = data
 	}
 	writeJSON(w, status, map[string]interface{}{"error": e})
 }
@@ -228,6 +243,12 @@ func (a *App) v1Contract(w http.ResponseWriter, r *http.Request, u *User) {
 			return
 		}
 		a.v1ContractPayments(w, r, u, addr)
+	case "audit":
+		if r.Method != http.MethodGet {
+			writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+			return
+		}
+		a.v1ContractAudit(w, r, u, addr)
 	default:
 		writeV1Error(w, r, http.StatusNotFound, v1NotFound, "unknown endpoint "+sub)
 	}
@@ -283,6 +304,10 @@ func (a *App) v1ContractDetail(w http.ResponseWriter, r *http.Request, u *User, 
 		out["verified"] = core.VerifyChain(line) == nil
 	}
 
+	if rej, err := a.Manager.Rejections(viewer, addr); err == nil && len(rej) > 0 {
+		out["rejections"] = rej
+	}
+
 	if hist, err := a.Rental.RentHistory(viewer, addr); err == nil {
 		type payJSON struct {
 			Version int    `json:"version"`
@@ -305,6 +330,26 @@ func (a *App) v1ContractDetail(w http.ResponseWriter, r *http.Request, u *User, 
 			}
 		}
 		out["payments"] = pays
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// v1ContractAudit renders the full chain audit of the version line
+// containing addr: per-version code and artifacts, pairwise bytecode /
+// ABI / layout / behaviour diffs, and any recorded upgrade rejections.
+func (a *App) v1ContractAudit(w http.ResponseWriter, r *http.Request, u *User, addr ethtypes.Address) {
+	if _, err := a.Manager.GetRow(addr); err != nil {
+		writeV1Error(w, r, http.StatusNotFound, v1NotFound, err.Error())
+		return
+	}
+	report, err := a.Manager.AuditChain(u.Addr(), addr)
+	if err != nil {
+		writeV1Error(w, r, http.StatusInternalServerError, v1Internal, err.Error())
+		return
+	}
+	out := map[string]interface{}{"audit": report}
+	if head := a.v1Head(); head != nil {
+		out["head"] = head
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -374,6 +419,12 @@ func (a *App) v1ContractAction(w http.ResponseWriter, r *http.Request, u *User, 
 		return
 	}
 	if err != nil {
+		var rej *upgrade.RejectionError
+		if errors.As(err, &rej) {
+			writeV1ErrorData(w, r, http.StatusUnprocessableEntity, v1UpgradeRejected,
+				rej.Error(), map[string]interface{}{"report": rej.Report})
+			return
+		}
 		writeV1Error(w, r, http.StatusBadRequest, v1BadRequest, err.Error())
 		return
 	}

@@ -1,0 +1,122 @@
+package app
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"legalchain/internal/core"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/minisol"
+	"legalchain/internal/upgrade"
+)
+
+// shrunkSrc drops BaseRental's public surface; the guard must reject it.
+const shrunkSrc = `
+pragma solidity ^0.5.0;
+
+contract Shrunk {
+	uint public rent;
+	address public next;
+	address public previous;
+
+	constructor(uint _rent) public payable { rent = _rent; }
+
+	function setNext(address _next) public { next = _next; }
+	function setPrev(address _previous) public { previous = _previous; }
+}
+`
+
+// TestV1RejectionsSurfaced: a refused modification leaves a structured
+// report that the contract detail exposes, and the audit endpoint walks
+// the chain over plain HTTP.
+func TestV1RejectionsSurfaced(t *testing.T) {
+	landlord, a, addr := apiRig(t)
+	contract := ethtypes.HexToAddress(addr)
+	row, err := a.Manager.GetRow(contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ethtypes.HexToAddress(row.Landlord)
+
+	art, err := minisol.CompileContract(shrunkSrc, "Shrunk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Manager.ModifyContract(owner, contract, art, core.ModifyOptions{}, ethtypes.Ether(1))
+	var rej *upgrade.RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+
+	var detail struct {
+		Rejections []struct {
+			Candidate string `json:"candidate"`
+			Failures  []struct {
+				Rule string `json:"rule"`
+			} `json:"failures"`
+		} `json:"rejections"`
+	}
+	if code := getJSON(t, landlord, "/api/v1/contracts/"+addr, &detail); code != 200 {
+		t.Fatalf("detail: code %d", code)
+	}
+	if len(detail.Rejections) != 1 || detail.Rejections[0].Candidate != "Shrunk" {
+		t.Fatalf("rejections = %+v", detail.Rejections)
+	}
+	if len(detail.Rejections[0].Failures) == 0 {
+		t.Fatal("rejection carries no failure rules")
+	}
+
+	var audit struct {
+		Audit struct {
+			ChainVerified bool                     `json:"chainVerified"`
+			Versions      []map[string]interface{} `json:"versions"`
+			Rejections    []map[string]interface{} `json:"rejections"`
+		} `json:"audit"`
+	}
+	if code := getJSON(t, landlord, "/api/v1/contracts/"+addr+"/audit", &audit); code != 200 {
+		t.Fatalf("audit: code %d", code)
+	}
+	if !audit.Audit.ChainVerified || len(audit.Audit.Versions) != 1 {
+		t.Fatalf("audit = %+v", audit.Audit)
+	}
+	if len(audit.Audit.Rejections) != 1 {
+		t.Fatalf("audit rejections = %+v", audit.Audit.Rejections)
+	}
+}
+
+// TestV1UpgradeRejectedEnvelope pins the 422 wire shape the action
+// handler produces for a *upgrade.RejectionError.
+func TestV1UpgradeRejectedEnvelope(t *testing.T) {
+	rep := &upgrade.Report{Candidate: "BadV2"}
+	rep.Failures = append(rep.Failures, upgrade.Check{
+		Rule: upgrade.RuleSelectorRemoved, Subject: "payRent()",
+	})
+	rej := &upgrade.RejectionError{Report: rep}
+
+	rec := httptest.NewRecorder()
+	writeV1ErrorData(rec, nil, 422, v1UpgradeRejected, rej.Error(),
+		map[string]interface{}{"report": rej.Report})
+
+	if rec.Code != 422 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Data    struct {
+				Report struct {
+					Candidate string `json:"candidate"`
+				} `json:"report"`
+			} `json:"data"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("bad envelope: %v (%s)", err, rec.Body.Bytes())
+	}
+	if env.Error.Code != "upgrade_rejected" || env.Error.Data.Report.Candidate != "BadV2" {
+		t.Fatalf("envelope = %+v", env)
+	}
+}

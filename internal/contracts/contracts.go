@@ -26,7 +26,7 @@ pragma solidity ^0.5.0;
 contract DataStorage {
 	address public owner;
 	mapping (address => mapping(string => string)) public keyValuePairs;
-	mapping (address => mapping(string => bool)) hasKey;
+	mapping (address => mapping(string => bool)) public hasKey;
 	mapping (address => uint) public keyCount;
 	mapping (address => mapping(uint => string)) public keyAt;
 
@@ -35,8 +35,15 @@ contract DataStorage {
 	mapping (address => uint) public paymentCount;
 	mapping (address => mapping(uint => uint)) public paymentAmount;
 
+	/* In-place migration (FlexiContracts-style): a new version adopts its
+	   predecessor's namespace through one pointer write instead of
+	   re-importing every pair. Appended after the original declarations so
+	   existing storage layouts are undisturbed. */
+	mapping (address => address) public aliasOf;
+
 	event valueSet(address indexed contractAddr, string key, string value);
 	event paymentRecorded(address indexed contractAddr, uint index, uint amount);
+	event namespaceAdopted(address indexed newAddr, address indexed oldAddr);
 
 	constructor() public {
 		owner = msg.sender;
@@ -55,6 +62,17 @@ contract DataStorage {
 
 	function getValue(address contractAddr, string memory key) public view returns (string memory) {
 		return keyValuePairs[contractAddr][key];
+	}
+
+	/* One-transaction data migration: every key of oldAddr becomes
+	   visible under newAddr (the manager resolves the alias chain when
+	   reading; writes to newAddr stay in its own namespace and shadow the
+	   adopted values). Replaces the N-transaction setValue re-import. */
+	function adoptNamespace(address newAddr, address oldAddr) public {
+		require(msg.sender == owner, "only the manager may link namespaces");
+		require(newAddr != oldAddr, "namespace cannot adopt itself");
+		aliasOf[newAddr] = oldAddr;
+		emit namespaceAdopted(newAddr, oldAddr);
 	}
 
 	function authorize(address notary) public {

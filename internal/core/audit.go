@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/upgrade"
+	"legalchain/internal/web3"
+)
+
+// AuditChain walks the version chain containing addr and renders the
+// full audit report: per-version code and artifacts, per-pair bytecode,
+// ABI-surface, storage-layout and behaviour diffs, and any upgrade
+// rejections recorded in the evidence line. Reads only — the audit
+// never transacts.
+func (m *Manager) AuditChain(from, addr ethtypes.Address) (*upgrade.AuditReport, error) {
+	chain, err := m.WalkChain(addr)
+	if err != nil {
+		return nil, err
+	}
+	report := &upgrade.AuditReport{
+		Root:          chain[0].Address.Hex(),
+		Head:          chain[len(chain)-1].Address.Hex(),
+		ChainVerified: VerifyChain(chain) == nil,
+	}
+
+	var tb upgrade.TraceBackend
+	if hv, ok := m.Client.Backend().(web3.HeadViewer); ok {
+		tb = hv.HeadView()
+	}
+
+	for i, node := range chain {
+		code, err := m.Client.Backend().GetCode(node.Address)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading code of %s: %w", node.Address, err)
+		}
+		vn := upgrade.VersionNode{
+			Address:  node.Address.Hex(),
+			Index:    i,
+			CodeSize: len(code),
+			CodeHash: ethtypes.Keccak256(code).Hex(),
+		}
+		if _, err := m.ResolveABI(node.Address); err == nil {
+			vn.HasABI = true
+		}
+		if layout, err := m.ResolveLayout(node.Address); err == nil && layout != nil {
+			vn.HasLayout = true
+			vn.Layout = layout
+		}
+		report.Versions = append(report.Versions, vn)
+
+		if rej, err := m.Rejections(from, node.Address); err == nil && len(rej) > 0 {
+			report.Rejections = append(report.Rejections, rej...)
+		}
+	}
+
+	for i := 0; i+1 < len(chain); i++ {
+		oldAddr, newAddr := chain[i].Address, chain[i+1].Address
+		pair := upgrade.PairDiff{From: oldAddr.Hex(), To: newAddr.Hex()}
+
+		oldCode, _ := m.Client.Backend().GetCode(oldAddr)
+		newCode, _ := m.Client.Backend().GetCode(newAddr)
+		pair.BytecodeChanged = string(oldCode) != string(newCode)
+		pair.CodeSizeDelta = len(newCode) - len(oldCode)
+
+		oldABI, errOld := m.ResolveABI(oldAddr)
+		newABI, errNew := m.ResolveABI(newAddr)
+		if errOld == nil && errNew == nil {
+			pair.ABI = upgrade.DiffABI(oldABI, newABI)
+			pair.Behaviour = upgrade.DiffBehaviour(tb, from, oldAddr, newAddr, oldABI, newABI)
+		}
+
+		oldLayout, _ := m.ResolveLayout(oldAddr)
+		newLayout, _ := m.ResolveLayout(newAddr)
+		if oldLayout != nil && newLayout != nil {
+			pair.Layout = upgrade.DiffLayout(oldLayout, newLayout)
+		}
+
+		report.Pairs = append(report.Pairs, pair)
+	}
+	return report, nil
+}

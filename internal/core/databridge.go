@@ -11,9 +11,13 @@ import (
 // The data bridge realises the paper's data/logic separation (Fig. 3):
 // contract state worth carrying across versions lives as key/value
 // strings in the shared DataStorage contract, namespaced by contract
-// address. A new logic version imports its predecessor's data by
-// reading under the old address (or having the manager copy it to the
-// new namespace).
+// address. A new logic version imports its predecessor's data either
+// in place — one adoptNamespace transaction makes the predecessor's
+// namespace visible under the new address (the FlexiContracts model) —
+// or by having the manager copy every pair to the new namespace (the
+// legacy path, ~96k gas per pair, kept for benchmarks and forced
+// copies). Reads resolve the alias chain off chain: a version's own
+// keys shadow adopted ones.
 
 // SetValue writes one key/value pair under the contract's namespace.
 func (m *Manager) SetValue(from, contractAddr ethtypes.Address, key, value string) (uint64, error) {
@@ -28,39 +32,104 @@ func (m *Manager) SetValue(from, contractAddr ethtypes.Address, key, value strin
 	return rcpt.GasUsed, nil
 }
 
-// GetValue reads one key from the contract's namespace.
+// aliasChain resolves the namespace-adoption chain starting at addr:
+// addr first, then each adopted ancestor, bounded like the version walk
+// so a (maliciously) cyclic alias chain terminates.
+func (m *Manager) aliasChain(from, addr ethtypes.Address) ([]ethtypes.Address, error) {
+	ds, err := m.EnsureDataStorage(from)
+	if err != nil {
+		return nil, err
+	}
+	chain := []ethtypes.Address{addr}
+	seen := map[ethtypes.Address]bool{addr: true}
+	cur := addr
+	for len(chain) <= maxChainLength {
+		next, err := ds.CallAddress(from, "aliasOf", cur)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving alias of %s: %w", cur, err)
+		}
+		if next.IsZero() || seen[next] {
+			return chain, nil
+		}
+		chain = append(chain, next)
+		seen[next] = true
+		cur = next
+	}
+	return nil, fmt.Errorf("core: alias chain from %s exceeds %d", addr, maxChainLength)
+}
+
+// GetValue reads one key from the contract's namespace, falling back
+// through adopted predecessor namespaces: the version's own value wins,
+// an ancestor's value surfaces when the version never overrode the key.
 func (m *Manager) GetValue(from, contractAddr ethtypes.Address, key string) (string, error) {
 	ds, err := m.EnsureDataStorage(from)
 	if err != nil {
 		return "", err
 	}
-	return ds.CallString(from, "getValue", contractAddr, key)
+	chain, err := m.aliasChain(from, contractAddr)
+	if err != nil {
+		return "", err
+	}
+	for _, addr := range chain {
+		has, err := ds.CallBool(from, "hasKey", addr, key)
+		if err != nil {
+			return "", err
+		}
+		if has {
+			return ds.CallString(from, "getValue", addr, key)
+		}
+	}
+	return "", nil
 }
 
 // LoadSnapshot reads the whole key/value namespace of a contract using
-// the on-chain key enumeration.
+// the on-chain key enumeration, merged across adopted predecessor
+// namespaces (deepest ancestor first, so the version's own keys win).
 func (m *Manager) LoadSnapshot(from, contractAddr ethtypes.Address) (map[string]string, error) {
 	ds, err := m.EnsureDataStorage(from)
 	if err != nil {
 		return nil, err
 	}
-	count, err := ds.CallUint(from, "keyCount", contractAddr)
+	chain, err := m.aliasChain(from, contractAddr)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]string, count.Uint64())
-	for i := uint64(0); i < count.Uint64(); i++ {
-		key, err := ds.CallString(from, "keyAt", contractAddr, i)
+	out := map[string]string{}
+	for i := len(chain) - 1; i >= 0; i-- {
+		addr := chain[i]
+		count, err := ds.CallUint(from, "keyCount", addr)
 		if err != nil {
 			return nil, err
 		}
-		val, err := ds.CallString(from, "getValue", contractAddr, key)
-		if err != nil {
-			return nil, err
+		for j := uint64(0); j < count.Uint64(); j++ {
+			key, err := ds.CallString(from, "keyAt", addr, j)
+			if err != nil {
+				return nil, err
+			}
+			val, err := ds.CallString(from, "getValue", addr, key)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = val
 		}
-		out[key] = val
 	}
 	return out, nil
+}
+
+// AdoptNamespace performs the in-place data migration: one transaction
+// makes oldAddr's whole namespace readable under newAddr, instead of
+// re-importing N pairs at ~96k gas each. Returns the gas spent (constant
+// in the pair count).
+func (m *Manager) AdoptNamespace(from, newAddr, oldAddr ethtypes.Address) (uint64, error) {
+	ds, err := m.EnsureDataStorage(from)
+	if err != nil {
+		return 0, err
+	}
+	rcpt, err := ds.Transact(web3.TxOpts{From: from}, "adoptNamespace", newAddr, oldAddr)
+	if err != nil {
+		return 0, fmt.Errorf("core: adoptNamespace(%s <- %s): %w", newAddr, oldAddr, err)
+	}
+	return rcpt.GasUsed, nil
 }
 
 // MigrateData copies every key/value pair from the old contract's

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -27,6 +28,7 @@ import (
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/ipfs"
 	"legalchain/internal/minisol"
+	"legalchain/internal/upgrade"
 	"legalchain/internal/web3"
 )
 
@@ -200,6 +202,31 @@ func (m *Manager) PublishABI(addr ethtypes.Address, abiJSON []byte) (ipfs.CID, e
 	return cid, nil
 }
 
+// PublishLayout pins a version's storage layout next to its ABI, keyed
+// "layout:<address>", so the upgrade guard and the auditor can recover
+// it from an address alone the way ResolveABI recovers the interface.
+func (m *Manager) PublishLayout(addr ethtypes.Address, layout *minisol.Layout) (ipfs.CID, error) {
+	if layout == nil {
+		return "", nil
+	}
+	cid, err := m.IPFS.AddDocument("layout:"+addr.Hex(), layout.JSON())
+	if err != nil {
+		return "", fmt.Errorf("core: publishing layout: %w", err)
+	}
+	return cid, nil
+}
+
+// ResolveLayout fetches a version's stored storage layout. Versions
+// deployed before layouts were published resolve to (nil, nil); the
+// guard then skips the layout check with a note instead of failing.
+func (m *Manager) ResolveLayout(addr ethtypes.Address) (*minisol.Layout, error) {
+	raw, err := m.IPFS.GetByName("layout:" + addr.Hex())
+	if err != nil {
+		return nil, nil
+	}
+	return minisol.ParseLayout(raw)
+}
+
 // ResolveABI fetches and parses the ABI of a deployed version from the
 // content store, given only its address — the IPFS lookup of Fig. 2.
 func (m *Manager) ResolveABI(addr ethtypes.Address) (*abi.ABI, error) {
@@ -259,6 +286,9 @@ func (m *Manager) DeployVersion(from ethtypes.Address, art *minisol.Artifact, le
 	if err != nil {
 		return nil, err
 	}
+	if _, err := m.PublishLayout(bound.Address, art.Layout); err != nil {
+		return nil, err
+	}
 	row := ContractRow{
 		Address:  bound.Address.Hex(),
 		Name:     art.Name,
@@ -285,21 +315,114 @@ func (m *Manager) DeployVersion(from ethtypes.Address, art *minisol.Artifact, le
 
 // ModifyOptions tune ModifyContract.
 type ModifyOptions struct {
-	// MigrateData copies the predecessor's DataStorage key/value pairs
-	// to the new version's namespace.
+	// MigrateData carries the predecessor's DataStorage key/value pairs
+	// over to the new version: by default in place, through one
+	// adoptNamespace transaction; see CopyMigration.
 	MigrateData bool
+	// CopyMigration forces the legacy pair-by-pair setValue re-import
+	// (~96k gas per pair) instead of the in-place namespace adoption.
+	CopyMigration bool
 	// SnapshotKeys, when non-empty, are read from the old contract via
 	// its getters and written into DataStorage before migration, so the
 	// new version can import them (the paper's data/logic separation).
 	SnapshotKeys []string
+	// Properties are user-declared behavioural assertions the candidate
+	// must satisfy when deployed on a fork of the live head, checked by
+	// the upgrade guard before the versions are linked.
+	Properties []upgrade.Property
+	// SkipVerify bypasses the upgrade guard entirely (tests and
+	// benchmarks of the unguarded path only).
+	SkipVerify bool
 	// LegalDoc is the updated legal document (PDF) for the new version.
 	LegalDoc []byte
 }
 
-// ModifyContract implements the modification flow of Figs. 2 and 11:
-// deploy the new version, link it into the doubly linked list on chain,
-// publish its ABI, optionally snapshot+migrate data, and update the
-// registry rows (the old version becomes inactive).
+// VerifyUpgrade runs the guarded-upgrade checks for a candidate
+// artifact against a deployed predecessor without touching the chain:
+// ABI surface, storage layout (when the predecessor published one), and
+// the declared properties executed on a fork of the live head. The
+// returned report says whether ModifyContract would admit the
+// candidate.
+func (m *Manager) VerifyUpgrade(from, prevAddr ethtypes.Address, art *minisol.Artifact, props []upgrade.Property, args ...interface{}) (*upgrade.Report, error) {
+	prevABI, err := m.ResolveABI(prevAddr)
+	if err != nil {
+		return nil, err
+	}
+	prevLayout, err := m.ResolveLayout(prevAddr)
+	if err != nil {
+		return nil, err
+	}
+	var view upgrade.ForkView
+	if hv, ok := m.Client.Backend().(web3.HeadViewer); ok {
+		view = hv.HeadView()
+	}
+	spec := upgrade.Spec{PrevAddress: prevAddr, PrevABI: prevABI, PrevLayout: prevLayout, Properties: props}
+	cand := upgrade.Candidate{Name: art.Name, ABI: art.ABI, Layout: art.Layout, Bytecode: art.Bytecode, CtorArgs: args}
+	return upgrade.Verify(spec, cand, view, from), nil
+}
+
+// Evidence keys under which upgrade rejections are recorded in the
+// predecessor's DataStorage namespace.
+const (
+	rejectionCountKey  = "upgrade.rejections"
+	rejectionKeyPrefix = "upgrade.rejected."
+)
+
+// recordRejection appends the failed verification report to the
+// predecessor's evidence line in DataStorage, so the refusal itself is
+// part of the tamper-evident modification history.
+func (m *Manager) recordRejection(from, prevAddr ethtypes.Address, report *upgrade.Report) error {
+	n := 0
+	if s, err := m.GetValue(from, prevAddr, rejectionCountKey); err == nil && s != "" {
+		n, _ = strconv.Atoi(s)
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		return fmt.Errorf("core: encoding rejection report: %w", err)
+	}
+	if _, err := m.SetValue(from, prevAddr, rejectionKeyPrefix+strconv.Itoa(n), string(raw)); err != nil {
+		return err
+	}
+	_, err = m.SetValue(from, prevAddr, rejectionCountKey, strconv.Itoa(n+1))
+	return err
+}
+
+// Rejections returns the upgrade-rejection reports recorded in a
+// version's evidence line, oldest first.
+func (m *Manager) Rejections(from, addr ethtypes.Address) ([]*upgrade.Report, error) {
+	s, err := m.GetValue(from, addr, rejectionCountKey)
+	if err != nil || s == "" {
+		return nil, err
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad rejection count %q for %s", s, addr)
+	}
+	out := make([]*upgrade.Report, 0, n)
+	for i := 0; i < n; i++ {
+		raw, err := m.GetValue(from, addr, rejectionKeyPrefix+strconv.Itoa(i))
+		if err != nil {
+			return nil, err
+		}
+		var r upgrade.Report
+		if json.Unmarshal([]byte(raw), &r) != nil {
+			continue
+		}
+		out = append(out, &r)
+	}
+	return out, nil
+}
+
+// ModifyContract implements the modification flow of Figs. 2 and 11,
+// guarded: the candidate is verified against the predecessor's spec
+// (ABI surface, storage layout, declared properties on a fork of the
+// head) BEFORE anything is deployed or linked. A failing candidate is
+// recorded in the predecessor's evidence line and rejected with a
+// structured *upgrade.RejectionError. An admitted candidate is
+// deployed, linked into the doubly linked list on chain, its ABI and
+// layout published, data optionally snapshotted and migrated (in place
+// by default), and the registry rows updated (the old version becomes
+// inactive).
 func (m *Manager) ModifyContract(from ethtypes.Address, prevAddr ethtypes.Address, art *minisol.Artifact, opts ModifyOptions, args ...interface{}) (*Deployment, error) {
 	prev, err := m.BindVersion(prevAddr)
 	if err != nil {
@@ -308,6 +431,20 @@ func (m *Manager) ModifyContract(from ethtypes.Address, prevAddr ethtypes.Addres
 	prevRow, err := m.GetRow(prevAddr)
 	if err != nil {
 		return nil, err
+	}
+
+	// The upgrade guard: verify the candidate before any state changes.
+	if !opts.SkipVerify {
+		report, err := m.VerifyUpgrade(from, prevAddr, art, opts.Properties, args...)
+		if err != nil {
+			return nil, err
+		}
+		if !report.OK() {
+			if rerr := m.recordRejection(from, prevAddr, report); rerr != nil {
+				return nil, fmt.Errorf("core: recording upgrade rejection: %w", rerr)
+			}
+			return nil, &upgrade.RejectionError{Report: report}
+		}
 	}
 
 	// Optional: snapshot selected fields of the old version into the
@@ -347,15 +484,26 @@ func (m *Manager) ModifyContract(from ethtypes.Address, prevAddr ethtypes.Addres
 	if err != nil {
 		return nil, err
 	}
+	if _, err := m.PublishLayout(bound.Address, art.Layout); err != nil {
+		return nil, err
+	}
 
-	// Migrate data under the new address.
+	// Migrate data under the new address: one namespace-adoption
+	// transaction by default, the pair-by-pair re-import when forced.
 	if opts.MigrateData {
-		n, mgGas, err := m.MigrateData(from, prevAddr, bound.Address)
-		if err != nil {
-			return nil, err
+		if opts.CopyMigration {
+			_, mgGas, err := m.MigrateData(from, prevAddr, bound.Address)
+			if err != nil {
+				return nil, err
+			}
+			gas += mgGas
+		} else {
+			mgGas, err := m.AdoptNamespace(from, bound.Address, prevAddr)
+			if err != nil {
+				return nil, err
+			}
+			gas += mgGas
 		}
-		_ = n
-		gas += mgGas
 	}
 
 	// Registry rows: old becomes inactive, new becomes the active head.

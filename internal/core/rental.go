@@ -8,6 +8,7 @@ import (
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/minisol"
 	"legalchain/internal/uint256"
+	"legalchain/internal/upgrade"
 	"legalchain/internal/web3"
 )
 
@@ -173,6 +174,20 @@ func (s *RentalService) Modify(landlord, prevAddr ethtypes.Address, terms Modifi
 	return s.ModifyWithArtifact(landlord, prevAddr, art, terms)
 }
 
+// rentalProperties are the behavioural assertions every rental
+// candidate must satisfy on a fork of the head before it may join the
+// version chain: the deployed terms match what the landlord declared,
+// and the candidate arrives unlinked (its next pointer is zero, so the
+// manager — not the constructor — controls the evidence line).
+func rentalProperties(terms ModifiedTerms) []upgrade.Property {
+	zero := ethtypes.Address{}
+	return []upgrade.Property{
+		{Name: "rent-matches-terms", Method: "rent", Want: terms.Rent.String()},
+		{Name: "deposit-matches-terms", Method: "deposit", Want: terms.Deposit.String()},
+		{Name: "starts-unlinked", Method: "getNext", Want: zero.Hex()},
+	}
+}
+
 // ModifyWithArtifact is Modify with a caller-supplied contract artifact
 // (the "upload a new contract" path of Fig. 9). The artifact's
 // constructor must accept the V2 argument list.
@@ -180,6 +195,7 @@ func (s *RentalService) ModifyWithArtifact(landlord, prevAddr ethtypes.Address, 
 	return s.M.ModifyContract(landlord, prevAddr, art, ModifyOptions{
 		MigrateData:  true,
 		SnapshotKeys: rentalSnapshotKeys,
+		Properties:   rentalProperties(terms),
 		LegalDoc:     terms.LegalDoc,
 	}, terms.Rent, terms.Deposit, terms.Months, terms.House,
 		terms.MaintenanceFee, terms.Discount, terms.Fine)

@@ -20,8 +20,9 @@ type Artifact struct {
 	Name     string
 	ABI      *abi.ABI
 	ABIJSON  []byte
-	Bytecode []byte // deployment (init) code; append ABI-encoded ctor args
-	Runtime  []byte // runtime code installed on chain
+	Bytecode []byte  // deployment (init) code; append ABI-encoded ctor args
+	Runtime  []byte  // runtime code installed on chain
+	Layout   *Layout // storage layout (slot assignment of state variables)
 }
 
 // Compile compiles every contract in the source, in resolution order.
@@ -136,6 +137,7 @@ func compileContract(info *ContractInfo) (*Artifact, error) {
 		ABIJSON:  abiJSON,
 		Bytecode: initCode,
 		Runtime:  runtime,
+		Layout:   LayoutOf(info),
 	}, nil
 }
 

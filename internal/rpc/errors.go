@@ -1,0 +1,55 @@
+package rpc
+
+import "errors"
+
+// The error taxonomy of the JSON-RPC tier. Every failure a handler can
+// produce maps to exactly one row; handlers never invent ad-hoc codes,
+// and non-errors are listed too so their contracts live next to the
+// codes they deliberately avoid.
+//
+//	code    | meaning                    | data
+//	--------+----------------------------+------------------------------------
+//	-32700  | unparseable request body   | —
+//	-32600  | not a valid JSON-RPC call  | —
+//	-32601  | unknown method             | —
+//	-32602  | malformed params           | —
+//	-32000  | generic server failure     | —
+//	3       | execution reverted         | 0x-hex revert return bytes
+//	3       | upgrade rejected           | {"kind":"upgrade_rejected",
+//	        |                            |  "report":{...}} (upgrade.Report)
+//
+// Code 3 is shared deliberately: a revert and an upgrade rejection both
+// mean "the chain refused the state change for a contract-level
+// reason", and clients that already branch on geth's revert code get
+// rejection handling for free — the data payload's shape tells the two
+// apart.
+//
+// Deliberate non-errors:
+//
+//   - eth_uninstallFilter answers false — never an error — for unknown,
+//     expired or already-removed IDs, so clients can uninstall
+//     idempotently without racing the TTL reaper (filters.go).
+//   - eth_unsubscribe mirrors the same contract over WebSocket (ws.go).
+//
+// Errors whose code and payload are decided outside this package
+// implement DataError; toRPCError forwards them verbatim instead of
+// collapsing them into -32000. upgrade.RejectionError is the canonical
+// implementation.
+
+// DataError is an error that knows its JSON-RPC code and structured
+// error.data payload.
+type DataError interface {
+	error
+	RPCCode() int
+	ErrorData() interface{}
+}
+
+// asDataError extracts a DataError from a wrapped chain, mirroring the
+// errors.As branches of toRPCError.
+func asDataError(err error) (DataError, bool) {
+	var de DataError
+	if errors.As(err, &de) {
+		return de, true
+	}
+	return nil, false
+}

@@ -1,0 +1,47 @@
+package rpc
+
+import (
+	"fmt"
+	"testing"
+
+	"legalchain/internal/upgrade"
+)
+
+// wrappedData wraps a DataError one level down; toRPCError must unwrap.
+type wrappedData struct{ inner error }
+
+func (w *wrappedData) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrappedData) Unwrap() error { return w.inner }
+
+func TestToRPCErrorMapsDataError(t *testing.T) {
+	rep := &upgrade.Report{Candidate: "BadV2"}
+	rep.Failures = append(rep.Failures, upgrade.Check{
+		Rule: upgrade.RuleSelectorRemoved, Subject: "payRent()", Detail: "selector gone",
+	})
+	rej := &upgrade.RejectionError{Report: rep}
+
+	e := toRPCError(rej)
+	if e.Code != codeRevert {
+		t.Fatalf("code = %d, want %d (rejections share the revert code; data disambiguates)", e.Code, codeRevert)
+	}
+	data, ok := e.Data.(map[string]interface{})
+	if !ok || data["kind"] != "upgrade_rejected" {
+		t.Fatalf("data = %#v, want upgrade_rejected envelope", e.Data)
+	}
+	if data["report"] != rep {
+		t.Fatal("data does not carry the structured report")
+	}
+
+	// A DataError buried under fmt wrapping still maps.
+	e = toRPCError(&wrappedData{inner: fmt.Errorf("modify: %w", rej)})
+	if e.Code != codeRevert {
+		t.Fatalf("wrapped code = %d, want %d", e.Code, codeRevert)
+	}
+}
+
+func TestToRPCErrorPlainFallback(t *testing.T) {
+	e := toRPCError(fmt.Errorf("boom"))
+	if e.Code != codeServerError || e.Data != nil {
+		t.Fatalf("plain error mapped to %+v", e)
+	}
+}

@@ -232,6 +232,9 @@ func toRPCError(err error) *rpcError {
 	if errors.As(err, &te) {
 		return &rpcError{Code: te.Code, Message: te.Message, Data: te.Data}
 	}
+	if de, ok := asDataError(err); ok {
+		return &rpcError{Code: de.RPCCode(), Message: de.Error(), Data: de.ErrorData()}
+	}
 	if errors.Is(err, errMethodNotFound) {
 		return &rpcError{Code: codeMethodNotFound, Message: err.Error()}
 	}

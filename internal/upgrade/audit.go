@@ -1,0 +1,107 @@
+package upgrade
+
+import (
+	"legalchain/internal/abi"
+	"legalchain/internal/chain"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/evm"
+	"legalchain/internal/minisol"
+)
+
+// Audit report types. `legalctl audit <addr>` and the REST audit
+// endpoint walk an evidence line's doubly linked version list and
+// render, for every adjacent pair, what actually changed between the
+// versions: bytecode, public ABI surface, storage layout, and observed
+// behaviour (traced execution of the shared read-only methods). The
+// core tier assembles AuditReport; this package owns the pairwise
+// diffing so the shapes stay next to the rules they report on.
+
+// VersionNode describes one deployed version in chain order (root
+// first).
+type VersionNode struct {
+	Address   string          `json:"address"`
+	Index     int             `json:"index"`
+	CodeSize  int             `json:"codeSize"`
+	CodeHash  string          `json:"codeHash"`
+	HasABI    bool            `json:"hasAbi"`
+	HasLayout bool            `json:"hasLayout"`
+	Layout    *minisol.Layout `json:"layout,omitempty"`
+}
+
+// BehaviourDelta compares one shared read-only method traced on both
+// versions: gas burned, instruction steps, and revert outcome.
+type BehaviourDelta struct {
+	Method      string `json:"method"`
+	OldGas      uint64 `json:"oldGas"`
+	NewGas      uint64 `json:"newGas"`
+	OldSteps    int    `json:"oldSteps"`
+	NewSteps    int    `json:"newSteps"`
+	OldReverted bool   `json:"oldReverted"`
+	NewReverted bool   `json:"newReverted"`
+	Changed     bool   `json:"changed"` // any of gas/steps/outcome differ
+}
+
+// PairDiff is the full delta between two adjacent versions.
+type PairDiff struct {
+	From            string           `json:"from"`
+	To              string           `json:"to"`
+	BytecodeChanged bool             `json:"bytecodeChanged"`
+	CodeSizeDelta   int              `json:"codeSizeDelta"`
+	ABI             *ABIDiff         `json:"abi,omitempty"`
+	Layout          *LayoutDiff      `json:"layout,omitempty"`
+	Behaviour       []BehaviourDelta `json:"behaviour,omitempty"`
+}
+
+// AuditReport is the rendered audit of one evidence line.
+type AuditReport struct {
+	Root          string        `json:"root"`
+	Head          string        `json:"head"`
+	ChainVerified bool          `json:"chainVerified"` // next/prev pointers mutually consistent
+	Versions      []VersionNode `json:"versions"`
+	Pairs         []PairDiff    `json:"pairs,omitempty"`
+	Rejections    []*Report     `json:"rejections,omitempty"` // rejected candidates recorded in evidence
+}
+
+// TraceBackend is the slice of the chain tier behaviour diffing needs.
+// *chain.HeadView satisfies it.
+type TraceBackend interface {
+	TraceCall(from ethtypes.Address, to *ethtypes.Address, data []byte, gas uint64) (*chain.CallResult, *evm.StructLogger)
+}
+
+// DiffBehaviour traces every zero-argument read-only method the two
+// versions share, on both, and reports the execution deltas. Methods
+// with inputs are skipped (no meaningful common argument exists), as is
+// anything state-changing (tracing must not suggest the audit mutated
+// the chain — it never does, but the report shouldn't invite the
+// question).
+func DiffBehaviour(tb TraceBackend, from ethtypes.Address, oldAddr, newAddr ethtypes.Address, oldABI, newABI *abi.ABI) []BehaviourDelta {
+	if tb == nil || oldABI == nil || newABI == nil {
+		return nil
+	}
+	var out []BehaviourDelta
+	for _, name := range sortedKeys(oldABI.Methods) {
+		om := oldABI.Methods[name]
+		nm, ok := newABI.Methods[name]
+		if !ok || len(om.Inputs) > 0 || len(nm.Inputs) > 0 || !om.ReadOnly() || !nm.ReadOnly() {
+			continue
+		}
+		data, err := oldABI.Pack(name)
+		if err != nil {
+			continue
+		}
+		oldRes, oldTr := tb.TraceCall(from, &oldAddr, data, 0)
+		newRes, newTr := tb.TraceCall(from, &newAddr, data, 0)
+		d := BehaviourDelta{
+			Method:      om.Signature(),
+			OldGas:      oldRes.GasUsed,
+			NewGas:      newRes.GasUsed,
+			OldSteps:    len(oldTr.Logs),
+			NewSteps:    len(newTr.Logs),
+			OldReverted: oldRes.Err != nil,
+			NewReverted: newRes.Err != nil,
+		}
+		d.Changed = d.OldGas != d.NewGas || d.OldSteps != d.NewSteps || d.OldReverted != d.NewReverted
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package upgrade is the guarded-upgrade subsystem: it decides whether
+// a candidate contract version may join an evidence line (the paper's
+// Fig. 2 doubly linked version list) BEFORE the manager sets next/prev.
+//
+// Following "Specification is Law" (Antonino et al.), a candidate is
+// admitted only after three spec checks pass:
+//
+//  1. ABI compatibility — every public selector of v(n) is present and
+//     signature-compatible in v(n+1), so existing callers and the
+//     version-walk itself keep working;
+//  2. storage-layout compatibility — computed from minisol's exported
+//     layouts: retained fields keep their slot and type, new fields
+//     append past the predecessor's frontier, orphaned slots are never
+//     reused (the FlexiContracts precondition for in-place migration);
+//  3. user-declared properties — eth_call assertions executed against
+//     the candidate deployed on a fork of the live head view, so the
+//     checks run on real predecessor-era state without touching the
+//     chain.
+//
+// A failing candidate produces a structured *RejectionError whose
+// report the manager records in the DataStorage evidence line and which
+// the RPC tier surfaces as geth code 3 with the report in error.data
+// (the same shape reverts use).
+package upgrade
+
+import (
+	"fmt"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/uint256"
+)
+
+// Rule codes of the rejection taxonomy. They are stable, machine-
+// readable strings: the REST and JSON-RPC tiers forward them verbatim
+// in error payloads, and the evidence line stores them.
+const (
+	RuleSelectorRemoved       = "abi_selector_removed"    // public method of v(n) missing in v(n+1)
+	RuleSignatureChanged      = "abi_signature_changed"   // same name, different inputs or outputs
+	RuleMutabilityWeakened    = "abi_mutability_weakened" // view/pure became state-changing
+	RuleSlotMoved             = "layout_slot_moved"       // retained field assigned a different slot
+	RuleTypeChanged           = "layout_type_changed"     // retained field changed type
+	RuleSlotReused            = "layout_slot_reused"      // new field lands below the predecessor's frontier
+	RulePropertyFailed        = "property_failed"         // declared property check returned the wrong value
+	RulePropertyUnverifiable  = "property_unverifiable"   // declared property could not be executed
+	RuleCandidateUndeployable = "candidate_undeployable"  // candidate's constructor reverted on the fork
+)
+
+// Check is one failed (or noted) verification rule.
+type Check struct {
+	Rule    string `json:"rule"`
+	Subject string `json:"subject"` // method signature, variable name, or property name
+	Detail  string `json:"detail"`
+}
+
+// Property is a user-declared behavioural assertion on the candidate:
+// Method is called (with Args) on the candidate deployed to a fork of
+// the head view; the call must not revert, and when Want is non-empty
+// the rendered return value must equal it. Renderings: uints decimal,
+// addresses 0x-hex, bools "true"/"false", strings verbatim; multiple
+// return values join with ",".
+type Property struct {
+	Name   string        `json:"name"`
+	Method string        `json:"method"`
+	Args   []interface{} `json:"args,omitempty"`
+	Want   string        `json:"want,omitempty"`
+}
+
+// PropertyResult is the outcome of one declared property check.
+type PropertyResult struct {
+	Name   string `json:"name"`
+	Method string `json:"method"`
+	OK     bool   `json:"ok"`
+	Got    string `json:"got,omitempty"`
+	Want   string `json:"want,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Report is the full verification verdict for one candidate version.
+// It marshals to JSON unchanged for the evidence line, the REST error
+// envelope and JSON-RPC error.data.
+type Report struct {
+	Candidate     string           `json:"candidate"` // artifact name
+	Prev          string           `json:"prev"`      // predecessor address
+	ABIChecked    bool             `json:"abiChecked"`
+	LayoutChecked bool             `json:"layoutChecked"` // false when the predecessor has no stored layout
+	ABIDiff       *ABIDiff         `json:"abiDiff,omitempty"`
+	LayoutDiff    *LayoutDiff      `json:"layoutDiff,omitempty"`
+	Migration     *MigrationPlan   `json:"migration,omitempty"` // derived when the layout diff is compatible
+	Properties    []PropertyResult `json:"properties,omitempty"`
+	Failures      []Check          `json:"failures,omitempty"`
+	Notes         []string         `json:"notes,omitempty"`
+}
+
+// OK reports whether the candidate passed every check.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+func (r *Report) fail(rule, subject, format string, args ...interface{}) {
+	r.Failures = append(r.Failures, Check{Rule: rule, Subject: subject, Detail: fmt.Sprintf(format, args...)})
+}
+
+// RejectionError carries a failed verification report as an error. The
+// RPC tier maps it to geth code 3 with the report as structured
+// error.data; the REST tier maps it to the "upgrade_rejected" envelope
+// code.
+type RejectionError struct {
+	Report *Report
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	n := len(e.Report.Failures)
+	if n == 0 {
+		return "upgrade rejected"
+	}
+	first := e.Report.Failures[0]
+	if n == 1 {
+		return fmt.Sprintf("upgrade rejected: %s (%s): %s", first.Rule, first.Subject, first.Detail)
+	}
+	return fmt.Sprintf("upgrade rejected: %d checks failed, first %s (%s): %s", n, first.Rule, first.Subject, first.Detail)
+}
+
+// RPCCode implements the rpc.DataError contract: upgrade rejections
+// share geth's code 3 with reverted execution, because both mean "the
+// chain refused the state change for a contract-level reason".
+func (e *RejectionError) RPCCode() int { return 3 }
+
+// ErrorData implements rpc.DataError: the structured report rides in
+// error.data the way revert return bytes do.
+func (e *RejectionError) ErrorData() interface{} {
+	return map[string]interface{}{"kind": "upgrade_rejected", "report": e.Report}
+}
+
+// renderValue renders one decoded ABI output the way the evidence line
+// stores values (see core.SnapshotContract): uints decimal, addresses
+// hex, bools true/false, strings verbatim.
+func renderValue(v interface{}) (string, error) {
+	switch x := v.(type) {
+	case uint256.Int:
+		return x.String(), nil
+	case ethtypes.Address:
+		return x.Hex(), nil
+	case string:
+		return x, nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	default:
+		return "", fmt.Errorf("unsupported property value type %T", v)
+	}
+}
+
+// renderReturn joins a method's decoded outputs with commas.
+func renderReturn(vals []interface{}) (string, error) {
+	out := ""
+	for i, v := range vals {
+		s, err := renderValue(v)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out, nil
+}

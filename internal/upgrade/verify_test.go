@@ -1,0 +1,187 @@
+package upgrade
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/minisol"
+)
+
+const specV1 = `
+pragma solidity ^0.5.0;
+contract Spec {
+	uint public rent;
+	address public owner;
+	function pay() public payable { rent += 1; }
+	function getNext() public view returns (address addr) { return owner; }
+}
+`
+
+// selector removed: getNext is gone.
+const specDropped = `
+pragma solidity ^0.5.0;
+contract Spec {
+	uint public rent;
+	address public owner;
+	function pay() public payable { rent += 1; }
+}
+`
+
+// signature changed: pay takes an argument now.
+const specResigned = `
+pragma solidity ^0.5.0;
+contract Spec {
+	uint public rent;
+	address public owner;
+	function pay(uint month) public payable { rent += month; }
+	function getNext() public view returns (address addr) { return owner; }
+}
+`
+
+// mutability weakened: getNext writes state.
+const specWeakened = `
+pragma solidity ^0.5.0;
+contract Spec {
+	uint public rent;
+	address public owner;
+	function pay() public payable { rent += 1; }
+	function getNext() public returns (address addr) { rent += 1; return owner; }
+}
+`
+
+// compatible superset: everything retained, one method added.
+const specGrown = `
+pragma solidity ^0.5.0;
+contract Spec {
+	uint public rent;
+	address public owner;
+	uint public fee;
+	function pay() public payable { rent += 1; }
+	function getNext() public view returns (address addr) { return owner; }
+	function payFee() public payable { fee += 1; }
+}
+`
+
+func compileFor(t *testing.T, src string) *minisol.Artifact {
+	t.Helper()
+	art, err := minisol.CompileContract(src, "Spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func ruleOf(r *Report, rule string) *Check {
+	for i := range r.Failures {
+		if r.Failures[i].Rule == rule {
+			return &r.Failures[i]
+		}
+	}
+	return nil
+}
+
+func verifyPair(t *testing.T, oldSrc, newSrc string) *Report {
+	t.Helper()
+	old := compileFor(t, oldSrc)
+	cand := compileFor(t, newSrc)
+	spec := Spec{PrevABI: old.ABI, PrevLayout: old.Layout}
+	c := Candidate{Name: cand.Name, ABI: cand.ABI, Layout: cand.Layout, Bytecode: cand.Bytecode}
+	return Verify(spec, c, nil, ethtypes.Address{1})
+}
+
+func TestVerifyRejectsRemovedSelector(t *testing.T) {
+	r := verifyPair(t, specV1, specDropped)
+	if r.OK() {
+		t.Fatal("candidate with removed selector admitted")
+	}
+	f := ruleOf(r, RuleSelectorRemoved)
+	if f == nil {
+		t.Fatalf("expected %s, got %+v", RuleSelectorRemoved, r.Failures)
+	}
+	if !strings.Contains(f.Subject, "getNext") {
+		t.Fatalf("wrong subject %q", f.Subject)
+	}
+}
+
+func TestVerifyRejectsChangedSignature(t *testing.T) {
+	r := verifyPair(t, specV1, specResigned)
+	if ruleOf(r, RuleSignatureChanged) == nil {
+		t.Fatalf("expected %s, got %+v", RuleSignatureChanged, r.Failures)
+	}
+}
+
+func TestVerifyRejectsWeakenedMutability(t *testing.T) {
+	r := verifyPair(t, specV1, specWeakened)
+	if ruleOf(r, RuleMutabilityWeakened) == nil {
+		t.Fatalf("expected %s, got %+v", RuleMutabilityWeakened, r.Failures)
+	}
+}
+
+func TestVerifyAdmitsCompatibleGrowth(t *testing.T) {
+	r := verifyPair(t, specV1, specGrown)
+	if !r.OK() {
+		t.Fatalf("compatible superset rejected: %+v", r.Failures)
+	}
+	if r.Migration == nil || !r.Migration.InPlace {
+		t.Fatalf("compatible growth derived no in-place migration plan: %+v", r.Migration)
+	}
+	if len(r.ABIDiff.AddedMethods) == 0 {
+		t.Fatal("added method not reported in the diff")
+	}
+}
+
+func TestVerifyWithoutPrevLayoutSkipsWithNote(t *testing.T) {
+	old := compileFor(t, specV1)
+	cand := compileFor(t, specGrown)
+	spec := Spec{PrevABI: old.ABI} // no stored layout: pre-layout-era predecessor
+	r := Verify(spec, Candidate{Name: cand.Name, ABI: cand.ABI, Layout: cand.Layout, Bytecode: cand.Bytecode}, nil, ethtypes.Address{1})
+	if r.LayoutChecked {
+		t.Fatal("layout check ran without a predecessor layout")
+	}
+	if len(r.Notes) == 0 {
+		t.Fatal("skipped layout check left no note")
+	}
+	if !r.OK() {
+		t.Fatalf("ABI-compatible candidate rejected: %+v", r.Failures)
+	}
+}
+
+func TestVerifyDeclaredPropertiesUnverifiableWithoutView(t *testing.T) {
+	old := compileFor(t, specV1)
+	cand := compileFor(t, specGrown)
+	spec := Spec{PrevABI: old.ABI, PrevLayout: old.Layout,
+		Properties: []Property{{Name: "rent-zero", Method: "rent", Want: "0"}}}
+	r := Verify(spec, Candidate{Name: cand.Name, ABI: cand.ABI, Layout: cand.Layout, Bytecode: cand.Bytecode}, nil, ethtypes.Address{1})
+	if r.OK() {
+		t.Fatal("declared properties must fail conservatively when unexecutable")
+	}
+	if ruleOf(r, RulePropertyUnverifiable) == nil {
+		t.Fatalf("expected %s, got %+v", RulePropertyUnverifiable, r.Failures)
+	}
+}
+
+func TestRejectionErrorShape(t *testing.T) {
+	r := verifyPair(t, specV1, specDropped)
+	err := &RejectionError{Report: r}
+	if !strings.Contains(err.Error(), RuleSelectorRemoved) {
+		t.Fatalf("error message %q does not name the rule", err.Error())
+	}
+	if err.RPCCode() != 3 {
+		t.Fatalf("RPCCode = %d, want 3 (geth revert convention)", err.RPCCode())
+	}
+	data, ok := err.ErrorData().(map[string]interface{})
+	if !ok || data["kind"] != "upgrade_rejected" {
+		t.Fatalf("ErrorData = %#v", err.ErrorData())
+	}
+	// The report must round-trip through JSON for the evidence line.
+	raw, jerr := json.Marshal(r)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	var back Report
+	if json.Unmarshal(raw, &back) != nil || len(back.Failures) != len(r.Failures) {
+		t.Fatalf("report did not round-trip: %s", raw)
+	}
+}

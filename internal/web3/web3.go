@@ -379,6 +379,22 @@ func (b *BoundContract) CallString(from ethtypes.Address, method string, args ..
 	return s, nil
 }
 
+// CallBool is Call for single-bool-returning methods.
+func (b *BoundContract) CallBool(from ethtypes.Address, method string, args ...interface{}) (bool, error) {
+	out, err := b.Call(from, method, args...)
+	if err != nil {
+		return false, err
+	}
+	if len(out) != 1 {
+		return false, fmt.Errorf("web3: %s returned %d values", method, len(out))
+	}
+	v, ok := out[0].(bool)
+	if !ok {
+		return false, fmt.Errorf("web3: %s returned %T, not bool", method, out[0])
+	}
+	return v, nil
+}
+
 // FilterEvents returns the decoded occurrences of one event since
 // fromBlock.
 func (b *BoundContract) FilterEvents(event string, fromBlock uint64) ([]*abi.DecodedEvent, error) {
