@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test check ci lint bench bench-smoke bench-par race persistence-torture conflict-torture fmt-check obs-check soak slo-smoke
+.PHONY: build test check ci lint bench bench-smoke bench-par race persistence-torture conflict-torture fmt-check obs-check metrics-doc soak slo-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ test:
 # suites.
 check:
 	$(MAKE) fmt-check
+	$(MAKE) metrics-doc
 	$(GO) vet ./...
 	$(GO) test -race ./internal/state/... ./internal/chain/... ./internal/rpc/... ./internal/app/... ./internal/xtrace/...
 	$(GO) test -race -count 1 ./internal/upgrade/... ./internal/core/...
@@ -60,6 +61,11 @@ lint:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# metrics-doc fails if a registered metric family is missing from the
+# README's metrics reference table (rows: `go run ./cmd/metricsdoc -list`).
+metrics-doc:
+	$(GO) run ./cmd/metricsdoc
 
 # obs-check is the instrumentation-overhead gate: it fails if the
 # metrics layer or disabled span tracing slows the EthCall hot path by
@@ -136,10 +142,12 @@ SLO_PAIRS ?= 8
 SLO_SUBS ?= 128
 SLO_SECONDS ?= 30
 SLO_P99_READ ?= 50ms
+SLO_WATCH_LAG ?= 1
 slo-smoke:
 	$(GO) run ./cmd/loadgen -users $(SLO_USERS) -pairs $(SLO_PAIRS) \
 		-subscribers $(SLO_SUBS) -duration $(SLO_SECONDS)s -think 2s \
 		-gate-p99-read $(SLO_P99_READ) -gate-zero-drops \
+		-gate-watch-lag $(SLO_WATCH_LAG) \
 		-out loadgen.json -csv loadgen.csv
 	@cat loadgen.csv
 

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -36,31 +37,37 @@ import (
 	"legalchain/internal/obs"
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
+	"legalchain/internal/watch"
 	"legalchain/internal/xtrace"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8545", "listen address for JSON-RPC")
-		wsAddr     = flag.String("ws-addr", "", "listen address for WebSocket JSON-RPC + eth_subscribe (empty = disabled)")
-		nAcc       = flag.Int("accounts", 10, "number of pre-funded accounts")
-		seed       = flag.String("seed", wallet.DefaultDevSeed, "deterministic account seed")
-		balance    = flag.Int64("balance", 1000, "initial balance per account (ether)")
-		chainID    = flag.Uint64("chainid", 1337, "chain id")
-		gasLimit   = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
-		datadir    = flag.String("datadir", "", "directory for the durable block log (empty = in-memory)")
-		metrics    = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
-		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		traceOn    = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
-		traceN     = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
-		slowTr     = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
-		workers    = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
-		pipeline   = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
-		stateStore = flag.Bool("state-store", false, "disk-backed state: bounded-memory accounts under <datadir>/state (requires -datadir)")
-		stateCache = flag.Int("state-cache", 32, "state-store read cache budget in MiB")
-		snapKeep   = flag.Int("snapshots-keep", 2, "periodic state snapshots to retain on disk (>= 1; ignored with -state-store)")
-		retain     = flag.Uint64("retain-blocks", 0, "block bodies kept in memory; older ones read back from the log (0 = all, requires -datadir)")
+		addr        = flag.String("addr", ":8545", "listen address for JSON-RPC")
+		wsAddr      = flag.String("ws-addr", "", "listen address for WebSocket JSON-RPC + eth_subscribe (empty = disabled)")
+		nAcc        = flag.Int("accounts", 10, "number of pre-funded accounts")
+		seed        = flag.String("seed", wallet.DefaultDevSeed, "deterministic account seed")
+		balance     = flag.Int64("balance", 1000, "initial balance per account (ether)")
+		chainID     = flag.Uint64("chainid", 1337, "chain id")
+		gasLimit    = flag.Uint64("gaslimit", 12_000_000, "block gas limit")
+		datadir     = flag.String("datadir", "", "directory for the durable block log (empty = in-memory)")
+		metrics     = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceOn     = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
+		traceN      = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
+		slowTr      = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
+		workers     = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
+		pipeline    = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
+		stateStore  = flag.Bool("state-store", false, "disk-backed state: bounded-memory accounts under <datadir>/state (requires -datadir)")
+		stateCache  = flag.Int("state-cache", 32, "state-store read cache budget in MiB")
+		snapKeep    = flag.Int("snapshots-keep", 2, "periodic state snapshots to retain on disk (>= 1; ignored with -state-store)")
+		retain      = flag.Uint64("retain-blocks", 0, "block bodies kept in memory; older ones read back from the log (0 = all, requires -datadir)")
+		watchOn     = flag.Bool("watch", false, "run the contract watchtower (legal_watchStatus, lifecycle metrics, alerts)")
+		watchRules  = flag.String("watch-rules", "", "alert rules file, one rule per line (e.g. \"overdue > 0 for 2 blocks\")")
+		rentPeriod  = flag.Uint64("watch-rent-period", 5, "blocks between rent payments before the obligation is overdue")
+		maxHeadAge  = flag.Duration("max-head-age", 0, "readiness: /healthz turns 503 when the head view is older than this (0 = disabled)")
+		maxWatchLag = flag.Uint64("max-watch-lag", 64, "readiness: /healthz turns 503 when the watchtower lags more than this many blocks (0 = disabled)")
 	)
 	flag.Parse()
 	if *snapKeep < 1 {
@@ -131,8 +138,35 @@ func main() {
 	}
 	fmt.Printf("\nJSON-RPC listening on %s\n", *addr)
 
+	var tower *watch.Tower
+	if *watchOn {
+		var rules []watch.Rule
+		if *watchRules != "" {
+			text, err := os.ReadFile(*watchRules)
+			if err != nil {
+				log.Fatalf("devnet: -watch-rules: %v", err)
+			}
+			if rules, err = watch.ParseRules(string(text)); err != nil {
+				log.Fatalf("devnet: -watch-rules: %v", err)
+			}
+		}
+		watchDir := ""
+		if *datadir != "" {
+			watchDir = filepath.Join(*datadir, "watch")
+		}
+		tower, err = watch.New(bc, watch.Config{Dir: watchDir, RentPeriod: *rentPeriod, Rules: rules})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tower.Start()
+		fmt.Println("watchtower running (legal_watchStatus)")
+	}
+
 	rpcSrv := rpc.NewServer(bc, ks)
 	rpcSrv.SetLogger(logger)
+	if tower != nil {
+		rpcSrv.SetWatch(tower)
+	}
 	srv := &http.Server{Addr: *addr, Handler: rpcSrv}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -156,9 +190,29 @@ func main() {
 		health := func() map[string]interface{} {
 			h := obs.ChainHealth(bc)
 			h["chainId"] = bc.ChainID()
+			if tower != nil {
+				st := tower.Status()
+				h["watch"] = map[string]interface{}{
+					"folded": st.Folded, "lagBlocks": st.LagBlocks,
+					"tracked": st.Tracked, "alertsFiring": st.AlertsFiring,
+				}
+			}
 			return h
 		}
-		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health)}
+		ready := func() (bool, string) {
+			if *maxHeadAge > 0 {
+				if age := time.Since(bc.View().PublishedAt()); age > *maxHeadAge {
+					return false, fmt.Sprintf("head view is %s old (max %s)", age.Round(time.Millisecond), *maxHeadAge)
+				}
+			}
+			if tower != nil && *maxWatchLag > 0 {
+				if st := tower.Status(); st.LagBlocks > *maxWatchLag {
+					return false, fmt.Sprintf("watchtower %d blocks behind (max %d)", st.LagBlocks, *maxWatchLag)
+				}
+			}
+			return true, ""
+		}
+		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health, ready)}
 		go func() {
 			fmt.Printf("metrics listening on %s (pprof: %v)\n", *metrics, *pprofOn)
 			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -183,6 +237,13 @@ func main() {
 	}
 	if opsSrv != nil {
 		opsSrv.Shutdown(ctx)
+	}
+	if tower != nil {
+		// Before the chain: the final fold flushes the event log and the
+		// hub subscription drains before bc.Close.
+		if err := tower.Close(); err != nil {
+			log.Printf("watchtower close failed: %v", err)
+		}
 	}
 	if err := bc.Close(); err != nil {
 		log.Fatalf("flush failed: %v", err)

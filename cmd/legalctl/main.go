@@ -14,6 +14,8 @@
 //	legalctl audit [-json]        # build a 3-version chain, diff code/ABI/layout/behaviour
 //	legalctl trace <name> <meth>  # step-trace a contract method on a fresh local chain
 //	legalctl trace <txhash>       # replay a mined tx via debug_traceTransaction on a node
+//	legalctl watch [-json]        # one-shot watchtower status from a node running -watch
+//	legalctl top [-interval 2s]   # live polling view of contracts, obligations and alerts
 package main
 
 import (
@@ -61,6 +63,10 @@ func main() {
 		runDemo()
 	case "audit":
 		runAudit(os.Args[2:])
+	case "watch":
+		runWatch(os.Args[2:])
+	case "top":
+		runTop(os.Args[2:])
 	case "trace":
 		requireArg(3)
 		// Two forms: a 0x… transaction hash replays a mined transaction
@@ -78,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: legalctl stack|contracts|selectors <name>|disasm <name>|demo|audit [-json]|trace <name> <method>|trace <txhash> [-rpc url] [-tracer structLog|callTracer]")
+	fmt.Fprintln(os.Stderr, "usage: legalctl stack|contracts|selectors <name>|disasm <name>|demo|audit [-json]|trace <name> <method>|trace <txhash> [-rpc url] [-tracer structLog|callTracer]|watch [-rpc url] [-json]|top [-rpc url] [-interval d] [-once]")
 	os.Exit(2)
 }
 

@@ -42,8 +42,10 @@ import (
 	"legalchain/internal/docstore"
 	"legalchain/internal/ethtypes"
 	"legalchain/internal/ipfs"
+	"legalchain/internal/metrics"
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
+	"legalchain/internal/watch"
 	"legalchain/internal/web3"
 	"legalchain/internal/ws"
 )
@@ -62,6 +64,8 @@ func main() {
 		csvPath     = flag.String("csv", "", "also write a per-op CSV here")
 		gateP99Read = flag.Duration("gate-p99-read", 0, "fail unless read p99 is below this (0 = no gate)")
 		gateDrops   = flag.Bool("gate-zero-drops", false, "fail on any lifecycle error, subscription gap or out-of-order head")
+		gateLag     = flag.Uint64("gate-watch-lag", 0, "run a watchtower beside the load and fail unless its mean fold convergence lag (residual blocks left behind per fold batch) stays under this (self-hosted only, 0 = no gate)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address for the duration of the run")
 	)
 	flag.Parse()
 
@@ -106,6 +110,46 @@ func main() {
 		}
 	}
 
+	if *metricsAddr != "" {
+		// Live observation of the run itself: the process's default
+		// registry carries chain, RPC and (with -gate-watch-lag) watch
+		// metrics while the load is running.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatalf("metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+	}
+
+	// Watchtower lag gate: fold every sealed block into lifecycle state
+	// while the full load runs, sampling how far the fold falls behind
+	// the sealer. Individual samples can catch a fold batch in flight
+	// (instant seal makes a transient backlog unavoidable), so the gate
+	// is on the mean sampled lag — the steady-state backlog — with the
+	// peak reported alongside.
+	var (
+		tower      *watch.Tower
+		maxLag     atomic.Uint64
+		sumLag     atomic.Uint64
+		lagSamples atomic.Int64
+	)
+	if *gateLag > 0 {
+		if bc == nil {
+			fatalf("-gate-watch-lag requires self-hosted mode (no -rpc)")
+		}
+		var err error
+		tower, err = watch.New(bc, watch.Config{})
+		if err != nil {
+			fatalf("watchtower: %v", err)
+		}
+		tower.Start()
+		defer tower.Close()
+	}
+
 	rec := newRecorder()
 	clock := newHeadClock()
 	var gaps, headsSeen, outOfOrder atomic.Int64
@@ -140,6 +184,29 @@ func main() {
 	var wg sync.WaitGroup
 	t0 := time.Now()
 
+	if tower != nil {
+		// Sample the background fold's distance from the sealer head —
+		// no Sync here, that would hide the lag being measured.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for ctx.Err() == nil {
+				st := tower.Status()
+				lagSamples.Add(1)
+				sumLag.Add(st.LagBlocks)
+				if st.LagBlocks > maxLag.Load() {
+					maxLag.Store(st.LagBlocks)
+				}
+				select {
+				case <-ctx.Done():
+				case <-tick.C:
+				}
+			}
+		}()
+	}
+
 	// WS subscribers (closed on winddown so watcher goroutines exit).
 	var conns struct {
 		sync.Mutex
@@ -152,14 +219,19 @@ func main() {
 				defer wg.Done()
 				conn, err := ws.Dial(wsubURL, 10*time.Second)
 				if err != nil {
-					rec.observe("ws_notify", 0, err)
+					if ctx.Err() == nil {
+						rec.observe("ws_notify", 0, err)
+					}
 					return
 				}
 				conns.Lock()
 				conns.list = append(conns.list, conn)
 				conns.Unlock()
 				w := &wsWatcher{clock: clock, rec: rec, gaps: &gaps, heads: &headsSeen, ooo: &outOfOrder}
-				if err := w.watch(conn); err != nil {
+				// A handshake torn down by the winddown close is not a
+				// delivery failure — only count errors while the run is
+				// still live.
+				if err := w.watch(conn); err != nil && ctx.Err() == nil {
 					rec.observe("ws_notify", 0, err)
 				}
 			}()
@@ -167,13 +239,27 @@ func main() {
 	}
 
 	// Lifecycle pairs: each owns its accounts and registry, all share
-	// the node.
+	// the node. Self-hosted pairs run over the local backend — the same
+	// wiring rentald uses — because the modify step's upgrade guard
+	// needs a pinned head view to execute its property checks, which no
+	// RPC transport can provide (the guard fails closed without one).
+	// The read/subscribe load stays on the RPC serialisation path.
+	pairClient := func() *web3.Client {
+		if bc != nil {
+			c, err := web3.NewClient(web3.NewLocalBackend(bc), ks)
+			if err != nil {
+				fatalf("web3 client: %v", err)
+			}
+			return c
+		}
+		return newRPCClient(target, httpc, ks)
+	}
 	for i := 0; i < *pairs; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			landlord, tenant := accounts[2*i].Address, accounts[2*i+1].Address
-			runPair(ctx, rec, newRPCClient(target, httpc, ks), landlord, tenant)
+			runPair(ctx, rec, pairClient(), landlord, tenant)
 		}(i)
 	}
 
@@ -212,6 +298,23 @@ func main() {
 		},
 		"wallSec": wall.Seconds(),
 	}
+	var meanLag float64
+	if n := lagSamples.Load(); n > 0 {
+		meanLag = float64(sumLag.Load()) / float64(n)
+	}
+	var convMean float64
+	var convMax, convN uint64
+	if tower != nil {
+		st := tower.Status()
+		convMean, convMax, convN = tower.ConvergenceLag()
+		report["watch"] = map[string]interface{}{
+			"tracked": st.Tracked, "folded": st.Folded, "head": st.Head,
+			"convergenceLagBlocks": convMean, "convergenceLagMax": convMax,
+			"foldBatches":   convN,
+			"meanLagBlocks": meanLag, "maxLagBlocks": maxLag.Load(),
+			"lagSamples": lagSamples.Load(),
+		}
+	}
 	buf, _ := json.MarshalIndent(report, "", "  ")
 	buf = append(buf, '\n')
 	if *outPath == "" {
@@ -223,7 +326,18 @@ func main() {
 		writeCSV(*csvPath, rec.report())
 	}
 
-	if failed := gate(rec.report(), *gateP99Read, *gateDrops, gaps.Load(), outOfOrder.Load()); failed {
+	failed := gate(rec.report(), *gateP99Read, *gateDrops, gaps.Load(), outOfOrder.Load())
+	// The gate is on convergence lag — the backlog the tower leaves
+	// behind each time its fold loop runs — not on the 100ms sampled
+	// lag above, which on a saturated box mostly measures how long the
+	// fold goroutine waited for a CPU. A healthy tower converges to ~0
+	// residual every batch regardless of scheduler pressure.
+	if *gateLag > 0 && convMean >= float64(*gateLag) {
+		fmt.Fprintf(os.Stderr, "GATE: watchtower convergence lag %.3f blocks over %d fold batches (budget < %d; worst residual %d)\n",
+			convMean, convN, *gateLag, convMax)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -237,7 +351,7 @@ func gate(ops []opReport, p99Read time.Duration, zeroDrops bool, gaps, ooo int64
 			failed = true
 		}
 		if zeroDrops && op.Errors > 0 {
-			fmt.Fprintf(os.Stderr, "GATE: %d %s errors (budget 0)\n", op.Errors, op.Op)
+			fmt.Fprintf(os.Stderr, "GATE: %d %s errors (budget 0; first: %s)\n", op.Errors, op.Op, op.FirstError)
 			failed = true
 		}
 	}

@@ -11,8 +11,9 @@ import (
 // run at 10k users produces a few hundred thousand samples, well
 // within memory.
 type opStats struct {
-	samples []time.Duration
-	errors  int
+	samples  []time.Duration
+	errors   int
+	firstErr string
 }
 
 // recorder collects samples across every worker goroutine.
@@ -37,6 +38,9 @@ func (r *recorder) observe(op string, d time.Duration, err error) {
 	}
 	if err != nil {
 		s.errors++
+		if s.firstErr == "" {
+			s.firstErr = err.Error()
+		}
 		return
 	}
 	s.samples = append(s.samples, d)
@@ -53,13 +57,14 @@ func (r *recorder) timed(op string, fn func() error) error {
 // opReport is the per-class summary serialised into the JSON/CSV
 // output.
 type opReport struct {
-	Op     string  `json:"op"`
-	Count  int     `json:"count"`
-	Errors int     `json:"errors"`
-	P50Ms  float64 `json:"p50Ms"`
-	P95Ms  float64 `json:"p95Ms"`
-	P99Ms  float64 `json:"p99Ms"`
-	MaxMs  float64 `json:"maxMs"`
+	Op         string  `json:"op"`
+	Count      int     `json:"count"`
+	Errors     int     `json:"errors"`
+	FirstError string  `json:"firstError,omitempty"`
+	P50Ms      float64 `json:"p50Ms"`
+	P95Ms      float64 `json:"p95Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	MaxMs      float64 `json:"maxMs"`
 }
 
 // report sorts each class's samples and extracts the percentiles.
@@ -74,7 +79,7 @@ func (r *recorder) report() []opReport {
 	out := make([]opReport, 0, len(names))
 	for _, op := range names {
 		s := r.ops[op]
-		rep := opReport{Op: op, Count: len(s.samples), Errors: s.errors}
+		rep := opReport{Op: op, Count: len(s.samples), Errors: s.errors, FirstError: s.firstErr}
 		if n := len(s.samples); n > 0 {
 			sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
 			rep.P50Ms = ms(percentile(s.samples, 0.50))

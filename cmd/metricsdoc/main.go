@@ -1,0 +1,74 @@
+// Command metricsdoc keeps the README's metrics reference honest: it
+// inventories every metric family the stack registers at init and
+// fails when one is missing from the documentation, so a new
+// instrument cannot merge undocumented.
+//
+// Usage:
+//
+//	metricsdoc                 # check README.md, exit 1 on drift
+//	metricsdoc -readme DOC.md  # check a different file
+//	metricsdoc -list           # print the markdown table rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"legalchain/internal/metrics"
+
+	// Blank imports pull in every package that registers instruments at
+	// init, so metrics.Default holds the full inventory. Keep in sync
+	// with the packages `grep -rl metrics.Default internal/` reports.
+	_ "legalchain/internal/blockdb"
+	_ "legalchain/internal/chain"
+	_ "legalchain/internal/docstore"
+	_ "legalchain/internal/evm"
+	_ "legalchain/internal/obs"
+	_ "legalchain/internal/rpc"
+	_ "legalchain/internal/statestore"
+	_ "legalchain/internal/watch"
+	_ "legalchain/internal/xtrace"
+)
+
+func main() {
+	readme := flag.String("readme", "README.md", "documentation file the metric names must appear in")
+	list := flag.Bool("list", false, "print the inventory as markdown table rows instead of checking")
+	flag.Parse()
+
+	fams := metrics.Default.Families()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+
+	if *list {
+		fmt.Println("| Metric | Type | Description |")
+		fmt.Println("|---|---|---|")
+		for _, f := range fams {
+			fmt.Printf("| `%s` | %s | %s |\n", f.Name, f.Type, strings.ReplaceAll(f.Help, "|", "\\|"))
+		}
+		return
+	}
+
+	doc, err := os.ReadFile(*readme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricsdoc: %v\n", err)
+		os.Exit(2)
+	}
+	text := string(doc)
+	var missing []string
+	for _, f := range fams {
+		if !strings.Contains(text, f.Name) {
+			missing = append(missing, f.Name)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "metricsdoc: %d registered metric(s) missing from %s:\n", len(missing), *readme)
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
+		fmt.Fprintln(os.Stderr, "add them to the metrics reference table (regenerate rows with `go run ./cmd/metricsdoc -list`)")
+		os.Exit(1)
+	}
+	fmt.Printf("metricsdoc: all %d registered metrics documented in %s\n", len(fams), *readme)
+}

@@ -42,28 +42,34 @@ import (
 	"legalchain/internal/obs"
 	"legalchain/internal/rpc"
 	"legalchain/internal/wallet"
+	"legalchain/internal/watch"
 	"legalchain/internal/web3"
 	"legalchain/internal/xtrace"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "web application listen address")
-		rpcAddr    = flag.String("rpc", ":8545", "JSON-RPC listen address (empty to disable)")
-		wsAddr     = flag.String("ws-addr", "", "WebSocket JSON-RPC + eth_subscribe listen address (empty = disabled)")
-		datadir    = flag.String("datadir", "", "directory for durable data (empty = in-memory)")
-		metrics    = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
-		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		traceOn    = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
-		traceN     = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
-		slowTr     = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
-		workers    = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
-		pipeline   = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
-		stateStore = flag.Bool("state-store", false, "disk-backed chain state: bounded-memory accounts under <datadir>/chain/state (requires -datadir)")
-		stateCache = flag.Int("state-cache", 32, "state-store read cache budget in MiB")
-		snapKeep   = flag.Int("snapshots-keep", 2, "periodic state snapshots to retain on disk (>= 1; ignored with -state-store)")
-		retain     = flag.Uint64("retain-blocks", 0, "block bodies kept in memory; older ones read back from the log (0 = all, requires -datadir)")
+		addr        = flag.String("addr", ":8080", "web application listen address")
+		rpcAddr     = flag.String("rpc", ":8545", "JSON-RPC listen address (empty to disable)")
+		wsAddr      = flag.String("ws-addr", "", "WebSocket JSON-RPC + eth_subscribe listen address (empty = disabled)")
+		datadir     = flag.String("datadir", "", "directory for durable data (empty = in-memory)")
+		metrics     = flag.String("metrics-addr", "", "listen address for /metrics and /healthz (empty = disabled)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics listener")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceOn     = flag.Bool("trace", true, "record cross-tier spans (export on /debug/traces)")
+		traceN      = flag.Int("trace-sample", 1, "trace every Nth root request (1 = all)")
+		slowTr      = flag.Duration("trace-slow", 250*time.Millisecond, "log traces slower than this (0 = off)")
+		workers     = flag.Int("exec-workers", 0, "parallel block-executor workers (0 = auto, 1 = serial)")
+		pipeline    = flag.Bool("pipelined-seal", false, "overlap state-root hashing and log fsync with the next block's execution")
+		stateStore  = flag.Bool("state-store", false, "disk-backed chain state: bounded-memory accounts under <datadir>/chain/state (requires -datadir)")
+		stateCache  = flag.Int("state-cache", 32, "state-store read cache budget in MiB")
+		snapKeep    = flag.Int("snapshots-keep", 2, "periodic state snapshots to retain on disk (>= 1; ignored with -state-store)")
+		retain      = flag.Uint64("retain-blocks", 0, "block bodies kept in memory; older ones read back from the log (0 = all, requires -datadir)")
+		watchOn     = flag.Bool("watch", true, "run the contract watchtower (timelines, obligations, alerts)")
+		watchRules  = flag.String("watch-rules", "", "alert rules file, one rule per line (e.g. \"overdue > 0 for 2 blocks\")")
+		rentPeriod  = flag.Uint64("watch-rent-period", 5, "blocks between rent payments before the obligation is overdue")
+		maxHeadAge  = flag.Duration("max-head-age", 0, "readiness: /healthz turns 503 when the head view is older than this (0 = disabled)")
+		maxWatchLag = flag.Uint64("max-watch-lag", 64, "readiness: /healthz turns 503 when the watchtower lags more than this many blocks (0 = disabled)")
 	)
 	flag.Parse()
 	if *snapKeep < 1 {
@@ -139,10 +145,40 @@ func main() {
 	webApp := app.New(manager)
 	webApp.Faucet = faucet.Address
 
+	// Watchtower: folds sealed blocks into contract lifecycle state,
+	// durable under <datadir>/watch so restart replays instead of
+	// re-reading chain history.
+	var tower *watch.Tower
+	if *watchOn {
+		var rules []watch.Rule
+		if *watchRules != "" {
+			text, err := os.ReadFile(*watchRules)
+			if err != nil {
+				log.Fatalf("rentald: -watch-rules: %v", err)
+			}
+			if rules, err = watch.ParseRules(string(text)); err != nil {
+				log.Fatalf("rentald: -watch-rules: %v", err)
+			}
+		}
+		watchDir := ""
+		if *datadir != "" {
+			watchDir = filepath.Join(*datadir, "watch")
+		}
+		tower, err = watch.New(bc, watch.Config{Dir: watchDir, RentPeriod: *rentPeriod, Rules: rules})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tower.Start()
+		webApp.Watch = tower
+	}
+
 	var rpcSrv, wsSrv *http.Server
 	if *rpcAddr != "" || *wsAddr != "" {
 		rpcHandler := rpc.NewServer(bc, ks)
 		rpcHandler.SetLogger(logger)
+		if tower != nil {
+			rpcHandler.SetWatch(tower)
+		}
 		if *rpcAddr != "" {
 			rpcSrv = &http.Server{Addr: *rpcAddr, Handler: rpcHandler}
 			go func() {
@@ -181,9 +217,29 @@ func main() {
 		health := func() map[string]interface{} {
 			h := obs.ChainHealth(bc)
 			h["contracts"] = store.Count("contracts")
+			if tower != nil {
+				st := tower.Status()
+				h["watch"] = map[string]interface{}{
+					"folded": st.Folded, "lagBlocks": st.LagBlocks,
+					"tracked": st.Tracked, "alertsFiring": st.AlertsFiring,
+				}
+			}
 			return h
 		}
-		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health)}
+		ready := func() (bool, string) {
+			if *maxHeadAge > 0 {
+				if age := time.Since(bc.View().PublishedAt()); age > *maxHeadAge {
+					return false, fmt.Sprintf("head view is %s old (max %s)", age.Round(time.Millisecond), *maxHeadAge)
+				}
+			}
+			if tower != nil && *maxWatchLag > 0 {
+				if st := tower.Status(); st.LagBlocks > *maxWatchLag {
+					return false, fmt.Sprintf("watchtower %d blocks behind (max %d)", st.LagBlocks, *maxWatchLag)
+				}
+			}
+			return true, ""
+		}
+		opsSrv = &http.Server{Addr: *metrics, Handler: obs.OpsHandler(*pprofOn, health, ready)}
 		go func() {
 			fmt.Printf("  metrics:  http://localhost%s/metrics (pprof: %v)\n", *metrics, *pprofOn)
 			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -210,6 +266,13 @@ func main() {
 	}
 	if opsSrv != nil {
 		opsSrv.Shutdown(ctx)
+	}
+	if tower != nil {
+		// Before the chain: Close flushes the event log after the final
+		// fold, and the hub subscription must drain before bc.Close.
+		if err := tower.Close(); err != nil {
+			log.Printf("watchtower close failed: %v", err)
+		}
 	}
 	if err := bc.Close(); err != nil {
 		log.Printf("chain flush failed: %v", err)

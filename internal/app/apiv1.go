@@ -71,6 +71,7 @@ func (a *App) apiV1Routes(handle func(pattern string, h http.HandlerFunc)) {
 	handle("/api/v1/contracts", a.withUser(a.v1Contracts))
 	handle("/api/v1/contracts/", a.withUser(a.v1Contract))
 	handle("/api/v1/heads", a.withUser(a.v1Heads))
+	handle("/api/v1/alerts", a.withUser(a.v1Alerts))
 }
 
 // v1Head describes the chain head a response was served from, so API
@@ -249,6 +250,12 @@ func (a *App) v1Contract(w http.ResponseWriter, r *http.Request, u *User) {
 			return
 		}
 		a.v1ContractAudit(w, r, u, addr)
+	case "timeline":
+		if r.Method != http.MethodGet {
+			writeV1Error(w, r, http.StatusMethodNotAllowed, v1NotAllowed, "GET only")
+			return
+		}
+		a.v1ContractTimeline(w, r, u, addr)
 	default:
 		writeV1Error(w, r, http.StatusNotFound, v1NotFound, "unknown endpoint "+sub)
 	}

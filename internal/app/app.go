@@ -16,6 +16,7 @@ import (
 
 	"legalchain/internal/core"
 	"legalchain/internal/ethtypes"
+	"legalchain/internal/watch"
 	"legalchain/internal/web3"
 )
 
@@ -46,6 +47,11 @@ func (u *User) Addr() ethtypes.Address { return ethtypes.HexToAddress(u.Address)
 type App struct {
 	Manager *core.Manager
 	Rental  *core.RentalService
+
+	// Watch is the optional contract watchtower. When set, the API
+	// serves per-contract timelines and alert feeds, and head streams
+	// carry event:alert frames.
+	Watch *watch.Tower
 
 	// Faucet funds new users so they can transact on the devnet.
 	Faucet ethtypes.Address

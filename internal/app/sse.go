@@ -174,6 +174,17 @@ func (a *App) v1Heads(w http.ResponseWriter, r *http.Request, u *User) {
 			last = v.BlockNumber() - 1
 		}
 	}
+	// Alert frames ride the head stream. A fresh stream starts at the
+	// current alert high-water mark (history is served by /api/v1/alerts,
+	// not replayed into every new stream).
+	var alertSeq uint64
+	if a.Watch != nil {
+		for _, al := range a.Watch.Alerts() {
+			if al.Seq > alertSeq {
+				alertSeq = al.Seq
+			}
+		}
+	}
 	var err error
 	if last, err = a.sseDeliverHeads(stream, v, last); err != nil {
 		return
@@ -201,6 +212,9 @@ func (a *App) v1Heads(w http.ResponseWriter, r *http.Request, u *User) {
 					if last, err = a.sseDeliverHeads(stream, v, last); err != nil {
 						return
 					}
+					if alertSeq, err = a.sseDeliverAlerts(stream, v, alertSeq); err != nil {
+						return
+					}
 				}
 				if !alive {
 					stream.sendError(v1Internal, "node shutting down")
@@ -212,6 +226,28 @@ func (a *App) v1Heads(w http.ResponseWriter, r *http.Request, u *User) {
 			}
 		}
 	}
+}
+
+// sseDeliverAlerts folds the watchtower to v's head and emits one
+// event:alert frame per rule firing past since. Alert frames carry no
+// id: Last-Event-ID keeps tracking block numbers, and a resumed stream
+// re-reads missed alerts from /api/v1/alerts.
+func (a *App) sseDeliverAlerts(s *sseStream, v *chain.HeadView, since uint64) (uint64, error) {
+	if a.Watch == nil {
+		return since, nil
+	}
+	a.Watch.SyncView(v)
+	for _, al := range a.Watch.AlertsSince(since) {
+		buf, err := json.Marshal(al)
+		if err != nil {
+			return since, err
+		}
+		if err := s.send("alert", "", buf); err != nil {
+			return since, err
+		}
+		since = al.Seq
+	}
+	return since, nil
 }
 
 // sseDeliverHeads walks (last, head] on v, emitting one head frame per

@@ -218,6 +218,37 @@ func (v *HeadView) GetReceipt(txHash ethtypes.Hash) (*ethtypes.Receipt, bool) {
 	return v.receipts.get(txHash)
 }
 
+// ReceiptsOf returns the receipts of block n in transaction order.
+// Resident blocks resolve through the receipt index; evicted blocks
+// read the persisted record, which carries its receipts verbatim.
+// Consumers folding whole blocks (the watchtower) use this instead of
+// per-hash GetReceipt lookups.
+func (v *HeadView) ReceiptsOf(n uint64) []*ethtypes.Receipt {
+	mViewReads.Inc()
+	if n < v.blocksBase {
+		if v.db == nil {
+			return nil
+		}
+		rec, err := v.db.ReadRecord(n)
+		if err != nil {
+			return nil
+		}
+		mBlockReadThrough.Inc()
+		return rec.Receipts
+	}
+	b, ok := v.BlockByNumber(n)
+	if !ok || len(b.Transactions) == 0 {
+		return nil
+	}
+	out := make([]*ethtypes.Receipt, 0, len(b.Transactions))
+	for _, tx := range b.Transactions {
+		if r, ok := v.receipts.get(tx.Hash()); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // GetTransaction returns a mined transaction by hash.
 func (v *HeadView) GetTransaction(txHash ethtypes.Hash) (*ethtypes.Transaction, bool) {
 	mViewReads.Inc()

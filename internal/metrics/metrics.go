@@ -361,6 +361,30 @@ func (r *Registry) RegisterCollector(fn func(w io.Writer)) {
 	r.register(&family{raw: fn})
 }
 
+// FamilyInfo describes one registered metric family.
+type FamilyInfo struct {
+	Name string
+	Type string
+	Help string
+}
+
+// Families returns the registered families in registration order.
+// Collector families (RegisterCollector) have no declared name — they
+// write their own exposition lines at scrape time — and are skipped.
+// This is the inventory `make metrics-doc` diffs against the README.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyInfo, 0, len(r.fams))
+	for _, f := range r.fams {
+		if f.name == "" {
+			continue
+		}
+		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Help: f.help})
+	}
+	return out
+}
+
 // WritePrometheus renders every family in the text exposition format.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()

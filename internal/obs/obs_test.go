@@ -73,6 +73,41 @@ func TestLogRequestsNilLogger(t *testing.T) {
 	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
 }
 
+func TestWrapWriterIdempotentAndUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := WrapWriter(rec)
+	if again := WrapWriter(sw); again != sw {
+		t.Fatal("WrapWriter should not double-wrap")
+	}
+	if sw.Unwrap() != http.ResponseWriter(rec) {
+		t.Fatal("Unwrap should expose the inner writer")
+	}
+}
+
+// TestStatusWriterFlushThroughController is the SSE path: the stream
+// handler flushes through http.ResponseController, which must find the
+// inner Flusher via StatusWriter.Unwrap even under the full middleware
+// stack.
+func TestStatusWriterFlushThroughController(t *testing.T) {
+	h := LogRequests(nil, InstrumentHandler("/stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(*StatusWriter); !ok {
+			t.Errorf("handler saw %T, want *StatusWriter", w)
+		}
+		w.Write([]byte("event: ping\n\n"))
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("flush through instrumented writer: %v", err)
+		}
+	})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !rec.Flushed {
+		t.Fatal("flush did not reach the underlying writer")
+	}
+	if rec.Body.String() != "event: ping\n\n" {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
 func TestInstrumentHandler(t *testing.T) {
 	before := httpRequests.With("/test-route", "404").Value()
 	h := InstrumentHandler("/test-route", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

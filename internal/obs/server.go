@@ -13,26 +13,39 @@ import (
 // -metrics-addr listener of devnet and rentald:
 //
 //	/metrics        Prometheus text exposition of metrics.Default
-//	/healthz        liveness JSON; health() contributes extra fields
+//	/healthz        liveness + readiness JSON; health() contributes
+//	                extra fields, ready() gates the status code
 //	/debug/traces   completed xtrace spans (list, detail, Chrome format)
 //	/debug/pprof/*  Go profiler, only when pprofEnabled
 //
-// The pprof handlers are registered explicitly rather than through
-// net/http/pprof's init side effects on http.DefaultServeMux, so
-// profiling stays off unless the operator opts in with -pprof.
-func OpsHandler(pprofEnabled bool, health func() map[string]interface{}) http.Handler {
+// ready is the readiness probe: when it returns false, /healthz answers
+// 503 with {"status":"unavailable","reason":...} so load balancers and
+// orchestration pull the node out of rotation while it still reports
+// its health fields for diagnosis. nil means "always ready" (liveness
+// only). The pprof handlers are registered explicitly rather than
+// through net/http/pprof's init side effects on http.DefaultServeMux,
+// so profiling stays off unless the operator opts in with -pprof.
+func OpsHandler(pprofEnabled bool, health func() map[string]interface{}, ready func() (bool, string)) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler())
 	mux.Handle("/debug/traces", xtrace.Handler())
 	mux.Handle("/debug/traces/", xtrace.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]interface{}{"status": "ok"}
+		status := http.StatusOK
+		if ready != nil {
+			if ok, reason := ready(); !ok {
+				body["status"] = "unavailable"
+				body["reason"] = reason
+				status = http.StatusServiceUnavailable
+			}
+		}
 		if health != nil {
 			for k, v := range health() {
 				body[k] = v
 			}
 		}
-		writeHealthJSON(w, body)
+		writeHealthJSON(w, status, body)
 	})
 	if pprofEnabled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -44,7 +57,8 @@ func OpsHandler(pprofEnabled bool, health func() map[string]interface{}) http.Ha
 	return mux
 }
 
-func writeHealthJSON(w http.ResponseWriter, body map[string]interface{}) {
+func writeHealthJSON(w http.ResponseWriter, status int, body map[string]interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
 }

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func getHealth(t *testing.T, h http.Handler) (int, map[string]interface{}) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func TestOpsHandlerHealthz(t *testing.T) {
+	health := func() map[string]interface{} {
+		return map[string]interface{}{"height": 42}
+	}
+	h := OpsHandler(false, health, nil)
+	code, body := getHealth(t, h)
+	if code != http.StatusOK || body["status"] != "ok" || body["height"] != float64(42) {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+}
+
+func TestOpsHandlerReadiness(t *testing.T) {
+	ready := true
+	h := OpsHandler(false,
+		func() map[string]interface{} { return map[string]interface{}{"height": 7} },
+		func() (bool, string) {
+			if ready {
+				return true, ""
+			}
+			return false, "watchtower 99 blocks behind (max 64)"
+		})
+
+	if code, body := getHealth(t, h); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("ready node: %d %v", code, body)
+	}
+
+	ready = false
+	code, body := getHealth(t, h)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready node answered %d", code)
+	}
+	if body["status"] != "unavailable" || body["reason"] != "watchtower 99 blocks behind (max 64)" {
+		t.Fatalf("503 body: %v", body)
+	}
+	// Health fields stay visible for diagnosis even while out of rotation.
+	if body["height"] != float64(7) {
+		t.Fatalf("health fields dropped from 503 body: %v", body)
+	}
+
+	ready = true
+	if code, _ := getHealth(t, h); code != http.StatusOK {
+		t.Fatalf("recovered node still answers %d", code)
+	}
+}
+
+func TestOpsHandlerPprofGate(t *testing.T) {
+	probe := func(h http.Handler) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+		return rec.Code
+	}
+	if code := probe(OpsHandler(false, nil, nil)); code != http.StatusNotFound {
+		t.Fatalf("pprof off: %d", code)
+	}
+	if code := probe(OpsHandler(true, nil, nil)); code != http.StatusOK {
+		t.Fatalf("pprof on: %d", code)
+	}
+}

@@ -58,6 +58,7 @@ var knownMethods = map[string]bool{
 	"debug_traceTransaction":    true,
 	"debug_traceBlockByNumber":  true,
 	"evm_increaseTime":          true,
+	"legal_watchStatus":         true,
 }
 
 // methodLabel maps an arbitrary client-supplied method name to a

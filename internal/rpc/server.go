@@ -23,6 +23,7 @@ import (
 	"legalchain/internal/hexutil"
 	"legalchain/internal/obs"
 	"legalchain/internal/wallet"
+	"legalchain/internal/watch"
 	"legalchain/internal/xtrace"
 )
 
@@ -31,6 +32,7 @@ type Server struct {
 	bc      *chain.Blockchain
 	ks      *wallet.Keystore // for eth_accounts; may be nil
 	log     *slog.Logger
+	watch   *watch.Tower // for legal_watchStatus; may be nil
 	filters filterRegistry
 	subSeq  atomic.Uint64 // eth_subscribe ID allocator (ws.go)
 }
@@ -44,6 +46,9 @@ func NewServer(bc *chain.Blockchain, ks *wallet.Keystore) *Server {
 // then logged with its latency, outcome and the request ID obs
 // middleware put on the context.
 func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// SetWatch attaches the node's watchtower, enabling legal_watchStatus.
+func (s *Server) SetWatch(t *watch.Tower) { s.watch = t }
 
 // request/response are the JSON-RPC 2.0 wire structures.
 type request struct {
@@ -441,6 +446,16 @@ func (s *Server) dispatch(ctx context.Context, method string, params []json.RawM
 			out["returnValue"] = hexutil.Encode(res.Return)
 		}
 		return out, nil
+
+	case "legal_watchStatus":
+		// The node's watchtower view: per-contract lifecycle states,
+		// outstanding obligations, and alert-rule status. Folds to the
+		// current head first, so the answer is read-your-writes.
+		if s.watch == nil {
+			return nil, fmt.Errorf("watchtower not enabled on this node")
+		}
+		s.watch.Sync()
+		return s.watch.Status(), nil
 
 	case "debug_traceTransaction":
 		h, err := hashParam(params, 0)

@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"legalchain/internal/chain"
+	"legalchain/internal/contracts"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/wallet"
+	"legalchain/internal/watch"
+	"legalchain/internal/web3"
+)
+
+// TestLegalWatchStatus exercises the legal_watchStatus method over the
+// full JSON-RPC round trip, with and without a tower attached.
+func TestLegalWatchStatus(t *testing.T) {
+	accs := wallet.DevAccounts("rpc watch test", 3)
+	g := chain.DefaultGenesis()
+	g.Alloc = wallet.DevAlloc(accs, ethtypes.Ether(100))
+	bc := chain.New(g)
+	t.Cleanup(func() { bc.Close() })
+	ks := wallet.NewKeystore()
+	for _, a := range accs {
+		ks.Import(a.Key)
+	}
+	server := NewServer(bc, ks)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+	c := Dial(srv.URL)
+
+	// Without a tower the method reports server failure.
+	var st watch.Status
+	if err := c.Call(&st, "legal_watchStatus"); err == nil {
+		t.Fatal("watchStatus without tower should error")
+	}
+
+	tower, err := watch.New(bc, watch.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tower.Close() })
+	server.SetWatch(tower)
+
+	// Seed one rental through the local chain, then read the status over
+	// the HTTP wire.
+	client, err := web3.NewClient(web3.NewLocalBackend(bc), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := contracts.MustArtifact("BaseRental")
+	rental, _, err := client.Deploy(web3.TxOpts{From: accs[0].Address}, art.ABI, art.Bytecode,
+		ethtypes.Ether(1), ethtypes.Ether(2), uint64(6), "10115-Berlin-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rental.Transact(web3.TxOpts{From: accs[1].Address, Value: ethtypes.Ether(2)}, "confirmAgreement"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Call(&st, "legal_watchStatus"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tracked != 1 || st.States[watch.StateSigned] != 1 || st.LagBlocks != 0 {
+		t.Fatalf("status over RPC: %+v", st)
+	}
+	if len(st.Contracts) != 1 || st.Contracts[0].Address != rental.Address.Hex() {
+		t.Fatalf("contracts: %+v", st.Contracts)
+	}
+	if len(st.Contracts[0].Obligations) != 1 || st.Contracts[0].Obligations[0].Kind != "rent-due" {
+		t.Fatalf("obligations over RPC: %+v", st.Contracts[0].Obligations)
+	}
+}

@@ -1,0 +1,61 @@
+package watch
+
+import "fmt"
+
+// Obligation derivation: the watchtower's domain layer. A lifecycle
+// state machine says where a contract *is*; an obligation says what
+// must happen *next* and by when. Deadlines are measured in blocks —
+// the only clock every node agrees on — with the rent period and the
+// modification grace window configurable per tower.
+//
+// Three obligation kinds cover the rental lifecycle of the paper:
+//
+//	rent-due              an active lease owes its next month of rent
+//	confirm-modification  a linked successor awaits the tenant's word
+//	settle-termination    the term is served; the deposit must settle
+//
+// An obligation is overdue once the folded head is past its due block.
+// The set is re-derived after every folded block (it is a pure function
+// of contract state + head), so it can never drift from the machine.
+
+// Obligation is one outstanding duty derived from a contract's state.
+type Obligation struct {
+	Contract  string `json:"contract"`
+	Kind      string `json:"kind"` // rent-due | confirm-modification | settle-termination
+	DueBlock  uint64 `json:"dueBlock"`
+	Overdue   bool   `json:"overdue"`
+	OverdueBy uint64 `json:"overdueBy,omitempty"` // blocks past due
+	Detail    string `json:"detail,omitempty"`
+}
+
+// obligationsOf derives the outstanding obligations of one contract at
+// folded head block `head`.
+func (t *Tower) obligationsOf(cs *contractState, head uint64) []Obligation {
+	var out []Obligation
+	add := func(kind string, due uint64, detail string) {
+		o := Obligation{Contract: cs.Addr.Hex(), Kind: kind, DueBlock: due, Detail: detail}
+		if head > due {
+			o.Overdue = true
+			o.OverdueBy = head - due
+		}
+		out = append(out, o)
+	}
+	switch cs.State {
+	case StateActive, StateSigned:
+		// The rent clock starts when the agreement is signed and resets
+		// on every payment. Serving the full term converts the duty into
+		// the deposit settlement of terminateContract.
+		if cs.Months > 0 && cs.MonthsPaid >= cs.Months {
+			add("settle-termination", cs.LastPayBlock+t.cfg.RentPeriod,
+				fmt.Sprintf("term served (%d/%d months): deposit of %s wei refundable on termination",
+					cs.MonthsPaid, cs.Months, cs.DepositWei))
+		} else if cs.State == StateActive || cs.MonthsPaid > 0 || cs.SignedBlock > 0 {
+			add("rent-due", cs.LastPayBlock+t.cfg.RentPeriod,
+				fmt.Sprintf("month %d of %d: %s wei", cs.MonthsPaid+1, cs.Months, cs.RentWei))
+		}
+	case StateModifiedPending:
+		add("confirm-modification", cs.ModifiedBlock+t.cfg.ModifyGrace,
+			fmt.Sprintf("successor linked at block %d awaits tenant confirmation", cs.ModifiedBlock))
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package watch
+
+import (
+	"testing"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("overdue > 0 for 2 blocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Signal != "overdue" || r.Op != ">" || r.Threshold != 0 || r.ForBlocks != 2 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Name != "overdue>0" {
+		t.Fatalf("default name %q", r.Name)
+	}
+	if r.Expr() != "overdue > 0 for 2 blocks" {
+		t.Fatalf("Expr() = %q", r.Expr())
+	}
+
+	r, err = ParseRule("stale: modified_pending >= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "stale" || r.Signal != "modified_pending" || r.Op != ">=" || r.Threshold != 3 || r.ForBlocks != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	if _, err := ParseRule("overdue > 0 for 1 block"); err != nil {
+		t.Fatalf("singular block: %v", err)
+	}
+
+	for _, bad := range []string{
+		"",
+		"overdue >",
+		"nonsense > 1",
+		"overdue ~ 1",
+		"overdue > banana",
+		"overdue > 0 for x blocks",
+		"overdue > 0 for 0 blocks",
+		"overdue > 0 in 2 blocks",
+		"overdue > 0 for 2 hours",
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(`
+# watchtower alerts
+overdue > 0 for 2 blocks
+
+lagging: fold_lag >= 5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "overdue>0" || rules[1].Name != "lagging" {
+		t.Fatalf("parsed %+v", rules)
+	}
+
+	if _, err := ParseRules("a: overdue > 0\na: tracked > 1"); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := ParseRules("overdue !"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestRuleEngineFireOnce covers the core semantics: a for-duration rule
+// fires exactly once after N consecutive true blocks, stays silent
+// while true, and rearms when the condition clears.
+func TestRuleEngineFireOnce(t *testing.T) {
+	r, _ := ParseRule("missed-rent: overdue > 0 for 2 blocks")
+	e := newRuleEngine([]Rule{r})
+	sig := func(v float64) map[string]float64 { return map[string]float64{"overdue": v} }
+
+	if f := e.eval(sig(1)); len(f) != 0 {
+		t.Fatal("fired after one block")
+	}
+	f := e.eval(sig(1))
+	if len(f) != 1 || f[0].rule.Name != "missed-rent" || f[0].value != 1 {
+		t.Fatalf("second block: %+v", f)
+	}
+	if e.firing() != 1 {
+		t.Fatal("not firing")
+	}
+	// Held condition does not re-fire.
+	for i := 0; i < 5; i++ {
+		if f := e.eval(sig(2)); len(f) != 0 {
+			t.Fatal("re-fired while held")
+		}
+	}
+	// Clearing rearms.
+	e.eval(sig(0))
+	if e.firing() != 0 {
+		t.Fatal("still firing after clear")
+	}
+	e.eval(sig(1))
+	if f := e.eval(sig(1)); len(f) != 1 {
+		t.Fatal("did not rearm")
+	}
+}
+
+func TestRuleEngineSnapshotRestore(t *testing.T) {
+	r, _ := ParseRule("overdue > 0 for 3 blocks")
+	e := newRuleEngine([]Rule{r})
+	sig := map[string]float64{"overdue": 1}
+	e.eval(sig)
+	e.eval(sig) // consecutive = 2, one short of firing
+
+	snap := e.snapshot()
+	e2 := newRuleEngine([]Rule{r})
+	e2.restore(snap)
+	if f := e2.eval(sig); len(f) != 1 {
+		t.Fatal("restored engine lost the consecutive count")
+	}
+
+	// Snapshots ignore rules that no longer exist.
+	e3 := newRuleEngine(nil)
+	e3.restore(snap)
+	if e3.firing() != 0 {
+		t.Fatal("ghost rule")
+	}
+	if e3.snapshot() != nil {
+		t.Fatal("empty engine should snapshot nil")
+	}
+}
+
+func TestRuleCompareOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		v    float64
+		want bool
+	}{
+		{">", 1, true}, {">", 0, false},
+		{">=", 0, true}, {">=", -1, false},
+		{"<", -1, true}, {"<", 0, false},
+		{"<=", 0, true}, {"<=", 1, false},
+		{"==", 0, true}, {"==", 2, false},
+		{"!=", 2, true}, {"!=", 0, false},
+	}
+	for _, c := range cases {
+		r := Rule{Op: c.op, Threshold: 0}
+		if r.compare(c.v) != c.want {
+			t.Fatalf("%g %s 0 = %v", c.v, c.op, !c.want)
+		}
+	}
+}

@@ -1,0 +1,803 @@
+// Package watch is the contract watchtower: the domain-observability
+// tier above the ledger. It subscribes to the chain's head hub and
+// folds every sealed block into per-contract lifecycle state machines
+// (drafted → signed → active → modified-pending → terminated — the
+// paper's Fig. 4 states), derives obligations with block-denominated
+// deadlines (next rent due, unconfirmed modification age, deposit at
+// termination), and emits what it learns three ways:
+//
+//  1. a durable, CRC-framed, append-only event log (eventlog.go) that
+//     doubles as the restart anchor and feeds the /timeline endpoint
+//     and the legalctl watch/top terminal views;
+//  2. a metric surface (metrics.go) in the process-wide registry —
+//     contracts by state, overdue obligations, payment lag;
+//  3. an alert rule engine (rules.go) whose firings become event:alert
+//     SSE frames, log records and the watch_alerts_firing gauge.
+//
+// The tower is a pure consumer: it takes a hub subscription like any
+// dashboard and costs the seal path nothing. Restart replays the event
+// log to rebuild every state machine and rule counter, then folds only
+// the blocks past the last anchor — converging to the same states and
+// the same event log an uninterrupted tower would have produced (the
+// replay property test in replay_test.go).
+package watch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"legalchain/internal/abi"
+	"legalchain/internal/chain"
+	"legalchain/internal/contracts"
+	"legalchain/internal/ethtypes"
+	"legalchain/internal/hexutil"
+	"legalchain/internal/uint256"
+)
+
+// parseAddr decodes a hex address without the panic of HexToAddress —
+// event records cross a disk boundary, so parse defensively.
+func parseAddr(s string) (ethtypes.Address, bool) {
+	b, err := hexutil.Decode(s)
+	if err != nil || len(b) != len(ethtypes.Address{}) {
+		return ethtypes.Address{}, false
+	}
+	return ethtypes.BytesToAddress(b), true
+}
+
+// Lifecycle states of a tracked contract.
+const (
+	StateDrafted         = "drafted"          // deployed, awaiting the tenant
+	StateSigned          = "signed"           // deposit paid (agreementConfirmed)
+	StateActive          = "active"           // at least one rent payment
+	StateModifiedPending = "modified-pending" // successor linked, unconfirmed
+	StateTerminated      = "terminated"
+)
+
+var allStates = []string{StateDrafted, StateSigned, StateActive, StateModifiedPending, StateTerminated}
+
+// Source is the chain surface the tower consumes: an immutable head
+// view plus a hub subscription. *chain.Blockchain satisfies it.
+type Source interface {
+	View() *chain.HeadView
+	SubscribeHeads(buf int) *chain.Subscription
+}
+
+// Config tunes one tower.
+type Config struct {
+	// Dir holds the durable event log; empty keeps the tower in memory
+	// (no replay on restart).
+	Dir string
+	// RentPeriod is the rent deadline in blocks: after a payment (or the
+	// signing) the next month is due within this many blocks. Blocks are
+	// the devnet's month-proxy — the only clock all parties share.
+	RentPeriod uint64
+	// ModifyGrace is how many blocks a linked-but-unconfirmed successor
+	// may stay pending before the confirm-modification obligation is
+	// overdue.
+	ModifyGrace uint64
+	// Rules are the alert rules evaluated after every folded block.
+	Rules []Rule
+	// MemEvents bounds the in-memory event buffer serving /timeline
+	// (the durable log keeps everything). 0 picks the default.
+	MemEvents int
+}
+
+const (
+	defaultRentPeriod  = 5
+	defaultModifyGrace = 2
+	defaultMemEvents   = 65536
+	maxAlertHistory    = 1024
+)
+
+// contractState is one lifecycle state machine.
+type contractState struct {
+	Addr          ethtypes.Address
+	Template      string
+	State         string
+	CreatedBlock  uint64
+	SignedBlock   uint64
+	LastPayBlock  uint64 // last rent payment (or signing); the rent clock
+	LastPayTime   uint64
+	ModifiedBlock uint64
+	TermBlock     uint64
+	MonthsPaid    uint64
+	Months        uint64
+	RentWei       string
+	DepositWei    string
+}
+
+// Alert is one rule firing, kept in a bounded history for the API and
+// the SSE stream.
+type Alert struct {
+	Seq       uint64   `json:"seq"`
+	Rule      string   `json:"rule"`
+	Expr      string   `json:"expr,omitempty"`
+	Block     uint64   `json:"block"`
+	Time      uint64   `json:"time,omitempty"`
+	Value     float64  `json:"value"`
+	Message   string   `json:"message"`
+	Contracts []string `json:"contracts,omitempty"`
+}
+
+// Tower folds sealed blocks into contract state machines. Create with
+// New, start the background consumer with Start, stop with Close.
+// Sync/SyncView fold synchronously and are safe concurrently with the
+// background loop — whoever gets the mutex first does the work.
+type Tower struct {
+	src Source
+	cfg Config
+
+	mu        sync.Mutex
+	log       *eventLog
+	seq       uint64
+	folded    uint64 // highest folded block (the anchor)
+	contracts map[ethtypes.Address]*contractState
+	events    []Event // bounded in-memory buffer (anchors excluded)
+	alerts    []Alert
+	fired     uint64 // cumulative alert firings (incl. replayed)
+	skipped   uint64 // blocks whose bodies were unavailable during fold
+	rules     *ruleEngine
+	foldErr   error // first event-log append failure (log keeps folding)
+
+	// Convergence accounting: residual backlog (head − folded) observed
+	// at the end of each fold batch. Unlike an arbitrary instantaneous
+	// sample — which on a loaded box mostly measures how long the fold
+	// goroutine waited for a CPU — this says whether folding keeps up:
+	// a tower that converges leaves ~0 behind every time it runs.
+	convSamples atomic.Uint64
+	convSum     atomic.Uint64
+	convMax     atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ConvergenceLag reports the mean and peak residual backlog in blocks
+// measured at fold-batch boundaries, and the number of batches. This is
+// the loadgen watch-lag gate's input.
+func (t *Tower) ConvergenceLag() (mean float64, max uint64, samples uint64) {
+	n := t.convSamples.Load()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(t.convSum.Load()) / float64(n), t.convMax.Load(), n
+}
+
+// rentalABI is the decode surface for every tracked template:
+// RentalAgreementV2 inherits BaseRental, so its ABI carries all base
+// events and getters plus the V2 additions.
+var (
+	rentalABIOnce sync.Once
+	rentalABI     *abi.ABI
+)
+
+func loadRentalABI() *abi.ABI {
+	rentalABIOnce.Do(func() {
+		art, err := contracts.Artifact("RentalAgreementV2")
+		if err != nil {
+			panic("watch: compile RentalAgreementV2: " + err.Error())
+		}
+		rentalABI = art.ABI
+	})
+	return rentalABI
+}
+
+// New builds a tower over src. With cfg.Dir set, the durable event log
+// is replayed first: per-contract states, alert history and rule
+// counters are rebuilt, and folding resumes just past the last anchor.
+func New(src Source, cfg Config) (*Tower, error) {
+	if cfg.RentPeriod == 0 {
+		cfg.RentPeriod = defaultRentPeriod
+	}
+	if cfg.ModifyGrace == 0 {
+		cfg.ModifyGrace = defaultModifyGrace
+	}
+	if cfg.MemEvents == 0 {
+		cfg.MemEvents = defaultMemEvents
+	}
+	t := &Tower{
+		src:       src,
+		cfg:       cfg,
+		contracts: map[ethtypes.Address]*contractState{},
+		rules:     newRuleEngine(cfg.Rules),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	loadRentalABI()
+	log, err := openEventLog(cfg.Dir, func(ev *Event) {
+		if ev.Seq > t.seq {
+			t.seq = ev.Seq
+		}
+		t.applyLocked(ev)
+		t.bufferLocked(ev)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.log = log
+	return t, nil
+}
+
+// Start launches the background hub consumer. The tower immediately
+// catches up from its anchor to the current head, then folds each
+// published view as it arrives.
+func (t *Tower) Start() {
+	go t.run()
+}
+
+// Close stops the consumer (if started) and closes the event log.
+func (t *Tower) Close() error {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	select {
+	case <-t.done:
+	default:
+		// Start was never called; nothing to wait for.
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.log.close()
+	t.log = nil
+	return err
+}
+
+func (t *Tower) run() {
+	defer close(t.done)
+	sub := t.src.SubscribeHeads(256)
+	defer sub.Close()
+	t.Sync()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-sub.Wait():
+			for {
+				events, gap, alive := sub.Drain()
+				var v *chain.HeadView
+				if len(events) > 0 {
+					// Views are cumulative: folding the newest covers
+					// every event in the batch (and any gap).
+					v = events[len(events)-1].View
+				} else if gap > 0 {
+					v = t.src.View()
+				}
+				if v != nil {
+					t.SyncView(v)
+				}
+				if !alive {
+					return
+				}
+				if len(events) == 0 && gap == 0 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Sync folds everything up to the source's current head. Synchronous;
+// safe concurrently with the background loop.
+func (t *Tower) Sync() { t.SyncView(t.src.View()) }
+
+// SyncView folds everything up to v's head. A view at or behind the
+// anchor is a no-op, so concurrent callers never double-fold.
+func (t *Tower) SyncView(v *chain.HeadView) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	head := v.BlockNumber()
+	folded := false
+	for n := t.folded + 1; n <= head; n++ {
+		t.foldBlockLocked(v, n)
+		folded = true
+	}
+	t.updateGaugesLocked(head)
+	if folded {
+		residual := uint64(0)
+		if cur := t.src.View().BlockNumber(); cur > t.folded {
+			residual = cur - t.folded
+		}
+		t.convSamples.Add(1)
+		t.convSum.Add(residual)
+		for {
+			old := t.convMax.Load()
+			if residual <= old || t.convMax.CompareAndSwap(old, residual) {
+				break
+			}
+		}
+	}
+}
+
+// foldBlockLocked digests one block: creations are probed for tracked
+// templates, logs are decoded into lifecycle events, obligations and
+// alert rules are re-evaluated, and the block is anchored in the log.
+func (t *Tower) foldBlockLocked(v *chain.HeadView, n uint64) {
+	var blockTime uint64
+	b, ok := v.BlockByNumber(n)
+	if ok {
+		blockTime = b.Header.Time
+		for _, rcpt := range v.ReceiptsOf(n) {
+			if rcpt.Status == 1 && rcpt.ContractAddress != nil {
+				if ev := t.probeCreation(v, rcpt.From, *rcpt.ContractAddress); ev != nil {
+					ev.Block, ev.Time = n, blockTime
+					ev.TxHash = rcpt.TxHash.Hex()
+					t.recordLocked(ev, true)
+				}
+			}
+			for _, lg := range rcpt.Logs {
+				cs := t.contracts[lg.Address]
+				if cs == nil {
+					continue
+				}
+				ev := t.decodeLog(v, cs, lg)
+				if ev == nil {
+					continue
+				}
+				ev.Block, ev.Time = n, blockTime
+				ev.TxHash = rcpt.TxHash.Hex()
+				t.recordLocked(ev, true)
+			}
+		}
+	} else {
+		// Body unavailable (evicted with no journal): the block's events
+		// are unrecoverable. Anchor anyway so the tower keeps pace.
+		t.skipped++
+	}
+
+	// Domain signals at this height, then the alert rules over them.
+	overdue, perContract := t.overdueLocked(n)
+	signals := t.signalsLocked(n, v.BlockNumber(), overdue)
+	for _, f := range t.rules.eval(signals) {
+		ev := &Event{
+			Type:      "alert",
+			Block:     n,
+			Time:      blockTime,
+			Rule:      f.rule.Name,
+			Value:     f.value,
+			Detail:    fmt.Sprintf("%s: %s (value %g) held %d block(s)", f.rule.Name, f.rule.Expr(), f.value, maxU64(f.rule.ForBlocks, 1)),
+			Contracts: perContract,
+		}
+		t.recordLocked(ev, true)
+		mAlertsTotal.Inc()
+	}
+	anchor := &Event{Type: "anchor", Block: n, Time: blockTime, RuleState: t.rules.snapshot()}
+	t.recordLocked(anchor, true)
+	if err := t.log.sync(); err != nil && t.foldErr == nil {
+		t.foldErr = err
+	}
+	mBlocksFolded.Inc()
+}
+
+// recordLocked is the single write path for live and derived events:
+// assign a sequence number, apply to the state machines, stamp the
+// resulting state, persist, buffer.
+func (t *Tower) recordLocked(ev *Event, live bool) {
+	t.seq++
+	ev.Seq = t.seq
+	t.applyLocked(ev)
+	var cs *contractState
+	if addr, ok := parseAddr(ev.Contract); ok {
+		cs = t.contracts[addr]
+	}
+	if cs != nil {
+		ev.State = cs.State
+	}
+	if err := t.log.append(ev); err != nil && t.foldErr == nil {
+		t.foldErr = err
+	}
+	t.bufferLocked(ev)
+	if live && ev.Type != "anchor" {
+		tmpl := ev.Template
+		if cs != nil {
+			tmpl = cs.Template
+		}
+		if tmpl == "" {
+			tmpl = "-"
+		}
+		mEvents.With(tmpl, ev.Type).Inc()
+	}
+}
+
+// applyLocked folds one event into the state machines. Replay and live
+// folding share this transition function — that identity is what makes
+// log replay converge with an uninterrupted run.
+func (t *Tower) applyLocked(ev *Event) {
+	addr, _ := parseAddr(ev.Contract)
+	cs := t.contracts[addr]
+	switch ev.Type {
+	case "created":
+		t.contracts[addr] = &contractState{
+			Addr:         addr,
+			Template:     ev.Template,
+			State:        StateDrafted,
+			CreatedBlock: ev.Block,
+			Months:       ev.Months,
+			RentWei:      ev.RentWei,
+			DepositWei:   ev.DepositWei,
+		}
+	case "signed":
+		if cs != nil {
+			cs.State = StateSigned
+			cs.SignedBlock = ev.Block
+			cs.LastPayBlock = ev.Block
+			cs.LastPayTime = ev.Time
+		}
+	case "payment":
+		if cs != nil {
+			cs.MonthsPaid = ev.Month
+			cs.LastPayBlock = ev.Block
+			cs.LastPayTime = ev.Time
+			if cs.State == StateSigned {
+				cs.State = StateActive
+			}
+		}
+	case "modify-pending":
+		if cs != nil {
+			if cs.State == StateSigned || cs.State == StateActive {
+				cs.State = StateModifiedPending
+			}
+			cs.ModifiedBlock = ev.Block
+		}
+	case "terminated":
+		if cs != nil {
+			cs.State = StateTerminated
+			cs.TermBlock = ev.Block
+		}
+	case "alert":
+		t.fired++
+		t.alerts = append(t.alerts, Alert{
+			Seq: ev.Seq, Rule: ev.Rule, Block: ev.Block, Time: ev.Time,
+			Value: ev.Value, Message: ev.Detail, Contracts: ev.Contracts,
+		})
+		if len(t.alerts) > maxAlertHistory {
+			t.alerts = t.alerts[len(t.alerts)-maxAlertHistory:]
+		}
+	case "anchor":
+		t.folded = ev.Block
+		t.rules.restore(ev.RuleState)
+	}
+}
+
+// bufferLocked appends ev to the bounded in-memory buffer (anchors are
+// bookkeeping, not timeline content).
+func (t *Tower) bufferLocked(ev *Event) {
+	if ev.Type == "anchor" {
+		return
+	}
+	t.events = append(t.events, *ev)
+	if over := len(t.events) - t.cfg.MemEvents; over > 0 {
+		t.events = append(t.events[:0], t.events[over:]...)
+	}
+}
+
+// probeCreation classifies a fresh deployment. A contract answering the
+// rental getters (rent, deposit, contractTime) is a tracked rental;
+// maintenanceFee distinguishes the V2 template. Anything else — data
+// stores, notaries, escrows — is left to its own observers.
+func (t *Tower) probeCreation(v *chain.HeadView, from, addr ethtypes.Address) *Event {
+	rent, ok1 := callUint(v, from, addr, "rent")
+	dep, ok2 := callUint(v, from, addr, "deposit")
+	months, ok3 := callUint(v, from, addr, "contractTime")
+	if !ok1 || !ok2 || !ok3 {
+		return nil
+	}
+	template := "BaseRental"
+	if _, ok := callUint(v, from, addr, "maintenanceFee"); ok {
+		template = "RentalAgreementV2"
+	}
+	return &Event{
+		Type:       "created",
+		Contract:   addr.Hex(),
+		Template:   template,
+		RentWei:    rent.String(),
+		DepositWei: dep.String(),
+		Months:     months.Uint64(),
+	}
+}
+
+// callUint executes a zero-argument uint getter against the view.
+func callUint(v *chain.HeadView, from, addr ethtypes.Address, name string) (uint256.Int, bool) {
+	input, err := loadRentalABI().Pack(name)
+	if err != nil {
+		return uint256.Zero, false
+	}
+	res := v.Call(from, &addr, input, uint256.Zero, 0)
+	if res.Err != nil || len(res.Return) < 32 {
+		return uint256.Zero, false
+	}
+	vals, err := loadRentalABI().Unpack(name, res.Return)
+	if err != nil || len(vals) == 0 {
+		return uint256.Zero, false
+	}
+	u, ok := vals[0].(uint256.Int)
+	return u, ok
+}
+
+// decodeLog translates one log of a tracked contract into a lifecycle
+// event, observing the payment-lag histogram along the way.
+func (t *Tower) decodeLog(v *chain.HeadView, cs *contractState, lg *ethtypes.Log) *Event {
+	dec, err := loadRentalABI().DecodeLog(lg)
+	if err != nil {
+		return nil
+	}
+	ev := &Event{Contract: cs.Addr.Hex()}
+	switch dec.Name {
+	case "agreementConfirmed":
+		ev.Type = "signed"
+	case "paidRent":
+		ev.Type = "payment"
+		if m, ok := dec.Args["month"].(uint256.Int); ok {
+			ev.Month = m.Uint64()
+		}
+		if a, ok := dec.Args["amount"].(uint256.Int); ok {
+			ev.AmountWei = a.String()
+		}
+		t.observePaymentLag(v, cs, lg.BlockNumber)
+	case "paidMaintenance":
+		ev.Type = "maintenance"
+		if a, ok := dec.Args["amount"].(uint256.Int); ok {
+			ev.AmountWei = a.String()
+		}
+	case "contractTerminated":
+		ev.Type = "terminated"
+		if a, ok := dec.Args["refunded"].(uint256.Int); ok {
+			ev.AmountWei = a.String()
+		}
+	case "versionLinked":
+		dir, _ := dec.Args["direction"].(uint256.Int)
+		if neighbour, ok := dec.Args["neighbour"].(ethtypes.Address); ok {
+			ev.Detail = neighbour.Hex()
+		}
+		if dir.Uint64() == 1 {
+			// setNext on the predecessor: a successor version exists and
+			// awaits confirmation.
+			ev.Type = "modify-pending"
+		} else {
+			ev.Type = "version-linked"
+		}
+	default:
+		return nil
+	}
+	return ev
+}
+
+// observePaymentLag records how late a rent payment landed relative to
+// its due block, in seconds of block time. On-time payments observe 0.
+func (t *Tower) observePaymentLag(v *chain.HeadView, cs *contractState, payBlock uint64) {
+	due := cs.LastPayBlock + t.cfg.RentPeriod
+	if payBlock <= due {
+		mPaymentLag.Observe(0)
+		return
+	}
+	dueBlock, ok := v.BlockByNumber(due)
+	pb, ok2 := v.BlockByNumber(payBlock)
+	if !ok || !ok2 || pb.Header.Time < dueBlock.Header.Time {
+		return
+	}
+	mPaymentLag.Observe(float64(pb.Header.Time - dueBlock.Header.Time))
+}
+
+// overdueLocked counts overdue obligations at head and collects the
+// contracts carrying them (for alert attribution).
+func (t *Tower) overdueLocked(head uint64) (int, []string) {
+	count := 0
+	var addrs []string
+	for _, cs := range t.contracts {
+		for _, o := range t.obligationsOf(cs, head) {
+			if o.Overdue {
+				count++
+				addrs = append(addrs, o.Contract)
+			}
+		}
+	}
+	sort.Strings(addrs)
+	return count, addrs
+}
+
+// signalsLocked computes the rule-engine inputs at folded block n with
+// the chain head at head.
+func (t *Tower) signalsLocked(n, head uint64, overdue int) map[string]float64 {
+	counts := map[string]int{}
+	for _, cs := range t.contracts {
+		counts[cs.State]++
+	}
+	return map[string]float64{
+		"overdue":          float64(overdue),
+		"tracked":          float64(len(t.contracts)),
+		"fold_lag":         float64(head - n),
+		"alerts_firing":    float64(t.rules.firing()),
+		"drafted":          float64(counts[StateDrafted]),
+		"signed":           float64(counts[StateSigned]),
+		"active":           float64(counts[StateActive]),
+		"modified_pending": float64(counts[StateModifiedPending]),
+		"terminated":       float64(counts[StateTerminated]),
+	}
+}
+
+// updateGaugesLocked refreshes the metric surface after a fold pass.
+func (t *Tower) updateGaugesLocked(head uint64) {
+	counts := map[string]int{}
+	for _, cs := range t.contracts {
+		counts[cs.State]++
+	}
+	for _, s := range allStates {
+		mContracts.With(s).Set(int64(counts[s]))
+	}
+	overdue, _ := t.overdueLocked(t.folded)
+	mOverdue.Set(int64(overdue))
+	mAlertsFiring.Set(int64(t.rules.firing()))
+	if head >= t.folded {
+		mFoldLag.Set(int64(head - t.folded))
+	}
+	mLogBytes.Set(t.log.size())
+}
+
+// --- read surface ----------------------------------------------------------
+
+// Status is the tower's summary, served by legal_watchStatus and the
+// legalctl watch/top views.
+type Status struct {
+	Head         uint64           `json:"head"`
+	Folded       uint64           `json:"folded"`
+	LagBlocks    uint64           `json:"lagBlocks"`
+	Tracked      int              `json:"tracked"`
+	States       map[string]int   `json:"states"`
+	Overdue      int              `json:"overdue"`
+	AlertsFiring int              `json:"alertsFiring"`
+	AlertsTotal  uint64           `json:"alertsTotal"`
+	Events       uint64           `json:"events"`
+	SkippedBlks  uint64           `json:"skippedBlocks,omitempty"`
+	LogBytes     int64            `json:"logBytes,omitempty"`
+	Rules        []RuleStatus     `json:"rules,omitempty"`
+	Contracts    []ContractStatus `json:"contracts,omitempty"`
+	Error        string           `json:"error,omitempty"`
+}
+
+// RuleStatus is one rule plus its live engine counters.
+type RuleStatus struct {
+	Rule
+	Firing      bool   `json:"firing"`
+	Consecutive uint64 `json:"consecutive"`
+}
+
+// ContractStatus is one contract's lifecycle summary.
+type ContractStatus struct {
+	Address     string       `json:"address"`
+	Template    string       `json:"template"`
+	State       string       `json:"state"`
+	MonthsPaid  uint64       `json:"monthsPaid"`
+	Months      uint64       `json:"months"`
+	RentWei     string       `json:"rentWei,omitempty"`
+	DepositWei  string       `json:"depositWei,omitempty"`
+	Overdue     bool         `json:"overdue"`
+	Obligations []Obligation `json:"obligations,omitempty"`
+}
+
+// Status reports the tower's state. Lag is measured against the
+// source's newest head, so a stalled tower shows a growing number even
+// between folds.
+func (t *Tower) Status() Status {
+	head := t.src.View().BlockNumber()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Status{
+		Head:        head,
+		Folded:      t.folded,
+		Tracked:     len(t.contracts),
+		States:      map[string]int{},
+		AlertsTotal: t.fired,
+		Events:      t.seq,
+		SkippedBlks: t.skipped,
+		LogBytes:    t.log.size(),
+	}
+	if head > t.folded {
+		st.LagBlocks = head - t.folded
+		mFoldLag.Set(int64(st.LagBlocks))
+	}
+	if t.foldErr != nil {
+		st.Error = t.foldErr.Error()
+	}
+	for _, s := range allStates {
+		st.States[s] = 0
+	}
+	addrs := make([]ethtypes.Address, 0, len(t.contracts))
+	for a := range t.contracts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return strings.Compare(addrs[i].Hex(), addrs[j].Hex()) < 0
+	})
+	for _, a := range addrs {
+		cs := t.contracts[a]
+		st.States[cs.State]++
+		obl := t.obligationsOf(cs, t.folded)
+		c := ContractStatus{
+			Address:    cs.Addr.Hex(),
+			Template:   cs.Template,
+			State:      cs.State,
+			MonthsPaid: cs.MonthsPaid,
+			Months:     cs.Months,
+			RentWei:    cs.RentWei,
+			DepositWei: cs.DepositWei,
+		}
+		for _, o := range obl {
+			if o.Overdue {
+				c.Overdue = true
+				st.Overdue++
+			}
+		}
+		c.Obligations = obl
+		st.Contracts = append(st.Contracts, c)
+	}
+	st.AlertsFiring = t.rules.firing()
+	for _, r := range t.rules.rules {
+		rs := t.rules.state[r.Name]
+		st.Rules = append(st.Rules, RuleStatus{Rule: r, Firing: rs.Firing, Consecutive: rs.Consecutive})
+	}
+	return st
+}
+
+// Timeline returns the buffered events involving addr, oldest first:
+// its lifecycle events plus every alert that implicated it.
+func (t *Tower) Timeline(addr ethtypes.Address) []Event {
+	hex := addr.Hex()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for _, ev := range t.events {
+		if ev.Contract == hex {
+			out = append(out, ev)
+			continue
+		}
+		for _, c := range ev.Contracts {
+			if c == hex {
+				out = append(out, ev)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Events returns the most recent n buffered events (all contracts,
+// alerts included), oldest first. n <= 0 returns everything buffered.
+func (t *Tower) Events(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.events
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return append([]Event(nil), evs...)
+}
+
+// Alerts returns the bounded alert history, oldest first.
+func (t *Tower) Alerts() []Alert {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Alert(nil), t.alerts...)
+}
+
+// AlertsSince returns alerts with Seq > seq, oldest first — the SSE
+// stream's incremental read.
+func (t *Tower) AlertsSince(seq uint64) []Alert {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.alerts), func(i int) bool { return t.alerts[i].Seq > seq })
+	if i == len(t.alerts) {
+		return nil
+	}
+	return append([]Alert(nil), t.alerts[i:]...)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

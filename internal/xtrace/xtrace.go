@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"legalchain/internal/metrics"
 )
 
 type ctxKey struct{}
@@ -294,15 +296,46 @@ func (t *trace) finish(end time.Time) {
 	}
 }
 
-// ring is the bounded buffer of completed traces.
-type ring struct {
-	mu   sync.Mutex
-	buf  []*TraceData
-	next int
-	full bool
+// approxSize estimates the resident bytes of a retained trace: struct
+// headers plus every string the snapshot pins. It only needs to be
+// proportional, not exact — the byte budget is a retention bound, not
+// an accounting system.
+func (td *TraceData) approxSize() int64 {
+	n := int64(128 + len(td.ID))
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		n += int64(112 + len(sp.Tier) + len(sp.Name) + len(sp.Err))
+		for _, a := range sp.Attrs {
+			n += int64(48 + len(a.Key) + len(a.Value))
+		}
+	}
+	return n
 }
 
-var collector = &ring{buf: make([]*TraceData, 256)}
+var (
+	mDropped = metrics.Default.Counter("legalchain_xtrace_dropped_total",
+		"Completed traces evicted from the /debug/traces ring by the slot or byte budget.")
+	mRingBytes = metrics.Default.Gauge("legalchain_xtrace_ring_bytes",
+		"Approximate bytes of completed traces retained for /debug/traces.")
+)
+
+// ring is the bounded buffer of completed traces: at most len(buf)
+// traces and at most maxBytes of them, whichever bound bites first.
+// Evictions (slot reuse or byte-budget trimming) drop the oldest trace.
+type ring struct {
+	mu     sync.Mutex
+	buf    []*TraceData
+	next   int   // slot the next trace lands in
+	oldest int   // slot of the oldest live trace (valid when live > 0)
+	live   int   // live traces in buf
+	bytes  int64 // approximate retained bytes
+	max    int64 // byte budget (<= 0: slots only)
+}
+
+// DefaultMaxBytes is the default byte budget for retained traces.
+const DefaultMaxBytes = 4 << 20
+
+var collector = &ring{buf: make([]*TraceData, 256), max: DefaultMaxBytes}
 
 // SetCapacity resizes (and clears) the completed-trace ring.
 func SetCapacity(n int) {
@@ -311,8 +344,18 @@ func SetCapacity(n int) {
 	}
 	collector.mu.Lock()
 	collector.buf = make([]*TraceData, n)
-	collector.next = 0
-	collector.full = false
+	collector.resetLocked()
+	collector.mu.Unlock()
+}
+
+// SetMaxBytes bounds the approximate memory retained traces may hold;
+// the ring evicts oldest-first when a new trace pushes it over. n <= 0
+// removes the byte bound (the slot count still applies).
+func SetMaxBytes(n int64) {
+	collector.mu.Lock()
+	collector.max = n
+	collector.trimLocked()
+	mRingBytes.Set(collector.bytes)
 	collector.mu.Unlock()
 }
 
@@ -322,18 +365,46 @@ func Reset() {
 	for i := range collector.buf {
 		collector.buf[i] = nil
 	}
-	collector.next = 0
-	collector.full = false
+	collector.resetLocked()
 	collector.mu.Unlock()
+}
+
+func (r *ring) resetLocked() {
+	r.next, r.oldest, r.live, r.bytes = 0, 0, 0, 0
+	mRingBytes.Set(0)
+}
+
+// dropOldestLocked evicts the oldest live trace.
+func (r *ring) dropOldestLocked() {
+	r.bytes -= r.buf[r.oldest].approxSize()
+	r.buf[r.oldest] = nil
+	r.oldest = (r.oldest + 1) % len(r.buf)
+	r.live--
+	mDropped.Inc()
+}
+
+// trimLocked enforces the byte budget, always keeping the newest trace
+// so a single oversized one remains inspectable.
+func (r *ring) trimLocked() {
+	for r.max > 0 && r.bytes > r.max && r.live > 1 {
+		r.dropOldestLocked()
+	}
 }
 
 func (r *ring) add(td *TraceData) {
 	r.mu.Lock()
-	r.buf[r.next] = td
-	r.next = (r.next + 1) % len(r.buf)
-	if r.next == 0 {
-		r.full = true
+	if r.buf[r.next] != nil { // wrapped onto the oldest live slot
+		r.dropOldestLocked()
 	}
+	r.buf[r.next] = td
+	if r.live == 0 {
+		r.oldest = r.next
+	}
+	r.live++
+	r.bytes += td.approxSize()
+	r.next = (r.next + 1) % len(r.buf)
+	r.trimLocked()
+	mRingBytes.Set(r.bytes)
 	r.mu.Unlock()
 }
 

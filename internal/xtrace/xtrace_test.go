@@ -146,6 +146,72 @@ func TestRingBoundAndOrder(t *testing.T) {
 	}
 }
 
+// emit completes one trace whose root carries a payload-sized attr, so
+// its approxSize is dominated by payload.
+func emitSized(id string, payload int) {
+	_, sp := StartRoot(context.Background(), "test", "sized", id)
+	sp.SetAttr("payload", strings.Repeat("x", payload))
+	sp.End()
+}
+
+func TestRingByteBudget(t *testing.T) {
+	withTracing(t)
+	SetCapacity(64)
+	SetMaxBytes(4096)
+	t.Cleanup(func() {
+		SetCapacity(256)
+		SetMaxBytes(DefaultMaxBytes)
+	})
+
+	droppedBefore := mDropped.Value()
+	// ~1 KiB per trace against a 4 KiB budget: only the newest few fit.
+	for i := 0; i < 8; i++ {
+		emitSized("budget-"+strings.Repeat("i", i+1), 1024)
+	}
+	got := Traces()
+	if len(got) == 0 || len(got) >= 8 {
+		t.Fatalf("retained %d traces, want a strict byte-bounded subset", len(got))
+	}
+	// Newest first, and it is the most recent emit.
+	if got[0].ID != "budget-"+strings.Repeat("i", 8) {
+		t.Fatalf("newest retained = %q", got[0].ID)
+	}
+	var total int64
+	for _, td := range got {
+		total += td.approxSize()
+	}
+	if total > 4096 {
+		t.Fatalf("retained %d bytes, budget 4096", total)
+	}
+	if d := mDropped.Value() - droppedBefore; d != uint64(8-len(got)) {
+		t.Fatalf("dropped counter moved by %d, want %d", d, 8-len(got))
+	}
+
+	// A single trace larger than the whole budget is still retained, so
+	// the newest evidence is never thrown away.
+	emitSized("budget-oversize", 8192)
+	got = Traces()
+	if len(got) != 1 || got[0].ID != "budget-oversize" {
+		t.Fatalf("oversized trace handling: %d retained, newest %q", len(got), got[0].ID)
+	}
+}
+
+func TestRingByteBudgetDisabled(t *testing.T) {
+	withTracing(t)
+	SetCapacity(16)
+	SetMaxBytes(0) // slots-only bound
+	t.Cleanup(func() {
+		SetCapacity(256)
+		SetMaxBytes(DefaultMaxBytes)
+	})
+	for i := 0; i < 16; i++ {
+		emitSized("nolimit", 1024)
+	}
+	if got := Traces(); len(got) != 16 {
+		t.Fatalf("retained %d, want all 16 with the byte bound off", len(got))
+	}
+}
+
 func TestSpanCapDropsButCounts(t *testing.T) {
 	withTracing(t)
 	ctx, root := StartRoot(context.Background(), "t", "op", "cap")
